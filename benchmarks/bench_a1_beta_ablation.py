@@ -1,0 +1,18 @@
+"""A1 — ablation: beta = sqrt(eps) rough estimation + sampling vs beta = eps sketching."""
+
+from repro.experiments import a1_beta_ablation
+
+
+def test_a1_beta_ablation(benchmark, once):
+    report = once(
+        benchmark,
+        a1_beta_ablation.run,
+        n=96,
+        epsilons=(0.4, 0.25, 0.15),
+        seed=21,
+    )
+    print()
+    print(report)
+    # The direct-sketching variant pays an increasing factor as eps shrinks.
+    assert report.summary["ratio_grows_as_eps_shrinks"]
+    assert report.summary["max_ratio"] > 1.5

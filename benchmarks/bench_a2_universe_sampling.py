@@ -1,0 +1,17 @@
+"""A2 — ablation: Algorithm 3's universe-sampling step."""
+
+from repro.experiments import a2_universe_sampling
+
+
+def test_a2_universe_sampling(benchmark, once):
+    report = once(
+        benchmark,
+        a2_universe_sampling.run,
+        n=128,
+        kappas=(8.0, 16.0, 32.0),
+        seed=22,
+    )
+    print()
+    print(report)
+    assert report.summary["sampling_always_cheaper"]
+    assert report.summary["all_within_kappa"]

@@ -1,0 +1,20 @@
+"""E1 — Theorem 3.1: (1+eps)-approximation of ||AB||_p, p in {0,1,2}."""
+
+from repro.experiments import e01_lp_norm
+
+
+def test_e01_lp_norm(benchmark, once):
+    report = once(
+        benchmark,
+        e01_lp_norm.run,
+        sizes=(64, 96, 128),
+        epsilons=(0.5, 0.3),
+        ps=(0.0, 1.0, 2.0),
+        seed=1,
+    )
+    print()
+    print(report)
+    # Shape: every estimate within ~eps of the truth, 2 rounds, bits ~ n.
+    assert report.summary["rounds"] == 2
+    assert report.summary["max_rel_error"] < 0.6
+    assert 0.5 < report.summary["bits_vs_n_exponent"] < 1.8

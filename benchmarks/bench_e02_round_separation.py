@@ -1,0 +1,20 @@
+"""E2 — two-round O~(n/eps) vs one-round O~(n/eps^2) separation (p = 0)."""
+
+from repro.experiments import e02_round_separation
+
+
+def test_e02_round_separation(benchmark, once):
+    report = once(
+        benchmark,
+        e02_round_separation.run,
+        n=96,
+        epsilons=(0.6, 0.4, 0.25, 0.15),
+        seed=2,
+    )
+    print()
+    print(report)
+    # Shape: the baseline's cost grows roughly one power of 1/eps faster.
+    assert report.summary["baseline_minus_ours_exponent"] > 0.5
+    # Ours is never more expensive at the smallest epsilon.
+    smallest = min(report.rows, key=lambda r: r["eps"])
+    assert smallest["ours_bits"] < smallest["baseline_bits"]

@@ -1,0 +1,19 @@
+"""E3 — Remark 2/3: exact ||AB||_1 and l_1-sampling with O(n log n) bits."""
+
+from repro.experiments import e03_l1_exact
+
+
+def test_e03_l1_exact(benchmark, once):
+    report = once(
+        benchmark,
+        e03_l1_exact.run,
+        sizes=(64, 128, 256),
+        samples_per_size=10,
+        seed=3,
+    )
+    print()
+    print(report)
+    assert report.summary["all_exact"]
+    assert report.summary["rounds"] == 1
+    # Bits grow roughly linearly in n (exponent ~1, certainly far below 2).
+    assert report.summary["bits_vs_n_exponent"] < 1.5

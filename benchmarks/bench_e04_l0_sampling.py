@@ -1,0 +1,23 @@
+"""E4 — Theorem 3.2: one-round l_0-sampling over the support of AB."""
+
+from repro.experiments import e04_l0_sampling
+
+
+def test_e04_l0_sampling(benchmark, once):
+    report = once(
+        benchmark,
+        e04_l0_sampling.run,
+        n=48,
+        num_samples=120,
+        epsilon=0.3,
+        seed=4,
+    )
+    print()
+    print(report)
+    row = report.rows[0]
+    assert row["rounds"] == 1
+    assert report.summary["failure_rate"] < 0.15
+    # Every successful sample lands on a non-zero entry of C.
+    assert row["valid_fraction"] == 1.0
+    # No evidence of gross non-uniformity (chi-square test not rejected at 1%).
+    assert row["uniformity_p_value"] > 0.01

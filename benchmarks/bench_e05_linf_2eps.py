@@ -1,0 +1,23 @@
+"""E5 — Theorem 4.1: (2+eps)-approximation of ||AB||_inf for binary matrices."""
+
+from repro.experiments import e05_linf_2eps
+
+
+def test_e05_linf_2eps(benchmark, once):
+    report = once(
+        benchmark,
+        e05_linf_2eps.run,
+        sizes=(64, 128, 192, 256),
+        epsilon=0.25,
+        seed=5,
+    )
+    print()
+    print(report)
+    # Approximation never exceeds the allowed (2+eps) factor (with slack for
+    # the laptop-scale constants).
+    assert report.summary["max_approx_ratio"] <= report.summary["allowed_ratio"] + 0.5
+    # Our communication grows strictly slower than the naive n^2 exchange.
+    assert (
+        report.summary["ours_bits_vs_n_exponent"]
+        < report.summary["naive_bits_vs_n_exponent"]
+    )

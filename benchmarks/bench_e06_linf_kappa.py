@@ -1,0 +1,17 @@
+"""E6 — Theorem 4.3: kappa-approximation of ||AB||_inf, O~(n^1.5/kappa) bits."""
+
+from repro.experiments import e06_linf_kappa
+
+
+def test_e06_linf_kappa(benchmark, once):
+    report = once(
+        benchmark,
+        e06_linf_kappa.run,
+        n=128,
+        kappas=(4.0, 8.0, 16.0, 32.0),
+        seed=6,
+    )
+    print()
+    print(report)
+    assert report.summary["all_within_kappa"]
+    assert report.summary["bits_non_increasing_in_kappa"]

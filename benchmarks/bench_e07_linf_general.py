@@ -1,0 +1,19 @@
+"""E7 — Theorem 4.8(1): kappa-approximation of ||AB||_inf for integer matrices."""
+
+from repro.experiments import e07_linf_general
+
+
+def test_e07_linf_general(benchmark, once):
+    report = once(
+        benchmark,
+        e07_linf_general.run,
+        n=96,
+        kappas=(2.0, 3.0, 4.0, 6.0),
+        seed=7,
+    )
+    print()
+    print(report)
+    assert report.summary["general_rounds"] == 1
+    assert report.summary["all_general_within_2kappa"]
+    # Communication falls roughly like 1/kappa^2 (exponent close to -2).
+    assert report.summary["general_bits_vs_kappa_exponent"] < -1.2

@@ -1,0 +1,23 @@
+"""E8 — Theorem 5.1: l_1-(phi,eps) heavy hitters for general matrices."""
+
+from repro.experiments import e08_hh_general
+
+
+def test_e08_hh_general(benchmark, once):
+    report = once(
+        benchmark,
+        e08_hh_general.run,
+        n=80,
+        phi=0.05,
+        epsilons=(0.04, 0.02),
+        seed=8,
+        include_baseline=True,
+    )
+    print()
+    print(report)
+    # Output-set contract: HH_phi ⊆ S ⊆ HH_{phi-eps}.
+    assert report.summary["min_recall"] == 1.0
+    assert report.summary["min_soundness"] == 1.0
+    assert report.summary["rounds"] <= 6
+    # The sampling+sparse-recovery protocol undercuts the CountSketch baseline.
+    assert report.summary["ours_cheaper_than_baseline"]

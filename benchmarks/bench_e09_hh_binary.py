@@ -1,0 +1,21 @@
+"""E9 — Theorem 5.3: heavy hitters for binary matrices, O~(n + phi/eps^2) bits."""
+
+from repro.experiments import e09_hh_binary
+
+
+def test_e09_hh_binary(benchmark, once):
+    report = once(
+        benchmark,
+        e09_hh_binary.run,
+        sizes=(64, 96, 128),
+        phi=0.05,
+        epsilon=0.025,
+        seed=9,
+    )
+    print()
+    print(report)
+    assert report.summary["min_recall"] == 1.0
+    assert report.summary["min_soundness"] == 1.0
+    assert report.summary["rounds"] <= 8
+    # Bits grow near-linearly in n (the n term dominates at these sizes).
+    assert report.summary["bits_vs_n_exponent"] < 1.9

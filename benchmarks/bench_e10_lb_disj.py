@@ -1,0 +1,16 @@
+"""E10 — Theorem 4.4: DISJ reduction gap (2-approximation hardness)."""
+
+from repro.experiments import e10_lb_disj
+
+
+def test_e10_lb_disj(benchmark, once):
+    report = once(
+        benchmark,
+        e10_lb_disj.run,
+        half_sizes=(8, 16, 32),
+        instances_per_size=16,
+        seed=10,
+    )
+    print()
+    print(report)
+    assert report.summary["gap_always_holds"]

@@ -1,0 +1,20 @@
+"""E11 — Theorem 4.5 / Lemma 4.7: SUM reduction gap (kappa-approximation hardness)."""
+
+from repro.experiments import e11_lb_sum
+
+
+def test_e11_lb_sum(benchmark, once):
+    report = once(
+        benchmark,
+        e11_lb_sum.run,
+        n=256,
+        kappa=4.0,
+        beta_constant=0.2,
+        instances=8,
+        seed=11,
+    )
+    print()
+    print(report)
+    assert report.summary["gap_holds_fraction"] == 1.0
+    # The special entry is well separated from the typical background entry.
+    assert report.summary["median_special_over_typical"] >= 1.0

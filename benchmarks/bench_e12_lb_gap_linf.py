@@ -1,0 +1,17 @@
+"""E12 — Theorem 4.8(2): Gap-l_inf reduction for general integer matrices."""
+
+from repro.experiments import e12_lb_gap_linf
+
+
+def test_e12_lb_gap_linf(benchmark, once):
+    report = once(
+        benchmark,
+        e12_lb_gap_linf.run,
+        half_sizes=(8, 16, 32),
+        kappa=8,
+        instances_per_size=16,
+        seed=12,
+    )
+    print()
+    print(report)
+    assert report.summary["gap_always_holds"]

@@ -1,0 +1,21 @@
+"""E13 — Section 6: the protocols on rectangular matrices."""
+
+from repro.experiments import e13_rectangular
+
+
+def test_e13_rectangular(benchmark, once):
+    report = once(
+        benchmark,
+        e13_rectangular.run,
+        n=64,
+        m_values=(64, 128, 192),
+        epsilon=0.35,
+        kappa=8.0,
+        seed=13,
+    )
+    print()
+    print(report)
+    assert report.summary["l1_always_exact"]
+    assert report.summary["max_lp_rel_error"] < 0.6
+    # The binary l_inf protocol's cost grows with m but stays sub-quadratic.
+    assert report.summary["linf_bits_vs_m_exponent"] < 2.0

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every file in this directory regenerates one experiment from EXPERIMENTS.md
+(on a laptop-scale workload), measures its wall-clock cost via
+pytest-benchmark, and asserts the qualitative *shape* of the paper's claim
+(who wins, how communication scales).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark timing.
+
+    Experiment drivers are deterministic (seeded) and relatively expensive,
+    so a single round is both sufficient and necessary to keep the suite
+    fast; the interesting output is the driver's report, which is attached
+    to the benchmark record via ``extra_info``.
+    """
+    report = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = report.experiment
+    benchmark.extra_info["summary"] = {k: str(v) for k, v in report.summary.items()}
+    return report
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,78 @@
+"""Communication/accuracy trade-offs: regenerate the paper's headline comparisons.
+
+Three mini-studies, each printing a small table:
+
+1. ``||AB||_0`` estimation: two-round Algorithm 1 vs the one-round [16]
+   baseline as epsilon shrinks (the O~(n/eps) vs O~(n/eps^2) separation).
+2. ``||AB||_inf`` on binary matrices: the (2+eps) protocol vs the naive
+   n^2-bit exchange as n grows (the n^1.5 vs n^2 separation).
+3. ``||AB||_inf`` approximation factor kappa vs communication, binary
+   (O~(n^1.5/kappa)) against general integer matrices (O~(n^2/kappa^2)).
+
+Run with::
+
+    python examples/communication_tradeoffs.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines.naive import NaiveLinfProtocol
+from repro.baselines.one_round import OneRoundLpNormProtocol
+from repro.core.linf_binary import KappaApproxLinfProtocol, TwoPlusEpsilonLinfProtocol
+from repro.core.linf_general import GeneralMatrixLinfProtocol
+from repro.core.lp_norm import LpNormProtocol
+from repro.matrices import (
+    integer_matrix_pair,
+    planted_max_overlap_pair,
+    random_binary_pair,
+)
+
+
+def study_rounds_vs_epsilon() -> None:
+    print("1. ||AB||_0: two rounds (Alg. 1) vs one round ([16]) — bits as eps shrinks")
+    n = 128
+    a, b = random_binary_pair(n, density=0.08, seed=1)
+    print(f"   {'eps':>6} {'two-round bits':>16} {'one-round bits':>16} {'ratio':>7}")
+    for eps in (0.5, 0.35, 0.25, 0.15):
+        ours = LpNormProtocol(0.0, eps, seed=2).run(a, b)
+        baseline = OneRoundLpNormProtocol(0.0, eps, seed=2).run(a, b)
+        ratio = baseline.cost.total_bits / ours.cost.total_bits
+        print(f"   {eps:>6.2f} {ours.cost.total_bits:>16d} "
+              f"{baseline.cost.total_bits:>16d} {ratio:>7.2f}")
+    print()
+
+
+def study_linf_vs_naive() -> None:
+    print("2. ||AB||_inf (binary): (2+eps) protocol vs naive n^2 exchange — bits as n grows")
+    print(f"   {'n':>6} {'protocol bits':>15} {'naive bits':>12} {'saving':>8}")
+    for n in (96, 160, 256, 384):
+        a, b, _ = planted_max_overlap_pair(n, overlap=n // 4, seed=3)
+        ours = TwoPlusEpsilonLinfProtocol(0.5, seed=4).run(a, b)
+        naive = NaiveLinfProtocol(seed=4).run(a, b)
+        saving = 1 - ours.cost.total_bits / naive.cost.total_bits
+        print(f"   {n:>6d} {ours.cost.total_bits:>15d} {naive.cost.total_bits:>12d} "
+              f"{100 * saving:>7.1f}%")
+    print()
+
+
+def study_kappa_tradeoff() -> None:
+    print("3. ||AB||_inf: accuracy (kappa) vs communication, binary vs general matrices")
+    n = 128
+    a_bin, b_bin = random_binary_pair(n, density=0.3, seed=5)
+    a_int, b_int = integer_matrix_pair(n, planted_value=8, seed=5)
+    print(f"   {'kappa':>6} {'binary bits (n^1.5/k)':>22} {'general bits (n^2/k^2)':>24}")
+    for kappa in (4, 8, 16):
+        binary = KappaApproxLinfProtocol(kappa, seed=6).run(a_bin, b_bin)
+        general = GeneralMatrixLinfProtocol(kappa, seed=6).run(a_int, b_int)
+        print(f"   {kappa:>6d} {binary.cost.total_bits:>22d} {general.cost.total_bits:>24d}")
+    print()
+
+
+def main() -> None:
+    study_rounds_vs_epsilon()
+    study_linf_vs_naive()
+    study_kappa_tradeoff()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Inner-product similarity join: find the pairs of vectors with large overlap.
+
+The paper connects ``||AB||_inf`` and the heavy hitters of ``AB`` to inner
+product similarity joins: Alice holds a collection of (sparse binary) item
+vectors, Bob holds another, and they want the cross-site pairs whose inner
+product is large — without shipping either collection.
+
+The example compares the paper's binary heavy-hitter protocol (Theorem 5.3)
+against the CountSketch / compressed-matrix-multiplication baseline ([32]),
+reporting recall, soundness and communication for both.
+
+Run with::
+
+    python examples/similarity_heavy_hitters.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines.countsketch_hh import CompressedMatMulHeavyHittersProtocol
+from repro.core.heavy_hitters_binary import BinaryHeavyHittersProtocol
+from repro.matrices import exact_heavy_hitters, planted_heavy_hitters_pair, product
+
+
+def evaluate(name: str, reported: set, must: set, may: set, bits: int) -> None:
+    recall = 1.0 if not must else len(reported & must) / len(must)
+    soundness = 1.0 if not reported else len(reported & may) / len(reported)
+    print(f"  {name:<28} reported {len(reported):3d} pairs   "
+          f"recall {recall:4.2f}   soundness {soundness:4.2f}   {bits:>9d} bits")
+
+
+def main() -> None:
+    n = 128
+    phi, eps = 0.02, 0.01
+    a, b, planted = planted_heavy_hitters_pair(
+        n, num_heavy=3, heavy_overlap=n // 2, background_density=0.02, seed=5
+    )
+    c = product(a, b)
+    must = exact_heavy_hitters(c, phi, p=1)
+    may = exact_heavy_hitters(c, phi - eps, p=1)
+
+    print(f"{n} x {n} binary collections, {len(planted)} planted similar pairs, "
+          f"{len(must)} true heavy hitters at phi={phi}\n")
+    print(f"Contract: report every pair above phi*||AB||_1, nothing below "
+          f"(phi-eps)*||AB||_1\n")
+
+    ours = BinaryHeavyHittersProtocol(phi, eps, seed=1).run(a, b)
+    baseline = CompressedMatMulHeavyHittersProtocol(phi, eps, depth=5, seed=1).run(a, b)
+
+    evaluate("binary protocol (Thm 5.3)", ours.value.pairs, must, may,
+             ours.cost.total_bits)
+    evaluate("CountSketch baseline [32]", baseline.value.pairs, must, may,
+             baseline.cost.total_bits)
+
+    print("\nPlanted pairs and how the protocol scored them:")
+    for pair in planted:
+        estimate = ours.value.estimates.get(pair)
+        status = f"~{estimate:.0f} shared items" if estimate else "below threshold"
+        print(f"  pair {pair}: exact overlap {int(c[pair])}, reported {status}")
+
+
+if __name__ == "__main__":
+    main()

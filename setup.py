@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is configured through ``pyproject.toml``; this file only exists
+so that ``pip install -e . --no-use-pep517`` (legacy editable install) works
+on offline machines where PEP 517 editable builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""Baseline protocols the paper compares against."""
+
+from repro.baselines.countsketch_hh import CompressedMatMulHeavyHittersProtocol
+from repro.baselines.naive import NaiveExactProtocol, NaiveLinfProtocol
+from repro.baselines.one_round import OneRoundLpNormProtocol
+
+__all__ = [
+    "CompressedMatMulHeavyHittersProtocol",
+    "NaiveExactProtocol",
+    "NaiveLinfProtocol",
+    "OneRoundLpNormProtocol",
+]

@@ -1,0 +1,46 @@
+"""Two-party communication substrate.
+
+The paper analyses protocols in the classic two-party communication model:
+Alice holds matrix ``A``, Bob holds matrix ``B``, and they exchange messages
+over a channel.  The quantities the theorems bound are (i) the total number
+of bits exchanged and (ii) the number of rounds of interaction.
+
+This package provides an in-process simulation of that model:
+
+* :mod:`repro.comm.bitcost` — the single place where "how many bits does this
+  payload cost" is defined, so the accounting assumptions are auditable.
+* :class:`repro.comm.channel.Channel` — moves payloads between the two
+  parties while metering bits and rounds.
+* :class:`repro.comm.party.Party` — base class for Alice/Bob endpoints.
+* :class:`repro.comm.protocol.Protocol` — driver that runs a protocol and
+  returns a :class:`repro.comm.protocol.CostReport`.
+"""
+
+from repro.comm.bitcost import (
+    bits_for_float,
+    bits_for_index,
+    bits_for_index_list,
+    bits_for_int,
+    bits_for_matrix,
+    bits_for_payload,
+    bits_for_vector,
+)
+from repro.comm.channel import Channel, Message
+from repro.comm.party import Party
+from repro.comm.protocol import CostReport, Protocol, ProtocolResult
+
+__all__ = [
+    "bits_for_float",
+    "bits_for_index",
+    "bits_for_index_list",
+    "bits_for_int",
+    "bits_for_matrix",
+    "bits_for_payload",
+    "bits_for_vector",
+    "Channel",
+    "Message",
+    "Party",
+    "CostReport",
+    "Protocol",
+    "ProtocolResult",
+]

@@ -1,0 +1,120 @@
+"""The metered channel between Alice and Bob.
+
+A :class:`Channel` records every message (sender, receiver, label, bit cost)
+and maintains the round counter.  A *round* follows the standard definition:
+consecutive messages in the same direction belong to the same round; the
+round counter increases each time the direction of communication flips
+(the first message starts round 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.comm import bitcost
+
+
+@dataclass
+class Message:
+    """One message recorded on the channel."""
+
+    sender: str
+    receiver: str
+    label: str
+    bits: int
+    round_index: int
+    payload: Any = field(repr=False, default=None)
+
+
+class Channel:
+    """In-process two-party channel with bit and round accounting.
+
+    Parameters
+    ----------
+    alice_name, bob_name:
+        Display names for the two endpoints; used for per-party accounting.
+    """
+
+    def __init__(self, alice_name: str = "alice", bob_name: str = "bob") -> None:
+        self.alice_name = alice_name
+        self.bob_name = bob_name
+        self.messages: list[Message] = []
+        self._last_sender: str | None = None
+        self._round = 0
+
+    # ------------------------------------------------------------------ send
+    def send(
+        self,
+        sender: str,
+        receiver: str,
+        payload: Any,
+        *,
+        label: str = "",
+        bits: int | None = None,
+        universe: int | None = None,
+    ) -> Any:
+        """Record a message from ``sender`` to ``receiver`` and deliver it.
+
+        Parameters
+        ----------
+        payload:
+            The object being transmitted.  It is returned unchanged so the
+            caller (the protocol driver) can hand it to the receiving party.
+        bits:
+            Explicit bit cost.  If omitted, a cost is derived from the payload
+            via :func:`repro.comm.bitcost.bits_for_payload`.
+        universe:
+            Universe size used when costing index lists.
+        """
+        if sender == receiver:
+            raise ValueError("sender and receiver must differ")
+        known = {self.alice_name, self.bob_name}
+        if sender not in known or receiver not in known:
+            raise ValueError(f"unknown endpoint; expected one of {sorted(known)}")
+        if bits is None:
+            bits = bitcost.bits_for_payload(payload, universe=universe)
+        if bits < 0:
+            raise ValueError("bit cost must be non-negative")
+        if sender != self._last_sender:
+            self._round += 1
+            self._last_sender = sender
+        self.messages.append(
+            Message(
+                sender=sender,
+                receiver=receiver,
+                label=label,
+                bits=int(bits),
+                round_index=self._round,
+                payload=payload,
+            )
+        )
+        return payload
+
+    # ------------------------------------------------------------ accounting
+    @property
+    def total_bits(self) -> int:
+        """Total bits sent by both parties."""
+        return sum(message.bits for message in self.messages)
+
+    @property
+    def rounds(self) -> int:
+        """Number of rounds used so far (maximal direction flips)."""
+        return self._round
+
+    def bits_sent_by(self, sender: str) -> int:
+        """Total bits sent by one endpoint."""
+        return sum(message.bits for message in self.messages if message.sender == sender)
+
+    def bits_by_label(self) -> dict[str, int]:
+        """Total bits grouped by message label (for cost breakdowns)."""
+        breakdown: dict[str, int] = {}
+        for message in self.messages:
+            breakdown[message.label] = breakdown.get(message.label, 0) + message.bits
+        return breakdown
+
+    def reset(self) -> None:
+        """Clear all recorded traffic (used when reusing a channel)."""
+        self.messages.clear()
+        self._last_sender = None
+        self._round = 0

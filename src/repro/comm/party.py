@@ -1,0 +1,64 @@
+"""Party endpoints for two-party protocols."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.comm.channel import Channel
+
+
+class Party:
+    """One endpoint (Alice or Bob) of a two-party protocol.
+
+    A party owns its private input (typically a matrix), a handle to the
+    shared :class:`~repro.comm.channel.Channel`, and a private random
+    generator.  Shared (public-coin) randomness is modelled by constructing
+    both parties' helper objects (e.g. sketching matrices) from a common seed
+    at the protocol level; such seeds are never charged to communication.
+
+    Subclasses or protocol code may freely attach scratch attributes; the
+    class intentionally stays small.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        data: Any,
+        channel: Channel,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.name = name
+        self.data = data
+        self.channel = channel
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.scratch: dict[str, Any] = {}
+
+    def send(
+        self,
+        other: "Party",
+        payload: Any,
+        *,
+        label: str = "",
+        bits: int | None = None,
+        universe: int | None = None,
+    ) -> Any:
+        """Send ``payload`` to ``other`` through the shared channel."""
+        return self.channel.send(
+            self.name,
+            other.name,
+            payload,
+            label=label,
+            bits=bits,
+            universe=universe,
+        )
+
+    @property
+    def bits_sent(self) -> int:
+        """Total bits this party has sent so far."""
+        return self.channel.bits_sent_by(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Party({self.name!r})"

@@ -1,0 +1,85 @@
+"""Protocol driver and result/cost containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.comm.channel import Channel
+from repro.comm.party import Party
+
+
+@dataclass
+class CostReport:
+    """Communication cost of one protocol execution."""
+
+    total_bits: int
+    rounds: int
+    alice_bits: int
+    bob_bits: int
+    breakdown: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_channel(cls, channel: Channel) -> "CostReport":
+        return cls(
+            total_bits=channel.total_bits,
+            rounds=channel.rounds,
+            alice_bits=channel.bits_sent_by(channel.alice_name),
+            bob_bits=channel.bits_sent_by(channel.bob_name),
+            breakdown=channel.bits_by_label(),
+        )
+
+
+@dataclass
+class ProtocolResult:
+    """Outcome of one protocol execution: the output plus its cost."""
+
+    value: Any
+    cost: CostReport
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class Protocol:
+    """Base class for the two-party protocols in :mod:`repro.core`.
+
+    Subclasses implement :meth:`_execute`, receiving fully wired Alice and
+    Bob :class:`~repro.comm.party.Party` objects, and return the protocol
+    output (plus an optional ``details`` dict).  :meth:`run` takes care of
+    channel construction, seeding and cost reporting.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the protocol's randomness.  The same seed drives the shared
+        (public-coin) randomness and both parties' private randomness, split
+        into independent streams.
+    """
+
+    #: Human-readable protocol name (used in benchmark tables).
+    name: str = "protocol"
+
+    def __init__(self, *, seed: int | None = None) -> None:
+        self.seed = seed
+
+    # ------------------------------------------------------------------ api
+    def run(self, alice_data: Any, bob_data: Any) -> ProtocolResult:
+        """Execute the protocol on the given inputs and report costs."""
+        channel = Channel()
+        root = np.random.default_rng(self.seed)
+        shared_seed = int(root.integers(0, 2**63 - 1))
+        alice_rng, bob_rng = root.spawn(2)
+        alice = Party("alice", alice_data, channel, rng=alice_rng)
+        bob = Party("bob", bob_data, channel, rng=bob_rng)
+        self.shared_rng = np.random.default_rng(shared_seed)
+        output = self._execute(alice, bob)
+        if isinstance(output, tuple) and len(output) == 2 and isinstance(output[1], dict):
+            value, details = output
+        else:
+            value, details = output, {}
+        return ProtocolResult(value=value, cost=CostReport.from_channel(channel), details=details)
+
+    # ------------------------------------------------------------- subclass
+    def _execute(self, alice: Party, bob: Party) -> Any:
+        raise NotImplementedError

@@ -1,0 +1,92 @@
+"""Theorem 3.2: one-round ``l_0``-sampling of the non-zero entries of ``A B``.
+
+The goal is to output a uniformly random non-zero entry ``(i, j)`` of
+``C = A B`` (each with probability ``(1 +/- eps) / ||C||_0``).  The protocol
+composes two linear sketches, both applied to the *columns* of ``C``:
+
+* an ``l_0`` sketch ``S`` (:class:`repro.sketch.l0_sketch.L0Sketch`) to
+  estimate ``||C_{*,j}||_0`` for every column ``j`` within ``(1 + eps)``, and
+* an ``l_0``-sampler ``T`` (:class:`repro.sketch.l0_sampler.L0Sampler`) to
+  draw a uniform non-zero row index inside a chosen column.
+
+Because columns of ``C`` satisfy ``C_{*,j} = A B_{*,j}``, Alice sends ``S A``
+and ``T A`` (one round, ``O~(n / eps^2)`` bits) and Bob finishes locally:
+he computes ``S A B`` and ``T A B``, picks a column proportionally to its
+estimated ``l_0`` norm, and recovers a uniform non-zero row in that column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm import bitcost
+from repro.comm.party import Party
+from repro.comm.protocol import Protocol
+from repro.core.result import SampleOutput
+from repro.sketch.l0_sampler import L0Sampler
+from repro.sketch.l0_sketch import L0Sketch
+
+
+class L0SamplingProtocol(Protocol):
+    """One-round ``l_0``-sampling on ``C = A B`` (Theorem 3.2).
+
+    Parameters
+    ----------
+    epsilon:
+        Accuracy of the column-``l_0`` estimates that drive the column
+        choice; the sampled distribution is uniform over the support up to a
+        ``(1 +/- eps)`` factor.
+    sampler_repetitions:
+        Independent repetitions inside the per-column ``l_0``-sampler.
+    """
+
+    name = "l0-sampling-one-round"
+
+    def __init__(
+        self,
+        epsilon: float = 0.25,
+        *,
+        sampler_repetitions: int = 8,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        if not 0 < epsilon <= 1:
+            raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+        self.epsilon = float(epsilon)
+        self.sampler_repetitions = int(sampler_repetitions)
+
+    def _execute(self, alice: Party, bob: Party):
+        a = np.asarray(alice.data)
+        b = np.asarray(bob.data)
+        if a.shape[1] != b.shape[0]:
+            raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
+        n_rows = a.shape[0]
+
+        l0_sketch = L0Sketch.for_accuracy(n_rows, self.epsilon, self.shared_rng)
+        sampler = L0Sampler(n_rows, self.shared_rng, repetitions=self.sampler_repetitions)
+
+        sketched_a = l0_sketch.matrix @ a.astype(np.int64)
+        sampler_a = sampler.matrix @ a.astype(np.int64)
+        payload = {"l0_sketch_of_A": sketched_a, "sampler_of_A": sampler_a}
+        bits = bitcost.bits_for_matrix(sketched_a) + bitcost.bits_for_matrix(sampler_a)
+        alice.send(bob, payload, label="sketches-of-A", bits=bits)
+
+        # Bob finishes locally: sketches of every column of C.
+        sketched_c = sketched_a @ b.astype(np.int64)  # (l0 rows, n_cols)
+        sampler_c = sampler_a @ b.astype(np.int64)  # (sampler rows, n_cols)
+
+        column_l0 = np.maximum(l0_sketch.estimate_rows_pp(sketched_c.T), 0.0)
+        total = float(column_l0.sum())
+        if total <= 0:
+            return SampleOutput(row=None, col=None), {"column_mass": 0.0}
+        col = int(bob.rng.choice(b.shape[1], p=column_l0 / total))
+        outcome = sampler.sample(sampler_c[:, col])
+        if not outcome.success:
+            return (
+                SampleOutput(row=None, col=None),
+                {"column_mass": total, "column": col, "sampler_failed": True},
+            )
+        return (
+            SampleOutput(row=int(outcome.index), col=col, value=float(outcome.value)),
+            {"column_mass": total, "column": col, "sampler_level": outcome.level},
+        )

@@ -1,0 +1,50 @@
+"""Typed outputs for the sampling and heavy-hitter protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SampleOutput:
+    """An entry of ``C = A B`` returned by a sampling protocol.
+
+    ``row`` and ``col`` identify the sampled entry (or are ``None`` when the
+    sampler failed, which happens with small probability); ``value`` is the
+    entry's value when the protocol learns it.
+    """
+
+    row: int | None
+    col: int | None
+    value: float | None = None
+
+    @property
+    def success(self) -> bool:
+        return self.row is not None and self.col is not None
+
+    def as_pair(self) -> tuple[int, int]:
+        if not self.success:
+            raise ValueError("sampling failed; no pair available")
+        return (int(self.row), int(self.col))
+
+
+@dataclass
+class HeavyHitterOutput:
+    """Output of an ``l_p``-(phi, eps) heavy-hitter protocol.
+
+    ``pairs`` is the reported set ``S`` with ``HH_phi(C) ⊆ S ⊆ HH_{phi-eps}(C)``
+    (with the protocol's success probability); ``estimates`` maps each
+    reported pair to the protocol's estimate of ``C_{ij}``.
+    """
+
+    pairs: set[tuple[int, int]] = field(default_factory=set)
+    estimates: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def __contains__(self, pair: tuple[int, int]) -> bool:
+        return tuple(pair) in self.pairs
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(sorted(self.pairs))

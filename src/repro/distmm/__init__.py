@@ -1,0 +1,5 @@
+"""Distributed recovery of a sparse matrix product (Lemma 2.5 substitute)."""
+
+from repro.distmm.sparse_product import SparseProductProtocol, sparse_product_shares
+
+__all__ = ["SparseProductProtocol", "sparse_product_shares"]

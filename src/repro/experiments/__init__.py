@@ -1,0 +1,26 @@
+"""Experiment drivers that regenerate every result listed in EXPERIMENTS.md.
+
+Each ``eNN_*`` module exposes a ``run(...)`` function returning an
+:class:`repro.experiments.harness.ExperimentReport`; the corresponding file
+in ``benchmarks/`` executes it (scaled to laptop sizes) and asserts the
+qualitative shape the paper claims (who wins, how costs scale).  The drivers
+can also be run directly::
+
+    python -m repro.experiments.e01_lp_norm
+"""
+
+from repro.experiments.harness import (
+    ExperimentReport,
+    approx_ratio,
+    fit_power_law,
+    format_table,
+    relative_error,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "approx_ratio",
+    "fit_power_law",
+    "format_table",
+    "relative_error",
+]

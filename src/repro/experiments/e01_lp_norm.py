@@ -1,0 +1,60 @@
+"""E1 — Theorem 3.1: (1+eps)-approximation of ``||A B||_p`` in 2 rounds, ``O~(n/eps)`` bits."""
+
+from __future__ import annotations
+
+from repro.core.lp_norm import LpNormProtocol
+from repro.experiments import workloads
+from repro.experiments.harness import ExperimentReport, fit_power_law, relative_error
+from repro.matrices import exact_lp_pp, product
+
+CLAIM = (
+    "Theorem 3.1: for p in [0,2] the two-round protocol (1+eps)-approximates "
+    "||AB||_p^p with O~(n/eps) bits of communication."
+)
+
+
+def run(
+    *,
+    sizes: tuple[int, ...] = (64, 128, 192),
+    epsilons: tuple[float, ...] = (0.5, 0.35, 0.25),
+    ps: tuple[float, ...] = (0.0, 1.0, 2.0),
+    density: float = 0.08,
+    seed: int = 1,
+) -> ExperimentReport:
+    rows = []
+    for p in ps:
+        for n in sizes:
+            a, b = workloads.join_workload(n, density=density, seed=seed)
+            truth = exact_lp_pp(product(a, b), p)
+            for eps in epsilons:
+                result = LpNormProtocol(p, eps, seed=seed).run(a, b)
+                rows.append(
+                    {
+                        "p": p,
+                        "n": n,
+                        "eps": eps,
+                        "estimate": result.value,
+                        "truth": truth,
+                        "rel_error": relative_error(result.value, truth),
+                        "bits": result.cost.total_bits,
+                        "rounds": result.cost.rounds,
+                    }
+                )
+
+    # Shape check: bits vs n at fixed eps should be ~linear.
+    fixed_eps = epsilons[-1]
+    per_n = [r for r in rows if r["eps"] == fixed_eps and r["p"] == ps[0]]
+    if len(per_n) >= 2:
+        exponent_n, _ = fit_power_law([r["n"] for r in per_n], [r["bits"] for r in per_n])
+    else:
+        exponent_n = float("nan")
+    summary = {
+        "bits_vs_n_exponent": round(exponent_n, 2),
+        "max_rel_error": round(max(r["rel_error"] for r in rows), 3),
+        "rounds": max(r["rounds"] for r in rows),
+    }
+    return ExperimentReport(experiment="E1", claim=CLAIM, rows=rows, summary=summary)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,57 @@
+"""E2 — two rounds beat one: Algorithm 1 (O~(n/eps)) vs the [16] baseline (O~(n/eps^2))."""
+
+from __future__ import annotations
+
+from repro.baselines.one_round import OneRoundLpNormProtocol
+from repro.core.lp_norm import LpNormProtocol
+from repro.experiments import workloads
+from repro.experiments.harness import ExperimentReport, fit_power_law, relative_error
+from repro.matrices import exact_lp_pp, product
+
+CLAIM = (
+    "Section 1.2: for p = 0 the two-round protocol uses O~(n/eps) bits versus the "
+    "one-round O~(n/eps^2) of [16]; communication as a function of 1/eps grows "
+    "roughly linearly for ours and quadratically for the baseline."
+)
+
+
+def run(
+    *,
+    n: int = 128,
+    epsilons: tuple[float, ...] = (0.6, 0.45, 0.3, 0.2),
+    p: float = 0.0,
+    density: float = 0.08,
+    seed: int = 2,
+) -> ExperimentReport:
+    a, b = workloads.join_workload(n, density=density, seed=seed)
+    truth = exact_lp_pp(product(a, b), p)
+
+    rows = []
+    for eps in epsilons:
+        ours = LpNormProtocol(p, eps, seed=seed).run(a, b)
+        baseline = OneRoundLpNormProtocol(p, eps, seed=seed).run(a, b)
+        rows.append(
+            {
+                "eps": eps,
+                "ours_bits": ours.cost.total_bits,
+                "baseline_bits": baseline.cost.total_bits,
+                "ours_rounds": ours.cost.rounds,
+                "baseline_rounds": baseline.cost.rounds,
+                "ours_rel_error": relative_error(ours.value, truth),
+                "baseline_rel_error": relative_error(baseline.value, truth),
+            }
+        )
+
+    inv_eps = [1.0 / r["eps"] for r in rows]
+    ours_exp, _ = fit_power_law(inv_eps, [r["ours_bits"] for r in rows])
+    base_exp, _ = fit_power_law(inv_eps, [r["baseline_bits"] for r in rows])
+    summary = {
+        "ours_bits_vs_inv_eps_exponent": round(ours_exp, 2),
+        "baseline_bits_vs_inv_eps_exponent": round(base_exp, 2),
+        "baseline_minus_ours_exponent": round(base_exp - ours_exp, 2),
+    }
+    return ExperimentReport(experiment="E2", claim=CLAIM, rows=rows, summary=summary)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,47 @@
+"""E10 — Theorem 4.4: the DISJ reduction's promise gap (2-approximation hardness)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentReport
+from repro.lowerbounds.disj import disj_to_linf_matrices, random_disj_instance
+
+CLAIM = (
+    "Theorem 4.4: a 2-approximation of ||AB||_inf for binary matrices decides "
+    "set-disjointness (||AB||_inf = 2 iff the sets intersect, 1 otherwise), hence "
+    "needs Omega(n^2) bits."
+)
+
+
+def run(
+    *,
+    half_sizes: tuple[int, ...] = (8, 16, 32),
+    instances_per_size: int = 20,
+    seed: int = 10,
+) -> ExperimentReport:
+    rng = np.random.default_rng(seed)
+    rows = []
+    for half in half_sizes:
+        length = half * half
+        correct = 0
+        for index in range(instances_per_size):
+            force = bool(index % 2)
+            instance = random_disj_instance(length, force_intersecting=force, seed=rng)
+            a, b = disj_to_linf_matrices(instance)
+            linf = float((a @ b).max())
+            predicted_intersecting = linf >= 2
+            correct += predicted_intersecting == instance.intersecting
+        rows.append(
+            {
+                "n": 2 * half,
+                "instances": instances_per_size,
+                "gap_holds_fraction": correct / instances_per_size,
+            }
+        )
+    summary = {"gap_always_holds": all(r["gap_holds_fraction"] == 1.0 for r in rows)}
+    return ExperimentReport(experiment="E10", claim=CLAIM, rows=rows, summary=summary)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,86 @@
+"""Shared harness for the experiment drivers: sweeps, fits, tables."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / truth`` (0 when both are 0, inf when only truth is)."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else math.inf
+    return abs(estimate - truth) / abs(truth)
+
+
+def approx_ratio(estimate: float, truth: float) -> float:
+    """Symmetric approximation ratio ``max(est/truth, truth/est)`` (>= 1)."""
+    if truth == 0 and estimate == 0:
+        return 1.0
+    if truth <= 0 or estimate <= 0:
+        return math.inf
+    return max(estimate / truth, truth / estimate)
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> tuple[float, float]:
+    """Least-squares fit of ``y ~= c * x^alpha`` in log-log space.
+
+    Returns ``(alpha, c)``.  Used to check the *shape* of communication
+    curves (e.g. bits vs. ``1/eps`` should have exponent ~1 for Algorithm 1
+    and ~2 for the one-round baseline).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need at least two matching points to fit")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires positive data")
+    slope, intercept = np.polyfit(np.log(x), np.log(y), 1)
+    return float(slope), float(math.exp(intercept))
+
+
+def format_table(rows: Iterable[dict], columns: Sequence[str] | None = None) -> str:
+    """Plain-text table (used for EXPERIMENTS.md and the drivers' __main__)."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in table)) for i, col in enumerate(columns)]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in table
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+@dataclass
+class ExperimentReport:
+    """Outcome of one experiment driver."""
+
+    experiment: str
+    claim: str
+    rows: list[dict] = field(default_factory=list)
+    summary: dict = field(default_factory=dict)
+
+    def table(self, columns: Sequence[str] | None = None) -> str:
+        return format_table(self.rows, columns)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        lines = [f"Experiment {self.experiment}", f"Paper claim: {self.claim}", ""]
+        lines.append(self.table())
+        if self.summary:
+            lines.append("")
+            lines.append("Summary: " + ", ".join(f"{k}={v}" for k, v in self.summary.items()))
+        return "\n".join(lines)

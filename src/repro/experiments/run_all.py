@@ -1,0 +1,102 @@
+"""Run every experiment driver and write a combined markdown report.
+
+Usage::
+
+    python -m repro.experiments.run_all                # print to stdout
+    python -m repro.experiments.run_all --out results.md
+
+The benchmark-sized parameter defaults of each driver are used, so a full
+run takes on the order of a minute on a laptop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    a1_beta_ablation,
+    a2_universe_sampling,
+    e01_lp_norm,
+    e02_round_separation,
+    e03_l1_exact,
+    e04_l0_sampling,
+    e05_linf_2eps,
+    e06_linf_kappa,
+    e07_linf_general,
+    e08_hh_general,
+    e09_hh_binary,
+    e10_lb_disj,
+    e11_lb_sum,
+    e12_lb_gap_linf,
+    e13_rectangular,
+)
+from repro.experiments.harness import ExperimentReport
+
+#: Every driver in EXPERIMENTS.md order.
+ALL_DRIVERS: list[Callable[..., ExperimentReport]] = [
+    e01_lp_norm.run,
+    e02_round_separation.run,
+    e03_l1_exact.run,
+    e04_l0_sampling.run,
+    e05_linf_2eps.run,
+    e06_linf_kappa.run,
+    e07_linf_general.run,
+    e08_hh_general.run,
+    e09_hh_binary.run,
+    e10_lb_disj.run,
+    e11_lb_sum.run,
+    e12_lb_gap_linf.run,
+    e13_rectangular.run,
+    a1_beta_ablation.run,
+    a2_universe_sampling.run,
+]
+
+
+def run_all(drivers: list[Callable[..., ExperimentReport]] | None = None) -> list[ExperimentReport]:
+    """Execute every driver with its default (laptop-scale) parameters."""
+    reports = []
+    for driver in drivers if drivers is not None else ALL_DRIVERS:
+        reports.append(driver())
+    return reports
+
+
+def to_markdown(reports: list[ExperimentReport]) -> str:
+    """Render the reports as a single markdown document."""
+    lines = ["# Experiment results", ""]
+    for report in reports:
+        lines.append(f"## {report.experiment}")
+        lines.append("")
+        lines.append(report.claim)
+        lines.append("")
+        lines.append("```")
+        lines.append(report.table())
+        lines.append("```")
+        if report.summary:
+            lines.append("")
+            lines.append(
+                "Summary: " + ", ".join(f"{key}={value}" for key, value in report.summary.items())
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="write the markdown report to this file")
+    args = parser.parse_args(argv)
+
+    reports = run_all()
+    document = to_markdown(reports)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"wrote {args.out} ({len(reports)} experiments)")
+    else:
+        print(document)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

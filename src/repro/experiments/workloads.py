@@ -1,0 +1,57 @@
+"""Canonical workloads used by the experiment drivers and benchmarks.
+
+Workload sizes default to laptop scale (protocol asymptotics are checked via
+shape fits, not absolute numbers); every driver accepts overrides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrices import generators
+
+
+def join_workload(n: int, *, density: float = 0.08, seed: int = 0):
+    """Uniform sparse binary pair — the default join-size workload."""
+    return generators.random_binary_pair(n, density=density, seed=seed)
+
+
+def skewed_join_workload(n: int, *, seed: int = 0):
+    """Zipfian set sizes — the skewed-relation workload."""
+    return generators.zipfian_sets_pair(n, seed=seed)
+
+
+def max_overlap_workload(n: int, *, seed: int = 0):
+    """Sparse background plus one planted maximum-overlap pair."""
+    return generators.planted_max_overlap_pair(n, seed=seed)
+
+
+def heavy_hitter_workload(n: int, *, num_heavy: int = 3, seed: int = 0):
+    """Sparse background plus planted heavy pairs.
+
+    The planted overlap is ``n // 2`` so the planted pairs clear typical
+    ``phi`` thresholds (``phi ~ 0.05``) even after the background mass is
+    added — i.e. the exact heavy-hitter set is non-empty and the recall
+    numbers in E8/E9 are meaningful.
+    """
+    return generators.planted_heavy_hitters_pair(
+        n, num_heavy=num_heavy, heavy_overlap=max(2, n // 2), seed=seed
+    )
+
+
+def integer_workload(n: int, *, planted_value: int | None = None, seed: int = 0):
+    """General integer matrices (Section 4.3 / Theorem 4.8)."""
+    return generators.integer_matrix_pair(n, density=0.1, planted_value=planted_value, seed=seed)
+
+
+def rectangular_workload(m: int, n: int, *, density: float = 0.08, seed: int = 0):
+    """Rectangular matrices for the Section 6 experiments."""
+    return generators.rectangular_binary_pair(m, n, m, density=density, seed=seed)
+
+
+def dense_overlap_workload(n: int, *, density: float = 0.4, seed: int = 0):
+    """Dense binary pair: exercises the down-sampling levels of Algorithm 2/3."""
+    rng = np.random.default_rng(seed)
+    a = (rng.uniform(size=(n, n)) < density).astype(np.int64)
+    b = (rng.uniform(size=(n, n)) < density).astype(np.int64)
+    return a, b

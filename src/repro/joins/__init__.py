@@ -1,0 +1,33 @@
+"""Relational view: compositions (set-intersection joins) and natural joins.
+
+The paper's motivating application (Section 1.1): relations ``A ⊆ X x Y``
+and ``B ⊆ Y x Z`` over a shared attribute ``Y`` correspond to binary
+matrices, and
+
+* the *composition* ``A ∘ B`` (set-intersection join) has size ``||AB||_0``,
+* the *natural join* ``A ⋈ B`` has size ``||AB||_1``,
+* the pairs with the largest overlap are the heavy hitters / ``l_inf`` of
+  ``AB``.
+
+This package provides a small :class:`~repro.joins.relation.Relation` type
+and distributed join-size estimators built on the core protocols, which is
+what the examples use.
+"""
+
+from repro.joins.joins import (
+    DistributedJoinEstimator,
+    composition,
+    composition_size,
+    natural_join,
+    natural_join_size,
+)
+from repro.joins.relation import Relation
+
+__all__ = [
+    "Relation",
+    "DistributedJoinEstimator",
+    "composition",
+    "composition_size",
+    "natural_join",
+    "natural_join_size",
+]

@@ -1,0 +1,104 @@
+"""Binary relations over integer-labelled domains.
+
+A :class:`Relation` is a set of pairs ``(x, y)`` with ``x in [m)`` and
+``y in [n)``.  It converts to and from the binary-matrix view the protocols
+operate on: as the *left* operand of a join over its second attribute the
+relation becomes the matrix ``A`` with ``A[x, y] = 1``; as the *right*
+operand it becomes ``B`` with ``B[y, z] = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+@dataclass
+class Relation:
+    """A binary relation over ``[num_left) x [num_right)``."""
+
+    num_left: int
+    num_right: int
+    pairs: set[tuple[int, int]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.num_left < 1 or self.num_right < 1:
+            raise ValueError("domain sizes must be >= 1")
+        for x, y in self.pairs:
+            self._check_pair(x, y)
+        self.pairs = {(int(x), int(y)) for x, y in self.pairs}
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[int, int]], *, num_left: int, num_right: int
+    ) -> "Relation":
+        return cls(num_left=num_left, num_right=num_right, pairs=set(pairs))
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray) -> "Relation":
+        """Interpret a binary matrix as a relation (non-zero = pair present)."""
+        matrix = np.asarray(matrix)
+        rows, cols = np.nonzero(matrix)
+        return cls(
+            num_left=matrix.shape[0],
+            num_right=matrix.shape[1],
+            pairs={(int(x), int(y)) for x, y in zip(rows, cols)},
+        )
+
+    @classmethod
+    def random(
+        cls,
+        num_left: int,
+        num_right: int,
+        *,
+        density: float = 0.05,
+        seed: int | np.random.Generator | None = None,
+    ) -> "Relation":
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        matrix = rng.uniform(size=(num_left, num_right)) < density
+        return cls.from_matrix(matrix)
+
+    # -------------------------------------------------------------- behaviour
+    def _check_pair(self, x: int, y: int) -> None:
+        if not (0 <= x < self.num_left and 0 <= y < self.num_right):
+            raise ValueError(f"pair ({x}, {y}) outside domain "
+                             f"[{self.num_left}) x [{self.num_right})")
+
+    def add(self, x: int, y: int) -> None:
+        """Insert a pair."""
+        self._check_pair(x, y)
+        self.pairs.add((int(x), int(y)))
+
+    def __contains__(self, pair: tuple[int, int]) -> bool:
+        return tuple(pair) in self.pairs
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(sorted(self.pairs))
+
+    # ------------------------------------------------------------ matrix view
+    def to_matrix(self) -> np.ndarray:
+        """Binary matrix with a 1 at every pair (shape ``num_left x num_right``)."""
+        matrix = np.zeros((self.num_left, self.num_right), dtype=np.int64)
+        for x, y in self.pairs:
+            matrix[x, y] = 1
+        return matrix
+
+    def left_sets(self) -> dict[int, set[int]]:
+        """``A_x = {y : (x, y) in A}`` for every left element ``x`` with a pair."""
+        sets: dict[int, set[int]] = {}
+        for x, y in self.pairs:
+            sets.setdefault(x, set()).add(y)
+        return sets
+
+    def right_sets(self) -> dict[int, set[int]]:
+        """``A^y = {x : (x, y) in A}`` for every right element ``y`` with a pair."""
+        sets: dict[int, set[int]] = {}
+        for x, y in self.pairs:
+            sets.setdefault(y, set()).add(x)
+        return sets

@@ -1,0 +1,42 @@
+"""Hard-instance generators and reductions behind the paper's lower bounds.
+
+A communication lower bound is a mathematical statement about *every*
+protocol and cannot be "run"; what can be reproduced — and what this package
+provides — is the reduction machinery the proofs rest on:
+
+* :mod:`repro.lowerbounds.disj` — set-disjointness instances and the
+  Theorem 4.4 reduction showing that a 2-approximation of ``||AB||_inf``
+  decides DISJ (hence needs ``Omega(n^2)`` bits).
+* :mod:`repro.lowerbounds.sum_problem` — the AND/DISJ/SUM hard distributions
+  (``nu``, ``mu``, ``phi``) and the Lemma 4.7 reduction used for the
+  ``Omega~(n^{1.5}/kappa)`` bound of Theorem 4.5.
+* :mod:`repro.lowerbounds.gap_linf` — Gap-``l_inf`` instances and the
+  Theorem 4.8(2) reduction for general integer matrices.
+
+The accompanying tests and benchmarks verify that the constructed matrix
+pairs exhibit exactly the promise gaps the proofs rely on.
+"""
+
+from repro.lowerbounds.disj import DisjInstance, disj_to_linf_matrices, random_disj_instance
+from repro.lowerbounds.gap_linf import (
+    GapLinfInstance,
+    gap_linf_to_matrices,
+    random_gap_linf_instance,
+)
+from repro.lowerbounds.sum_problem import (
+    SumInstance,
+    sample_sum_instance,
+    sum_to_linf_matrices,
+)
+
+__all__ = [
+    "DisjInstance",
+    "disj_to_linf_matrices",
+    "random_disj_instance",
+    "GapLinfInstance",
+    "gap_linf_to_matrices",
+    "random_gap_linf_instance",
+    "SumInstance",
+    "sample_sum_instance",
+    "sum_to_linf_matrices",
+]

@@ -1,0 +1,95 @@
+"""Set-disjointness and the Theorem 4.4 reduction.
+
+Theorem 4.4: any protocol that 2-approximates ``||A B||_inf`` for binary
+``n x n`` matrices needs ``Omega(n^2)`` bits, via a reduction from
+set-disjointness (DISJ) on strings of length ``(n/2)^2``:
+
+* Alice folds her DISJ string ``x`` into an ``n/2 x n/2`` matrix ``A'`` and
+  embeds it as ``A = [[A', I], [0, 0]]``;
+* Bob folds ``y`` into ``B'`` and embeds it as ``B = [[I, 0], [B', 0]]``;
+* then ``A B = [[A' + B', 0], [0, 0]]``, so ``||A B||_inf = 2`` iff the sets
+  intersect and ``1`` otherwise — exactly the gap a 2-approximation must
+  resolve.
+
+Since DISJ needs ``Omega(n^2/4)`` bits (Lemma 2.3), so does the estimation
+problem.  The functions here build the instances and the reduction; tests
+verify the gap on random and on adversarial inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class DisjInstance:
+    """A set-disjointness instance on ``length`` coordinates."""
+
+    x: np.ndarray
+    y: np.ndarray
+
+    @property
+    def length(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def intersecting(self) -> bool:
+        """``DISJ(x, y)`` = do the two sets share a coordinate?"""
+        return bool(np.any((self.x != 0) & (self.y != 0)))
+
+
+def random_disj_instance(
+    length: int,
+    *,
+    force_intersecting: bool | None = None,
+    density: float = 0.25,
+    seed: int | np.random.Generator | None = None,
+) -> DisjInstance:
+    """Sample a DISJ instance, optionally forcing the answer.
+
+    ``force_intersecting=True`` plants exactly one shared coordinate on top
+    of otherwise disjoint strings; ``False`` removes every collision;
+    ``None`` leaves the instance as drawn.
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    x = (rng.uniform(size=length) < density).astype(np.int64)
+    y = (rng.uniform(size=length) < density).astype(np.int64)
+    if force_intersecting is True:
+        y[(x != 0) & (y != 0)] = 0
+        position = int(rng.integers(0, length))
+        x[position] = 1
+        y[position] = 1
+    elif force_intersecting is False:
+        y[(x != 0) & (y != 0)] = 0
+    return DisjInstance(x=x, y=y)
+
+
+def disj_to_linf_matrices(instance: DisjInstance) -> tuple[np.ndarray, np.ndarray]:
+    """The Theorem 4.4 reduction: DISJ instance -> binary matrices ``(A, B)``.
+
+    The instance length must be a perfect square ``(n/2)^2``; the output
+    matrices are ``n x n`` with ``||A B||_inf = 1 + DISJ(x, y)``.
+    """
+    half = int(round(np.sqrt(instance.length)))
+    if half * half != instance.length:
+        raise ValueError(
+            f"instance length {instance.length} is not a perfect square; "
+            "Theorem 4.4 folds a length-(n/2)^2 string into an (n/2)x(n/2) block"
+        )
+    a_block = instance.x.reshape(half, half)
+    b_block = instance.y.reshape(half, half)
+    identity = np.eye(half, dtype=np.int64)
+    zero = np.zeros((half, half), dtype=np.int64)
+
+    a = np.block([[a_block, identity], [zero, zero]]).astype(np.int64)
+    b = np.block([[identity, zero], [b_block, zero]]).astype(np.int64)
+    return a, b
+
+
+def reduction_gap(instance: DisjInstance) -> tuple[float, bool]:
+    """``(||A B||_inf, DISJ(x, y))`` for the reduced instance (test helper)."""
+    a, b = disj_to_linf_matrices(instance)
+    product = a @ b
+    return float(product.max()), instance.intersecting

@@ -1,0 +1,89 @@
+"""Gap-``l_inf`` and the Theorem 4.8(2) reduction (general integer matrices).
+
+Gap-``l_inf`` (Lemma 2.4): Alice and Bob hold ``x, y in [0, kappa]^t`` with
+the promise that either ``|x_i - y_i| <= 1`` for every ``i``, or some
+coordinate has ``|x_i - y_i| >= kappa``; deciding which needs
+``Omega(t/kappa^2)`` bits.
+
+Theorem 4.8(2) embeds a Gap-``l_inf`` instance of length ``(n/2)^2`` into
+integer matrices exactly like the DISJ reduction (using the identity-block
+trick so that ``A B = A' + B'``): the product's ``l_inf`` norm is ``>= kappa``
+in the "far" case and ``<= 1`` in the "close" case, so a
+``kappa``-approximation distinguishes them and inherits the
+``Omega~(n^2/kappa^2)`` bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class GapLinfInstance:
+    """A Gap-``l_inf`` instance with promise parameter ``kappa``."""
+
+    x: np.ndarray
+    y: np.ndarray
+    kappa: int
+
+    @property
+    def length(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def is_far(self) -> bool:
+        """True when ``||x - y||_inf >= kappa`` (the "1" side of the promise)."""
+        return bool(np.max(np.abs(self.x - self.y)) >= self.kappa)
+
+
+def random_gap_linf_instance(
+    length: int,
+    kappa: int,
+    *,
+    far: bool,
+    seed: int | np.random.Generator | None = None,
+) -> GapLinfInstance:
+    """Sample an instance satisfying the promise, with the requested answer."""
+    if kappa < 2:
+        raise ValueError(f"kappa must be >= 2, got {kappa}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    x = rng.integers(0, kappa + 1, size=length).astype(np.int64)
+    noise = rng.integers(-1, 2, size=length)
+    y = np.clip(x + noise, 0, kappa).astype(np.int64)
+    if far:
+        position = int(rng.integers(0, length))
+        x[position] = kappa
+        y[position] = 0
+    return GapLinfInstance(x=x, y=y, kappa=int(kappa))
+
+
+def gap_linf_to_matrices(instance: GapLinfInstance) -> tuple[np.ndarray, np.ndarray]:
+    """Reduction: Gap-``l_inf`` instance -> integer matrices with
+    ``||A B||_inf = ||x - y||_inf`` (up to the sign convention below).
+
+    The identity-block embedding makes ``A B = [[A' + B', 0], [0, 0]]``; to
+    express a *difference*, Bob negates his block, which is allowed because
+    Theorem 4.8 concerns general (not binary) integer matrices.
+    """
+    half = int(round(np.sqrt(instance.length)))
+    if half * half != instance.length:
+        raise ValueError(
+            f"instance length {instance.length} is not a perfect square; "
+            "the reduction folds a length-(n/2)^2 vector into an (n/2)x(n/2) block"
+        )
+    a_block = instance.x.reshape(half, half)
+    b_block = -instance.y.reshape(half, half)
+    identity = np.eye(half, dtype=np.int64)
+    zero = np.zeros((half, half), dtype=np.int64)
+    a = np.block([[a_block, identity], [zero, zero]]).astype(np.int64)
+    b = np.block([[identity, zero], [b_block, zero]]).astype(np.int64)
+    return a, b
+
+
+def reduction_gap(instance: GapLinfInstance) -> tuple[float, bool]:
+    """``(||A B||_inf, is_far)`` for the reduced instance (test helper)."""
+    a, b = gap_linf_to_matrices(instance)
+    product = a @ b
+    return float(np.max(np.abs(product))), instance.is_far

@@ -1,0 +1,36 @@
+"""Synthetic matrix workloads and exact (ground-truth) statistics."""
+
+from repro.matrices.generators import (
+    integer_matrix_pair,
+    planted_heavy_hitters_pair,
+    planted_max_overlap_pair,
+    random_binary_pair,
+    rectangular_binary_pair,
+    zipfian_sets_pair,
+)
+from repro.matrices.stats import (
+    exact_heavy_hitters,
+    exact_linf,
+    exact_lp_norm,
+    exact_lp_pp,
+    exact_support,
+    product,
+)
+from repro.matrices.setview import column_sets, row_sets
+
+__all__ = [
+    "integer_matrix_pair",
+    "planted_heavy_hitters_pair",
+    "planted_max_overlap_pair",
+    "random_binary_pair",
+    "rectangular_binary_pair",
+    "zipfian_sets_pair",
+    "exact_heavy_hitters",
+    "exact_linf",
+    "exact_lp_norm",
+    "exact_lp_pp",
+    "exact_support",
+    "product",
+    "column_sets",
+    "row_sets",
+]

@@ -1,0 +1,180 @@
+"""Synthetic workload generators.
+
+The paper's motivating workloads are set-intersection joins: rows of ``A``
+and columns of ``B`` are sets over a universe of size ``n``.  The generators
+below produce binary and integer matrix pairs with controllable structure:
+
+* uniform sparse sets (the "typical" join-size estimation workload),
+* Zipfian set sizes (skewed relations),
+* planted heavy hitters (a few pairs of sets with large overlap),
+* planted maximum-overlap pair (for ``l_inf`` experiments),
+* rectangular variants (Section 6 of the paper),
+* general integer matrices with polynomially bounded entries (Section 4.3).
+
+All generators return ``(A, B)`` with ``A`` of shape ``(m1, n)`` and ``B`` of
+shape ``(n, m2)`` so that ``C = A @ B`` is the matrix the statistics refer
+to.  Square workloads use ``m1 = m2 = n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_binary_pair(
+    n: int,
+    *,
+    density: float = 0.05,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniform sparse binary matrices: each entry is 1 with prob ``density``."""
+    if not 0 <= density <= 1:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    rng = _rng(seed)
+    a = (rng.uniform(size=(n, n)) < density).astype(np.int64)
+    b = (rng.uniform(size=(n, n)) < density).astype(np.int64)
+    return a, b
+
+
+def zipfian_sets_pair(
+    n: int,
+    *,
+    exponent: float = 1.2,
+    max_set_size: int | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Skewed sets: set sizes follow a Zipf-like law, items drawn uniformly.
+
+    Row ``i`` of ``A`` (and column ``j`` of ``B``) is a random set whose size
+    is proportional to ``1 / rank^exponent``, capped at ``max_set_size``
+    (default ``n // 4``).  This models skewed relations where a few
+    applicants/jobs have very many skills/requirements.
+    """
+    rng = _rng(seed)
+    if max_set_size is None:
+        max_set_size = max(1, n // 4)
+    ranks = np.arange(1, n + 1, dtype=float)
+    sizes = np.maximum(1, (max_set_size / ranks**exponent)).astype(int)
+    rng.shuffle(sizes)
+
+    a = np.zeros((n, n), dtype=np.int64)
+    for i in range(n):
+        items = rng.choice(n, size=min(sizes[i], n), replace=False)
+        a[i, items] = 1
+
+    rng.shuffle(sizes)
+    b = np.zeros((n, n), dtype=np.int64)
+    for j in range(n):
+        items = rng.choice(n, size=min(sizes[j], n), replace=False)
+        b[items, j] = 1
+    return a, b
+
+
+def planted_heavy_hitters_pair(
+    n: int,
+    *,
+    num_heavy: int = 3,
+    heavy_overlap: int | None = None,
+    background_density: float = 0.02,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, list[tuple[int, int]]]:
+    """Sparse background plus ``num_heavy`` planted pairs with large overlap.
+
+    Returns ``(A, B, planted)`` where ``planted`` lists the (row, column)
+    pairs whose intersection was boosted.  Heavy pairs share a common block
+    of ``heavy_overlap`` items (default ``n // 4``).
+    """
+    rng = _rng(seed)
+    if heavy_overlap is None:
+        heavy_overlap = max(2, n // 4)
+    a = (rng.uniform(size=(n, n)) < background_density).astype(np.int64)
+    b = (rng.uniform(size=(n, n)) < background_density).astype(np.int64)
+    planted: list[tuple[int, int]] = []
+    rows = rng.choice(n, size=num_heavy, replace=False)
+    cols = rng.choice(n, size=num_heavy, replace=False)
+    for row, col in zip(rows, cols):
+        shared = rng.choice(n, size=min(heavy_overlap, n), replace=False)
+        a[row, shared] = 1
+        b[shared, col] = 1
+        planted.append((int(row), int(col)))
+    return a, b, planted
+
+
+def planted_max_overlap_pair(
+    n: int,
+    *,
+    overlap: int | None = None,
+    background_density: float = 0.02,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, tuple[int, int]]:
+    """Sparse background plus one pair of sets with a large planted overlap.
+
+    Returns ``(A, B, (row, col))`` where ``(row, col)`` realises (with high
+    probability) the maximum entry of ``A @ B``.
+    """
+    rng = _rng(seed)
+    if overlap is None:
+        overlap = max(2, n // 3)
+    a, b, planted = planted_heavy_hitters_pair(
+        n,
+        num_heavy=1,
+        heavy_overlap=overlap,
+        background_density=background_density,
+        seed=rng,
+    )
+    return a, b, planted[0]
+
+
+def integer_matrix_pair(
+    n: int,
+    *,
+    max_value: int = 10,
+    density: float = 0.1,
+    planted_value: int | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """General integer matrices with polynomially bounded entries.
+
+    Entries are zero with probability ``1 - density`` and otherwise uniform
+    in ``[1, max_value]``.  If ``planted_value`` is given, one aligned
+    row/column pair is filled with that value so ``A @ B`` has a very large
+    entry (used by the general-matrix ``l_inf`` experiments).
+    """
+    rng = _rng(seed)
+    a = rng.integers(1, max_value + 1, size=(n, n))
+    b = rng.integers(1, max_value + 1, size=(n, n))
+    a *= rng.uniform(size=(n, n)) < density
+    b *= rng.uniform(size=(n, n)) < density
+    if planted_value is not None:
+        row = int(rng.integers(0, n))
+        col = int(rng.integers(0, n))
+        a[row, :] = planted_value
+        b[:, col] = planted_value
+    return a.astype(np.int64), b.astype(np.int64)
+
+
+def rectangular_binary_pair(
+    m1: int,
+    n: int,
+    m2: int,
+    *,
+    density: float = 0.05,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rectangular binary matrices ``A in {0,1}^{m1 x n}``, ``B in {0,1}^{n x m2}``.
+
+    Section 6 of the paper: the algorithms carry over with ``n`` replaced by
+    ``m`` in the appropriate places.
+    """
+    if not 0 <= density <= 1:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    rng = _rng(seed)
+    a = (rng.uniform(size=(m1, n)) < density).astype(np.int64)
+    b = (rng.uniform(size=(n, m2)) < density).astype(np.int64)
+    return a, b

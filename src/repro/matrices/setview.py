@@ -1,0 +1,52 @@
+"""Set interpretation of binary matrices.
+
+The paper identifies the rows of ``A`` with sets ``A_i = {k : A_{ik} = 1}``
+and the columns of ``B`` with sets ``B_j = {k : B_{kj} = 1}``; the entries of
+``C = A B`` are then the intersection sizes ``|A_i ∩ B_j|``.  These helpers
+convert between the two views; they are used by the join layer and by the
+index-exchange steps of Algorithms 2/3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def row_sets(a: np.ndarray) -> list[np.ndarray]:
+    """``A_i = {k : A_{ik} != 0}`` for every row ``i`` (as index arrays)."""
+    a = np.asarray(a)
+    return [np.flatnonzero(a[i]) for i in range(a.shape[0])]
+
+
+def column_sets(b: np.ndarray) -> list[np.ndarray]:
+    """``B_j = {k : B_{kj} != 0}`` for every column ``j`` (as index arrays)."""
+    b = np.asarray(b)
+    return [np.flatnonzero(b[:, j]) for j in range(b.shape[1])]
+
+
+def sets_to_row_matrix(sets: list, universe: int) -> np.ndarray:
+    """Build a binary matrix whose row ``i`` is the indicator of ``sets[i]``."""
+    matrix = np.zeros((len(sets), universe), dtype=np.int64)
+    for i, members in enumerate(sets):
+        members = np.asarray(list(members), dtype=int)
+        if members.size and (members.min() < 0 or members.max() >= universe):
+            raise ValueError(f"set {i} has items outside [0, {universe})")
+        matrix[i, members] = 1
+    return matrix
+
+
+def sets_to_column_matrix(sets: list, universe: int) -> np.ndarray:
+    """Build a binary matrix whose column ``j`` is the indicator of ``sets[j]``."""
+    return sets_to_row_matrix(sets, universe).T
+
+
+def item_incidence(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-item incidence counts ``u_j`` and ``v_j`` used by Algorithms 2/3.
+
+    ``u_j`` = number of rows of ``A`` containing item ``j`` (column sum of
+    ``A``); ``v_j`` = number of columns of ``B`` containing item ``j`` (row
+    sum of ``B``).
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    return a.sum(axis=0).astype(np.int64), b.sum(axis=1).astype(np.int64)

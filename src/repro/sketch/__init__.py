@@ -1,0 +1,46 @@
+"""Sketching substrate used by the distributed protocols.
+
+All sketches here are *linear* maps ``x -> S x`` (possibly followed by a
+non-linear estimator).  Linearity is what lets Alice compute sketches of the
+rows/columns of ``C = A B`` without knowing ``C``: e.g. Bob sends ``S B^T``
+and Alice computes ``A (S B^T)^T = A B S^T`` whose ``i``-th row is the sketch
+of the ``i``-th row of ``C`` (Lemma 2.1 usage inside Algorithm 1).
+
+Available sketches
+------------------
+* :class:`repro.sketch.ams.AmsSketch` — AMS / F2 sketch (``p = 2``).
+* :class:`repro.sketch.lp_sketch.LpSketch` — p-stable sketch for
+  ``p in (0, 2]`` with the median estimator (Indyk).
+* :class:`repro.sketch.l0_sketch.L0Sketch` — layered-subsampling linear
+  distinct-elements sketch (``p = 0``).
+* :class:`repro.sketch.l0_sampler.L0Sampler` — uniform sampler over the
+  support of a vector.
+* :class:`repro.sketch.countsketch.CountSketch` and
+  :class:`repro.sketch.countmin.CountMinSketch` — point-query sketches used
+  by the heavy-hitter baselines.
+* :mod:`repro.sketch.hashing` — k-wise independent hash families.
+"""
+
+from repro.sketch.ams import AmsSketch
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.hashing import KWiseHash, PRIME_61
+from repro.sketch.l0_sampler import L0Sampler
+from repro.sketch.l0_sketch import L0Sketch
+from repro.sketch.lp_sketch import LpSketch, lp_norm, make_lp_sketch
+from repro.sketch.stable import sample_standard_stable, stable_scale_factor
+
+__all__ = [
+    "AmsSketch",
+    "CountMinSketch",
+    "CountSketch",
+    "KWiseHash",
+    "PRIME_61",
+    "L0Sampler",
+    "L0Sketch",
+    "LpSketch",
+    "lp_norm",
+    "make_lp_sketch",
+    "sample_standard_stable",
+    "stable_scale_factor",
+]

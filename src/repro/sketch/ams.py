@@ -1,0 +1,86 @@
+"""AMS (Alon–Matias–Szegedy) sketch for the squared Euclidean norm.
+
+The AMS sketch multiplies a vector by a random ``k x n`` sign matrix; the
+mean of the squared sketch coordinates is an unbiased estimator of
+``||x||_2^2``, and with ``k = O(1/eps^2)`` rows the estimate is within a
+``(1 +/- eps)`` factor with constant probability.  A median-of-means variant
+is provided for boosting the success probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AmsSketch:
+    """AMS / F2 sketch of dimension ``num_rows x n``.
+
+    Parameters
+    ----------
+    n:
+        Input dimension.
+    num_rows:
+        Number of sketch rows.  ``O(1/eps^2)`` rows give a ``(1 +/- eps)``
+        approximation of ``||x||_2^2`` with constant probability.
+    rng:
+        Shared randomness (both parties construct the identical sketch).
+    num_groups:
+        If > 1, rows are split into that many groups and the estimator
+        returns the median of the per-group means (median-of-means).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        num_rows: int,
+        rng: np.random.Generator,
+        *,
+        num_groups: int = 1,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if num_rows < 1:
+            raise ValueError(f"num_rows must be >= 1, got {num_rows}")
+        if num_groups < 1 or num_groups > num_rows:
+            raise ValueError("num_groups must be in [1, num_rows]")
+        self.n = n
+        self.num_rows = num_rows
+        self.num_groups = num_groups
+        self.matrix = rng.choice(np.array([-1.0, 1.0]), size=(num_rows, n))
+
+    @classmethod
+    def for_accuracy(
+        cls, n: int, epsilon: float, rng: np.random.Generator, *, rows_per_group: int | None = None
+    ) -> "AmsSketch":
+        """Construct a sketch sized for a ``(1 +/- epsilon)`` F2 estimate."""
+        if not 0 < epsilon <= 1:
+            raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+        if rows_per_group is None:
+            rows_per_group = max(8, int(np.ceil(6.0 / epsilon**2)))
+        return cls(n, rows_per_group, rng)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Compute the sketch ``S x`` of a vector (or ``S X`` of a matrix)."""
+        return self.matrix @ np.asarray(x, dtype=float)
+
+    def estimate_f2(self, sketched: np.ndarray) -> float:
+        """Estimate ``||x||_2^2`` from a sketch vector ``S x``."""
+        sketched = np.asarray(sketched, dtype=float)
+        if sketched.shape[0] != self.num_rows:
+            raise ValueError(
+                f"sketch has {sketched.shape[0]} rows, expected {self.num_rows}"
+            )
+        squares = sketched**2
+        if self.num_groups == 1:
+            return float(np.mean(squares))
+        groups = np.array_split(squares, self.num_groups)
+        return float(np.median([np.mean(group) for group in groups]))
+
+    def estimate_f2_columns(self, sketched: np.ndarray) -> np.ndarray:
+        """Estimate ``||x_j||_2^2`` for every column of a sketched matrix."""
+        sketched = np.asarray(sketched, dtype=float)
+        squares = sketched**2
+        if self.num_groups == 1:
+            return np.mean(squares, axis=0)
+        groups = np.array_split(squares, self.num_groups, axis=0)
+        return np.median(np.stack([np.mean(group, axis=0) for group in groups]), axis=0)

@@ -1,0 +1,58 @@
+"""Count-Min sketch for non-negative frequency vectors.
+
+Provides upper-bounding point queries; used in tests and as an alternative
+candidate-verification structure for heavy hitters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.hashing import KWiseHash
+
+
+class CountMinSketch:
+    """Count-Min sketch with ``depth`` rows of ``width`` buckets each."""
+
+    def __init__(self, n: int, width: int, depth: int, rng: np.random.Generator) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if width < 1 or depth < 1:
+            raise ValueError("width and depth must be >= 1")
+        self.n = n
+        self.width = width
+        self.depth = depth
+        keys = np.arange(n)
+        self.bucket_of = np.stack(
+            [KWiseHash(2, rng).buckets(keys, width) for _ in range(depth)]
+        )
+        self.table = np.zeros((depth, width), dtype=float)
+
+    def update(self, index: int, delta: float = 1.0) -> None:
+        """Add ``delta`` (must keep the vector non-negative) to a coordinate."""
+        for row in range(self.depth):
+            self.table[row, self.bucket_of[row, index]] += delta
+
+    def build_from_vector(self, x: np.ndarray) -> None:
+        """Populate the sketch from a dense non-negative frequency vector."""
+        x = np.asarray(x, dtype=float)
+        if x.shape[0] != self.n:
+            raise ValueError(f"vector has length {x.shape[0]}, expected {self.n}")
+        if np.any(x < 0):
+            raise ValueError("Count-Min requires non-negative frequencies")
+        self.table[:] = 0.0
+        for row in range(self.depth):
+            np.add.at(self.table[row], self.bucket_of[row], x)
+
+    def query(self, index: int) -> float:
+        """Upper-bounding estimate of coordinate ``index``."""
+        return float(
+            min(self.table[row, self.bucket_of[row, index]] for row in range(self.depth))
+        )
+
+    def query_all(self) -> np.ndarray:
+        """Upper-bounding estimates for all coordinates."""
+        estimates = np.empty((self.depth, self.n))
+        for row in range(self.depth):
+            estimates[row] = self.table[row, self.bucket_of[row]]
+        return np.min(estimates, axis=0)

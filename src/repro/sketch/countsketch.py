@@ -1,0 +1,69 @@
+"""CountSketch: point queries and heavy hitters on a frequency vector.
+
+Used by the heavy-hitter baseline (Pagh's compressed matrix multiplication)
+and by tests.  Each of ``depth`` rows hashes coordinates into ``width``
+buckets with a pairwise-independent hash and a 4-wise-independent sign; a
+point query returns the median over rows of ``sign * bucket``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.hashing import KWiseHash
+
+
+class CountSketch:
+    """CountSketch with ``depth`` rows of ``width`` buckets each."""
+
+    def __init__(self, n: int, width: int, depth: int, rng: np.random.Generator) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if width < 1 or depth < 1:
+            raise ValueError("width and depth must be >= 1")
+        self.n = n
+        self.width = width
+        self.depth = depth
+        keys = np.arange(n)
+        self.bucket_of = np.stack(
+            [KWiseHash(2, rng).buckets(keys, width) for _ in range(depth)]
+        )
+        self.sign_of = np.stack([KWiseHash(4, rng).signs(keys) for _ in range(depth)])
+        self.table = np.zeros((depth, width), dtype=float)
+
+    # ----------------------------------------------------------------- build
+    def update(self, index: int, delta: float = 1.0) -> None:
+        """Add ``delta`` to coordinate ``index``."""
+        for row in range(self.depth):
+            self.table[row, self.bucket_of[row, index]] += self.sign_of[row, index] * delta
+
+    def build_from_vector(self, x: np.ndarray) -> None:
+        """Populate the sketch from a dense frequency vector."""
+        x = np.asarray(x, dtype=float)
+        if x.shape[0] != self.n:
+            raise ValueError(f"vector has length {x.shape[0]}, expected {self.n}")
+        self.table[:] = 0.0
+        for row in range(self.depth):
+            np.add.at(self.table[row], self.bucket_of[row], self.sign_of[row] * x)
+
+    # ----------------------------------------------------------------- query
+    def query(self, index: int) -> float:
+        """Estimate coordinate ``index`` of the underlying vector."""
+        estimates = [
+            self.sign_of[row, index] * self.table[row, self.bucket_of[row, index]]
+            for row in range(self.depth)
+        ]
+        return float(np.median(estimates))
+
+    def query_all(self) -> np.ndarray:
+        """Estimate every coordinate (length ``n`` vector)."""
+        estimates = np.empty((self.depth, self.n))
+        for row in range(self.depth):
+            estimates[row] = self.sign_of[row] * self.table[row, self.bucket_of[row]]
+        return np.median(estimates, axis=0)
+
+    def heavy_hitters(self, threshold: float) -> list[tuple[int, float]]:
+        """All coordinates whose estimate is at least ``threshold``."""
+        estimates = self.query_all()
+        hits = np.flatnonzero(estimates >= threshold)
+        return [(int(i), float(estimates[i])) for i in hits]

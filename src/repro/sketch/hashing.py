@@ -1,0 +1,69 @@
+"""k-wise independent hash families over a prime field.
+
+The sketches in this package need pairwise (and occasionally 4-wise)
+independent hash functions ``h : [n] -> [m]`` and sign functions
+``s : [n] -> {-1, +1}``.  We use the classic polynomial construction over a
+Mersenne prime: a random degree-``k-1`` polynomial evaluated at the key, all
+arithmetic modulo ``2^61 - 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Mersenne prime 2^61 - 1, large enough for 32-bit keys with headroom.
+PRIME_61 = (1 << 61) - 1
+
+
+class KWiseHash:
+    """A k-wise independent hash function family member.
+
+    Parameters
+    ----------
+    k:
+        Independence (degree of the random polynomial).  ``k = 2`` gives
+        pairwise independence, ``k = 4`` gives the 4-wise independence needed
+        by the AMS sketch's variance analysis.
+    rng:
+        Source of randomness for the coefficients.
+    """
+
+    def __init__(self, k: int, rng: np.random.Generator) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        # Leading coefficient non-zero so the polynomial has exact degree k-1.
+        coeffs = rng.integers(0, PRIME_61, size=k, dtype=np.uint64)
+        if k > 1 and coeffs[0] == 0:
+            coeffs[0] = 1
+        self._coeffs = [int(c) for c in coeffs]
+
+    def values(self, keys: np.ndarray) -> np.ndarray:
+        """Evaluate the hash polynomial on an array of integer keys.
+
+        Returns values in ``[0, PRIME_61)`` as Python-int-backed uint64 array.
+        Evaluation uses Horner's rule with Python integers to avoid overflow,
+        which is fast enough for the universe sizes used here (<= ~10^5).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        out = np.empty(keys.shape, dtype=np.uint64)
+        flat_keys = keys.reshape(-1)
+        flat_out = np.empty(flat_keys.shape[0], dtype=np.uint64)
+        for idx, key in enumerate(flat_keys.tolist()):
+            acc = 0
+            for coeff in self._coeffs:
+                acc = (acc * key + coeff) % PRIME_61
+            flat_out[idx] = acc
+        out[...] = flat_out.reshape(keys.shape)
+        return out
+
+    def buckets(self, keys: np.ndarray, n_buckets: int) -> np.ndarray:
+        """Map keys to buckets ``[0, n_buckets)``."""
+        if n_buckets < 1:
+            raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+        return (self.values(keys) % np.uint64(n_buckets)).astype(np.int64)
+
+    def signs(self, keys: np.ndarray) -> np.ndarray:
+        """Map keys to ``{-1, +1}`` signs."""
+        parity = (self.values(keys) & np.uint64(1)).astype(np.int64)
+        return 2 * parity - 1

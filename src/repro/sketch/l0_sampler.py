@@ -1,0 +1,121 @@
+"""Linear ``l_0``-sampler (Lemma 2.6 substitute).
+
+Samples a (near-)uniform non-zero coordinate of an integer vector from a
+small linear sketch.  Construction: ``L = ceil(log2 n) + 1`` subsampling
+levels; at level ``g`` each coordinate survives with probability ``2^-g``.
+For each level we keep three linear measurements of the surviving
+sub-vector ``y``:
+
+* ``s0 = sum_j y_j``
+* ``s1 = sum_j j * y_j``
+* ``f  = sum_j c_j * y_j`` for random coefficients ``c_j`` (a fingerprint)
+
+If exactly one coordinate of ``y`` is non-zero, then ``j* = s1 / s0`` and the
+fingerprint check ``f == c_{j*} * s0`` passes; if more than one coordinate is
+non-zero the check fails with high probability.  The sampler scans levels for
+a verified 1-sparse recovery; because level ``g ~ log2 ||x||_0`` leaves a
+single survivor with constant probability, repeating the structure a few
+times makes failure unlikely, and the returned coordinate is uniform over the
+support (every non-zero coordinate is equally likely to be the unique
+survivor).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Fingerprint coefficients come from [1, COEFF_BOUND).
+COEFF_BOUND = 1 << 20
+
+
+@dataclass
+class L0SampleOutcome:
+    """Result of attempting a recovery from an ``l_0``-sampler sketch."""
+
+    index: int | None
+    value: int | None
+    level: int | None
+
+    @property
+    def success(self) -> bool:
+        return self.index is not None
+
+
+class L0Sampler:
+    """Uniform sampler over the support of an integer vector.
+
+    Parameters
+    ----------
+    n:
+        Input dimension.
+    repetitions:
+        Number of independent copies of the level structure; the sampler
+        succeeds if any copy recovers a verified 1-sparse level.
+    rng:
+        Shared randomness.
+    """
+
+    def __init__(self, n: int, rng: np.random.Generator, *, repetitions: int = 8) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        self.n = n
+        self.repetitions = repetitions
+        self.levels = int(math.ceil(math.log2(max(n, 2)))) + 2
+        self.rows_per_level = 3
+        self.num_rows = repetitions * self.levels * self.rows_per_level
+
+        matrix = np.zeros((self.num_rows, n), dtype=np.int64)
+        coords = np.arange(n, dtype=np.int64)
+        self._fingerprint_coeffs = np.zeros((repetitions, n), dtype=np.int64)
+        thresholds = 2.0 ** (-np.arange(self.levels))
+        for rep in range(repetitions):
+            priorities = rng.uniform(0.0, 1.0, size=n)
+            coeffs = rng.integers(1, COEFF_BOUND, size=n, dtype=np.int64)
+            self._fingerprint_coeffs[rep] = coeffs
+            for level in range(self.levels):
+                alive = priorities < thresholds[level]
+                base = (rep * self.levels + level) * self.rows_per_level
+                matrix[base + 0, alive] = 1
+                matrix[base + 1, alive] = coords[alive] + 1  # +1 keeps s1 != 0 for j = 0
+                matrix[base + 2, alive] = coeffs[alive]
+        self.matrix = matrix
+
+    # ------------------------------------------------------------------ api
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Compute the sampler sketch ``T x`` (integer inputs expected)."""
+        x = np.asarray(x)
+        if np.issubdtype(x.dtype, np.integer):
+            return self.matrix @ x.astype(np.int64)
+        return self.matrix @ x
+
+    def sample(self, sketched: np.ndarray) -> L0SampleOutcome:
+        """Recover a uniform non-zero coordinate from the sketch ``T x``."""
+        sketched = np.asarray(sketched).reshape(-1)
+        if sketched.shape[0] != self.num_rows:
+            raise ValueError(
+                f"sketch has {sketched.shape[0]} rows, expected {self.num_rows}"
+            )
+        per_rep = sketched.reshape(self.repetitions, self.levels, self.rows_per_level)
+        for rep in range(self.repetitions):
+            # Scan from the most aggressive subsampling level downwards; the
+            # first verified singleton is the sample for this repetition.
+            for level in range(self.levels - 1, -1, -1):
+                s0, s1, fingerprint = (int(v) for v in per_rep[rep, level])
+                if s0 == 0:
+                    continue
+                if s1 % s0 != 0:
+                    continue
+                shifted_index = s1 // s0
+                index = shifted_index - 1
+                if not 0 <= index < self.n:
+                    continue
+                expected_fingerprint = int(self._fingerprint_coeffs[rep, index]) * s0
+                if fingerprint != expected_fingerprint:
+                    continue
+                return L0SampleOutcome(index=index, value=s0, level=level)
+        return L0SampleOutcome(index=None, value=None, level=None)

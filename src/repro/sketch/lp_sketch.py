@@ -1,0 +1,122 @@
+"""Linear ``l_p`` sketches for ``p in (0, 2]`` (Lemma 2.1 of the paper).
+
+For ``p in (0, 2)`` the sketch matrix has i.i.d. standard p-stable entries
+and the estimator is Indyk's median estimator: because
+``<s, x> ~ ||x||_p * X`` for a standard p-stable ``X``, the median of
+``|S x|`` divided by the median of ``|X|`` estimates ``||x||_p``.  For
+``p = 2`` the AMS estimator (mean of squares) has lower variance and is used
+instead.
+
+``p = 0`` is handled by :class:`repro.sketch.l0_sketch.L0Sketch`; the factory
+:func:`make_lp_sketch` dispatches on ``p`` so callers (Algorithm 1) do not
+need to care.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sketch.stable import sample_standard_stable, stable_scale_factor
+
+
+def lp_norm(x: np.ndarray, p: float) -> float:
+    """Exact ``||x||_p^p`` (with ``||x||_0^0`` = number of non-zeros)."""
+    x = np.asarray(x, dtype=float)
+    if p == 0:
+        return float(np.count_nonzero(x))
+    return float(np.sum(np.abs(x) ** p))
+
+
+class LpSketch:
+    """p-stable linear sketch with the median estimator (``0 < p <= 2``).
+
+    Parameters
+    ----------
+    n:
+        Input dimension.
+    p:
+        Norm parameter in ``(0, 2]``.
+    num_rows:
+        Number of sketch rows; ``O(1/eps^2)`` rows give a ``(1 +/- eps)``
+        estimate with constant probability.
+    rng:
+        Shared randomness.
+    """
+
+    def __init__(self, n: int, p: float, num_rows: int, rng: np.random.Generator) -> None:
+        if not 0 < p <= 2:
+            raise ValueError(f"p must be in (0, 2], got {p}")
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if num_rows < 1:
+            raise ValueError(f"num_rows must be >= 1, got {num_rows}")
+        self.n = n
+        self.p = float(p)
+        self.num_rows = num_rows
+        self.matrix = sample_standard_stable(self.p, (num_rows, n), rng)
+        self._use_ams_estimator = math.isclose(self.p, 2.0)
+        self._scale = stable_scale_factor(self.p)
+
+    @classmethod
+    def for_accuracy(
+        cls, n: int, p: float, epsilon: float, rng: np.random.Generator
+    ) -> "LpSketch":
+        """Construct a sketch sized for a ``(1 +/- epsilon)`` estimate."""
+        if not 0 < epsilon <= 1:
+            raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+        num_rows = max(16, int(np.ceil(8.0 / epsilon**2)))
+        return cls(n, p, num_rows, rng)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``S x`` (vector) or ``S X`` (matrix, column-wise sketch)."""
+        return self.matrix @ np.asarray(x, dtype=float)
+
+    def estimate_norm(self, sketched: np.ndarray) -> float:
+        """Estimate ``||x||_p`` from the sketch ``S x``."""
+        sketched = np.asarray(sketched, dtype=float)
+        if self._use_ams_estimator:
+            return float(np.sqrt(np.mean(sketched**2)))
+        return float(np.median(np.abs(sketched)) / self._scale)
+
+    def estimate_norm_pp(self, sketched: np.ndarray) -> float:
+        """Estimate ``||x||_p^p`` from the sketch ``S x``."""
+        return self.estimate_norm(sketched) ** self.p
+
+    def estimate_rows(self, sketched_rows: np.ndarray) -> np.ndarray:
+        """Estimate ``||x_i||_p`` for every row of a row-wise sketched matrix.
+
+        ``sketched_rows`` has shape ``(m, num_rows)`` where row ``i`` is the
+        sketch of the ``i``-th input row (this is the orientation Algorithm 1
+        produces: ``C~ = A (S B^T)^T`` has the sketch of ``C_{i,*}`` in row
+        ``i``).
+        """
+        sketched_rows = np.asarray(sketched_rows, dtype=float)
+        if sketched_rows.ndim != 2 or sketched_rows.shape[1] != self.num_rows:
+            raise ValueError(
+                f"expected shape (m, {self.num_rows}), got {sketched_rows.shape}"
+            )
+        if self._use_ams_estimator:
+            return np.sqrt(np.mean(sketched_rows**2, axis=1))
+        return np.median(np.abs(sketched_rows), axis=1) / self._scale
+
+    def estimate_rows_pp(self, sketched_rows: np.ndarray) -> np.ndarray:
+        """Estimate ``||x_i||_p^p`` for every row of a sketched matrix."""
+        return self.estimate_rows(sketched_rows) ** self.p
+
+
+def make_lp_sketch(
+    n: int, p: float, epsilon: float, rng: np.random.Generator
+) -> "LpSketch | object":
+    """Factory returning an ``l_p`` sketch appropriate for ``p in [0, 2]``.
+
+    For ``p = 0`` an :class:`repro.sketch.l0_sketch.L0Sketch` is returned; it
+    exposes the same ``matrix`` / ``apply`` / ``estimate_rows_pp`` interface
+    used by Algorithm 1.
+    """
+    if p == 0:
+        from repro.sketch.l0_sketch import L0Sketch
+
+        return L0Sketch.for_accuracy(n, epsilon, rng)
+    return LpSketch.for_accuracy(n, p, epsilon, rng)

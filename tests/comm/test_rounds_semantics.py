@@ -1,0 +1,62 @@
+"""Round-counting semantics across the actual protocols.
+
+The paper's round bounds are central claims (2 rounds for Theorem 3.1,
+1 round for Remarks 2/3 and Theorems 3.2/4.8, 3 rounds for Theorem 4.1,
+O(1) elsewhere).  These tests pin the measured round counts of every
+protocol on a common workload so regressions in message scheduling are
+caught immediately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.naive import NaiveLinfProtocol
+from repro.baselines.one_round import OneRoundLpNormProtocol
+from repro.core.heavy_hitters_binary import BinaryHeavyHittersProtocol
+from repro.core.heavy_hitters_general import GeneralHeavyHittersProtocol
+from repro.core.l0_sampling import L0SamplingProtocol
+from repro.core.l1_exact import ExactL1Protocol, L1SamplingProtocol
+from repro.core.linf_binary import KappaApproxLinfProtocol, TwoPlusEpsilonLinfProtocol
+from repro.core.linf_general import GeneralMatrixLinfProtocol
+from repro.core.lp_norm import LpNormProtocol
+from repro.matrices import random_binary_pair
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return random_binary_pair(56, density=0.12, seed=99)
+
+
+@pytest.mark.parametrize(
+    "protocol_factory, max_rounds, paper_rounds",
+    [
+        (lambda: LpNormProtocol(0.0, 0.4, seed=1), 2, "2 (Thm 3.1)"),
+        (lambda: LpNormProtocol(2.0, 0.4, seed=1), 2, "2 (Thm 3.1)"),
+        (lambda: OneRoundLpNormProtocol(0.0, 0.4, seed=1), 1, "1 ([16] baseline)"),
+        (lambda: ExactL1Protocol(seed=1), 1, "1 (Remark 2)"),
+        (lambda: L1SamplingProtocol(seed=1), 1, "1 (Remark 3)"),
+        (lambda: L0SamplingProtocol(0.4, seed=1), 1, "1 (Thm 3.2)"),
+        (lambda: TwoPlusEpsilonLinfProtocol(0.3, seed=1), 4, "3 (Thm 4.1)"),
+        (lambda: KappaApproxLinfProtocol(8, seed=1), 5, "O(1) (Thm 4.3)"),
+        (lambda: GeneralMatrixLinfProtocol(4, seed=1), 1, "1 (Thm 4.8)"),
+        (lambda: GeneralHeavyHittersProtocol(0.1, 0.05, seed=1), 6, "O(1) (Thm 5.1)"),
+        (lambda: BinaryHeavyHittersProtocol(0.1, 0.05, seed=1), 8, "O(1) (Thm 5.3)"),
+    ],
+)
+def test_round_budgets(workload, protocol_factory, max_rounds, paper_rounds):
+    a, b = workload
+    result = protocol_factory().run(a, b)
+    assert result.cost.rounds <= max_rounds, (
+        f"protocol exceeded its round budget ({paper_rounds}): "
+        f"{result.cost.rounds} > {max_rounds}"
+    )
+
+
+def test_exact_round_counts_for_fixed_round_protocols(workload):
+    a, b = workload
+    assert LpNormProtocol(0.0, 0.4, seed=2).run(a, b).cost.rounds == 2
+    assert ExactL1Protocol(seed=2).run(a, b).cost.rounds == 1
+    assert L0SamplingProtocol(0.4, seed=2).run(a, b).cost.rounds == 1
+    assert GeneralMatrixLinfProtocol(4, seed=2).run(a, b).cost.rounds == 1
+    assert NaiveLinfProtocol(seed=2).run(a, b).cost.rounds == 1

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_binary_pair(rng) -> tuple[np.ndarray, np.ndarray]:
+    """A small sparse binary matrix pair with a non-trivial product."""
+    n = 48
+    a = (rng.uniform(size=(n, n)) < 0.12).astype(np.int64)
+    b = (rng.uniform(size=(n, n)) < 0.12).astype(np.int64)
+    return a, b
+
+
+@pytest.fixture
+def small_integer_pair(rng) -> tuple[np.ndarray, np.ndarray]:
+    """A small non-negative integer matrix pair."""
+    n = 32
+    a = rng.integers(0, 4, size=(n, n)).astype(np.int64)
+    b = rng.integers(0, 4, size=(n, n)).astype(np.int64)
+    return a, b

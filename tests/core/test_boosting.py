@@ -1,0 +1,85 @@
+"""Tests for the median-trick success-probability booster."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.boosting import MedianBoostedProtocol
+from repro.core.lp_norm import LpNormProtocol
+from repro.matrices import exact_lp_pp, product, random_binary_pair
+
+
+class TestConstruction:
+    def test_invalid_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            MedianBoostedProtocol(lambda seed: LpNormProtocol(0.0, 0.3, seed=seed), 0)
+
+    def test_repetitions_for_scales_with_n(self):
+        small = MedianBoostedProtocol.repetitions_for(16)
+        large = MedianBoostedProtocol.repetitions_for(4096)
+        assert large > small
+        assert large % 2 == 1  # odd, so the median is a single run's output
+        assert MedianBoostedProtocol.repetitions_for(1) == 1
+
+
+class TestBoosting:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        a, b = random_binary_pair(64, density=0.1, seed=200)
+        return a, b, exact_lp_pp(product(a, b), 0)
+
+    def test_median_estimate_accurate(self, workload):
+        a, b, truth = workload
+        boosted = MedianBoostedProtocol(
+            lambda seed: LpNormProtocol(0.0, 0.3, seed=seed), repetitions=7, seed=1
+        )
+        result = boosted.run(a, b)
+        assert result.value == pytest.approx(truth, rel=0.25)
+        assert len(result.details["estimates"]) == 7
+
+    def test_cost_scales_with_repetitions(self, workload):
+        a, b, _ = workload
+        single = LpNormProtocol(0.0, 0.3, seed=2).run(a, b)
+        boosted = MedianBoostedProtocol(
+            lambda seed: LpNormProtocol(0.0, 0.3, seed=seed), repetitions=5, seed=2
+        ).run(a, b)
+        assert boosted.cost.total_bits == pytest.approx(5 * single.cost.total_bits, rel=0.3)
+        # Copies run in parallel: the round count does not grow.
+        assert boosted.cost.rounds == single.cost.rounds
+
+    def test_breakdown_aggregated(self, workload):
+        a, b, _ = workload
+        boosted = MedianBoostedProtocol(
+            lambda seed: LpNormProtocol(0.0, 0.3, seed=seed), repetitions=3, seed=3
+        ).run(a, b)
+        assert sum(boosted.cost.breakdown.values()) == boosted.cost.total_bits
+
+    def test_boosting_reduces_spread(self, workload):
+        """The spread of boosted estimates across seeds is no larger than the
+        spread of single-run estimates (median of independent copies)."""
+        a, b, truth = workload
+        single_errors = [
+            abs(LpNormProtocol(0.0, 0.4, seed=seed).run(a, b).value - truth) / truth
+            for seed in range(8)
+        ]
+        boosted_errors = [
+            abs(
+                MedianBoostedProtocol(
+                    lambda s: LpNormProtocol(0.0, 0.4, seed=s), repetitions=5, seed=seed
+                )
+                .run(a, b)
+                .value
+                - truth
+            )
+            / truth
+            for seed in range(8)
+        ]
+        assert np.max(boosted_errors) <= np.max(single_errors) + 1e-9
+
+    def test_deterministic_given_seed(self, workload):
+        a, b, _ = workload
+        factory = lambda seed: LpNormProtocol(0.0, 0.3, seed=seed)  # noqa: E731
+        first = MedianBoostedProtocol(factory, repetitions=3, seed=9).run(a, b)
+        second = MedianBoostedProtocol(factory, repetitions=3, seed=9).run(a, b)
+        assert first.value == second.value

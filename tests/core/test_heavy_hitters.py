@@ -1,0 +1,171 @@
+"""Tests for the heavy-hitter protocols (Algorithm 4 / Theorem 5.1 and Theorem 5.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.heavy_hitters_binary import BinaryHeavyHittersProtocol
+from repro.core.heavy_hitters_general import GeneralHeavyHittersProtocol
+from repro.matrices import (
+    exact_heavy_hitters,
+    planted_heavy_hitters_pair,
+    product,
+    random_binary_pair,
+)
+
+
+@pytest.fixture
+def planted():
+    a, b, pairs = planted_heavy_hitters_pair(
+        72, num_heavy=2, heavy_overlap=30, background_density=0.02, seed=70
+    )
+    return a, b, pairs
+
+
+class TestGeneralValidation:
+    def test_invalid_phi_eps_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralHeavyHittersProtocol(0.1, 0.2)
+        with pytest.raises(ValueError):
+            GeneralHeavyHittersProtocol(1.5, 0.1)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralHeavyHittersProtocol(0.2, 0.1, p=3.0)
+
+    def test_negative_matrices_rejected(self):
+        protocol = GeneralHeavyHittersProtocol(0.2, 0.1, seed=0)
+        with pytest.raises(ValueError):
+            protocol.run(np.array([[-1, 0], [0, 1]]), np.eye(2, dtype=int))
+
+    def test_dimension_mismatch_rejected(self):
+        protocol = GeneralHeavyHittersProtocol(0.2, 0.1, seed=0)
+        with pytest.raises(ValueError):
+            protocol.run(np.ones((2, 3), dtype=int), np.ones((2, 2), dtype=int))
+
+
+class TestGeneralCorrectness:
+    def test_planted_heavy_hitters_recovered(self, planted):
+        a, b, _pairs = planted
+        c = product(a, b)
+        phi, eps = 0.05, 0.02
+        must = exact_heavy_hitters(c, phi, p=1)
+        may = exact_heavy_hitters(c, phi - eps, p=1)
+        result = GeneralHeavyHittersProtocol(phi, eps, seed=1).run(a, b)
+        reported = result.value.pairs
+        assert must.issubset(reported)
+        assert reported.issubset(may)
+
+    def test_no_heavy_hitters_when_flat(self):
+        a, b = random_binary_pair(64, density=0.1, seed=71)
+        c = product(a, b)
+        phi = 0.2
+        if exact_heavy_hitters(c, phi, p=1):
+            pytest.skip("unexpectedly concentrated product")
+        result = GeneralHeavyHittersProtocol(phi, 0.1, seed=2).run(a, b)
+        assert result.value.pairs == set()
+
+    def test_zero_product(self):
+        result = GeneralHeavyHittersProtocol(0.2, 0.1, seed=3).run(
+            np.zeros((8, 8), dtype=int), np.zeros((8, 8), dtype=int)
+        )
+        assert len(result.value) == 0
+
+    def test_estimates_close_to_truth(self, planted):
+        a, b, _ = planted
+        c = product(a, b)
+        result = GeneralHeavyHittersProtocol(0.05, 0.02, seed=4).run(a, b)
+        for pair, estimate in result.value.estimates.items():
+            assert estimate == pytest.approx(float(c[pair]), rel=0.5)
+
+    def test_constant_rounds(self, planted):
+        a, b, _ = planted
+        result = GeneralHeavyHittersProtocol(0.05, 0.02, seed=5).run(a, b)
+        assert result.cost.rounds <= 6
+
+    def test_integer_matrices_supported(self, rng):
+        a = rng.integers(0, 3, size=(40, 40))
+        b = rng.integers(0, 3, size=(40, 40))
+        a[0, :] = 2
+        b[:, 0] = 2
+        c = product(a, b)
+        phi, eps = 0.02, 0.01
+        must = exact_heavy_hitters(c, phi, p=1)
+        result = GeneralHeavyHittersProtocol(phi, eps, seed=6).run(a, b)
+        assert must.issubset(result.value.pairs)
+
+    def test_p2_variant_runs(self, planted):
+        a, b, _ = planted
+        c = product(a, b)
+        phi, eps = 0.1, 0.05
+        must = exact_heavy_hitters(c, phi, p=2)
+        result = GeneralHeavyHittersProtocol(phi, eps, p=2.0, seed=7).run(a, b)
+        assert must.issubset(result.value.pairs)
+
+
+class TestBinaryProtocol:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinaryHeavyHittersProtocol(0.1, 0.2)
+        with pytest.raises(ValueError):
+            BinaryHeavyHittersProtocol(0.2, 0.1, p=0.0)
+        with pytest.raises(ValueError):
+            BinaryHeavyHittersProtocol(0.2, 0.1, seed=0).run(
+                np.array([[2, 0], [0, 1]]), np.eye(2, dtype=int)
+            )
+
+    def test_planted_heavy_hitters_recovered(self, planted):
+        a, b, _ = planted
+        c = product(a, b)
+        phi, eps = 0.05, 0.02
+        must = exact_heavy_hitters(c, phi, p=1)
+        may = exact_heavy_hitters(c, phi - eps, p=1)
+        result = BinaryHeavyHittersProtocol(phi, eps, seed=8).run(a, b)
+        reported = result.value.pairs
+        assert must.issubset(reported)
+        assert reported.issubset(may)
+
+    def test_zero_product(self):
+        result = BinaryHeavyHittersProtocol(0.2, 0.1, seed=9).run(
+            np.zeros((8, 8), dtype=int), np.zeros((8, 8), dtype=int)
+        )
+        assert len(result.value) == 0
+
+    def test_reported_set_sound_on_random_input(self):
+        a, b = random_binary_pair(64, density=0.12, seed=72)
+        c = product(a, b)
+        phi, eps = 0.05, 0.02
+        may = exact_heavy_hitters(c, phi - eps, p=1)
+        result = BinaryHeavyHittersProtocol(phi, eps, seed=10).run(a, b)
+        assert result.value.pairs.issubset(may)
+
+    def test_constant_rounds(self, planted):
+        a, b, _ = planted
+        result = BinaryHeavyHittersProtocol(0.05, 0.02, seed=11).run(a, b)
+        assert result.cost.rounds <= 8
+
+    def test_details_reported(self, planted):
+        a, b, _ = planted
+        result = BinaryHeavyHittersProtocol(0.05, 0.02, seed=12).run(a, b)
+        assert result.details["total_pp"] > 0
+        assert 0 < result.details["beta"] <= 1
+        assert result.details["verification_sample_size"] >= 8
+
+    def test_p2_variant_runs(self, planted):
+        a, b, _ = planted
+        c = product(a, b)
+        phi, eps = 0.1, 0.05
+        must = exact_heavy_hitters(c, phi, p=2)
+        result = BinaryHeavyHittersProtocol(phi, eps, p=2.0, seed=13).run(a, b)
+        assert must.issubset(result.value.pairs)
+
+
+class TestHeavyHitterOutputType:
+    def test_container_behaviour(self, planted):
+        a, b, _ = planted
+        result = GeneralHeavyHittersProtocol(0.05, 0.02, seed=14).run(a, b)
+        output = result.value
+        assert len(output) == len(output.pairs)
+        for pair in output:
+            assert pair in output

@@ -1,0 +1,74 @@
+"""Tests for Theorem 3.2: one-round l_0-sampling of the support of AB."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.l0_sampling import L0SamplingProtocol
+from repro.matrices import product, random_binary_pair
+
+
+class TestValidation:
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            L0SamplingProtocol(0.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            L0SamplingProtocol(0.3, seed=0).run(np.ones((3, 4)), np.ones((3, 3)))
+
+
+class TestSampling:
+    def test_sample_lands_in_support_with_correct_value(self):
+        a, b = random_binary_pair(48, density=0.1, seed=30)
+        c = product(a, b)
+        result = L0SamplingProtocol(0.3, seed=1).run(a, b)
+        sample = result.value
+        assert sample.success
+        assert c[sample.row, sample.col] != 0
+        assert sample.value == c[sample.row, sample.col]
+
+    def test_one_round(self):
+        a, b = random_binary_pair(32, density=0.1, seed=31)
+        result = L0SamplingProtocol(0.3, seed=2).run(a, b)
+        assert result.cost.rounds == 1
+
+    def test_zero_product_fails_gracefully(self):
+        result = L0SamplingProtocol(0.3, seed=3).run(
+            np.zeros((16, 16), dtype=np.int64), np.zeros((16, 16), dtype=np.int64)
+        )
+        assert not result.value.success
+
+    def test_high_success_rate(self):
+        a, b = random_binary_pair(40, density=0.1, seed=32)
+        successes = sum(
+            L0SamplingProtocol(0.3, seed=seed).run(a, b).value.success
+            for seed in range(20)
+        )
+        assert successes >= 17
+
+    def test_coverage_of_support(self):
+        """Repeated samples should cover a decent fraction of a small support."""
+        rng = np.random.default_rng(33)
+        a = np.zeros((24, 24), dtype=np.int64)
+        b = np.zeros((24, 24), dtype=np.int64)
+        for _ in range(10):
+            a[rng.integers(24), rng.integers(24)] = 1
+            b[rng.integers(24), rng.integers(24)] = 1
+        c = product(a, b)
+        support = set(zip(*np.nonzero(c)))
+        if not support:
+            pytest.skip("degenerate draw with empty support")
+        seen = set()
+        for seed in range(60):
+            sample = L0SamplingProtocol(0.3, seed=seed).run(a, b).value
+            if sample.success:
+                seen.add((sample.row, sample.col))
+        assert len(seen) >= min(len(support), 2)
+        assert seen.issubset(support)
+
+    def test_details_contain_column_mass(self):
+        a, b = random_binary_pair(32, density=0.1, seed=34)
+        result = L0SamplingProtocol(0.3, seed=5).run(a, b)
+        assert result.details["column_mass"] > 0

@@ -1,0 +1,91 @@
+"""Tests for Remark 2 (exact l_1) and Remark 3 (l_1-sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.l1_exact import ExactL1Protocol, L1SamplingProtocol
+from repro.matrices import product, random_binary_pair
+
+
+class TestExactL1:
+    def test_exact_on_binary(self):
+        a, b = random_binary_pair(64, density=0.1, seed=20)
+        truth = float(product(a, b).sum())
+        result = ExactL1Protocol(seed=0).run(a, b)
+        assert result.value == truth
+
+    def test_exact_on_nonnegative_integers(self, rng):
+        a = rng.integers(0, 5, size=(32, 32))
+        b = rng.integers(0, 5, size=(32, 32))
+        result = ExactL1Protocol(seed=0).run(a, b)
+        assert result.value == float(product(a, b).sum())
+
+    def test_one_round(self):
+        a, b = random_binary_pair(32, density=0.1, seed=21)
+        result = ExactL1Protocol(seed=0).run(a, b)
+        assert result.cost.rounds == 1
+
+    def test_cost_linear_in_n(self):
+        small_a, small_b = random_binary_pair(64, density=0.1, seed=22)
+        big_a, big_b = random_binary_pair(256, density=0.1, seed=22)
+        small = ExactL1Protocol(seed=0).run(small_a, small_b)
+        big = ExactL1Protocol(seed=0).run(big_a, big_b)
+        # 4x the size should cost ~4x the bits, far below the 16x of n^2.
+        assert big.cost.total_bits < 8 * small.cost.total_bits
+
+    def test_negative_entries_rejected(self):
+        a = np.array([[1, -1], [0, 1]])
+        b = np.ones((2, 2), dtype=int)
+        with pytest.raises(ValueError):
+            ExactL1Protocol(seed=0).run(a, b)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ExactL1Protocol(seed=0).run(np.ones((2, 3)), np.ones((2, 2)))
+
+    def test_zero_matrices(self):
+        result = ExactL1Protocol(seed=0).run(np.zeros((8, 8)), np.zeros((8, 8)))
+        assert result.value == 0.0
+
+
+class TestL1Sampling:
+    def test_sample_is_a_nonzero_entry(self):
+        a, b = random_binary_pair(48, density=0.15, seed=23)
+        c = product(a, b)
+        result = L1SamplingProtocol(seed=1).run(a, b)
+        sample = result.value
+        assert sample.success
+        assert c[sample.row, sample.col] > 0
+
+    def test_one_round(self):
+        a, b = random_binary_pair(32, density=0.15, seed=24)
+        result = L1SamplingProtocol(seed=2).run(a, b)
+        assert result.cost.rounds == 1
+
+    def test_zero_product_fails_gracefully(self):
+        result = L1SamplingProtocol(seed=3).run(np.zeros((8, 8)), np.zeros((8, 8)))
+        assert not result.value.success
+
+    def test_distribution_tracks_entry_values(self):
+        """Entries with larger values should be sampled more often."""
+        a = np.zeros((4, 3), dtype=np.int64)
+        b = np.zeros((3, 4), dtype=np.int64)
+        # C[0,0] = 3 (via three shared items), C[1,1] = 1.
+        a[0, :3] = 1
+        b[:3, 0] = 1
+        a[1, 0] = 1
+        b[0, 1] = 1
+        counts = {(0, 0): 0, (1, 1): 0}
+        trials = 200
+        for seed in range(trials):
+            sample = L1SamplingProtocol(seed=seed).run(a, b).value
+            if sample.success and (sample.row, sample.col) in counts:
+                counts[(sample.row, sample.col)] += 1
+        assert counts[(0, 0)] > 2 * counts[(1, 1)]
+
+    def test_negative_entries_rejected(self):
+        a = np.array([[1, -1], [0, 1]])
+        with pytest.raises(ValueError):
+            L1SamplingProtocol(seed=0).run(a, np.ones((2, 2), dtype=int))

@@ -1,0 +1,121 @@
+"""Tests for Algorithms 2 and 3: l_inf estimation on binary matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.linf_binary import KappaApproxLinfProtocol, TwoPlusEpsilonLinfProtocol
+from repro.matrices import (
+    exact_linf,
+    planted_max_overlap_pair,
+    product,
+    random_binary_pair,
+)
+
+
+class TestTwoPlusEpsilonValidation:
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            TwoPlusEpsilonLinfProtocol(0.0)
+
+    def test_non_binary_rejected(self):
+        protocol = TwoPlusEpsilonLinfProtocol(0.25, seed=0)
+        with pytest.raises(ValueError):
+            protocol.run(np.array([[2, 0], [0, 1]]), np.eye(2, dtype=int))
+
+    def test_dimension_mismatch_rejected(self):
+        protocol = TwoPlusEpsilonLinfProtocol(0.25, seed=0)
+        with pytest.raises(ValueError):
+            protocol.run(np.ones((2, 3), dtype=int), np.ones((2, 2), dtype=int))
+
+
+class TestTwoPlusEpsilonAccuracy:
+    def test_planted_max_found_within_factor(self):
+        a, b, _ = planted_max_overlap_pair(96, overlap=30, seed=40)
+        truth = exact_linf(product(a, b))
+        result = TwoPlusEpsilonLinfProtocol(0.25, seed=1).run(a, b)
+        assert result.value >= truth / (2 * (1 + 0.25))
+        assert result.value <= truth * (1 + 0.25)
+
+    def test_sparse_random_within_factor(self):
+        a, b = random_binary_pair(64, density=0.1, seed=41)
+        truth = exact_linf(product(a, b))
+        result = TwoPlusEpsilonLinfProtocol(0.25, seed=2).run(a, b)
+        assert result.value >= truth / 2.5
+        assert result.value <= truth * 1.5
+
+    def test_dense_workload_with_downsampling(self):
+        """Force the level machinery on by using a small gamma.
+
+        The planted entry is much larger than the post-sampling threshold, so
+        even after down-scaling the rescaled estimate stays within a small
+        constant factor of the truth (the regime of Lemma 4.2).
+        """
+        a, b, _ = planted_max_overlap_pair(128, overlap=100, background_density=0.3, seed=42)
+        truth = exact_linf(product(a, b))
+        result = TwoPlusEpsilonLinfProtocol(0.5, gamma=3.0, seed=3).run(a, b)
+        assert result.details["level"] > 0
+        assert result.details["keep_rate"] < 1.0
+        assert truth / 2.5 <= result.value <= truth * 2.5
+
+    def test_empty_matrices(self):
+        result = TwoPlusEpsilonLinfProtocol(0.25, seed=4).run(
+            np.zeros((8, 8), dtype=int), np.zeros((8, 8), dtype=int)
+        )
+        assert result.value == 0.0
+
+    def test_three_rounds_or_fewer(self):
+        a, b = random_binary_pair(48, density=0.1, seed=43)
+        result = TwoPlusEpsilonLinfProtocol(0.25, seed=5).run(a, b)
+        assert result.cost.rounds <= 4  # paper: 3 rounds (+1 for the final max merge)
+
+    def test_cheaper_than_naive_for_larger_n(self):
+        a, b, _ = planted_max_overlap_pair(256, overlap=60, seed=44)
+        result = TwoPlusEpsilonLinfProtocol(0.5, seed=6).run(a, b)
+        naive_bits = a.size  # 1 bit per entry
+        assert result.cost.total_bits < naive_bits
+
+
+class TestKappaApprox:
+    def test_invalid_kappa_rejected(self):
+        with pytest.raises(ValueError):
+            KappaApproxLinfProtocol(0.5)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            KappaApproxLinfProtocol(4, seed=0).run(
+                np.array([[3]]), np.array([[1]])
+            )
+
+    @pytest.mark.parametrize("kappa", [4.0, 8.0])
+    def test_within_kappa_factor(self, kappa):
+        a, b = random_binary_pair(96, density=0.3, seed=45)
+        truth = exact_linf(product(a, b))
+        result = KappaApproxLinfProtocol(kappa, seed=7).run(a, b)
+        assert truth / kappa <= result.value <= truth * kappa
+
+    def test_zero_matrices_output_zero(self):
+        result = KappaApproxLinfProtocol(4, seed=8).run(
+            np.zeros((8, 8), dtype=int), np.zeros((8, 8), dtype=int)
+        )
+        assert result.value == 0.0
+
+    def test_degenerate_universe_sampling_outputs_one(self):
+        """With huge kappa the universe sample can be empty; output falls back to 1."""
+        a, b = random_binary_pair(32, density=0.05, seed=46)
+        if product(a, b).max() == 0:
+            pytest.skip("degenerate draw")
+        result = KappaApproxLinfProtocol(10_000, alpha_constant=0.1, seed=9).run(a, b)
+        assert result.value >= 0.0
+
+    def test_communication_decreases_with_kappa(self):
+        a, b = random_binary_pair(128, density=0.35, seed=47)
+        cheap = KappaApproxLinfProtocol(32, seed=10).run(a, b)
+        precise = KappaApproxLinfProtocol(4, seed=10).run(a, b)
+        assert cheap.cost.total_bits <= precise.cost.total_bits
+
+    def test_constant_rounds(self):
+        a, b = random_binary_pair(64, density=0.3, seed=48)
+        result = KappaApproxLinfProtocol(8, seed=11).run(a, b)
+        assert result.cost.rounds <= 5

@@ -1,0 +1,72 @@
+"""Tests for Theorem 4.8(1): l_inf for general integer matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.linf_general import GeneralMatrixLinfProtocol
+from repro.matrices import exact_linf, integer_matrix_pair, product
+
+
+class TestValidation:
+    def test_invalid_kappa_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralMatrixLinfProtocol(0.5)
+
+    def test_invalid_rows_per_block_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralMatrixLinfProtocol(2, rows_per_block=0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralMatrixLinfProtocol(2, seed=0).run(np.ones((3, 4)), np.ones((3, 3)))
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("kappa", [2.0, 4.0])
+    def test_within_kappa_on_planted_instance(self, kappa):
+        a, b = integer_matrix_pair(64, planted_value=6, seed=50)
+        truth = exact_linf(product(a, b))
+        result = GeneralMatrixLinfProtocol(kappa, seed=1).run(a, b)
+        # Allow a small slack for the AMS constant-factor error.
+        assert truth / (1.5 * kappa) <= result.value <= 1.5 * kappa * truth
+
+    def test_estimate_upper_bounds_linf_typically(self):
+        """Block l_2 >= block l_inf, so the estimate should rarely undershoot."""
+        a, b = integer_matrix_pair(48, planted_value=5, seed=51)
+        truth = exact_linf(product(a, b))
+        result = GeneralMatrixLinfProtocol(3, seed=2).run(a, b)
+        assert result.value >= 0.5 * truth
+
+    def test_zero_matrices(self):
+        result = GeneralMatrixLinfProtocol(2, seed=3).run(
+            np.zeros((16, 16), dtype=int), np.zeros((16, 16), dtype=int)
+        )
+        assert result.value == pytest.approx(0.0)
+
+    def test_binary_matrices_also_accepted(self, small_binary_pair):
+        a, b = small_binary_pair
+        truth = exact_linf(product(a, b))
+        result = GeneralMatrixLinfProtocol(3, seed=4).run(a, b)
+        assert result.value >= truth / 5
+
+
+class TestCommunication:
+    def test_one_round(self):
+        a, b = integer_matrix_pair(32, seed=52)
+        result = GeneralMatrixLinfProtocol(2, seed=5).run(a, b)
+        assert result.cost.rounds == 1
+
+    def test_cost_decreases_quadratically_with_kappa(self):
+        a, b = integer_matrix_pair(64, seed=53)
+        small_kappa = GeneralMatrixLinfProtocol(2, seed=6).run(a, b)
+        large_kappa = GeneralMatrixLinfProtocol(6, seed=6).run(a, b)
+        ratio = small_kappa.cost.total_bits / large_kappa.cost.total_bits
+        assert ratio > (6 / 2) ** 2 * 0.4  # roughly (kappa2/kappa1)^2
+
+    def test_block_structure_in_details(self):
+        a, b = integer_matrix_pair(32, seed=54)
+        result = GeneralMatrixLinfProtocol(3, seed=7).run(a, b)
+        assert result.details["block_size"] == 9
+        assert result.details["num_blocks"] == int(np.ceil(32 / 9))

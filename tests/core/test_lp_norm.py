@@ -1,0 +1,108 @@
+"""Tests for Algorithm 1 (Theorem 3.1): the two-round l_p norm protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lp_norm import LpNormProtocol
+from repro.matrices import exact_lp_pp, product, random_binary_pair
+
+
+class TestValidation:
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            LpNormProtocol(-0.5, 0.3)
+        with pytest.raises(ValueError):
+            LpNormProtocol(2.5, 0.3)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            LpNormProtocol(1.0, 0.0)
+        with pytest.raises(ValueError):
+            LpNormProtocol(1.0, 1.5)
+
+    def test_invalid_rho_rejected(self):
+        with pytest.raises(ValueError):
+            LpNormProtocol(1.0, 0.3, rho_constant=0)
+
+    def test_dimension_mismatch_rejected(self):
+        protocol = LpNormProtocol(1.0, 0.3, seed=0)
+        with pytest.raises(ValueError):
+            protocol.run(np.ones((4, 5)), np.ones((4, 4)))
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("p", [0.0, 1.0, 2.0])
+    def test_binary_workload_accuracy(self, p):
+        a, b = random_binary_pair(80, density=0.1, seed=11)
+        truth = exact_lp_pp(product(a, b), p)
+        result = LpNormProtocol(p, 0.3, seed=4).run(a, b)
+        assert result.value == pytest.approx(truth, rel=0.3)
+
+    def test_p_half_runs(self):
+        a, b = random_binary_pair(48, density=0.1, seed=12)
+        truth = exact_lp_pp(product(a, b), 0.5)
+        result = LpNormProtocol(0.5, 0.4, seed=5).run(a, b)
+        assert result.value == pytest.approx(truth, rel=0.6)
+
+    def test_integer_matrices(self, rng):
+        a = rng.integers(0, 3, size=(48, 48))
+        b = rng.integers(0, 3, size=(48, 48))
+        truth = exact_lp_pp(product(a, b), 2.0)
+        result = LpNormProtocol(2.0, 0.3, seed=6).run(a, b)
+        assert result.value == pytest.approx(truth, rel=0.4)
+
+    def test_zero_product(self):
+        a = np.zeros((16, 16), dtype=np.int64)
+        b = np.zeros((16, 16), dtype=np.int64)
+        result = LpNormProtocol(1.0, 0.5, seed=7).run(a, b)
+        assert result.value == 0.0
+
+    def test_estimates_are_reproducible_with_seed(self):
+        a, b = random_binary_pair(48, density=0.1, seed=13)
+        first = LpNormProtocol(0.0, 0.3, seed=42).run(a, b)
+        second = LpNormProtocol(0.0, 0.3, seed=42).run(a, b)
+        assert first.value == second.value
+        assert first.cost.total_bits == second.cost.total_bits
+
+
+class TestCommunication:
+    def test_two_rounds(self):
+        a, b = random_binary_pair(48, density=0.1, seed=14)
+        result = LpNormProtocol(0.0, 0.4, seed=8).run(a, b)
+        assert result.cost.rounds == 2
+
+    def test_cost_breakdown_has_both_rounds(self):
+        a, b = random_binary_pair(48, density=0.1, seed=15)
+        result = LpNormProtocol(1.0, 0.4, seed=9).run(a, b)
+        labels = set(result.cost.breakdown)
+        assert any("round1" in label for label in labels)
+        assert any("round2" in label for label in labels)
+
+    def test_round1_cost_scales_like_inverse_epsilon(self):
+        """Round-1 sketch has O(1/beta^2) = O(1/eps) rows (not 1/eps^2)."""
+        a, b = random_binary_pair(64, density=0.1, seed=16)
+        loose = LpNormProtocol(2.0, 0.8, seed=10).run(a, b)
+        tight = LpNormProtocol(2.0, 0.2, seed=10).run(a, b)
+        loose_r1 = sum(v for k, v in loose.cost.breakdown.items() if "round1" in k)
+        tight_r1 = sum(v for k, v in tight.cost.breakdown.items() if "round1" in k)
+        ratio = tight_r1 / loose_r1
+        assert ratio < (0.8 / 0.2) ** 2  # strictly better than 1/eps^2 scaling
+        assert ratio >= 1.0
+
+    def test_sampled_rows_reported_in_details(self):
+        a, b = random_binary_pair(48, density=0.1, seed=17)
+        result = LpNormProtocol(0.0, 0.4, seed=11).run(a, b)
+        assert result.details["sampled_rows"] >= 0
+        assert result.details["rho"] == pytest.approx(48.0 / 0.4)
+
+
+class TestStatisticalBehaviour:
+    def test_median_estimate_close_over_repetitions(self):
+        a, b = random_binary_pair(64, density=0.1, seed=18)
+        truth = exact_lp_pp(product(a, b), 0.0)
+        estimates = [
+            LpNormProtocol(0.0, 0.3, seed=seed).run(a, b).value for seed in range(9)
+        ]
+        assert np.median(estimates) == pytest.approx(truth, rel=0.2)

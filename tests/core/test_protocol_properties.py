@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for protocol-level invariants.
+
+The protocols are randomized estimators, so these properties target what must
+hold on *every* run regardless of the random coins: exactness of the exact
+protocols, additive splits summing to the true product, samples landing in
+the support, cost accounting consistency, and scale equivariance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.l0_sampling import L0SamplingProtocol
+from repro.core.l1_exact import ExactL1Protocol, L1SamplingProtocol
+from repro.core.linf_binary import TwoPlusEpsilonLinfProtocol
+from repro.distmm.sparse_product import SparseProductProtocol
+
+DIM = 12
+
+binary_matrices = hnp.arrays(
+    dtype=np.int64, shape=(DIM, DIM), elements=st.integers(min_value=0, max_value=1)
+)
+nonneg_matrices = hnp.arrays(
+    dtype=np.int64, shape=(DIM, DIM), elements=st.integers(min_value=0, max_value=3)
+)
+
+
+@st.composite
+def matrix_pairs(draw, strategy=binary_matrices):
+    return draw(strategy), draw(strategy)
+
+
+class TestExactProtocols:
+    @given(pair=matrix_pairs(nonneg_matrices))
+    @settings(max_examples=30, deadline=None)
+    def test_remark2_always_exact(self, pair):
+        a, b = pair
+        result = ExactL1Protocol(seed=0).run(a, b)
+        assert result.value == float((a @ b).sum())
+        assert result.cost.rounds == 1
+
+    @given(pair=matrix_pairs(nonneg_matrices))
+    @settings(max_examples=20, deadline=None)
+    def test_sparse_product_shares_always_sum_to_product(self, pair):
+        a, b = pair
+        c_alice, c_bob = SparseProductProtocol(seed=1).run(a, b).value
+        assert np.array_equal(c_alice + c_bob, a @ b)
+
+
+class TestSamplingProtocols:
+    @given(pair=matrix_pairs(binary_matrices), seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_l1_sample_in_support_or_failure(self, pair, seed):
+        a, b = pair
+        c = a @ b
+        sample = L1SamplingProtocol(seed=seed).run(a, b).value
+        if c.sum() == 0:
+            assert not sample.success
+        elif sample.success:
+            assert c[sample.row, sample.col] > 0
+
+    @given(pair=matrix_pairs(binary_matrices), seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_l0_sample_in_support_or_failure(self, pair, seed):
+        a, b = pair
+        c = a @ b
+        sample = L0SamplingProtocol(0.5, seed=seed).run(a, b).value
+        if sample.success:
+            assert c[sample.row, sample.col] != 0
+            assert sample.value == c[sample.row, sample.col]
+
+
+class TestCostAccounting:
+    @given(pair=matrix_pairs(binary_matrices))
+    @settings(max_examples=20, deadline=None)
+    def test_breakdown_sums_to_total(self, pair):
+        a, b = pair
+        result = TwoPlusEpsilonLinfProtocol(0.5, seed=3).run(a, b)
+        assert sum(result.cost.breakdown.values()) == result.cost.total_bits
+        assert result.cost.alice_bits + result.cost.bob_bits == result.cost.total_bits
+        assert result.cost.rounds >= 1
+
+    @given(pair=matrix_pairs(binary_matrices), seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_linf_estimate_never_negative_and_zero_iff_zero(self, pair, seed):
+        a, b = pair
+        c = a @ b
+        result = TwoPlusEpsilonLinfProtocol(0.5, seed=seed).run(a, b)
+        assert result.value >= 0.0
+        if c.max() == 0:
+            assert result.value == 0.0
+
+
+class TestUpperBoundInvariants:
+    @given(pair=matrix_pairs(binary_matrices), seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_linf_without_downsampling_is_2_approximation(self, pair, seed):
+        """With the default (huge) gamma no sampling happens, so the 2-way
+        split is the only loss: the estimate is in [linf/2, linf] exactly."""
+        a, b = pair
+        c = a @ b
+        if c.max() == 0:
+            return
+        result = TwoPlusEpsilonLinfProtocol(0.5, seed=seed).run(a, b)
+        assert result.details["keep_rate"] == 1.0
+        assert c.max() / 2 <= result.value <= c.max()

@@ -1,0 +1,98 @@
+"""Unit tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrices import generators
+
+
+class TestRandomBinaryPair:
+    def test_shapes_and_binarity(self):
+        a, b = generators.random_binary_pair(32, density=0.1, seed=0)
+        assert a.shape == (32, 32)
+        assert b.shape == (32, 32)
+        assert set(np.unique(a)).issubset({0, 1})
+        assert set(np.unique(b)).issubset({0, 1})
+
+    def test_density_respected_roughly(self):
+        a, b = generators.random_binary_pair(128, density=0.2, seed=1)
+        assert a.mean() == pytest.approx(0.2, abs=0.05)
+        assert b.mean() == pytest.approx(0.2, abs=0.05)
+
+    def test_seed_reproducibility(self):
+        first = generators.random_binary_pair(16, seed=5)
+        second = generators.random_binary_pair(16, seed=5)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(ValueError):
+            generators.random_binary_pair(16, density=1.5)
+
+
+class TestZipfianSetsPair:
+    def test_binary_and_shapes(self):
+        a, b = generators.zipfian_sets_pair(48, seed=2)
+        assert a.shape == (48, 48)
+        assert set(np.unique(a)).issubset({0, 1})
+        assert set(np.unique(b)).issubset({0, 1})
+
+    def test_skewed_row_sizes(self):
+        a, _ = generators.zipfian_sets_pair(64, seed=3)
+        sizes = a.sum(axis=1)
+        assert sizes.max() >= 4 * max(np.median(sizes), 1)
+
+    def test_every_row_nonempty(self):
+        a, b = generators.zipfian_sets_pair(32, seed=4)
+        assert np.all(a.sum(axis=1) >= 1)
+        assert np.all(b.sum(axis=0) >= 1)
+
+
+class TestPlantedWorkloads:
+    def test_heavy_hitters_are_planted(self):
+        a, b, planted = generators.planted_heavy_hitters_pair(
+            64, num_heavy=3, heavy_overlap=20, seed=5
+        )
+        c = a @ b
+        background = np.median(c)
+        for row, col in planted:
+            assert c[row, col] >= 20
+            assert c[row, col] > 3 * max(background, 1)
+
+    def test_max_overlap_pair_is_argmax(self):
+        a, b, (row, col) = generators.planted_max_overlap_pair(64, overlap=24, seed=6)
+        c = a @ b
+        assert c[row, col] == c.max()
+
+    def test_planted_count_matches(self):
+        _, _, planted = generators.planted_heavy_hitters_pair(48, num_heavy=5, seed=7)
+        assert len(planted) == 5
+
+
+class TestIntegerAndRectangular:
+    def test_integer_entries_bounded(self):
+        a, b = generators.integer_matrix_pair(32, max_value=7, density=0.3, seed=8)
+        assert a.max() <= 7
+        assert b.max() <= 7
+        assert a.min() >= 0
+
+    def test_planted_value_creates_large_product_entry(self):
+        a, b = generators.integer_matrix_pair(32, planted_value=9, seed=9)
+        c = a @ b
+        assert c.max() >= 9 * 9 * 32 * 0.9
+
+    def test_rectangular_shapes(self):
+        a, b = generators.rectangular_binary_pair(20, 50, 30, density=0.1, seed=10)
+        assert a.shape == (20, 50)
+        assert b.shape == (50, 30)
+
+    def test_rectangular_invalid_density(self):
+        with pytest.raises(ValueError):
+            generators.rectangular_binary_pair(4, 4, 4, density=-0.1)
+
+    def test_generator_accepts_generator_seed(self):
+        rng = np.random.default_rng(11)
+        a, b = generators.random_binary_pair(8, seed=rng)
+        assert a.shape == (8, 8)

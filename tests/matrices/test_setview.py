@@ -1,0 +1,60 @@
+"""Unit tests for the set interpretation of binary matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrices import setview
+
+
+class TestRowAndColumnSets:
+    def test_row_sets(self):
+        a = np.array([[1, 0, 1], [0, 0, 0]])
+        sets = setview.row_sets(a)
+        assert list(sets[0]) == [0, 2]
+        assert list(sets[1]) == []
+
+    def test_column_sets(self):
+        b = np.array([[1, 0], [1, 1], [0, 0]])
+        sets = setview.column_sets(b)
+        assert list(sets[0]) == [0, 1]
+        assert list(sets[1]) == [1]
+
+    def test_intersection_sizes_equal_product_entries(self, rng):
+        a = (rng.uniform(size=(12, 20)) < 0.3).astype(int)
+        b = (rng.uniform(size=(20, 15)) < 0.3).astype(int)
+        c = a @ b
+        rows = setview.row_sets(a)
+        cols = setview.column_sets(b)
+        for i in (0, 5, 11):
+            for j in (0, 7, 14):
+                assert len(np.intersect1d(rows[i], cols[j])) == c[i, j]
+
+
+class TestSetsToMatrices:
+    def test_round_trip_rows(self):
+        sets = [{0, 3}, {1}, set()]
+        matrix = setview.sets_to_row_matrix(sets, universe=5)
+        assert matrix.shape == (3, 5)
+        recovered = setview.row_sets(matrix)
+        assert [set(r.tolist()) for r in recovered] == [set(s) for s in sets]
+
+    def test_column_matrix_is_transpose(self):
+        sets = [{0}, {1, 2}]
+        row_form = setview.sets_to_row_matrix(sets, universe=3)
+        col_form = setview.sets_to_column_matrix(sets, universe=3)
+        assert np.array_equal(col_form, row_form.T)
+
+    def test_out_of_range_item_rejected(self):
+        with pytest.raises(ValueError):
+            setview.sets_to_row_matrix([{5}], universe=3)
+
+
+class TestItemIncidence:
+    def test_counts(self):
+        a = np.array([[1, 1, 0], [1, 0, 0]])
+        b = np.array([[1, 0], [1, 1], [0, 0]])
+        u, v = setview.item_incidence(a, b)
+        assert list(u) == [2, 1, 0]
+        assert list(v) == [1, 2, 0]

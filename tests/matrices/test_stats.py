@@ -1,0 +1,72 @@
+"""Unit tests for the exact ground-truth statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrices import stats
+
+
+@pytest.fixture
+def simple_product() -> np.ndarray:
+    return np.array([[0, 2, 0], [1, 0, 3], [0, 0, 0]], dtype=np.int64)
+
+
+class TestProduct:
+    def test_matches_numpy(self, rng):
+        a = rng.integers(0, 3, size=(10, 8))
+        b = rng.integers(0, 3, size=(8, 12))
+        assert np.array_equal(stats.product(a, b), a @ b)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            stats.product(np.ones((2, 3)), np.ones((4, 2)))
+
+
+class TestNorms:
+    def test_l0(self, simple_product):
+        assert stats.exact_lp_pp(simple_product, 0) == 3
+
+    def test_l1(self, simple_product):
+        assert stats.exact_lp_pp(simple_product, 1) == 6
+
+    def test_l2_squared(self, simple_product):
+        assert stats.exact_lp_pp(simple_product, 2) == 4 + 1 + 9
+
+    def test_norm_vs_pp_consistency(self, simple_product):
+        assert stats.exact_lp_norm(simple_product, 2) == pytest.approx(np.sqrt(14))
+        assert stats.exact_lp_norm(simple_product, 0) == 3
+
+    def test_linf(self, simple_product):
+        assert stats.exact_linf(simple_product) == 3
+
+    def test_linf_uses_absolute_values(self):
+        assert stats.exact_linf(np.array([[-5, 2]])) == 5
+
+    def test_linf_empty(self):
+        assert stats.exact_linf(np.zeros((0, 0))) == 0.0
+
+
+class TestSupportAndHeavyHitters:
+    def test_support(self, simple_product):
+        assert set(stats.exact_support(simple_product)) == {(0, 1), (1, 0), (1, 2)}
+
+    def test_heavy_hitters_l1(self, simple_product):
+        # ||C||_1 = 6; phi = 0.5 -> threshold 3 -> only the entry with value 3.
+        assert stats.exact_heavy_hitters(simple_product, 0.5, p=1) == {(1, 2)}
+
+    def test_heavy_hitters_all_when_phi_small(self, simple_product):
+        hh = stats.exact_heavy_hitters(simple_product, 1e-6, p=1)
+        assert hh == set(stats.exact_support(simple_product))
+
+    def test_heavy_hitters_empty_matrix(self):
+        assert stats.exact_heavy_hitters(np.zeros((3, 3)), 0.5, p=1) == set()
+
+    def test_heavy_hitters_invalid_phi(self, simple_product):
+        with pytest.raises(ValueError):
+            stats.exact_heavy_hitters(simple_product, 0.0, p=1)
+
+    def test_heavy_hitters_p2(self, simple_product):
+        # ||C||_2^2 = 14; phi = 0.6 -> threshold 8.4 -> only 3^2 = 9 qualifies.
+        assert stats.exact_heavy_hitters(simple_product, 0.6, p=2) == {(1, 2)}

@@ -1,0 +1,80 @@
+"""Unit tests for the AMS / F2 sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.ams import AmsSketch
+
+
+class TestConstruction:
+    def test_invalid_dimensions_rejected(self, rng):
+        with pytest.raises(ValueError):
+            AmsSketch(0, 8, rng)
+        with pytest.raises(ValueError):
+            AmsSketch(8, 0, rng)
+        with pytest.raises(ValueError):
+            AmsSketch(8, 4, rng, num_groups=5)
+
+    def test_matrix_entries_are_signs(self, rng):
+        sketch = AmsSketch(16, 8, rng)
+        assert set(np.unique(sketch.matrix)).issubset({-1.0, 1.0})
+
+    def test_for_accuracy_sizes_rows(self, rng):
+        loose = AmsSketch.for_accuracy(32, 0.5, rng)
+        tight = AmsSketch.for_accuracy(32, 0.1, rng)
+        assert tight.num_rows > loose.num_rows
+
+    def test_for_accuracy_rejects_bad_epsilon(self, rng):
+        with pytest.raises(ValueError):
+            AmsSketch.for_accuracy(32, 0.0, rng)
+
+
+class TestEstimation:
+    def test_unbiased_on_average(self, rng):
+        x = rng.normal(size=64)
+        truth = float(np.sum(x**2))
+        estimates = []
+        for _ in range(30):
+            sketch = AmsSketch(64, 64, rng)
+            estimates.append(sketch.estimate_f2(sketch.apply(x)))
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+    def test_zero_vector_estimates_zero(self, rng):
+        sketch = AmsSketch(32, 16, rng)
+        assert sketch.estimate_f2(sketch.apply(np.zeros(32))) == 0.0
+
+    def test_accuracy_within_epsilon_mostly(self, rng):
+        x = rng.integers(0, 5, size=128).astype(float)
+        truth = float(np.sum(x**2))
+        sketch = AmsSketch.for_accuracy(128, 0.25, rng)
+        estimate = sketch.estimate_f2(sketch.apply(x))
+        assert estimate == pytest.approx(truth, rel=0.5)
+
+    def test_wrong_sketch_length_rejected(self, rng):
+        sketch = AmsSketch(32, 16, rng)
+        with pytest.raises(ValueError):
+            sketch.estimate_f2(np.zeros(7))
+
+    def test_median_of_means_variant(self, rng):
+        x = rng.normal(size=64)
+        truth = float(np.sum(x**2))
+        sketch = AmsSketch(64, 96, rng, num_groups=6)
+        estimate = sketch.estimate_f2(sketch.apply(x))
+        assert estimate == pytest.approx(truth, rel=0.6)
+
+    def test_columnwise_estimation(self, rng):
+        matrix = rng.normal(size=(64, 5))
+        truth = np.sum(matrix**2, axis=0)
+        sketch = AmsSketch(64, 256, rng)
+        estimates = sketch.estimate_f2_columns(sketch.apply(matrix))
+        assert estimates.shape == (5,)
+        assert np.allclose(estimates, truth, rtol=0.5)
+
+    def test_columnwise_with_groups(self, rng):
+        matrix = rng.normal(size=(32, 3))
+        sketch = AmsSketch(32, 60, rng, num_groups=4)
+        estimates = sketch.estimate_f2_columns(sketch.apply(matrix))
+        assert estimates.shape == (3,)
+        assert np.all(estimates >= 0)

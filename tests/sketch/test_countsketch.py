@@ -1,0 +1,98 @@
+"""Unit tests for CountSketch and Count-Min."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.countsketch import CountSketch
+
+
+class TestCountSketch:
+    def test_invalid_parameters_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CountSketch(0, 8, 3, rng)
+        with pytest.raises(ValueError):
+            CountSketch(8, 0, 3, rng)
+
+    def test_point_query_on_sparse_vector(self, rng):
+        n = 256
+        x = np.zeros(n)
+        x[7] = 100.0
+        x[80] = 60.0
+        sketch = CountSketch(n, width=64, depth=5, rng=rng)
+        sketch.build_from_vector(x)
+        assert sketch.query(7) == pytest.approx(100.0, abs=15.0)
+        assert sketch.query(80) == pytest.approx(60.0, abs=15.0)
+        assert abs(sketch.query(5)) < 15.0
+
+    def test_update_matches_build(self, rng):
+        n = 64
+        first = CountSketch(n, 32, 3, np.random.default_rng(0))
+        second = CountSketch(n, 32, 3, np.random.default_rng(0))
+        x = np.zeros(n)
+        x[3] = 2.0
+        x[9] = -1.0
+        first.build_from_vector(x)
+        second.update(3, 2.0)
+        second.update(9, -1.0)
+        assert np.allclose(first.table, second.table)
+
+    def test_build_rejects_wrong_length(self, rng):
+        sketch = CountSketch(16, 8, 2, rng)
+        with pytest.raises(ValueError):
+            sketch.build_from_vector(np.zeros(10))
+
+    def test_query_all_matches_pointwise(self, rng):
+        n = 50
+        x = rng.normal(size=n) * 10
+        sketch = CountSketch(n, 32, 3, rng)
+        sketch.build_from_vector(x)
+        all_estimates = sketch.query_all()
+        for index in (0, 10, 49):
+            assert all_estimates[index] == pytest.approx(sketch.query(index))
+
+    def test_heavy_hitters_found(self, rng):
+        n = 200
+        x = np.ones(n)
+        x[17] = 500.0
+        sketch = CountSketch(n, 64, 5, rng)
+        sketch.build_from_vector(x)
+        hits = dict(sketch.heavy_hitters(threshold=250.0))
+        assert 17 in hits
+
+
+class TestCountMin:
+    def test_invalid_parameters_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CountMinSketch(0, 8, 3, rng)
+        with pytest.raises(ValueError):
+            CountMinSketch(8, 8, 0, rng)
+
+    def test_rejects_negative_frequencies(self, rng):
+        sketch = CountMinSketch(16, 8, 2, rng)
+        with pytest.raises(ValueError):
+            sketch.build_from_vector(np.array([-1.0] + [0.0] * 15))
+
+    def test_query_never_underestimates(self, rng):
+        n = 128
+        x = np.abs(rng.normal(size=n)) * 5
+        sketch = CountMinSketch(n, 32, 4, rng)
+        sketch.build_from_vector(x)
+        estimates = sketch.query_all()
+        assert np.all(estimates >= x - 1e-9)
+
+    def test_point_query_close_for_heavy_item(self, rng):
+        n = 256
+        x = np.zeros(n)
+        x[100] = 1000.0
+        sketch = CountMinSketch(n, 64, 4, rng)
+        sketch.build_from_vector(x)
+        assert sketch.query(100) == pytest.approx(1000.0, rel=0.05)
+
+    def test_update_accumulates(self, rng):
+        sketch = CountMinSketch(16, 16, 3, rng)
+        sketch.update(4, 2.0)
+        sketch.update(4, 3.0)
+        assert sketch.query(4) >= 5.0

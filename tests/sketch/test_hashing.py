@@ -1,0 +1,59 @@
+"""Unit tests for the k-wise independent hash families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.hashing import KWiseHash, PRIME_61
+
+
+class TestKWiseHash:
+    def test_rejects_nonpositive_k(self, rng):
+        with pytest.raises(ValueError):
+            KWiseHash(0, rng)
+
+    def test_values_in_field(self, rng):
+        h = KWiseHash(2, rng)
+        values = h.values(np.arange(100))
+        assert np.all(values < PRIME_61)
+
+    def test_deterministic_given_coefficients(self, rng):
+        h = KWiseHash(3, rng)
+        keys = np.arange(50)
+        assert np.array_equal(h.values(keys), h.values(keys))
+
+    def test_different_instances_differ(self, rng):
+        keys = np.arange(200)
+        first = KWiseHash(2, rng).values(keys)
+        second = KWiseHash(2, rng).values(keys)
+        assert not np.array_equal(first, second)
+
+    def test_buckets_in_range(self, rng):
+        h = KWiseHash(2, rng)
+        buckets = h.buckets(np.arange(500), 16)
+        assert buckets.min() >= 0
+        assert buckets.max() < 16
+
+    def test_buckets_roughly_uniform(self, rng):
+        h = KWiseHash(2, rng)
+        buckets = h.buckets(np.arange(2000), 4)
+        counts = np.bincount(buckets, minlength=4)
+        assert counts.min() > 2000 / 4 * 0.7
+
+    def test_bucket_count_validation(self, rng):
+        with pytest.raises(ValueError):
+            KWiseHash(2, rng).buckets(np.arange(4), 0)
+
+    def test_signs_are_plus_minus_one(self, rng):
+        signs = KWiseHash(4, rng).signs(np.arange(300))
+        assert set(np.unique(signs)).issubset({-1, 1})
+
+    def test_signs_roughly_balanced(self, rng):
+        signs = KWiseHash(4, rng).signs(np.arange(2000))
+        assert abs(int(signs.sum())) < 300
+
+    def test_shape_preserved(self, rng):
+        h = KWiseHash(2, rng)
+        keys = np.arange(12).reshape(3, 4)
+        assert h.values(keys).shape == (3, 4)

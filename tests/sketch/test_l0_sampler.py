@@ -1,0 +1,82 @@
+"""Unit tests for the l_0-sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.l0_sampler import L0Sampler
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self, rng):
+        with pytest.raises(ValueError):
+            L0Sampler(0, rng)
+        with pytest.raises(ValueError):
+            L0Sampler(10, rng, repetitions=0)
+
+    def test_matrix_shape(self, rng):
+        sampler = L0Sampler(50, rng, repetitions=4)
+        assert sampler.matrix.shape == (sampler.num_rows, 50)
+        assert sampler.num_rows == 4 * sampler.levels * 3
+
+
+class TestSampling:
+    def test_zero_vector_fails_gracefully(self, rng):
+        sampler = L0Sampler(32, rng)
+        outcome = sampler.sample(sampler.apply(np.zeros(32, dtype=np.int64)))
+        assert not outcome.success
+        assert outcome.index is None
+
+    def test_singleton_recovered_exactly(self, rng):
+        sampler = L0Sampler(64, rng)
+        x = np.zeros(64, dtype=np.int64)
+        x[42] = 7
+        outcome = sampler.sample(sampler.apply(x))
+        assert outcome.success
+        assert outcome.index == 42
+        assert outcome.value == 7
+
+    def test_singleton_at_position_zero(self, rng):
+        sampler = L0Sampler(16, rng)
+        x = np.zeros(16, dtype=np.int64)
+        x[0] = 3
+        outcome = sampler.sample(sampler.apply(x))
+        assert outcome.success
+        assert outcome.index == 0
+
+    def test_sample_lands_in_support(self, rng):
+        n = 128
+        sampler = L0Sampler(n, rng, repetitions=8)
+        x = np.zeros(n, dtype=np.int64)
+        support = rng.choice(n, size=25, replace=False)
+        x[support] = rng.integers(1, 5, size=25)
+        outcome = sampler.sample(sampler.apply(x))
+        assert outcome.success
+        assert x[outcome.index] != 0
+        assert outcome.value == x[outcome.index]
+
+    def test_wrong_sketch_length_rejected(self, rng):
+        sampler = L0Sampler(32, rng)
+        with pytest.raises(ValueError):
+            sampler.sample(np.zeros(5))
+
+    def test_roughly_uniform_over_small_support(self, rng):
+        n = 64
+        x = np.zeros(n, dtype=np.int64)
+        support = [3, 17, 40, 55]
+        x[support] = 1
+        counts = {index: 0 for index in support}
+        trials = 200
+        failures = 0
+        for seed in range(trials):
+            sampler = L0Sampler(n, np.random.default_rng(seed), repetitions=6)
+            outcome = sampler.sample(sampler.apply(x))
+            if outcome.success:
+                counts[outcome.index] += 1
+            else:
+                failures += 1
+        assert failures < trials * 0.2
+        successes = trials - failures
+        for index in support:
+            assert counts[index] > successes / len(support) * 0.4

@@ -1,0 +1,99 @@
+"""Unit tests for the linear l_0 (distinct elements) sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.l0_sketch import L0Sketch
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self, rng):
+        with pytest.raises(ValueError):
+            L0Sketch(0, 16, rng)
+        with pytest.raises(ValueError):
+            L0Sketch(16, 1, rng)
+        with pytest.raises(ValueError):
+            L0Sketch.for_accuracy(16, 1.5, rng)
+
+    def test_matrix_shape(self, rng):
+        sketch = L0Sketch(100, 32, rng)
+        assert sketch.matrix.shape == (sketch.levels * 32, 100)
+
+    def test_level_zero_covers_all_coordinates(self, rng):
+        sketch = L0Sketch(50, 16, rng)
+        level0 = sketch.matrix[: sketch.k]
+        # Every coordinate appears in exactly one bucket at level 0.
+        assert np.all(np.count_nonzero(level0, axis=0) == 1)
+
+    def test_levels_are_nested(self, rng):
+        sketch = L0Sketch(200, 16, rng)
+        support_per_level = [
+            set(np.flatnonzero(np.count_nonzero(
+                sketch.matrix[level * sketch.k:(level + 1) * sketch.k], axis=0)))
+            for level in range(sketch.levels)
+        ]
+        for shallow, deep in zip(support_per_level, support_per_level[1:]):
+            assert deep.issubset(shallow)
+
+
+class TestEstimation:
+    def test_zero_vector(self, rng):
+        sketch = L0Sketch(64, 16, rng)
+        assert sketch.estimate_l0(sketch.apply(np.zeros(64, dtype=np.int64))) == 0.0
+
+    def test_single_nonzero(self, rng):
+        sketch = L0Sketch(64, 32, rng)
+        x = np.zeros(64, dtype=np.int64)
+        x[10] = 5
+        assert sketch.estimate_l0(sketch.apply(x)) == pytest.approx(1.0, abs=0.5)
+
+    @pytest.mark.parametrize("support_size", [8, 32, 100])
+    def test_accuracy_on_sparse_vectors(self, rng, support_size):
+        n = 256
+        sketch = L0Sketch.for_accuracy(n, 0.25, rng)
+        x = np.zeros(n, dtype=np.int64)
+        positions = rng.choice(n, size=support_size, replace=False)
+        x[positions] = rng.integers(1, 10, size=support_size)
+        estimate = sketch.estimate_l0(sketch.apply(x))
+        assert estimate == pytest.approx(support_size, rel=0.35)
+
+    def test_dense_vector_does_not_crash(self, rng):
+        n = 128
+        sketch = L0Sketch(n, 16, rng)
+        x = np.ones(n, dtype=np.int64)
+        estimate = sketch.estimate_l0(sketch.apply(x))
+        assert estimate > n / 4
+
+    def test_wrong_length_rejected(self, rng):
+        sketch = L0Sketch(64, 16, rng)
+        with pytest.raises(ValueError):
+            sketch.estimate_l0(np.zeros(5))
+
+    def test_row_estimation(self, rng):
+        n = 128
+        sketch = L0Sketch.for_accuracy(n, 0.3, rng)
+        matrix = np.zeros((4, n), dtype=np.int64)
+        sizes = [0, 5, 20, 60]
+        for row, size in enumerate(sizes):
+            positions = rng.choice(n, size=size, replace=False)
+            matrix[row, positions] = 1
+        sketched_rows = matrix @ sketch.matrix.T
+        estimates = sketch.estimate_rows_pp(sketched_rows)
+        assert estimates[0] == 0.0
+        for estimate, size in zip(estimates[1:], sizes[1:]):
+            assert estimate == pytest.approx(size, rel=0.45)
+
+    def test_row_estimation_rejects_wrong_shape(self, rng):
+        sketch = L0Sketch(64, 16, rng)
+        with pytest.raises(ValueError):
+            sketch.estimate_rows_pp(np.zeros((2, 3)))
+
+    def test_interface_parity_with_lp_sketch(self, rng):
+        sketch = L0Sketch(32, 16, rng)
+        x = np.zeros(32, dtype=np.int64)
+        x[:7] = 1
+        sketched = sketch.apply(x)
+        assert sketch.estimate_norm(sketched) == sketch.estimate_l0(sketched)
+        assert sketch.estimate_norm_pp(sketched) == sketch.estimate_l0(sketched)

@@ -1,0 +1,85 @@
+"""Unit tests for the linear l_p sketch (p in (0, 2]) and the factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.l0_sketch import L0Sketch
+from repro.sketch.lp_sketch import LpSketch, lp_norm, make_lp_sketch
+
+
+class TestLpNormHelper:
+    def test_l0_counts_nonzeros(self):
+        assert lp_norm(np.array([0.0, 2.0, 0.0, -1.0]), 0) == 2
+
+    def test_l1(self):
+        assert lp_norm(np.array([1.0, -2.0, 3.0]), 1) == 6.0
+
+    def test_l2_squared(self):
+        assert lp_norm(np.array([3.0, 4.0]), 2) == 25.0
+
+
+class TestLpSketch:
+    def test_invalid_parameters_rejected(self, rng):
+        with pytest.raises(ValueError):
+            LpSketch(10, 0.0, 8, rng)
+        with pytest.raises(ValueError):
+            LpSketch(10, 2.5, 8, rng)
+        with pytest.raises(ValueError):
+            LpSketch(0, 1.0, 8, rng)
+        with pytest.raises(ValueError):
+            LpSketch(10, 1.0, 0, rng)
+        with pytest.raises(ValueError):
+            LpSketch.for_accuracy(10, 1.0, 0.0, rng)
+
+    @pytest.mark.parametrize("p", [0.5, 1.0, 1.5, 2.0])
+    def test_norm_estimation_reasonable(self, rng, p):
+        x = rng.integers(0, 6, size=128).astype(float)
+        truth = np.sum(np.abs(x) ** p) ** (1.0 / p)
+        sketch = LpSketch.for_accuracy(128, p, 0.2, rng)
+        estimate = sketch.estimate_norm(sketch.apply(x))
+        assert estimate == pytest.approx(truth, rel=0.4)
+
+    def test_estimate_norm_pp_is_pth_power(self, rng):
+        x = rng.normal(size=64)
+        sketch = LpSketch(64, 1.0, 128, rng)
+        sketched = sketch.apply(x)
+        assert sketch.estimate_norm_pp(sketched) == pytest.approx(
+            sketch.estimate_norm(sketched) ** 1.0
+        )
+
+    def test_row_estimation_shape_and_accuracy(self, rng):
+        matrix = rng.integers(0, 3, size=(10, 96)).astype(float)
+        sketch = LpSketch.for_accuracy(96, 2.0, 0.25, rng)
+        sketched_rows = matrix @ sketch.matrix.T
+        estimates = sketch.estimate_rows(sketched_rows)
+        truths = np.sqrt(np.sum(matrix**2, axis=1))
+        assert estimates.shape == (10,)
+        assert np.allclose(estimates, truths, rtol=0.5)
+
+    def test_row_estimation_rejects_wrong_shape(self, rng):
+        sketch = LpSketch(16, 1.0, 8, rng)
+        with pytest.raises(ValueError):
+            sketch.estimate_rows(np.zeros((3, 9)))
+
+    def test_zero_vector(self, rng):
+        sketch = LpSketch(32, 1.0, 16, rng)
+        assert sketch.estimate_norm(sketch.apply(np.zeros(32))) == pytest.approx(0.0)
+
+
+class TestFactory:
+    def test_p_zero_returns_l0_sketch(self, rng):
+        sketch = make_lp_sketch(64, 0.0, 0.3, rng)
+        assert isinstance(sketch, L0Sketch)
+
+    def test_positive_p_returns_lp_sketch(self, rng):
+        sketch = make_lp_sketch(64, 1.0, 0.3, rng)
+        assert isinstance(sketch, LpSketch)
+
+    def test_factory_objects_share_interface(self, rng):
+        for p in (0.0, 1.0, 2.0):
+            sketch = make_lp_sketch(32, p, 0.4, rng)
+            assert hasattr(sketch, "matrix")
+            assert hasattr(sketch, "apply")
+            assert hasattr(sketch, "estimate_rows_pp")

@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for the sketching substrate.
+
+These check structural invariants — linearity, exactness of recovery,
+monotonicity — rather than statistical accuracy, so they hold for *every*
+generated input, not just on average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sketch.ams import AmsSketch
+from repro.sketch.l0_sampler import L0Sampler
+from repro.sketch.l0_sketch import L0Sketch
+from repro.sketch.lp_sketch import LpSketch, lp_norm
+
+DIM = 24
+
+int_vectors = hnp.arrays(
+    dtype=np.int64,
+    shape=DIM,
+    elements=st.integers(min_value=-20, max_value=20),
+)
+nonneg_vectors = hnp.arrays(
+    dtype=np.int64,
+    shape=DIM,
+    elements=st.integers(min_value=0, max_value=20),
+)
+
+
+@st.composite
+def vector_pairs(draw):
+    x = draw(int_vectors)
+    y = draw(int_vectors)
+    return x, y
+
+
+class TestLinearity:
+    @given(pair=vector_pairs())
+    @settings(max_examples=25, deadline=None)
+    def test_ams_sketch_is_linear(self, pair):
+        x, y = pair
+        sketch = AmsSketch(DIM, 10, np.random.default_rng(0))
+        assert np.allclose(
+            sketch.apply(x + y), sketch.apply(x) + sketch.apply(y), atol=1e-9
+        )
+
+    @given(pair=vector_pairs())
+    @settings(max_examples=25, deadline=None)
+    def test_lp_sketch_is_linear(self, pair):
+        x, y = pair
+        sketch = LpSketch(DIM, 1.0, 10, np.random.default_rng(1))
+        assert np.allclose(
+            sketch.apply(x + y), sketch.apply(x) + sketch.apply(y), atol=1e-7
+        )
+
+    @given(pair=vector_pairs())
+    @settings(max_examples=25, deadline=None)
+    def test_l0_sketch_is_linear(self, pair):
+        x, y = pair
+        sketch = L0Sketch(DIM, 8, np.random.default_rng(2))
+        assert np.array_equal(sketch.apply(x + y), sketch.apply(x) + sketch.apply(y))
+
+    @given(pair=vector_pairs())
+    @settings(max_examples=25, deadline=None)
+    def test_l0_sampler_is_linear(self, pair):
+        x, y = pair
+        sampler = L0Sampler(DIM, np.random.default_rng(3), repetitions=2)
+        assert np.array_equal(sampler.apply(x + y), sampler.apply(x) + sampler.apply(y))
+
+
+class TestExactInvariants:
+    @given(x=nonneg_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_l0_estimate_zero_iff_zero_vector(self, x):
+        sketch = L0Sketch(DIM, 8, np.random.default_rng(4))
+        estimate = sketch.estimate_l0(sketch.apply(x))
+        if np.count_nonzero(x) == 0:
+            assert estimate == 0.0
+        else:
+            assert estimate > 0.0
+
+    @given(x=nonneg_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_l0_sampler_returns_support_member_or_fails(self, x):
+        sampler = L0Sampler(DIM, np.random.default_rng(5), repetitions=4)
+        outcome = sampler.sample(sampler.apply(x))
+        if np.count_nonzero(x) == 0:
+            assert not outcome.success
+        elif outcome.success:
+            assert x[outcome.index] != 0
+            assert outcome.value == x[outcome.index]
+
+    @given(
+        x=int_vectors,
+        p=st.sampled_from([0.0, 0.5, 1.0, 2.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lp_norm_helper_nonnegative_and_zero_iff_zero(self, x, p):
+        value = lp_norm(x, p)
+        assert value >= 0.0
+        assert (value == 0.0) == bool(np.count_nonzero(x) == 0)
+
+    @given(x=int_vectors, scale=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_ams_estimate_scales_quadratically(self, x, scale):
+        sketch = AmsSketch(DIM, 12, np.random.default_rng(6))
+        base = sketch.estimate_f2(sketch.apply(x))
+        scaled = sketch.estimate_f2(sketch.apply(scale * x))
+        assert np.isclose(scaled, scale**2 * base, rtol=1e-9, atol=1e-9)

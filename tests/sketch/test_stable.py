@@ -1,0 +1,52 @@
+"""Unit tests for p-stable sampling and the median scale factor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.stable import sample_standard_stable, stable_scale_factor
+
+
+class TestSampling:
+    def test_invalid_p_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_standard_stable(0.0, 10, rng)
+        with pytest.raises(ValueError):
+            sample_standard_stable(2.5, 10, rng)
+
+    def test_shapes(self, rng):
+        assert sample_standard_stable(1.0, 7, rng).shape == (7,)
+        assert sample_standard_stable(1.5, (3, 4), rng).shape == (3, 4)
+
+    def test_gaussian_case_matches_normal_moments(self, rng):
+        samples = sample_standard_stable(2.0, 20000, rng)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.05)
+        assert np.std(samples) == pytest.approx(1.0, rel=0.05)
+
+    def test_cauchy_case_has_heavy_tails(self, rng):
+        samples = sample_standard_stable(1.0, 20000, rng)
+        # Cauchy has no finite variance; the sample max should dwarf the IQR.
+        assert np.max(np.abs(samples)) > 50 * np.subtract(*np.percentile(samples, [75, 25]))
+
+    def test_general_p_median_close_to_scale_factor(self, rng):
+        p = 0.7
+        samples = np.abs(sample_standard_stable(p, 60000, rng))
+        assert np.median(samples) == pytest.approx(stable_scale_factor(p), rel=0.1)
+
+
+class TestScaleFactor:
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            stable_scale_factor(0.0)
+
+    def test_gaussian_value(self):
+        # Median of |N(0,1)| is the 0.75 normal quantile ~ 0.6745.
+        assert stable_scale_factor(2.0) == pytest.approx(0.6745, abs=0.001)
+
+    def test_cauchy_value(self):
+        # Median of |Cauchy| = tan(pi/4) = 1.
+        assert stable_scale_factor(1.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_cached(self):
+        assert stable_scale_factor(1.3) == stable_scale_factor(1.3)

@@ -1,0 +1,82 @@
+"""Tests for the distributed sparse matrix product (Lemma 2.5 substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distmm.sparse_product import SparseProductProtocol, sparse_product_shares
+from repro.matrices import random_binary_pair
+
+
+class TestSparseProductShares:
+    def test_shares_sum_to_product(self, rng):
+        a = rng.integers(0, 3, size=(12, 20))
+        b = rng.integers(0, 3, size=(20, 15))
+        owner = rng.uniform(size=20) < 0.5
+        c_alice, c_bob = sparse_product_shares(a, b, owner_is_bob=owner)
+        assert np.array_equal(c_alice + c_bob, a @ b)
+
+    def test_all_items_to_one_party(self, rng):
+        a = rng.integers(0, 2, size=(8, 10))
+        b = rng.integers(0, 2, size=(10, 8))
+        c_alice, c_bob = sparse_product_shares(a, b, owner_is_bob=np.ones(10, dtype=bool))
+        assert c_alice.sum() == 0
+        assert np.array_equal(c_bob, a @ b)
+
+    def test_wrong_mask_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sparse_product_shares(np.ones((3, 4)), np.ones((4, 3)), owner_is_bob=np.ones(3, dtype=bool))
+
+
+class TestSparseProductProtocol:
+    def test_exact_recovery_binary(self):
+        a, b = random_binary_pair(48, density=0.1, seed=90)
+        result = SparseProductProtocol(seed=0).run(a, b)
+        c_alice, c_bob = result.value
+        assert np.array_equal(c_alice + c_bob, a @ b)
+
+    def test_exact_recovery_integer(self, rng):
+        a = rng.integers(0, 4, size=(24, 24))
+        b = rng.integers(0, 4, size=(24, 24))
+        result = SparseProductProtocol(seed=0).run(a, b)
+        c_alice, c_bob = result.value
+        assert np.array_equal(c_alice + c_bob, a @ b)
+
+    def test_empty_product(self):
+        a = np.zeros((8, 8), dtype=np.int64)
+        b = np.zeros((8, 8), dtype=np.int64)
+        result = SparseProductProtocol(seed=0).run(a, b)
+        c_alice, c_bob = result.value
+        assert c_alice.sum() == 0 and c_bob.sum() == 0
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SparseProductProtocol(seed=0).run(np.ones((2, 3)), np.ones((2, 2)))
+
+    def test_three_rounds(self):
+        a, b = random_binary_pair(32, density=0.1, seed=91)
+        result = SparseProductProtocol(seed=0).run(a, b)
+        assert result.cost.rounds == 3
+
+    def test_cost_scales_with_sparsity_not_n_squared(self):
+        sparse_a, sparse_b = random_binary_pair(96, density=0.02, seed=92)
+        dense_a, dense_b = random_binary_pair(96, density=0.4, seed=92)
+        sparse_cost = SparseProductProtocol(seed=0).run(sparse_a, sparse_b).cost.total_bits
+        dense_cost = SparseProductProtocol(seed=0).run(dense_a, dense_b).cost.total_bits
+        assert sparse_cost < dense_cost / 3
+
+    def test_exchanged_pairs_matches_min_side(self):
+        a, b = random_binary_pair(40, density=0.15, seed=93)
+        result = SparseProductProtocol(seed=0).run(a, b)
+        u = np.count_nonzero(a, axis=0)
+        v = np.count_nonzero(b, axis=1)
+        active = (u > 0) & (v > 0)
+        assert result.details["exchanged_pairs"] == int(np.minimum(u, v)[active].sum())
+
+    def test_rectangular_inputs(self, rng):
+        a = (rng.uniform(size=(20, 30)) < 0.15).astype(np.int64)
+        b = (rng.uniform(size=(30, 12)) < 0.15).astype(np.int64)
+        result = SparseProductProtocol(seed=0).run(a, b)
+        c_alice, c_bob = result.value
+        assert np.array_equal(c_alice + c_bob, a @ b)

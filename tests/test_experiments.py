@@ -1,0 +1,107 @@
+"""Tests for the experiment harness and (smoke tests of) the drivers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import harness
+from repro.experiments import (
+    a1_beta_ablation,
+    a2_universe_sampling,
+    e01_lp_norm,
+    e02_round_separation,
+    e03_l1_exact,
+    e04_l0_sampling,
+    e05_linf_2eps,
+    e10_lb_disj,
+    e11_lb_sum,
+    e12_lb_gap_linf,
+)
+
+
+class TestHarnessHelpers:
+    def test_relative_error(self):
+        assert harness.relative_error(110, 100) == pytest.approx(0.1)
+        assert harness.relative_error(0, 0) == 0.0
+        assert harness.relative_error(1, 0) == math.inf
+
+    def test_approx_ratio(self):
+        assert harness.approx_ratio(50, 100) == 2.0
+        assert harness.approx_ratio(200, 100) == 2.0
+        assert harness.approx_ratio(0, 0) == 1.0
+        assert harness.approx_ratio(0, 5) == math.inf
+
+    def test_fit_power_law_recovers_exponent(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [3.0 * x**1.5 for x in xs]
+        alpha, c = harness.fit_power_law(xs, ys)
+        assert alpha == pytest.approx(1.5)
+        assert c == pytest.approx(3.0)
+
+    def test_fit_power_law_validation(self):
+        with pytest.raises(ValueError):
+            harness.fit_power_law([1.0], [1.0])
+        with pytest.raises(ValueError):
+            harness.fit_power_law([1.0, -1.0], [1.0, 2.0])
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.34567}, {"a": 10, "b": 0.5}]
+        table = harness.format_table(rows)
+        assert "a" in table and "b" in table
+        assert "2.346" in table
+        assert harness.format_table([]) == "(no rows)"
+
+    def test_experiment_report_table(self):
+        report = harness.ExperimentReport(
+            experiment="X", claim="c", rows=[{"k": 1}], summary={"ok": True}
+        )
+        assert "k" in report.table()
+        assert "Experiment X" in str(report)
+
+
+class TestDriverSmoke:
+    """Each driver runs on a tiny workload and produces a coherent report."""
+
+    def test_e01(self):
+        report = e01_lp_norm.run(sizes=(32,), epsilons=(0.5,), ps=(0.0,), seed=1)
+        assert report.rows
+        assert report.summary["rounds"] == 2
+
+    def test_e02(self):
+        report = e02_round_separation.run(n=48, epsilons=(0.6, 0.3), seed=2)
+        assert len(report.rows) == 2
+        assert report.summary["baseline_minus_ours_exponent"] is not None
+
+    def test_e03(self):
+        report = e03_l1_exact.run(sizes=(32, 64), samples_per_size=5, seed=3)
+        assert report.summary["all_exact"]
+
+    def test_e04(self):
+        report = e04_l0_sampling.run(n=32, num_samples=20, seed=4)
+        assert report.rows[0]["failures"] <= 20
+
+    def test_e05(self):
+        report = e05_linf_2eps.run(sizes=(48, 64), seed=5)
+        assert report.summary["max_approx_ratio"] < 10
+
+    def test_e10(self):
+        report = e10_lb_disj.run(half_sizes=(8,), instances_per_size=6, seed=6)
+        assert report.summary["gap_always_holds"]
+
+    def test_e11(self):
+        report = e11_lb_sum.run(n=128, instances=4, seed=7)
+        assert report.summary["gap_holds_fraction"] >= 0.75
+
+    def test_e12(self):
+        report = e12_lb_gap_linf.run(half_sizes=(8,), instances_per_size=6, seed=8)
+        assert report.summary["gap_always_holds"]
+
+    def test_a1(self):
+        report = a1_beta_ablation.run(n=48, epsilons=(0.5, 0.3), seed=9)
+        assert report.summary["max_ratio"] > 1.0
+
+    def test_a2(self):
+        report = a2_universe_sampling.run(n=64, kappas=(8.0,), seed=10)
+        assert report.rows

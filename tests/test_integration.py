@@ -1,0 +1,127 @@
+"""Integration tests: full pipelines across modules, mirroring the examples."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MatrixProductEstimator
+from repro.baselines.naive import NaiveExactProtocol
+from repro.core.lp_norm import LpNormProtocol
+from repro.joins import DistributedJoinEstimator, Relation, composition_size
+from repro.matrices import (
+    exact_heavy_hitters,
+    exact_linf,
+    exact_lp_pp,
+    planted_heavy_hitters_pair,
+    product,
+    stats,
+    zipfian_sets_pair,
+)
+
+
+class TestQueryOptimizerScenario:
+    """Join-size estimation for query planning: estimate, then compare plans."""
+
+    def test_estimates_rank_join_orders_correctly(self):
+        # Two candidate join plans; the optimiser should pick the smaller one.
+        small_left = Relation.random(64, 64, density=0.03, seed=1)
+        small_right = Relation.random(64, 64, density=0.03, seed=2)
+        big_left = Relation.random(64, 64, density=0.25, seed=3)
+        big_right = Relation.random(64, 64, density=0.25, seed=4)
+
+        small_est = DistributedJoinEstimator(small_left, small_right, seed=5)
+        big_est = DistributedJoinEstimator(big_left, big_right, seed=6)
+        small_size = small_est.composition_size(epsilon=0.3).value
+        big_size = big_est.composition_size(epsilon=0.3).value
+
+        assert small_size < big_size
+        assert composition_size(small_left, small_right) < composition_size(
+            big_left, big_right
+        )
+
+    def test_communication_budget_far_below_shipping_the_relation(self):
+        left = Relation.random(128, 128, density=0.05, seed=7)
+        right = Relation.random(128, 128, density=0.05, seed=8)
+        estimator = DistributedJoinEstimator(left, right, seed=9)
+        result = estimator.natural_join_size()
+        assert result.value == estimator.exact_sizes()["natural_join"]
+        assert result.cost.total_bits < 128 * 128 / 4
+
+
+class TestSimilaritySearchScenario:
+    """Heavy hitters = pairs of sets with large overlap (inner-product join)."""
+
+    def test_planted_similar_pairs_found_end_to_end(self):
+        a, b, planted = planted_heavy_hitters_pair(
+            96, num_heavy=2, heavy_overlap=48, background_density=0.02, seed=10
+        )
+        c = product(a, b)
+        estimator = MatrixProductEstimator(a, b, seed=11)
+        phi = 0.05
+        result = estimator.heavy_hitters(phi=phi, epsilon=0.02)
+        truly_heavy = exact_heavy_hitters(c, phi, p=1)
+        assert truly_heavy, "workload should contain true heavy hitters"
+        assert truly_heavy.issubset(result.value.pairs)
+        # The planted pairs are the heavy ones.
+        for pair in planted:
+            if pair in truly_heavy:
+                assert pair in result.value.pairs
+
+    def test_linf_agrees_with_heavy_hitters(self):
+        a, b, _ = planted_heavy_hitters_pair(
+            96, num_heavy=1, heavy_overlap=40, background_density=0.02, seed=12
+        )
+        c = product(a, b)
+        estimator = MatrixProductEstimator(a, b, seed=13)
+        linf = estimator.linf(epsilon=0.25).value
+        assert linf >= exact_linf(c) / 2.5
+
+
+class TestSkewedWorkloads:
+    def test_all_statistics_on_zipfian_sets(self):
+        a, b = zipfian_sets_pair(80, seed=14)
+        c = product(a, b)
+        estimator = MatrixProductEstimator(a, b, seed=15)
+
+        l0 = estimator.join_size(epsilon=0.3)
+        assert l0.value == pytest.approx(exact_lp_pp(c, 0), rel=0.4)
+
+        l1 = estimator.natural_join_size()
+        assert l1.value == exact_lp_pp(c, 1)
+
+        sample = estimator.l0_sample(epsilon=0.3).value
+        if sample.success:
+            assert c[sample.row, sample.col] != 0
+
+
+class TestProtocolVsOracleAgreement:
+    """The metered protocols agree with the naive ship-everything oracle."""
+
+    @pytest.mark.parametrize("p", [0.0, 2.0])
+    def test_lp_protocol_vs_oracle(self, p, small_binary_pair):
+        a, b = small_binary_pair
+        oracle = NaiveExactProtocol(lambda c: stats.exact_lp_pp(c, p), seed=0).run(a, b)
+        ours = LpNormProtocol(p, 0.3, seed=1).run(a, b)
+        assert ours.value == pytest.approx(oracle.value, rel=0.4)
+
+    def test_cost_reports_are_complete(self, small_binary_pair):
+        a, b = small_binary_pair
+        result = LpNormProtocol(0.0, 0.3, seed=2).run(a, b)
+        assert result.cost.total_bits == result.cost.alice_bits + result.cost.bob_bits
+        assert sum(result.cost.breakdown.values()) == result.cost.total_bits
+
+
+class TestRectangularEndToEnd:
+    def test_rectangular_pipeline(self):
+        rng = np.random.default_rng(16)
+        a = (rng.uniform(size=(120, 60)) < 0.08).astype(np.int64)
+        b = (rng.uniform(size=(60, 120)) < 0.08).astype(np.int64)
+        c = product(a, b)
+        estimator = MatrixProductEstimator(a, b, seed=17)
+        assert estimator.natural_join_size().value == exact_lp_pp(c, 1)
+        assert estimator.join_size(epsilon=0.35).value == pytest.approx(
+            exact_lp_pp(c, 0), rel=0.4
+        )
+        linf = estimator.linf(epsilon=0.5).value
+        assert linf >= exact_linf(c) / 3

@@ -1,0 +1,137 @@
+"""Tests for the relational layer (Relation, joins, DistributedJoinEstimator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.joins import (
+    DistributedJoinEstimator,
+    Relation,
+    composition,
+    composition_size,
+    natural_join,
+    natural_join_size,
+)
+
+
+@pytest.fixture
+def skills_and_jobs():
+    """The paper's applicant/job example in miniature."""
+    applicants = Relation.from_pairs(
+        [(0, 0), (0, 1), (1, 1), (1, 2), (2, 3)], num_left=3, num_right=4
+    )
+    jobs = Relation.from_pairs(
+        [(0, 0), (1, 0), (1, 1), (2, 1), (3, 2)], num_left=4, num_right=3
+    )
+    return applicants, jobs
+
+
+class TestRelation:
+    def test_from_pairs_and_contains(self):
+        rel = Relation.from_pairs([(0, 1), (2, 3)], num_left=4, num_right=5)
+        assert (0, 1) in rel
+        assert (1, 1) not in rel
+        assert len(rel) == 2
+
+    def test_out_of_domain_pair_rejected(self):
+        with pytest.raises(ValueError):
+            Relation.from_pairs([(5, 0)], num_left=3, num_right=3)
+        rel = Relation(num_left=3, num_right=3)
+        with pytest.raises(ValueError):
+            rel.add(0, 9)
+
+    def test_matrix_round_trip(self):
+        rel = Relation.from_pairs([(0, 2), (1, 0)], num_left=2, num_right=3)
+        assert Relation.from_matrix(rel.to_matrix()).pairs == rel.pairs
+
+    def test_random_relation_density(self):
+        rel = Relation.random(50, 50, density=0.2, seed=0)
+        assert len(rel) == pytest.approx(0.2 * 2500, rel=0.3)
+
+    def test_left_and_right_sets(self):
+        rel = Relation.from_pairs([(0, 1), (0, 2), (1, 2)], num_left=2, num_right=3)
+        assert rel.left_sets() == {0: {1, 2}, 1: {2}}
+        assert rel.right_sets() == {1: {0}, 2: {0, 1}}
+
+    def test_iteration_sorted(self):
+        rel = Relation.from_pairs([(1, 0), (0, 0)], num_left=2, num_right=1)
+        assert list(rel) == [(0, 0), (1, 0)]
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Relation(num_left=0, num_right=3)
+
+
+class TestExactJoins:
+    def test_composition_matches_matrix_l0(self, skills_and_jobs):
+        left, right = skills_and_jobs
+        c = left.to_matrix() @ right.to_matrix()
+        assert composition_size(left, right) == int(np.count_nonzero(c))
+        assert composition(left, right) == set(zip(*np.nonzero(c)))
+
+    def test_natural_join_matches_matrix_l1(self, skills_and_jobs):
+        left, right = skills_and_jobs
+        c = left.to_matrix() @ right.to_matrix()
+        assert natural_join_size(left, right) == int(c.sum())
+
+    def test_natural_join_witnesses(self, skills_and_jobs):
+        left, right = skills_and_jobs
+        for x, y, z in natural_join(left, right):
+            assert (x, y) in left
+            assert (y, z) in right
+
+    def test_incompatible_relations_rejected(self):
+        left = Relation.random(4, 5, seed=1)
+        right = Relation.random(6, 4, seed=2)
+        with pytest.raises(ValueError):
+            composition(left, right)
+        with pytest.raises(ValueError):
+            DistributedJoinEstimator(left, right)
+
+
+class TestDistributedJoinEstimator:
+    @pytest.fixture
+    def estimator(self):
+        left = Relation.random(72, 72, density=0.08, seed=3)
+        right = Relation.random(72, 72, density=0.08, seed=4)
+        return DistributedJoinEstimator(left, right, seed=7), left, right
+
+    def test_composition_size_estimate(self, estimator):
+        est, left, right = estimator
+        truth = composition_size(left, right)
+        result = est.composition_size(epsilon=0.3)
+        assert result.value == pytest.approx(truth, rel=0.35)
+
+    def test_natural_join_size_exact(self, estimator):
+        est, left, right = estimator
+        assert est.natural_join_size().value == natural_join_size(left, right)
+
+    def test_max_overlap_within_factor(self, estimator):
+        est, left, right = estimator
+        truth = est.exact_sizes()["max_overlap"]
+        result = est.max_overlap(epsilon=0.25)
+        assert truth / 2.5 <= result.value <= truth * 1.5
+
+    def test_sampled_matching_pair_is_in_composition(self, estimator):
+        est, left, right = estimator
+        sample = est.sample_matching_pair().value
+        assert sample.success
+        assert (sample.row, sample.col) in composition(left, right)
+
+    def test_sampled_witness_is_in_composition(self, estimator):
+        est, left, right = estimator
+        sample = est.sample_join_witness().value
+        assert sample.success
+        assert (sample.row, sample.col) in composition(left, right)
+
+    def test_heavy_overlaps_reported_with_estimates(self, estimator):
+        est, _, _ = estimator
+        result = est.heavy_overlaps(phi=0.05, epsilon=0.02)
+        assert hasattr(result.value, "pairs")
+
+    def test_exact_sizes_consistent(self, estimator):
+        est, left, right = estimator
+        sizes = est.exact_sizes()
+        assert sizes["composition"] == composition_size(left, right)
+        assert sizes["natural_join"] == natural_join_size(left, right)

@@ -1,0 +1,158 @@
+"""Tests for the lower-bound hard instances and reductions (Section 4.2 / 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lowerbounds.disj import (
+    DisjInstance,
+    disj_to_linf_matrices,
+    random_disj_instance,
+)
+from repro.lowerbounds.gap_linf import gap_linf_to_matrices, random_gap_linf_instance
+from repro.lowerbounds.sum_problem import (
+    paper_beta,
+    paper_k,
+    sample_sum_instance,
+    sum_to_linf_matrices,
+)
+
+
+class TestDisjReduction:
+    def test_forced_intersecting_instance(self):
+        instance = random_disj_instance(64, force_intersecting=True, seed=0)
+        assert instance.intersecting
+
+    def test_forced_disjoint_instance(self):
+        instance = random_disj_instance(64, force_intersecting=False, seed=1)
+        assert not instance.intersecting
+
+    def test_matrices_are_binary_and_square(self):
+        instance = random_disj_instance(16, seed=2)
+        a, b = disj_to_linf_matrices(instance)
+        assert a.shape == (8, 8)
+        assert b.shape == (8, 8)
+        assert set(np.unique(a)).issubset({0, 1})
+        assert set(np.unique(b)).issubset({0, 1})
+
+    def test_product_embeds_block_sum(self):
+        instance = random_disj_instance(64, seed=3)
+        a, b = disj_to_linf_matrices(instance)
+        c = a @ b
+        half = 8
+        expected = instance.x.reshape(half, half) + instance.y.reshape(half, half)
+        assert np.array_equal(c[:half, :half], expected)
+        assert c[half:, :].sum() == 0
+        assert c[:, half:].sum() == 0
+
+    @pytest.mark.parametrize("intersecting", [True, False])
+    def test_promise_gap(self, intersecting):
+        for seed in range(10):
+            instance = random_disj_instance(
+                100, force_intersecting=intersecting, seed=seed, density=0.3
+            )
+            a, b = disj_to_linf_matrices(instance)
+            linf = (a @ b).max()
+            if intersecting:
+                assert linf == 2
+            else:
+                assert linf <= 1
+
+    def test_non_square_length_rejected(self):
+        instance = DisjInstance(x=np.zeros(10, dtype=int), y=np.zeros(10, dtype=int))
+        with pytest.raises(ValueError):
+            disj_to_linf_matrices(instance)
+
+
+class TestGapLinfReduction:
+    def test_promise_respected_by_generator(self):
+        far = random_gap_linf_instance(64, kappa=8, far=True, seed=0)
+        close = random_gap_linf_instance(64, kappa=8, far=False, seed=1)
+        assert far.is_far
+        assert not close.is_far
+        assert np.max(np.abs(close.x - close.y)) <= 1
+
+    def test_small_kappa_rejected(self):
+        with pytest.raises(ValueError):
+            random_gap_linf_instance(64, kappa=1, far=True)
+
+    @pytest.mark.parametrize("far", [True, False])
+    def test_reduction_gap(self, far):
+        for seed in range(10):
+            instance = random_gap_linf_instance(144, kappa=10, far=far, seed=seed)
+            a, b = gap_linf_to_matrices(instance)
+            linf = np.max(np.abs(a @ b))
+            if far:
+                assert linf >= 10
+            else:
+                assert linf <= 1
+
+    def test_non_square_length_rejected(self):
+        instance = random_gap_linf_instance(144, kappa=4, far=True, seed=2)
+        instance.x = instance.x[:10]
+        instance.y = instance.y[:10]
+        with pytest.raises(ValueError):
+            gap_linf_to_matrices(instance)
+
+
+class TestSumReduction:
+    def test_paper_parameters(self):
+        beta = paper_beta(1024)
+        assert 0 < beta <= 1
+        assert paper_k(1024, 4.0) >= 1
+
+    def test_forced_sum_values(self):
+        one = sample_sum_instance(64, 4.0, force_sum=1, beta_constant=2.0, seed=0)
+        zero = sample_sum_instance(64, 4.0, force_sum=0, beta_constant=2.0, seed=1)
+        assert one.sum_value == 1
+        assert zero.sum_value == 0
+
+    def test_matrices_shapes_and_binarity(self):
+        instance = sample_sum_instance(48, 4.0, force_sum=1, beta_constant=2.0, seed=2)
+        a, b = sum_to_linf_matrices(instance)
+        assert a.shape == (48, 48)
+        assert b.shape == (48, 48)
+        assert set(np.unique(a)).issubset({0, 1})
+        assert set(np.unique(b)).issubset({0, 1})
+
+    def test_one_side_lower_bound(self):
+        """Equation (9): SUM = 1 forces an entry of at least n/k."""
+        for seed in range(4):
+            instance = sample_sum_instance(
+                256, 4.0, force_sum=1, beta_constant=0.2, seed=seed
+            )
+            a, b = sum_to_linf_matrices(instance)
+            c = a @ b
+            assert c.max() >= instance.n // instance.k
+            # The special block's diagonal entry witnesses the bound.
+            special = instance.special_block
+            assert c[special, special] >= instance.n // instance.k
+
+    def test_zero_side_block_structure(self):
+        """When SUM = 0 no block intersects, so every diagonal entry is 0
+        (the nu distribution never produces a (1,1) coordinate)."""
+        for seed in range(4):
+            instance = sample_sum_instance(
+                256, 4.0, force_sum=0, beta_constant=0.2, seed=100 + seed
+            )
+            a, b = sum_to_linf_matrices(instance)
+            c = a @ b
+            assert np.all(np.diag(c)[: instance.n] == 0)
+            assert instance.sum_value == 0
+
+    def test_special_entry_beats_average_background(self):
+        """Expectation side of equations (8)/(9): the special entry is at
+        least n/k while the *average* off-diagonal entry is at most
+        2*beta^2*n, the quantity the paper's Chernoff bound concentrates
+        around.  (The worst-case off-diagonal entry needs the asymptotic
+        beta constant; experiment E11 reports it rather than asserting it.)"""
+        instance = sample_sum_instance(256, 4.0, force_sum=1, beta_constant=0.2, seed=5)
+        a, b = sum_to_linf_matrices(instance)
+        c = a @ b
+        off_diag = c[~np.eye(c.shape[0], dtype=bool)]
+        mean_background = float(off_diag.mean())
+        special_value = float(c[instance.special_block, instance.special_block])
+        assert mean_background <= 2 * instance.beta**2 * instance.n
+        assert special_value >= instance.n // instance.k
+        assert special_value > 2 * mean_background
