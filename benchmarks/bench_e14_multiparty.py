@@ -1,0 +1,23 @@
+"""E14 — coordinator-model scaling: bits, link load and wall-clock vs k sites."""
+
+from repro.experiments import e14_multiparty_scaling
+
+
+def test_e14_multiparty_scaling(benchmark, once):
+    report = once(
+        benchmark,
+        e14_multiparty_scaling.run,
+        n=96,
+        ks=(2, 4, 8),
+        epsilon=0.3,
+        seed=3,
+    )
+    print()
+    print(report)
+    # Shape: every protocol keeps its two-party round count at every k, total
+    # bits grow at most linearly in k, and the busiest coordinator-site link
+    # does not grow with k (the star parallelizes).
+    assert report.summary["rounds_k_invariant"]
+    assert report.summary["join_bits_growth"] <= report.summary["k_growth"] + 0.25
+    assert report.summary["max_link_growth"] < 1.5
+    assert report.summary["max_rel_error"] < 0.6

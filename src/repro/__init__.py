@@ -27,6 +27,9 @@ Package layout
     The paper's protocols (Algorithms 1-4, Remarks 2-3, Theorems 3.2, 4.8, 5.3).
 ``repro.comm``
     The metered two-party channel the protocols run on.
+``repro.multiparty``
+    The k-party coordinator runtime: a star-topology metered network, k-site
+    versions of the core protocols, and the ``ClusterEstimator`` facade.
 ``repro.sketch``
     Linear sketches (AMS, p-stable, l0, l0-sampler, CountSketch, Count-Min).
 ``repro.matrices``
@@ -55,13 +58,17 @@ from repro.core.linf_binary import KappaApproxLinfProtocol, TwoPlusEpsilonLinfPr
 from repro.core.linf_general import GeneralMatrixLinfProtocol
 from repro.core.lp_norm import LpNormProtocol
 from repro.core.result import HeavyHitterOutput, SampleOutput
+from repro.multiparty.estimator import ClusterEstimator
+from repro.multiparty.protocols import ClusterCostReport
 
 __version__ = "1.0.0"
 
 __all__ = [
     "MatrixProductEstimator",
+    "ClusterEstimator",
     "ProtocolResult",
     "CostReport",
+    "ClusterCostReport",
     "LpNormProtocol",
     "ExactL1Protocol",
     "L1SamplingProtocol",

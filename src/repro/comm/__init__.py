@@ -9,6 +9,9 @@ This package provides an in-process simulation of that model:
 
 * :mod:`repro.comm.bitcost` — the single place where "how many bits does this
   payload cost" is defined, so the accounting assumptions are auditable.
+* :mod:`repro.comm.accounting` — the message log and direction-flip round
+  counter shared by the two-party channel and the k-party star network
+  (:mod:`repro.multiparty`).
 * :class:`repro.comm.channel.Channel` — moves payloads between the two
   parties while metering bits and rounds.
 * :class:`repro.comm.party.Party` — base class for Alice/Bob endpoints.
@@ -16,6 +19,7 @@ This package provides an in-process simulation of that model:
   returns a :class:`repro.comm.protocol.CostReport`.
 """
 
+from repro.comm.accounting import Message, MessageLog
 from repro.comm.bitcost import (
     bits_for_float,
     bits_for_index,
@@ -25,7 +29,7 @@ from repro.comm.bitcost import (
     bits_for_payload,
     bits_for_vector,
 )
-from repro.comm.channel import Channel, Message
+from repro.comm.channel import Channel
 from repro.comm.party import Party
 from repro.comm.protocol import CostReport, Protocol, ProtocolResult
 
@@ -39,6 +43,7 @@ __all__ = [
     "bits_for_vector",
     "Channel",
     "Message",
+    "MessageLog",
     "Party",
     "CostReport",
     "Protocol",

@@ -1,0 +1,120 @@
+"""Shared bit/round accounting for metered transports.
+
+Both the two-party :class:`repro.comm.channel.Channel` and the star-topology
+:class:`repro.multiparty.network.Network` charge messages the same way: every
+message carries a bit cost, and a *round* counter increments whenever the
+direction of communication flips.  This module holds the common machinery so
+the two transports cannot drift apart.
+
+Round semantics
+---------------
+Each recorded message carries a *direction key*.  Consecutive messages with
+the same key belong to the same round; the counter increments whenever the
+key changes (the first message opens round 1).  For a two-party channel the
+key is the sender, which is exactly the classic definition.  For a star
+network the key is the up/down direction, so k sites uploading their
+summaries one after another share a single round — they could do so in
+parallel — while a coordinator reply opens a new one.  On any individual
+coordinator-site link the two notions coincide, which is what makes the
+per-link meters of a ``Network`` directly comparable to a ``Channel``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+
+@dataclass
+class Message:
+    """One message recorded on a metered transport."""
+
+    sender: str
+    receiver: str
+    label: str
+    bits: int
+    round_index: int
+    payload: Any = field(repr=False, default=None)
+
+
+class MessageLog:
+    """Append-only message record with bit and round accounting.
+
+    Transports (channels, network links, network aggregates) own one log
+    each and feed it via :meth:`record`; all derived statistics — totals,
+    per-sender bits, per-label and per-round breakdowns — live here.
+    """
+
+    def __init__(self) -> None:
+        self.messages: list[Message] = []
+        self._last_key: Hashable | None = None
+        self._round = 0
+
+    # ---------------------------------------------------------------- record
+    def record(
+        self,
+        sender: str,
+        receiver: str,
+        payload: Any,
+        *,
+        label: str = "",
+        bits: int,
+        direction_key: Hashable | None = None,
+    ) -> Message:
+        """Append a message, advancing the round counter on direction flips.
+
+        ``direction_key`` defaults to the sender (two-party semantics); a
+        star network passes its up/down direction instead.
+        """
+        if bits < 0:
+            raise ValueError("bit cost must be non-negative")
+        key = sender if direction_key is None else direction_key
+        if key != self._last_key:
+            self._round += 1
+            self._last_key = key
+        message = Message(
+            sender=sender,
+            receiver=receiver,
+            label=label,
+            bits=int(bits),
+            round_index=self._round,
+            payload=payload,
+        )
+        self.messages.append(message)
+        return message
+
+    # ------------------------------------------------------------ accounting
+    @property
+    def total_bits(self) -> int:
+        """Total bits recorded so far."""
+        return sum(message.bits for message in self.messages)
+
+    @property
+    def rounds(self) -> int:
+        """Number of rounds used so far (maximal direction flips)."""
+        return self._round
+
+    def bits_sent_by(self, sender: str) -> int:
+        """Total bits sent by one endpoint."""
+        return sum(message.bits for message in self.messages if message.sender == sender)
+
+    def bits_by_label(self) -> dict[str, int]:
+        """Total bits grouped by message label (for cost breakdowns)."""
+        breakdown: Counter[str] = Counter()
+        for message in self.messages:
+            breakdown[message.label] += message.bits
+        return dict(breakdown)
+
+    def bits_per_round(self) -> dict[int, int]:
+        """Total bits grouped by round index (1-based, ascending)."""
+        breakdown: Counter[int] = Counter()
+        for message in self.messages:
+            breakdown[message.round_index] += message.bits
+        return dict(sorted(breakdown.items()))
+
+    def reset(self) -> None:
+        """Clear all recorded traffic (used when reusing a transport)."""
+        self.messages.clear()
+        self._last_key = None
+        self._round = 0

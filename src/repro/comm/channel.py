@@ -5,29 +5,23 @@ and maintains the round counter.  A *round* follows the standard definition:
 consecutive messages in the same direction belong to the same round; the
 round counter increases each time the direction of communication flips
 (the first message starts round 1).
+
+The accounting itself (message records, round counter, per-label and
+per-round breakdowns) lives in :class:`repro.comm.accounting.MessageLog`,
+which is shared with the k-party :class:`repro.multiparty.network.Network`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.comm import bitcost
+from repro.comm.accounting import Message, MessageLog
+
+__all__ = ["Channel", "Message"]
 
 
-@dataclass
-class Message:
-    """One message recorded on the channel."""
-
-    sender: str
-    receiver: str
-    label: str
-    bits: int
-    round_index: int
-    payload: Any = field(repr=False, default=None)
-
-
-class Channel:
+class Channel(MessageLog):
     """In-process two-party channel with bit and round accounting.
 
     Parameters
@@ -37,11 +31,9 @@ class Channel:
     """
 
     def __init__(self, alice_name: str = "alice", bob_name: str = "bob") -> None:
+        super().__init__()
         self.alice_name = alice_name
         self.bob_name = bob_name
-        self.messages: list[Message] = []
-        self._last_sender: str | None = None
-        self._round = 0
 
     # ------------------------------------------------------------------ send
     def send(
@@ -74,47 +66,5 @@ class Channel:
             raise ValueError(f"unknown endpoint; expected one of {sorted(known)}")
         if bits is None:
             bits = bitcost.bits_for_payload(payload, universe=universe)
-        if bits < 0:
-            raise ValueError("bit cost must be non-negative")
-        if sender != self._last_sender:
-            self._round += 1
-            self._last_sender = sender
-        self.messages.append(
-            Message(
-                sender=sender,
-                receiver=receiver,
-                label=label,
-                bits=int(bits),
-                round_index=self._round,
-                payload=payload,
-            )
-        )
+        self.record(sender, receiver, payload, label=label, bits=bits)
         return payload
-
-    # ------------------------------------------------------------ accounting
-    @property
-    def total_bits(self) -> int:
-        """Total bits sent by both parties."""
-        return sum(message.bits for message in self.messages)
-
-    @property
-    def rounds(self) -> int:
-        """Number of rounds used so far (maximal direction flips)."""
-        return self._round
-
-    def bits_sent_by(self, sender: str) -> int:
-        """Total bits sent by one endpoint."""
-        return sum(message.bits for message in self.messages if message.sender == sender)
-
-    def bits_by_label(self) -> dict[str, int]:
-        """Total bits grouped by message label (for cost breakdowns)."""
-        breakdown: dict[str, int] = {}
-        for message in self.messages:
-            breakdown[message.label] = breakdown.get(message.label, 0) + message.bits
-        return breakdown
-
-    def reset(self) -> None:
-        """Clear all recorded traffic (used when reusing a channel)."""
-        self.messages.clear()
-        self._last_sender = None
-        self._round = 0

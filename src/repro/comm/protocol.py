@@ -41,6 +41,17 @@ class ProtocolResult:
     details: dict[str, Any] = field(default_factory=dict)
 
 
+def split_protocol_output(output: Any) -> tuple[Any, dict]:
+    """Split a protocol's raw return into ``(value, details)``.
+
+    Protocol bodies may return either a bare value or a ``(value, details)``
+    pair; drivers (two-party and k-party) normalize through this helper.
+    """
+    if isinstance(output, tuple) and len(output) == 2 and isinstance(output[1], dict):
+        return output
+    return output, {}
+
+
 class Protocol:
     """Base class for the two-party protocols in :mod:`repro.core`.
 
@@ -74,10 +85,7 @@ class Protocol:
         bob = Party("bob", bob_data, channel, rng=bob_rng)
         self.shared_rng = np.random.default_rng(shared_seed)
         output = self._execute(alice, bob)
-        if isinstance(output, tuple) and len(output) == 2 and isinstance(output[1], dict):
-            value, details = output
-        else:
-            value, details = output, {}
+        value, details = split_protocol_output(output)
         return ProtocolResult(value=value, cost=CostReport.from_channel(channel), details=details)
 
     # ------------------------------------------------------------- subclass

@@ -106,6 +106,20 @@ class MatrixProductEstimator:
             protocol = GeneralMatrixLinfProtocol(kappa, seed=seed, **kwargs)
         return protocol.run(self.a, self.b)
 
+    # ------------------------------------------------------------- scale-out
+    def as_cluster(self, num_sites: int, *, seed: int | None = None):
+        """Re-home this estimator in the k-site coordinator model.
+
+        The rows of ``A`` are sharded evenly across ``num_sites`` sites and
+        ``B`` moves to the coordinator; the returned
+        :class:`repro.multiparty.ClusterEstimator` answers the same queries
+        over the metered star network.  With ``num_sites=2`` the k-party
+        runtime reduces to the two-party protocols.
+        """
+        from repro.multiparty.estimator import ClusterEstimator
+
+        return ClusterEstimator.from_matrix(self.a, self.b, num_sites, seed=seed)
+
     # -------------------------------------------------------- heavy hitters
     def heavy_hitters(
         self, phi: float, epsilon: float, *, p: float = 1.0, **kwargs

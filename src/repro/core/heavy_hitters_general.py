@@ -35,6 +35,50 @@ from repro.core.result import HeavyHitterOutput
 from repro.distmm.sparse_product import sparse_product_shares
 
 
+def entry_sampling_rate(
+    phi: float, epsilon: float, p: float, *, beta_constant: float, n: int, total_pp: float
+) -> float:
+    """Step 2's down-sampling rate ``beta`` (shared with the k-party runtime)."""
+    heavy_value = ((phi / 8.0) * total_pp) ** (1.0 / p)
+    return min(
+        beta_constant
+        * math.log(max(n, 2))
+        / ((epsilon / phi) ** 2 * max(heavy_value, 1e-12)),
+        1.0,
+    )
+
+
+def forward_threshold(
+    phi: float, epsilon: float, p: float, beta: float, total_pp: float
+) -> float:
+    """Step 4's threshold for forwarding locally significant entries."""
+    if p == 1.0:
+        # Faithful Algorithm 4 threshold for the forwarded entries.
+        return epsilon * beta * total_pp / 8.0
+    return beta * ((max(phi - epsilon, 0.0)) * total_pp) ** (1.0 / p) / 2.0
+
+
+def report_heavy_entries(
+    c_prime: np.ndarray, *, phi: float, epsilon: float, p: float, beta: float, total_pp: float
+) -> tuple[HeavyHitterOutput, float]:
+    """Final thresholding of ``C'``: the reported pairs with rescaled estimates.
+
+    Returns ``(output, output_threshold)``; shared by the two-party and
+    k-party protocols so the reporting rule cannot drift between runtimes.
+    """
+    if p == 1.0:
+        output_threshold = beta * (phi - epsilon / 2.0) * total_pp
+    else:
+        output_threshold = beta * ((phi - epsilon / 2.0) * total_pp) ** (1.0 / p)
+    pairs = set()
+    estimates: dict[tuple[int, int], float] = {}
+    for i, j in zip(*np.nonzero(c_prime >= output_threshold)):
+        pair = (int(i), int(j))
+        pairs.add(pair)
+        estimates[pair] = float(c_prime[i, j] / beta)
+    return HeavyHitterOutput(pairs=pairs, estimates=estimates), output_threshold
+
+
 class GeneralHeavyHittersProtocol(Protocol):
     """Heavy hitters of ``A B`` for non-negative integer matrices.
 
@@ -92,12 +136,9 @@ class GeneralHeavyHittersProtocol(Protocol):
         bob.send(alice, total_pp, label="hh/total-norm", bits=bitcost.FLOAT_BITS)
 
         # --- Step 2: Alice scales C down by entry sampling ------------------
-        heavy_value = ((self.phi / 8.0) * total_pp) ** (1.0 / self.p)
-        beta = min(
-            self.beta_constant
-            * math.log(max(n, 2))
-            / ((self.epsilon / self.phi) ** 2 * max(heavy_value, 1e-12)),
-            1.0,
+        beta = entry_sampling_rate(
+            self.phi, self.epsilon, self.p,
+            beta_constant=self.beta_constant, n=n, total_pp=total_pp,
         )
         keep = alice.rng.uniform(size=a.shape) < beta
         a_beta = np.where((a != 0) & keep, a, 0).astype(np.int64)
@@ -106,12 +147,9 @@ class GeneralHeavyHittersProtocol(Protocol):
         c_alice, c_bob = self._sparse_product_exchange(alice, bob, a_beta, b)
 
         # --- Step 4: Alice forwards significant entries, Bob thresholds -----
-        report_threshold = beta * ((max(self.phi - self.epsilon, 0.0)) * total_pp) ** (
-            1.0 / self.p
-        ) / 2.0
-        if self.p == 1.0:
-            # Faithful Algorithm 4 threshold for Alice's forwarded entries.
-            report_threshold = self.epsilon * beta * total_pp / 8.0
+        report_threshold = forward_threshold(
+            self.phi, self.epsilon, self.p, beta, total_pp
+        )
         heavy_alice = {
             (int(i), int(j)): int(c_alice[i, j])
             for i, j in zip(*np.nonzero(c_alice > report_threshold))
@@ -125,16 +163,10 @@ class GeneralHeavyHittersProtocol(Protocol):
         for (i, j), value in heavy_alice.items():
             c_prime[i, j] += value
 
-        output_threshold = beta * ((self.phi - self.epsilon / 2.0) * total_pp) ** (1.0 / self.p)
-        if self.p == 1.0:
-            output_threshold = beta * (self.phi - self.epsilon / 2.0) * total_pp
-        pairs = set()
-        estimates: dict[tuple[int, int], float] = {}
-        for i, j in zip(*np.nonzero(c_prime >= output_threshold)):
-            pair = (int(i), int(j))
-            pairs.add(pair)
-            estimates[pair] = float(c_prime[i, j] / beta)
-        output = HeavyHitterOutput(pairs=pairs, estimates=estimates)
+        output, output_threshold = report_heavy_entries(
+            c_prime,
+            phi=self.phi, epsilon=self.epsilon, p=self.p, beta=beta, total_pp=total_pp,
+        )
         details = {
             "total_pp": total_pp,
             "beta": beta,

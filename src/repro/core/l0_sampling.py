@@ -27,6 +27,37 @@ from repro.sketch.l0_sampler import L0Sampler
 from repro.sketch.l0_sketch import L0Sketch
 
 
+def finish_l0_sample(
+    l0_sketch: L0Sketch,
+    sampler: L0Sampler,
+    sketched_c: np.ndarray,
+    sampler_c: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[SampleOutput, dict]:
+    """Receiver-side finish: pick a column by estimated ``l_0`` mass, then
+    recover a uniform non-zero row inside it.
+
+    Shared by the two-party protocol (Bob finishes) and the k-party runtime
+    (the coordinator finishes on the merged site summaries), so the column
+    choice and failure handling cannot drift between the two.
+    """
+    column_l0 = np.maximum(l0_sketch.estimate_rows_pp(sketched_c.T), 0.0)
+    total = float(column_l0.sum())
+    if total <= 0:
+        return SampleOutput(row=None, col=None), {"column_mass": 0.0}
+    col = int(rng.choice(sketched_c.shape[1], p=column_l0 / total))
+    outcome = sampler.sample(sampler_c[:, col])
+    if not outcome.success:
+        return (
+            SampleOutput(row=None, col=None),
+            {"column_mass": total, "column": col, "sampler_failed": True},
+        )
+    return (
+        SampleOutput(row=int(outcome.index), col=col, value=float(outcome.value)),
+        {"column_mass": total, "column": col, "sampler_level": outcome.level},
+    )
+
+
 class L0SamplingProtocol(Protocol):
     """One-round ``l_0``-sampling on ``C = A B`` (Theorem 3.2).
 
@@ -75,18 +106,4 @@ class L0SamplingProtocol(Protocol):
         sketched_c = sketched_a @ b.astype(np.int64)  # (l0 rows, n_cols)
         sampler_c = sampler_a @ b.astype(np.int64)  # (sampler rows, n_cols)
 
-        column_l0 = np.maximum(l0_sketch.estimate_rows_pp(sketched_c.T), 0.0)
-        total = float(column_l0.sum())
-        if total <= 0:
-            return SampleOutput(row=None, col=None), {"column_mass": 0.0}
-        col = int(bob.rng.choice(b.shape[1], p=column_l0 / total))
-        outcome = sampler.sample(sampler_c[:, col])
-        if not outcome.success:
-            return (
-                SampleOutput(row=None, col=None),
-                {"column_mass": total, "column": col, "sampler_failed": True},
-            )
-        return (
-            SampleOutput(row=int(outcome.index), col=col, value=float(outcome.value)),
-            {"column_mass": total, "column": col, "sampler_level": outcome.level},
-        )
+        return finish_l0_sample(l0_sketch, sampler, sketched_c, sampler_c, bob.rng)

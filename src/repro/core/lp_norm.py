@@ -73,6 +73,57 @@ def _sampling_probabilities(
     return probs
 
 
+def sample_block_rows(
+    a: np.ndarray,
+    row_estimates: np.ndarray,
+    *,
+    beta: float,
+    rho: float,
+    rng: np.random.Generator,
+    total_rows: int,
+    row_offset: int = 0,
+) -> tuple[dict, int]:
+    """Group-sample the rows of one block of ``A`` (Algorithm 1, round 2).
+
+    Shared by the two-party protocol (one block = all of ``A``) and the
+    k-party runtime (one block per site shard, identified by
+    ``row_offset``), so the sampling logic and the round-2 bit-accounting
+    formula cannot drift apart.  Returns ``(payload, bits)``; the payload's
+    ``rows`` are global row indices.
+    """
+    block_total = float(np.sum(row_estimates))
+    group_of = _assign_groups(row_estimates, beta)
+    sample_probs = _sampling_probabilities(row_estimates, group_of, rho, block_total)
+    sampled_mask = rng.uniform(size=a.shape[0]) < sample_probs
+    sampled_rows = np.flatnonzero(sampled_mask)
+    weights = 1.0 / sample_probs[sampled_rows]
+
+    payload = {
+        "rows": row_offset + sampled_rows,
+        "weights": weights,
+        "a_rows": a[sampled_rows],
+    }
+    is_binary = bool(np.all((a == 0) | (a == 1)))
+    per_row_bits = a.shape[1] if is_binary else a.shape[1] * bitcost.INT_ENTRY_BITS
+    bits = len(sampled_rows) * (
+        per_row_bits + bitcost.bits_for_index(max(total_rows, 1)) + bitcost.FLOAT_BITS
+    )
+    return payload, bits
+
+
+def weighted_block_pp(payload: dict, b: np.ndarray, p: float) -> float:
+    """Receiver side of :func:`sample_block_rows`: exact importance-weighted
+    contribution of one block's sampled rows to ``||A B||_p^p``."""
+    if len(payload["rows"]) == 0:
+        return 0.0
+    sampled_c = payload["a_rows"] @ b
+    if p == 0:
+        row_pp = np.count_nonzero(sampled_c, axis=1).astype(float)
+    else:
+        row_pp = np.sum(np.abs(sampled_c.astype(float)) ** p, axis=1)
+    return float(np.dot(payload["weights"], row_pp))
+
+
 def two_round_lp_pp_estimate(
     alice: Party,
     bob: Party,
@@ -116,34 +167,18 @@ def two_round_lp_pp_estimate(
         alice.send(bob, 0, label=f"{label_prefix}round2/empty", bits=1)
         return 0.0, {"sampled_rows": 0, "beta": beta, "rho": rho}
 
-    # --- Grouping and sampling probabilities --------------------------------
-    group_of = _assign_groups(row_estimates, beta)
-    sample_probs = _sampling_probabilities(row_estimates, group_of, rho, total_estimate)
-
-    sampled_mask = alice.rng.uniform(size=n_rows) < sample_probs
-    sampled_rows = np.flatnonzero(sampled_mask)
-    weights = 1.0 / sample_probs[sampled_rows]
-
-    # --- Round 2: Alice -> Bob, sampled rows of A with weights --------------
-    payload = {"rows": sampled_rows, "weights": weights, "a_rows": a[sampled_rows]}
-    is_binary = bool(np.all((a == 0) | (a == 1)))
-    per_row_bits = n_inner if is_binary else n_inner * bitcost.INT_ENTRY_BITS
-    round2_bits = len(sampled_rows) * (
-        per_row_bits + bitcost.bits_for_index(max(n_rows, 1)) + bitcost.FLOAT_BITS
+    # --- Round 2: Alice -> Bob, group-sampled rows of A with weights --------
+    payload, round2_bits = sample_block_rows(
+        a, row_estimates, beta=beta, rho=rho, rng=alice.rng, total_rows=n_rows
     )
     alice.send(bob, payload, label=f"{label_prefix}round2/sampled-rows", bits=round2_bits)
 
     # Bob: exact norms of the sampled rows of C, importance-weighted sum.
-    if len(sampled_rows) == 0:
+    if len(payload["rows"]) == 0:
         return 0.0, {"sampled_rows": 0, "beta": beta, "rho": rho}
-    sampled_c = payload["a_rows"] @ b
-    if p == 0:
-        row_pp = np.count_nonzero(sampled_c, axis=1).astype(float)
-    else:
-        row_pp = np.sum(np.abs(sampled_c.astype(float)) ** p, axis=1)
-    estimate = float(np.dot(weights, row_pp))
+    estimate = weighted_block_pp(payload, b, p)
     details = {
-        "sampled_rows": int(len(sampled_rows)),
+        "sampled_rows": int(len(payload["rows"])),
         "beta": beta,
         "rho": rho,
         "rough_total": total_estimate,

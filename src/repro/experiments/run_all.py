@@ -31,6 +31,7 @@ from repro.experiments import (
     e11_lb_sum,
     e12_lb_gap_linf,
     e13_rectangular,
+    e14_multiparty_scaling,
 )
 from repro.experiments.harness import ExperimentReport
 
@@ -49,6 +50,7 @@ ALL_DRIVERS: list[Callable[..., ExperimentReport]] = [
     e11_lb_sum.run,
     e12_lb_gap_linf.run,
     e13_rectangular.run,
+    e14_multiparty_scaling.run,
     a1_beta_ablation.run,
     a2_universe_sampling.run,
 ]

@@ -1,0 +1,47 @@
+"""Multi-site coordinator runtime: k-party protocols over a metered star.
+
+The paper's protocols are stated for two parties (Alice holds ``A``, Bob
+holds ``B``).  This package generalizes the runtime to the *coordinator
+model* standard in distributed functional monitoring: the rows of ``A`` are
+sharded across k sites arranged in a star around one coordinator that holds
+``B``, every message travels over a metered coordinator-site link, and the
+coordinator combines k mergeable site summaries instead of two.
+
+* :class:`repro.multiparty.network.Network` — the star-topology transport,
+  with the same bit/round accounting contract as the two-party
+  :class:`repro.comm.channel.Channel` (shared base:
+  :class:`repro.comm.accounting.MessageLog`) plus per-link meters and
+  ``max_link_bits``.
+* :class:`repro.multiparty.site.Site` / ``Coordinator`` — the endpoints.
+* :mod:`repro.multiparty.protocols` — k-site versions of the ``l_p`` norm,
+  ``l_0``-sampling and heavy-hitters protocols; for k = 2 they reduce to the
+  two-party protocols (same round counts, same accounting formulas).
+* :class:`repro.multiparty.estimator.ClusterEstimator` — the facade,
+  mirroring :class:`repro.core.api.MatrixProductEstimator` for a list of
+  shards.
+"""
+
+from repro.multiparty.estimator import ClusterEstimator
+from repro.multiparty.network import Network
+from repro.multiparty.protocols import (
+    ClusterCostReport,
+    CoordinatorProtocol,
+    MultipartyHeavyHittersProtocol,
+    MultipartyL0SamplingProtocol,
+    MultipartyLpNormProtocol,
+    star_lp_pp_estimate,
+)
+from repro.multiparty.site import Coordinator, Site
+
+__all__ = [
+    "ClusterCostReport",
+    "ClusterEstimator",
+    "Coordinator",
+    "CoordinatorProtocol",
+    "MultipartyHeavyHittersProtocol",
+    "MultipartyL0SamplingProtocol",
+    "MultipartyLpNormProtocol",
+    "Network",
+    "Site",
+    "star_lp_pp_estimate",
+]

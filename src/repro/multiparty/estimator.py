@@ -1,0 +1,128 @@
+"""High-level facade over the k-party coordinator protocols.
+
+:class:`ClusterEstimator` mirrors :class:`repro.core.api.MatrixProductEstimator`
+for the coordinator model: the rows of ``A`` live as shards on k sites, the
+coordinator holds ``B``, and every query returns a
+:class:`repro.comm.protocol.ProtocolResult` whose cost is a
+:class:`repro.multiparty.protocols.ClusterCostReport` (total bits, rounds,
+per-site and per-link loads).
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.multiparty import ClusterEstimator
+>>> rng = np.random.default_rng(0)
+>>> a = (rng.uniform(size=(64, 64)) < 0.1).astype(int)
+>>> b = (rng.uniform(size=(64, 64)) < 0.1).astype(int)
+>>> cluster = ClusterEstimator.from_matrix(a, b, num_sites=4, seed=0)
+>>> result = cluster.lp_norm(p=0, epsilon=0.3)
+>>> result.value > 0
+True
+>>> result.cost.rounds
+2
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.comm.protocol import ProtocolResult
+from repro.multiparty.protocols import (
+    MultipartyHeavyHittersProtocol,
+    MultipartyL0SamplingProtocol,
+    MultipartyLpNormProtocol,
+    coerce_shards,
+)
+
+
+class ClusterEstimator:
+    """Distributed statistics of ``C = A B`` with ``A`` sharded over k sites.
+
+    Parameters
+    ----------
+    shards:
+        The k sites' row-blocks of ``A``, in global row order (``A`` is their
+        vertical concatenation).
+    b:
+        The coordinator's matrix, with ``b.shape[0]`` equal to the shards'
+        common column count.
+    seed:
+        Base seed; each query derives an independent stream from it, in the
+        same way as ``MatrixProductEstimator`` so that runs with equal seeds
+        are comparable.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[np.ndarray],
+        b: np.ndarray,
+        *,
+        seed: int | None = None,
+    ) -> None:
+        shards = coerce_shards(shards)
+        b = np.asarray(b)
+        if b.ndim != 2:
+            raise ValueError("b must be a 2-dimensional matrix")
+        if shards[0].shape[1] != b.shape[0]:
+            raise ValueError(
+                f"inner dimensions differ: shard {shards[0].shape} vs B {b.shape}"
+            )
+        self.shards = shards
+        self.b = b
+        self._seed_stream = np.random.default_rng(seed)
+
+    @classmethod
+    def from_matrix(
+        cls,
+        a: np.ndarray,
+        b: np.ndarray,
+        num_sites: int,
+        *,
+        seed: int | None = None,
+    ) -> "ClusterEstimator":
+        """Shard the rows of ``a`` evenly across ``num_sites`` sites."""
+        a = np.asarray(a)
+        if a.ndim != 2:
+            raise ValueError("a must be a 2-dimensional matrix")
+        if not 1 <= num_sites <= a.shape[0]:
+            raise ValueError(
+                f"num_sites must be in [1, {a.shape[0]}], got {num_sites}"
+            )
+        return cls(np.array_split(a, num_sites, axis=0), b, seed=seed)
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.shards)
+
+    def _next_seed(self) -> int:
+        return int(self._seed_stream.integers(0, 2**31 - 1))
+
+    # ------------------------------------------------------------------ lp
+    def lp_norm(self, p: float, epsilon: float = 0.25, **kwargs) -> ProtocolResult:
+        """(1 + eps)-approximation of ``||A B||_p^p`` for ``p in [0, 2]``."""
+        protocol = MultipartyLpNormProtocol(p, epsilon, seed=self._next_seed(), **kwargs)
+        return protocol.run(self.shards, self.b)
+
+    def join_size(self, epsilon: float = 0.25, **kwargs) -> ProtocolResult:
+        """Set-intersection join size ``|A ∘ B| = ||A B||_0`` (p = 0)."""
+        return self.lp_norm(0.0, epsilon, **kwargs)
+
+    # ------------------------------------------------------------- sampling
+    def l0_sample(self, epsilon: float = 0.25, **kwargs) -> ProtocolResult:
+        """Uniform sample from the non-zero entries of ``A B``."""
+        protocol = MultipartyL0SamplingProtocol(
+            epsilon, seed=self._next_seed(), **kwargs
+        )
+        return protocol.run(self.shards, self.b)
+
+    # -------------------------------------------------------- heavy hitters
+    def heavy_hitters(
+        self, phi: float, epsilon: float, *, p: float = 1.0, **kwargs
+    ) -> ProtocolResult:
+        """``l_p``-(phi, eps) heavy hitters of ``A B`` (non-negative inputs)."""
+        protocol = MultipartyHeavyHittersProtocol(
+            phi, epsilon, p=p, seed=self._next_seed(), **kwargs
+        )
+        return protocol.run(self.shards, self.b)

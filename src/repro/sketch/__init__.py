@@ -28,6 +28,7 @@ from repro.sketch.hashing import KWiseHash, PRIME_61
 from repro.sketch.l0_sampler import L0Sampler
 from repro.sketch.l0_sketch import L0Sketch
 from repro.sketch.lp_sketch import LpSketch, lp_norm, make_lp_sketch
+from repro.sketch.mergeable import MergeableSketch
 from repro.sketch.stable import sample_standard_stable, stable_scale_factor
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "L0Sampler",
     "L0Sketch",
     "LpSketch",
+    "MergeableSketch",
     "lp_norm",
     "make_lp_sketch",
     "sample_standard_stable",

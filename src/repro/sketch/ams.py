@@ -11,9 +11,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sketch.mergeable import LinearStateMixin
 
-class AmsSketch:
+
+class AmsSketch(LinearStateMixin):
     """AMS / F2 sketch of dimension ``num_rows x n``.
+
+    Besides the pure linear-map interface (:meth:`apply` + estimators), the
+    sketch is a :class:`repro.sketch.mergeable.MergeableSketch`: sites
+    accumulate ``S x`` into ``state`` via batched ``update_many`` calls and a
+    coordinator combines the per-site states entrywise with ``merge``.
 
     Parameters
     ----------
@@ -62,6 +69,17 @@ class AmsSketch:
     def apply(self, x: np.ndarray) -> np.ndarray:
         """Compute the sketch ``S x`` of a vector (or ``S X`` of a matrix)."""
         return self.matrix @ np.asarray(x, dtype=float)
+
+    def estimate_state_f2(self) -> float:
+        """Estimate ``||x||_2^2`` from the accumulated (possibly merged) state."""
+        if self.state is None:
+            return 0.0
+        if self.state.ndim != 1:
+            raise ValueError(
+                "state is matrix-shaped (one sketch per input column); use "
+                "estimate_f2_columns(self.state) for per-column estimates"
+            )
+        return self.estimate_f2(self.state)
 
     def estimate_f2(self, sketched: np.ndarray) -> float:
         """Estimate ``||x||_2^2`` from a sketch vector ``S x``."""

@@ -8,13 +8,22 @@ point query returns the median over rows of ``sign * bucket``.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.sketch.hashing import KWiseHash
+from repro.sketch.mergeable import check_mergeable, check_same_randomness
 
 
 class CountSketch:
-    """CountSketch with ``depth`` rows of ``width`` buckets each."""
+    """CountSketch with ``depth`` rows of ``width`` buckets each.
+
+    Implements the :class:`repro.sketch.mergeable.MergeableSketch` contract
+    for scalar deltas: tables built with identical hash functions combine
+    entrywise, so k sites can sketch their local frequency vectors and a
+    coordinator can merge the summaries.
+    """
 
     def __init__(self, n: int, width: int, depth: int, rng: np.random.Generator) -> None:
         if n < 1:
@@ -36,6 +45,44 @@ class CountSketch:
         """Add ``delta`` to coordinate ``index``."""
         for row in range(self.depth):
             self.table[row, self.bucket_of[row, index]] += self.sign_of[row, index] * delta
+
+    def update_many(self, indices: np.ndarray, deltas: np.ndarray | None = None) -> None:
+        """Batched :meth:`update`: add ``deltas[t]`` at ``indices[t]`` for all ``t``.
+
+        Vectorized over the updates (one ``np.add.at`` per sketch row); with
+        ``deltas`` omitted every listed coordinate is incremented by one.
+        """
+        indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+        if deltas is None:
+            deltas = np.ones(indices.shape[0])
+        else:
+            deltas = np.asarray(deltas, dtype=float).reshape(-1)
+            if deltas.shape[0] != indices.shape[0]:
+                raise ValueError("indices and deltas must have matching length")
+        for row in range(self.depth):
+            np.add.at(
+                self.table[row],
+                self.bucket_of[row, indices],
+                self.sign_of[row, indices] * deltas,
+            )
+
+    def merge(self, other: "CountSketch") -> "CountSketch":
+        """Entrywise-combine ``other``'s table into this one; returns self."""
+        check_mergeable(self, other)
+        if self.table.shape != other.table.shape:
+            raise ValueError(
+                f"cannot merge tables of shape {other.table.shape} into {self.table.shape}"
+            )
+        check_same_randomness(self.bucket_of, other.bucket_of, "bucket hashes")
+        check_same_randomness(self.sign_of, other.sign_of, "sign hashes")
+        self.table += other.table
+        return self
+
+    def empty_copy(self) -> "CountSketch":
+        """A fresh sketch sharing this one's hash functions, with a zero table."""
+        clone = copy.copy(self)
+        clone.table = np.zeros_like(self.table)
+        return clone
 
     def build_from_vector(self, x: np.ndarray) -> None:
         """Populate the sketch from a dense frequency vector."""

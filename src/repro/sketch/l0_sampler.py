@@ -27,6 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sketch.mergeable import LinearStateMixin
+
 #: Fingerprint coefficients come from [1, COEFF_BOUND).
 COEFF_BOUND = 1 << 20
 
@@ -44,8 +46,12 @@ class L0SampleOutcome:
         return self.index is not None
 
 
-class L0Sampler:
+class L0Sampler(LinearStateMixin):
     """Uniform sampler over the support of an integer vector.
+
+    Like the other linear sketches, the sampler is mergeable: per-site
+    partial images accumulated with ``update_many`` combine entrywise via
+    ``merge`` into the sketch of the union of the shards.
 
     Parameters
     ----------

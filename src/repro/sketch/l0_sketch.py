@@ -28,12 +28,20 @@ import math
 
 import numpy as np
 
+from repro.sketch.mergeable import LinearStateMixin
+
 #: Random coefficients are drawn from [1, COEFF_BOUND); keeps int64 exact.
 COEFF_BOUND = 1 << 20
 
 
-class L0Sketch:
+class L0Sketch(LinearStateMixin):
     """Layered-subsampling linear sketch for counting non-zero entries.
+
+    The sketch is a :class:`repro.sketch.mergeable.MergeableSketch`: sites
+    accumulate partial images ``S[:, idx] @ values`` into ``state`` via
+    batched ``update_many`` calls and a coordinator combines the per-site
+    states entrywise with ``merge`` (the updates are integer, so merging is
+    exact).
 
     Parameters
     ----------
@@ -89,6 +97,17 @@ class L0Sketch:
         if np.issubdtype(x.dtype, np.integer):
             return self.matrix @ x.astype(np.int64)
         return self.matrix @ x
+
+    def estimate_state_l0(self) -> float:
+        """Estimate ``||x||_0`` from the accumulated (possibly merged) state."""
+        if self.state is None:
+            return 0.0
+        if self.state.ndim != 1:
+            raise ValueError(
+                "state is matrix-shaped (one sketch per input column); use "
+                "estimate_rows_pp(self.state.T) for per-column estimates"
+            )
+        return self.estimate_l0(self.state)
 
     def estimate_l0(self, sketched: np.ndarray) -> float:
         """Estimate the number of non-zero coordinates from ``S x``."""

@@ -1,0 +1,149 @@
+"""Star-network accounting: topology rules and agreement with the Channel.
+
+The satellite property required by the issue: replaying any two-party
+message sequence over a one-site star must reproduce the two-party
+channel's accounting exactly — same direction-flip round counter, same
+totals, same per-label and per-round breakdowns — both on the aggregate
+log and on the per-link meter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.channel import Channel
+from repro.multiparty.network import Network
+
+
+def random_two_party_trace(seed: int, length: int = 40):
+    """A random alternating-or-not message sequence between two endpoints."""
+    rng = np.random.default_rng(seed)
+    trace = []
+    for _ in range(length):
+        upstream = bool(rng.integers(0, 2))
+        bits = int(rng.integers(0, 1000))
+        label = f"label-{int(rng.integers(0, 4))}"
+        trace.append((upstream, bits, label))
+    return trace
+
+
+class TestStarTopologyRules:
+    def test_needs_at_least_one_site(self):
+        with pytest.raises(ValueError, match="at least one site"):
+            Network([])
+
+    def test_site_names_unique(self):
+        with pytest.raises(ValueError, match="unique"):
+            Network(["s", "s"])
+
+    def test_coordinator_cannot_be_a_site(self):
+        with pytest.raises(ValueError, match="double"):
+            Network(["hub"], coordinator_name="hub")
+
+    def test_no_site_to_site_messages(self):
+        network = Network(["s0", "s1"])
+        with pytest.raises(ValueError, match="star topology"):
+            network.send("s0", "s1", None, bits=1)
+
+    def test_unknown_site_rejected(self):
+        network = Network(["s0"])
+        with pytest.raises(ValueError, match="unknown site"):
+            network.send("coordinator", "s9", None, bits=1)
+
+    def test_self_send_rejected(self):
+        network = Network(["s0"])
+        with pytest.raises(ValueError, match="differ"):
+            network.send("s0", "s0", None, bits=1)
+
+    def test_default_payload_costing_matches_channel(self):
+        network = Network(["s0"])
+        channel = Channel()
+        payload = np.arange(10)
+        network.send("s0", "coordinator", payload)
+        channel.send("alice", "bob", payload)
+        assert network.total_bits == channel.total_bits > 0
+
+
+class TestTwoPartyReduction:
+    """Network with one site == the two-party channel, message for message."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_round_and_bit_accounting_agree_with_channel(self, seed):
+        trace = random_two_party_trace(seed)
+        channel = Channel(alice_name="site-0", bob_name="coordinator")
+        network = Network(["site-0"])
+        for upstream, bits, label in trace:
+            sender, receiver = (
+                ("site-0", "coordinator") if upstream else ("coordinator", "site-0")
+            )
+            channel.send(sender, receiver, None, label=label, bits=bits)
+            network.send(sender, receiver, None, label=label, bits=bits)
+
+        assert network.rounds == channel.rounds
+        assert network.total_bits == channel.total_bits
+        assert network.bits_by_label() == channel.bits_by_label()
+        assert network.bits_per_round() == channel.bits_per_round()
+        assert network.bits_sent_by("site-0") == channel.bits_sent_by("site-0")
+        assert network.bits_sent_by("coordinator") == channel.bits_sent_by("coordinator")
+
+        link = network.link("site-0")
+        assert link.rounds == channel.rounds
+        assert link.total_bits == channel.total_bits
+        assert link.bits_by_label() == channel.bits_by_label()
+        assert link.bits_per_round() == channel.bits_per_round()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_per_link_meters_agree_with_independent_channels(self, seed):
+        """With k sites, every link behaves like its own two-party channel."""
+        rng = np.random.default_rng(1000 + seed)
+        k = 4
+        network = Network([f"site-{i}" for i in range(k)])
+        channels = {
+            f"site-{i}": Channel(alice_name=f"site-{i}", bob_name="coordinator")
+            for i in range(k)
+        }
+        for _ in range(80):
+            site = f"site-{int(rng.integers(0, k))}"
+            upstream = bool(rng.integers(0, 2))
+            bits = int(rng.integers(0, 500))
+            sender, receiver = (site, "coordinator") if upstream else ("coordinator", site)
+            network.send(sender, receiver, None, bits=bits)
+            channels[site].send(sender, receiver, None, bits=bits)
+
+        for site, channel in channels.items():
+            assert network.link(site).rounds == channel.rounds
+            assert network.link(site).total_bits == channel.total_bits
+        assert network.total_bits == sum(c.total_bits for c in channels.values())
+        assert network.max_link_bits == max(c.total_bits for c in channels.values())
+
+
+class TestAggregateRoundSemantics:
+    def test_parallel_uploads_share_a_round(self):
+        network = Network(["s0", "s1", "s2"])
+        for site in ["s0", "s1", "s2"]:
+            network.send(site, "coordinator", None, bits=1)
+        assert network.rounds == 1
+        network.send("coordinator", "s1", None, bits=1)
+        assert network.rounds == 2
+        network.send("s2", "coordinator", None, bits=1)
+        assert network.rounds == 3
+
+    def test_broadcast_is_one_round_with_per_link_bits(self):
+        network = Network(["s0", "s1", "s2"])
+        network.broadcast("hello", label="b", bits=100)
+        assert network.rounds == 1
+        assert network.total_bits == 300
+        assert network.link_bits() == {"s0": 100, "s1": 100, "s2": 100}
+        assert network.max_link_bits == 100
+        assert network.bits_sent_by("coordinator") == 300
+
+    def test_reset_clears_links_and_aggregate(self):
+        network = Network(["s0", "s1"])
+        network.broadcast(None, bits=10)
+        network.send("s0", "coordinator", None, bits=5)
+        network.reset()
+        assert network.rounds == 0
+        assert network.total_bits == 0
+        assert network.link("s0").total_bits == 0
+        assert network.link("s1").rounds == 0

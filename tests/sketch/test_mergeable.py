@@ -1,0 +1,216 @@
+"""Mergeable-sketch contract: batched updates, entrywise merge, algebra.
+
+The issue's satellite property: ``merge()`` must be associative and
+commutative for every sketch family, and merging per-shard summaries must
+equal sketching the union — the linearity that powers the k-party runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch import (
+    AmsSketch,
+    CountSketch,
+    L0Sampler,
+    L0Sketch,
+    MergeableSketch,
+)
+
+
+def make_sketch(family: str, n: int, rng: np.random.Generator):
+    if family == "countsketch":
+        return CountSketch(n, 32, 5, rng)
+    if family == "ams":
+        return AmsSketch(n, 24, rng)
+    if family == "l0":
+        return L0Sketch(n, 16, rng)
+    if family == "sampler":
+        return L0Sampler(n, rng, repetitions=4)
+    raise ValueError(family)
+
+
+def state_of(sketch):
+    return sketch.table if isinstance(sketch, CountSketch) else sketch.state
+
+
+FAMILIES = ["countsketch", "ams", "l0", "sampler"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+class TestMergeableContract:
+    def test_satisfies_protocol(self, family, rng):
+        assert isinstance(make_sketch(family, 50, rng), MergeableSketch)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_of_shards_equals_sketch_of_union(self, family, seed, rng):
+        data_rng = np.random.default_rng(seed)
+        n = 60
+        template = make_sketch(family, n, rng)
+        x = data_rng.integers(-3, 4, size=n)
+        if family == "countsketch":
+            x = x.astype(float)
+
+        whole = template.empty_copy()
+        whole.update_many(np.arange(n), x)
+
+        cut = int(data_rng.integers(1, n - 1))
+        left, right = template.empty_copy(), template.empty_copy()
+        left.update_many(np.arange(cut), x[:cut])
+        right.update_many(np.arange(cut, n), x[cut:])
+        merged = template.empty_copy().merge(left).merge(right)
+        np.testing.assert_allclose(state_of(merged), state_of(whole))
+
+    def test_merge_commutative(self, family, rng):
+        data_rng = np.random.default_rng(7)
+        n = 40
+        template = make_sketch(family, n, rng)
+        parts = []
+        for lo, hi in [(0, 15), (15, 30), (30, 40)]:
+            part = template.empty_copy()
+            part.update_many(
+                np.arange(lo, hi), data_rng.integers(1, 5, size=hi - lo).astype(float)
+            )
+            parts.append(part)
+
+        forward = template.empty_copy()
+        for part in parts:
+            forward.merge(part)
+        backward = template.empty_copy()
+        for part in reversed(parts):
+            backward.merge(part)
+        np.testing.assert_allclose(state_of(forward), state_of(backward))
+
+    def test_merge_associative(self, family, rng):
+        n = 40
+        template = make_sketch(family, n, rng)
+
+        def fresh_parts():
+            parts = []
+            part_rng = np.random.default_rng(11)
+            for lo, hi in [(0, 15), (15, 30), (30, 40)]:
+                part = template.empty_copy()
+                part.update_many(
+                    np.arange(lo, hi), part_rng.integers(1, 5, size=hi - lo).astype(float)
+                )
+                parts.append(part)
+            return parts
+
+        a, b, c = fresh_parts()
+        left_grouped = a.merge(b).merge(c)  # (a + b) + c
+        a2, b2, c2 = fresh_parts()
+        right_grouped = a2.merge(b2.merge(c2))  # a + (b + c)
+        np.testing.assert_allclose(state_of(left_grouped), state_of(right_grouped))
+
+    def test_merge_rejects_other_family(self, family, rng):
+        sketch = make_sketch(family, 30, rng)
+        other_family = FAMILIES[(FAMILIES.index(family) + 1) % len(FAMILIES)]
+        other = make_sketch(other_family, 30, rng)
+        with pytest.raises(TypeError, match="cannot merge"):
+            sketch.merge(other)
+
+    def test_merge_rejects_other_universe(self, family, rng):
+        sketch = make_sketch(family, 30, rng)
+        other = make_sketch(family, 31, rng)
+        with pytest.raises(ValueError, match="universe"):
+            sketch.merge(other)
+
+    def test_update_many_checks_lengths(self, family, rng):
+        sketch = make_sketch(family, 30, rng).empty_copy()
+        with pytest.raises(ValueError):
+            sketch.update_many(np.arange(5), np.ones(4))
+
+    def test_merge_rejects_different_randomness(self, family):
+        mine = make_sketch(family, 30, np.random.default_rng(1))
+        theirs = make_sketch(family, 30, np.random.default_rng(2))
+        with pytest.raises(ValueError, match="randomness"):
+            mine.merge(theirs)
+
+    def test_merge_accepts_equal_valued_randomness(self, family):
+        """Endpoints constructing the sketch from the same broadcast seed."""
+        mine = make_sketch(family, 30, np.random.default_rng(5))
+        theirs = make_sketch(family, 30, np.random.default_rng(5))
+        theirs_part = theirs.empty_copy()
+        theirs_part.update_many(np.arange(30), np.ones(30))
+        merged = mine.empty_copy().merge(theirs_part)
+        np.testing.assert_allclose(state_of(merged), state_of(theirs_part))
+
+
+class TestFamilySpecifics:
+    def test_countsketch_update_many_matches_sequential_updates(self, rng):
+        cs = CountSketch(80, 16, 3, rng)
+        indices = np.array([3, 9, 9, 40, 77])
+        deltas = np.array([1.0, -2.0, 4.0, 0.5, 3.0])
+        for i, d in zip(indices, deltas):
+            cs.update(int(i), float(d))
+        batched = cs.empty_copy()
+        batched.update_many(indices, deltas)
+        np.testing.assert_allclose(batched.table, cs.table)
+
+    def test_countsketch_update_many_defaults_to_increments(self, rng):
+        cs = CountSketch(20, 8, 3, rng)
+        cs.update_many(np.array([4, 4, 7]))
+        reference = cs.empty_copy()
+        reference.update_many(np.array([4, 4, 7]), np.ones(3))
+        np.testing.assert_allclose(cs.table, reference.table)
+
+    def test_linear_sketch_state_matches_apply(self, rng):
+        for family, dtype in [("ams", float), ("l0", np.int64), ("sampler", np.int64)]:
+            sketch = make_sketch(family, 50, rng)
+            x = np.random.default_rng(3).integers(0, 4, size=50).astype(dtype)
+            accumulated = sketch.empty_copy()
+            accumulated.update_many(np.arange(50), x)
+            np.testing.assert_allclose(accumulated.state, sketch.apply(x))
+
+    def test_matrix_shaped_updates(self, rng):
+        """A site sketching a whole shard in one call (used by l0-sampling)."""
+        sketch = L0Sketch(40, 8, rng)
+        shard = np.random.default_rng(4).integers(0, 3, size=(40, 12))
+        accumulated = sketch.empty_copy()
+        accumulated.update_many(np.arange(40), shard)
+        np.testing.assert_array_equal(accumulated.state, sketch.apply(shard))
+        mismatched = sketch.empty_copy()
+        mismatched.update_many(np.arange(40), shard)
+        bad = sketch.empty_copy()
+        bad.update_many(np.arange(40), shard[:, :5])
+        with pytest.raises(ValueError, match="shape"):
+            mismatched.merge(bad)
+
+    def test_estimate_state_helpers(self, rng):
+        ams = AmsSketch(50, 64, rng)
+        assert ams.empty_copy().estimate_state_f2() == 0.0
+        l0 = L0Sketch(50, 32, rng)
+        assert l0.empty_copy().estimate_state_l0() == 0.0
+        x = np.zeros(50)
+        x[:20] = np.arange(1, 21)
+        filled = l0.empty_copy()
+        filled.update_many(np.arange(50), x.astype(np.int64))
+        assert filled.estimate_state_l0() == pytest.approx(20, rel=0.5)
+        filled_ams = ams.empty_copy()
+        filled_ams.update_many(np.arange(50), x)
+        assert filled_ams.estimate_state_f2() == pytest.approx(float(x @ x), rel=0.5)
+
+    def test_estimate_state_helpers_reject_matrix_state(self, rng):
+        """Matrix-shaped states need the per-column estimators instead."""
+        shard = np.ones((50, 4))
+        ams = AmsSketch(50, 16, rng).empty_copy()
+        ams.update_many(np.arange(50), shard)
+        with pytest.raises(ValueError, match="estimate_f2_columns"):
+            ams.estimate_state_f2()
+        l0 = L0Sketch(50, 8, rng).empty_copy()
+        l0.update_many(np.arange(50), shard.astype(np.int64))
+        with pytest.raises(ValueError, match="estimate_rows_pp"):
+            l0.estimate_state_l0()
+
+    def test_merge_into_empty_copies_state(self, rng):
+        sketch = AmsSketch(30, 16, rng)
+        part = sketch.empty_copy()
+        part.update_many(np.arange(30), np.ones(30))
+        merged = sketch.empty_copy().merge(part)
+        assert merged.state is not part.state
+        np.testing.assert_allclose(merged.state, part.state)
+        # Merging an empty sketch is a no-op.
+        np.testing.assert_allclose(
+            state_of(merged.merge(sketch.empty_copy())), part.state
+        )

@@ -73,9 +73,14 @@ class TestRunAll:
     def test_driver_registry_covers_every_experiment(self):
         experiments = {driver().experiment for driver in []}  # avoid running all
         # Instead check the registry size and module names statically.
-        assert len(run_all.ALL_DRIVERS) == 15
+        assert len(run_all.ALL_DRIVERS) == 16
         module_names = {driver.__module__.rsplit(".", 1)[-1] for driver in run_all.ALL_DRIVERS}
-        assert {"e01_lp_norm", "e13_rectangular", "a1_beta_ablation"}.issubset(module_names)
+        assert {
+            "e01_lp_norm",
+            "e13_rectangular",
+            "e14_multiparty_scaling",
+            "a1_beta_ablation",
+        }.issubset(module_names)
         assert experiments == set()
 
 
