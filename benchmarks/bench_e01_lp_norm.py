@@ -1,13 +1,19 @@
 """E1 — Theorem 3.1: (1+eps)-approximation of ||AB||_p, p in {0,1,2}."""
 
+import os
+
 from repro.experiments import e01_lp_norm
+
+#: CI smoke mode: one tiny config so the perf path is exercised on every
+#: change without paying for the full sweep.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 
 def test_e01_lp_norm(benchmark, once):
     report = once(
         benchmark,
         e01_lp_norm.run,
-        sizes=(64, 96, 128),
+        sizes=(64, 96) if SMOKE else (64, 96, 128),
         epsilons=(0.5, 0.3),
         ps=(0.0, 1.0, 2.0),
         seed=1,

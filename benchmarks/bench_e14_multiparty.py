@@ -1,14 +1,20 @@
 """E14 — coordinator-model scaling: bits, link load and wall-clock vs k sites."""
 
+import os
+
 from repro.experiments import e14_multiparty_scaling
+
+#: CI smoke mode: one tiny config so the perf path is exercised on every
+#: change without paying for the full sweep.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 
 def test_e14_multiparty_scaling(benchmark, once):
     report = once(
         benchmark,
         e14_multiparty_scaling.run,
-        n=96,
-        ks=(2, 4, 8),
+        n=64 if SMOKE else 96,
+        ks=(2, 4) if SMOKE else (2, 4, 8),
         epsilon=0.3,
         seed=3,
     )

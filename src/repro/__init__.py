@@ -58,10 +58,39 @@ from repro.core.linf_binary import KappaApproxLinfProtocol, TwoPlusEpsilonLinfPr
 from repro.core.linf_general import GeneralMatrixLinfProtocol
 from repro.core.lp_norm import LpNormProtocol
 from repro.core.result import HeavyHitterOutput, SampleOutput
+from repro.engine.base import ClusterCostReport
 from repro.multiparty.estimator import ClusterEstimator
-from repro.multiparty.protocols import ClusterCostReport
 
-__version__ = "1.0.0"
+
+def _load_version() -> str:
+    """Single-source the version from pyproject.toml.
+
+    A source checkout (``PYTHONPATH=src``) reads the adjacent
+    ``pyproject.toml`` directly — preferred over installed-distribution
+    metadata, which could belong to an older install of the same name.
+    Installed packages have no adjacent pyproject and resolve through
+    ``importlib.metadata``.
+    """
+    import pathlib
+    import re
+
+    pyproject = pathlib.Path(__file__).resolve().parents[2] / "pyproject.toml"
+    if pyproject.is_file():
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+        if match:
+            return match.group(1)
+
+    from importlib import metadata
+
+    try:
+        return metadata.version("matrix-product-estimation")
+    except metadata.PackageNotFoundError:
+        return "0+unknown"
+
+
+__version__ = _load_version()
 
 __all__ = [
     "MatrixProductEstimator",

@@ -10,10 +10,13 @@ This package provides an in-process simulation of that model:
 * :mod:`repro.comm.bitcost` — the single place where "how many bits does this
   payload cost" is defined, so the accounting assumptions are auditable.
 * :mod:`repro.comm.accounting` — the message log and direction-flip round
-  counter shared by the two-party channel and the k-party star network
-  (:mod:`repro.multiparty`).
-* :class:`repro.comm.channel.Channel` — moves payloads between the two
-  parties while metering bits and rounds.
+  counter shared by every metered transport.
+* :class:`repro.comm.network.Network` — the star-topology transport (k
+  sites around a coordinator) with per-link and aggregate meters; the one
+  physical transport in the repo.
+* :class:`repro.comm.channel.Channel` — the two-party view of a one-leaf
+  star: moves payloads between Alice and Bob while metering bits and
+  rounds.
 * :class:`repro.comm.party.Party` — base class for Alice/Bob endpoints.
 * :class:`repro.comm.protocol.Protocol` — driver that runs a protocol and
   returns a :class:`repro.comm.protocol.CostReport`.
@@ -30,6 +33,7 @@ from repro.comm.bitcost import (
     bits_for_vector,
 )
 from repro.comm.channel import Channel
+from repro.comm.network import Network
 from repro.comm.party import Party
 from repro.comm.protocol import CostReport, Protocol, ProtocolResult
 
@@ -44,6 +48,7 @@ __all__ = [
     "Channel",
     "Message",
     "MessageLog",
+    "Network",
     "Party",
     "CostReport",
     "Protocol",

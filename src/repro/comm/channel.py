@@ -1,39 +1,42 @@
 """The metered channel between Alice and Bob.
 
-A :class:`Channel` records every message (sender, receiver, label, bit cost)
-and maintains the round counter.  A *round* follows the standard definition:
-consecutive messages in the same direction belong to the same round; the
-round counter increases each time the direction of communication flips
-(the first message starts round 1).
+Since the engine unification there is only one physical transport in the
+repo — the star :class:`repro.comm.network.Network` — and a :class:`Channel`
+is literally a two-party *view* of it: Alice is the star's single leaf site
+and Bob is the hub.  With one site the network's up/down round counter
+coincides with the classic two-party definition (consecutive messages in
+the same direction share a round; the counter increments each time the
+direction flips, and the first message opens round 1), so the view changes
+nothing about the accounting contract.
 
 The accounting itself (message records, round counter, per-label and
-per-round breakdowns) lives in :class:`repro.comm.accounting.MessageLog`,
-which is shared with the k-party :class:`repro.multiparty.network.Network`.
+per-round breakdowns) lives in :class:`repro.comm.accounting.MessageLog`.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.comm import bitcost
 from repro.comm.accounting import Message, MessageLog
+from repro.comm.network import Network
 
 __all__ = ["Channel", "Message"]
 
 
-class Channel(MessageLog):
+class Channel:
     """In-process two-party channel with bit and round accounting.
 
     Parameters
     ----------
     alice_name, bob_name:
         Display names for the two endpoints; used for per-party accounting.
+        Alice backs the underlying star's single site, Bob its hub.
     """
 
     def __init__(self, alice_name: str = "alice", bob_name: str = "bob") -> None:
-        super().__init__()
         self.alice_name = alice_name
         self.bob_name = bob_name
+        self.network = Network([alice_name], coordinator_name=bob_name)
 
     # ------------------------------------------------------------------ send
     def send(
@@ -59,12 +62,46 @@ class Channel(MessageLog):
         universe:
             Universe size used when costing index lists.
         """
-        if sender == receiver:
-            raise ValueError("sender and receiver must differ")
         known = {self.alice_name, self.bob_name}
-        if sender not in known or receiver not in known:
+        if sender != receiver and (sender not in known or receiver not in known):
             raise ValueError(f"unknown endpoint; expected one of {sorted(known)}")
-        if bits is None:
-            bits = bitcost.bits_for_payload(payload, universe=universe)
-        self.record(sender, receiver, payload, label=label, bits=bits)
-        return payload
+        return self.network.send(
+            sender, receiver, payload, label=label, bits=bits, universe=universe
+        )
+
+    # ------------------------------------------------------------ accounting
+    @property
+    def log(self) -> MessageLog:
+        """The underlying (aggregate) message log."""
+        return self.network.log
+
+    @property
+    def messages(self) -> list[Message]:
+        """All messages recorded so far, in order."""
+        return self.network.log.messages
+
+    @property
+    def total_bits(self) -> int:
+        """Total bits recorded so far."""
+        return self.network.total_bits
+
+    @property
+    def rounds(self) -> int:
+        """Number of rounds used so far (maximal direction flips)."""
+        return self.network.rounds
+
+    def bits_sent_by(self, sender: str) -> int:
+        """Total bits sent by one endpoint."""
+        return self.network.bits_sent_by(sender)
+
+    def bits_by_label(self) -> dict[str, int]:
+        """Total bits grouped by message label (for cost breakdowns)."""
+        return self.network.bits_by_label()
+
+    def bits_per_round(self) -> dict[int, int]:
+        """Total bits grouped by round index (1-based, ascending)."""
+        return self.network.bits_per_round()
+
+    def reset(self) -> None:
+        """Clear all recorded traffic (used when reusing a transport)."""
+        self.network.reset()

@@ -1,0 +1,158 @@
+"""Star-topology metered network: k sites around one coordinator.
+
+This is the repo's one physical transport.  The k-party generalization of
+the classic two-party channel for the coordinator model of distributed
+functional monitoring: messages only travel between a site and the
+coordinator (the star's hub) — sites never talk to each other directly,
+matching the model in the literature.  The two-party
+:class:`repro.comm.channel.Channel` is a view of this class with a single
+site (Alice) and the hub playing Bob.
+
+Accounting contract (via the shared
+:class:`repro.comm.accounting.MessageLog`):
+
+* an *aggregate* log meters ``total_bits``, ``rounds``, ``bits_by_label``
+  and ``bits_per_round`` across the whole star.  Its round counter flips on
+  the up/down *direction*: k sites uploading back-to-back share one round
+  (they could do so in parallel), while a coordinator reply opens a new one.
+  With a single site this reduces exactly to the two-party definition.
+* a *per-link* log per site meters the same quantities restricted to that
+  coordinator-site link, with the two-party (sender-flip) round semantics.
+  ``max_link_bits`` — the busiest link — is the quantity that bounds the
+  star's makespan when links transfer in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.comm import bitcost
+from repro.comm.accounting import MessageLog
+
+#: Direction keys for the aggregate round counter.
+UPSTREAM = "up"
+DOWNSTREAM = "down"
+
+
+class Network:
+    """In-process star network with per-link and aggregate accounting.
+
+    Parameters
+    ----------
+    site_names:
+        Names of the k leaf sites (order fixes the site indexing).
+    coordinator_name:
+        Name of the hub endpoint.
+    """
+
+    def __init__(
+        self,
+        site_names: Sequence[str],
+        coordinator_name: str = "coordinator",
+    ) -> None:
+        site_names = list(site_names)
+        if not site_names:
+            raise ValueError("a star network needs at least one site")
+        if len(set(site_names)) != len(site_names):
+            raise ValueError("site names must be unique")
+        if coordinator_name in site_names:
+            raise ValueError("the coordinator cannot double as a site")
+        self.coordinator_name = coordinator_name
+        self.site_names = site_names
+        self.links: dict[str, MessageLog] = {name: MessageLog() for name in site_names}
+        self.log = MessageLog()
+
+    # ------------------------------------------------------------------ send
+    def send(
+        self,
+        sender: str,
+        receiver: str,
+        payload: Any,
+        *,
+        label: str = "",
+        bits: int | None = None,
+        universe: int | None = None,
+    ) -> Any:
+        """Record a message on one coordinator-site link and deliver it.
+
+        Exactly one of ``sender`` / ``receiver`` must be the coordinator —
+        the star has no site-to-site links.  ``bits`` defaults to
+        :func:`repro.comm.bitcost.bits_for_payload` like the two-party
+        channel.
+        """
+        if sender == receiver:
+            raise ValueError("sender and receiver must differ")
+        if self.coordinator_name not in (sender, receiver):
+            raise ValueError(
+                f"star topology: one endpoint must be {self.coordinator_name!r} "
+                f"(got {sender!r} -> {receiver!r})"
+            )
+        direction = DOWNSTREAM if sender == self.coordinator_name else UPSTREAM
+        site = receiver if direction == DOWNSTREAM else sender
+        if site not in self.links:
+            raise ValueError(f"unknown site {site!r}; expected one of {self.site_names}")
+        if bits is None:
+            bits = bitcost.bits_for_payload(payload, universe=universe)
+        self.log.record(sender, receiver, payload, label=label, bits=bits, direction_key=direction)
+        self.links[site].record(sender, receiver, payload, label=label, bits=bits)
+        return payload
+
+    def broadcast(
+        self,
+        payload: Any,
+        *,
+        label: str = "",
+        bits: int | None = None,
+        sites: Iterable[str] | None = None,
+    ) -> Any:
+        """Send ``payload`` from the coordinator to every site (one round).
+
+        ``bits`` is the per-link cost of the payload (each link carries its
+        own copy).  All copies travel downstream, so a broadcast occupies a
+        single aggregate round regardless of k.
+        """
+        for site in self.site_names if sites is None else sites:
+            self.send(self.coordinator_name, site, payload, label=label, bits=bits)
+        return payload
+
+    # ------------------------------------------------------------ accounting
+    @property
+    def total_bits(self) -> int:
+        """Total bits over all links."""
+        return self.log.total_bits
+
+    @property
+    def rounds(self) -> int:
+        """Aggregate rounds (up/down direction flips)."""
+        return self.log.rounds
+
+    def bits_sent_by(self, sender: str) -> int:
+        """Total bits sent by one endpoint (a site or the coordinator)."""
+        return self.log.bits_sent_by(sender)
+
+    def bits_by_label(self) -> dict[str, int]:
+        """Total bits grouped by message label, over all links."""
+        return self.log.bits_by_label()
+
+    def bits_per_round(self) -> dict[int, int]:
+        """Total bits grouped by aggregate round index."""
+        return self.log.bits_per_round()
+
+    def link(self, site_name: str) -> MessageLog:
+        """The per-link meter for one coordinator-site link."""
+        return self.links[site_name]
+
+    def link_bits(self) -> dict[str, int]:
+        """Per-site link load: total bits on each coordinator-site link."""
+        return {name: meter.total_bits for name, meter in self.links.items()}
+
+    @property
+    def max_link_bits(self) -> int:
+        """Load of the busiest coordinator-site link."""
+        return max(meter.total_bits for meter in self.links.values())
+
+    def reset(self) -> None:
+        """Clear all recorded traffic on every link."""
+        self.log.reset()
+        for meter in self.links.values():
+            meter.reset()

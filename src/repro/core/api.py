@@ -3,7 +3,10 @@
 :class:`MatrixProductEstimator` is the entry point most users want: it holds
 Alice's and Bob's matrices, picks the right protocol for each query, and
 returns :class:`repro.comm.protocol.ProtocolResult` objects that carry both
-the estimate and the exact communication cost.
+the estimate and the exact communication cost.  The query dispatch itself is
+shared with the k-site :class:`repro.multiparty.estimator.ClusterEstimator`
+via :class:`repro.engine.api.EstimatorBase`; this class only pins the data
+to the two-party topology.
 
 Example
 -------
@@ -23,16 +26,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm.protocol import ProtocolResult
-from repro.core.heavy_hitters_binary import BinaryHeavyHittersProtocol
-from repro.core.heavy_hitters_general import GeneralHeavyHittersProtocol
-from repro.core.l0_sampling import L0SamplingProtocol
-from repro.core.l1_exact import ExactL1Protocol, L1SamplingProtocol
-from repro.core.linf_binary import KappaApproxLinfProtocol, TwoPlusEpsilonLinfProtocol
-from repro.core.linf_general import GeneralMatrixLinfProtocol
-from repro.core.lp_norm import LpNormProtocol
+from repro.engine.api import EstimatorBase
+from repro.engine.base import StarProtocol
 
 
-class MatrixProductEstimator:
+class MatrixProductEstimator(EstimatorBase):
     """Distributed statistics of ``C = A B`` between Alice (``A``) and Bob (``B``).
 
     Parameters
@@ -44,6 +42,7 @@ class MatrixProductEstimator:
     """
 
     def __init__(self, a: np.ndarray, b: np.ndarray, *, seed: int | None = None) -> None:
+        super().__init__(seed=seed)
         a = np.asarray(a)
         b = np.asarray(b)
         if a.ndim != 2 or b.ndim != 2:
@@ -52,59 +51,12 @@ class MatrixProductEstimator:
             raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
         self.a = a
         self.b = b
-        self._seed_stream = np.random.default_rng(seed)
         self.is_binary = bool(
             np.all((a == 0) | (a == 1)) and np.all((b == 0) | (b == 1))
         )
 
-    def _next_seed(self) -> int:
-        return int(self._seed_stream.integers(0, 2**31 - 1))
-
-    # ------------------------------------------------------------------ lp
-    def lp_norm(self, p: float, epsilon: float = 0.25, **kwargs) -> ProtocolResult:
-        """(1 + eps)-approximation of ``||A B||_p^p`` for ``p in [0, 2]`` (Thm 3.1)."""
-        protocol = LpNormProtocol(p, epsilon, seed=self._next_seed(), **kwargs)
-        return protocol.run(self.a, self.b)
-
-    def join_size(self, epsilon: float = 0.25, **kwargs) -> ProtocolResult:
-        """Set-intersection join size ``|A ∘ B| = ||A B||_0`` (p = 0)."""
-        return self.lp_norm(0.0, epsilon, **kwargs)
-
-    def natural_join_size(self) -> ProtocolResult:
-        """Exact natural-join size ``|A ⋈ B| = ||A B||_1`` (Remark 2)."""
-        protocol = ExactL1Protocol(seed=self._next_seed())
-        return protocol.run(self.a, self.b)
-
-    # ------------------------------------------------------------- sampling
-    def l0_sample(self, epsilon: float = 0.25, **kwargs) -> ProtocolResult:
-        """Uniform sample from the non-zero entries of ``A B`` (Thm 3.2)."""
-        protocol = L0SamplingProtocol(epsilon, seed=self._next_seed(), **kwargs)
-        return protocol.run(self.a, self.b)
-
-    def l1_sample(self) -> ProtocolResult:
-        """Sample an entry of ``A B`` proportionally to its value (Remark 3)."""
-        protocol = L1SamplingProtocol(seed=self._next_seed())
-        return protocol.run(self.a, self.b)
-
-    # ----------------------------------------------------------------- linf
-    def linf(self, epsilon: float = 0.25, **kwargs) -> ProtocolResult:
-        """(2 + eps)-approximation of ``||A B||_inf`` for binary inputs (Thm 4.1)."""
-        if not self.is_binary:
-            raise ValueError(
-                "the (2+eps) protocol needs binary matrices; use linf_kappa(...) "
-                "with general integer matrices"
-            )
-        protocol = TwoPlusEpsilonLinfProtocol(epsilon, seed=self._next_seed(), **kwargs)
-        return protocol.run(self.a, self.b)
-
-    def linf_kappa(self, kappa: float, **kwargs) -> ProtocolResult:
-        """kappa-approximation of ``||A B||_inf`` (Thm 4.3 binary / Thm 4.8 general)."""
-        seed = self._next_seed()
-        if self.is_binary:
-            protocol: object = KappaApproxLinfProtocol(kappa, seed=seed, **kwargs)
-        else:
-            protocol = GeneralMatrixLinfProtocol(kappa, seed=seed, **kwargs)
-        return protocol.run(self.a, self.b)
+    def _run(self, protocol: StarProtocol) -> ProtocolResult:
+        return protocol.run_two_party(self.a, self.b)
 
     # ------------------------------------------------------------- scale-out
     def as_cluster(self, num_sites: int, *, seed: int | None = None):
@@ -119,20 +71,3 @@ class MatrixProductEstimator:
         from repro.multiparty.estimator import ClusterEstimator
 
         return ClusterEstimator.from_matrix(self.a, self.b, num_sites, seed=seed)
-
-    # -------------------------------------------------------- heavy hitters
-    def heavy_hitters(
-        self, phi: float, epsilon: float, *, p: float = 1.0, **kwargs
-    ) -> ProtocolResult:
-        """``l_p``-(phi, eps) heavy hitters of ``A B`` (Thm 5.1 / Thm 5.3).
-
-        Binary inputs use the cheaper binary protocol automatically.
-        """
-        seed = self._next_seed()
-        if self.is_binary:
-            protocol: object = BinaryHeavyHittersProtocol(
-                phi, epsilon, p=p, seed=seed, **kwargs
-            )
-        else:
-            protocol = GeneralHeavyHittersProtocol(phi, epsilon, p=p, seed=seed, **kwargs)
-        return protocol.run(self.a, self.b)

@@ -1,18 +1,15 @@
 """The per-item index-exchange primitive shared by Algorithms 2, 3 and 5.2.
 
+The implementation lives in :mod:`repro.engine.exchange`
+(:func:`~repro.engine.exchange.star_exchange_item_supports`), written once
+against the star topology.  This module keeps the historical two-party
+entry point: given Alice and Bob :class:`~repro.comm.party.Party` endpoints
+sharing a channel, it runs the same exchange over the channel's underlying
+one-leaf star (Alice as the site, Bob as the hub).
+
 Given Alice's (possibly subsampled) binary matrix ``A'`` and Bob's binary
-matrix ``B``, both parties learn an additive split ``C_A + C_B = A' B``:
-
-* Alice announces ``u_j`` = number of rows of ``A'`` containing item ``j``
-  (she may have done so already as part of an enclosing protocol).
-* Bob compares with ``v_j`` = number of columns of ``B`` containing item
-  ``j``; for every item with ``u_j > v_j`` he ships his index list
-  ``I_j = {j' : B_{j,j'} = 1}`` to Alice, who accumulates those items'
-  contributions into ``C_A``.
-* Alice ships her index lists for the remaining (non-trivial) items and Bob
-  accumulates them into ``C_B``.
-
-The total shipped volume is ``sum_j min(u_j, v_j)`` indices, the quantity
+matrix ``B``, both parties learn an additive split ``C_A + C_B = A' B``;
+the total shipped volume is ``sum_j min(u_j, v_j)`` indices, the quantity
 bounded by ``O~(n^{1.5}/eps)`` (Theorem 4.1) / ``O~(n^{1.5}/kappa)``
 (Theorem 4.3) in the paper's analyses.
 """
@@ -21,8 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.comm import bitcost
 from repro.comm.party import Party
+from repro.engine.exchange import star_exchange_item_supports
+from repro.engine.topology import Coordinator, Site
+
+__all__ = ["exchange_item_supports"]
 
 
 def exchange_item_supports(
@@ -38,6 +38,8 @@ def exchange_item_supports(
 
     Parameters
     ----------
+    alice, bob:
+        The two endpoints; they must be the two ends of the shared channel.
     a_sub:
         Alice's (subsampled) binary matrix ``A'`` of shape ``(m1, n)``.
     b:
@@ -48,54 +50,18 @@ def exchange_item_supports(
         level (Algorithm 2 sends them for *all* levels in round 1) sets this
         to False to avoid double-charging.
     """
-    a_sub = np.asarray(a_sub, dtype=np.int64)
-    b = np.asarray(b, dtype=np.int64)
-    if a_sub.shape[1] != b.shape[0]:
-        raise ValueError(f"inner dimensions differ: {a_sub.shape} vs {b.shape}")
-    n_items = a_sub.shape[1]
-
-    u = a_sub.sum(axis=0)
-    v = b.sum(axis=1)
-
-    if send_u_counts:
-        alice.send(
-            bob,
-            u,
-            label=f"{label_prefix}item-counts",
-            bits=n_items * bitcost.bits_for_index(max(int(a_sub.shape[0]) + 1, 2)),
-        )
-
-    active = (u > 0) & (v > 0)
-    bob_ships = active & (u > v)
-    alice_ships = active & (u <= v)
-
-    # Bob -> Alice: his column-index lists for items where his side is smaller.
-    bob_bits = n_items  # bitmap announcing which items he covers
-    bob_payload = {}
-    for j in np.flatnonzero(bob_ships):
-        indices = np.flatnonzero(b[j, :])
-        bob_payload[int(j)] = indices
-        bob_bits += bitcost.bits_for_index_list(indices, max(b.shape[1], 1))
-    bob.send(alice, bob_payload, label=f"{label_prefix}bob-item-lists", bits=bob_bits)
-
-    # Alice -> Bob: her row-index lists for the remaining items.
-    alice_bits = 0
-    alice_payload = {}
-    for j in np.flatnonzero(alice_ships):
-        indices = np.flatnonzero(a_sub[:, j])
-        alice_payload[int(j)] = indices
-        alice_bits += bitcost.bits_for_index_list(indices, max(a_sub.shape[0], 1))
-    alice.send(bob, alice_payload, label=f"{label_prefix}alice-item-lists", bits=alice_bits)
-
-    # Local accumulation: Alice owns the items Bob shipped, Bob the items
-    # Alice shipped.  Matrix products over the item subsets give the shares.
-    c_alice = a_sub[:, bob_ships] @ b[bob_ships, :]
-    c_bob = a_sub[:, alice_ships] @ b[alice_ships, :]
-    info = {
-        "u": u,
-        "v": v,
-        "exchanged_indices": int(np.minimum(u, v)[active].sum()),
-        "alice_items": int(bob_ships.sum()),
-        "bob_items": int(alice_ships.sum()),
-    }
-    return c_alice, c_bob, info
+    network = alice.channel.network
+    site = Site(alice.name, a_sub, network, rng=alice.rng)
+    coordinator = Coordinator(b, network, rng=bob.rng)
+    site_shares, c_coord, info = star_exchange_item_supports(
+        coordinator,
+        [site],
+        [np.asarray(a_sub)],
+        np.asarray(b),
+        label_prefix=label_prefix,
+        send_u_counts=send_u_counts,
+    )
+    # Two-party aliases for the star-named ownership counters.
+    info["alice_items"] = info["site_owned_items"]
+    info["bob_items"] = info["coordinator_owned_items"]
+    return site_shares[0], c_coord, info

@@ -1,0 +1,50 @@
+"""Two-party facade plumbing: ``core`` protocol classes delegate to the engine.
+
+Since the engine unification every protocol family has exactly one
+implementation, written against the star topology in :mod:`repro.engine`.
+The classes in :mod:`repro.core` keep their historical names, signatures
+and cost reports, but contain no transport logic: they wrap the engine
+protocol and execute it in the two-party view (``k = 1`` — Alice is the
+star's single site, Bob its hub), which reproduces the pre-unification
+two-party transcripts bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.comm.protocol import Protocol, ProtocolResult
+from repro.engine.base import StarProtocol
+
+__all__ = ["EngineBackedProtocol"]
+
+
+class EngineBackedProtocol(Protocol):
+    """A two-party protocol implemented entirely by an engine protocol.
+
+    Subclasses set :attr:`engine_protocol`; constructor arguments are passed
+    through unchanged, and protocol parameters (``p``, ``epsilon``, ...)
+    are readable on the facade as attribute proxies.
+    """
+
+    #: The star protocol class this facade delegates to.
+    engine_protocol: ClassVar[type[StarProtocol]]
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(seed=kwargs.get("seed"))
+        self._engine = type(self).engine_protocol(*args, **kwargs)
+
+    def run(self, alice_data: Any, bob_data: Any) -> ProtocolResult:
+        """Execute the engine protocol in the two-party (single-site) view."""
+        return self._engine.run_two_party(alice_data, bob_data)
+
+    def _execute(self, alice, bob):  # pragma: no cover - run() is overridden
+        raise NotImplementedError("engine-backed protocols delegate run() to the engine")
+
+    def __getattr__(self, name: str) -> Any:
+        # Protocol parameters live on the engine protocol; proxy reads so
+        # `LpNormProtocol(...).epsilon` keeps working.  Dunder/underscore
+        # names are excluded to keep copy/pickle semantics sane.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.__dict__["_engine"], name)

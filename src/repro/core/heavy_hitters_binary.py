@@ -16,23 +16,20 @@ protocols:
    only ``O~(1/phi)`` candidates).
 4. A candidate is reported iff its estimated ``|C_ij|^p`` is at least
    ``(phi - eps/2) T``.
+
+The implementation lives in :mod:`repro.engine.heavy_hitters` (k-site);
+this class is the two-party ``k = 1`` facade.
 """
 
 from __future__ import annotations
 
-import math
+from repro.core.facade import EngineBackedProtocol
+from repro.engine.heavy_hitters import StarBinaryHeavyHittersProtocol
 
-import numpy as np
-
-from repro.comm import bitcost
-from repro.comm.party import Party
-from repro.comm.protocol import Protocol
-from repro.core.exchange import exchange_item_supports
-from repro.core.lp_norm import two_round_lp_pp_estimate
-from repro.core.result import HeavyHitterOutput
+__all__ = ["BinaryHeavyHittersProtocol"]
 
 
-class BinaryHeavyHittersProtocol(Protocol):
+class BinaryHeavyHittersProtocol(EngineBackedProtocol):
     """Heavy hitters of ``A B`` for binary matrices (Theorem 5.3).
 
     Parameters
@@ -49,124 +46,4 @@ class BinaryHeavyHittersProtocol(Protocol):
     """
 
     name = "heavy-hitters-binary"
-
-    def __init__(
-        self,
-        phi: float,
-        epsilon: float,
-        *,
-        p: float = 1.0,
-        alpha_constant: float = 32.0,
-        verify_constant: float = 16.0,
-        rho_constant: float = 48.0,
-        seed: int | None = None,
-    ) -> None:
-        super().__init__(seed=seed)
-        if not 0 < epsilon <= phi <= 1:
-            raise ValueError(f"need 0 < eps <= phi <= 1, got eps={epsilon}, phi={phi}")
-        if not 0 < p <= 2:
-            raise ValueError(f"p must be in (0, 2], got {p}")
-        self.phi = float(phi)
-        self.epsilon = float(epsilon)
-        self.p = float(p)
-        self.alpha_constant = float(alpha_constant)
-        self.verify_constant = float(verify_constant)
-        self.rho_constant = float(rho_constant)
-
-    # ----------------------------------------------------------------- run
-    def _execute(self, alice: Party, bob: Party):
-        a = np.asarray(alice.data)
-        b = np.asarray(bob.data)
-        if not np.all((a == 0) | (a == 1)) or not np.all((b == 0) | (b == 1)):
-            raise ValueError("binary heavy-hitter protocol requires 0/1 matrices")
-        a = a.astype(np.int64)
-        b = b.astype(np.int64)
-        if a.shape[1] != b.shape[0]:
-            raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
-        n_items = a.shape[1]
-        n = max(a.shape[0], n_items, b.shape[1])
-
-        # --- Step 1: estimate T = ||C||_p^p ---------------------------------
-        accuracy = min(0.5, self.epsilon / (4.0 * self.phi))
-        total_pp, _ = two_round_lp_pp_estimate(
-            alice,
-            bob,
-            p=self.p,
-            epsilon=accuracy,
-            rho_constant=self.rho_constant,
-            shared_rng=self.shared_rng,
-            label_prefix="hhb/",
-        )
-        if total_pp <= 0:
-            return HeavyHitterOutput(), {"total_pp": 0.0, "beta": 1.0}
-        bob.send(alice, total_pp, label="hhb/total-norm", bits=bitcost.FLOAT_BITS)
-        lp_norm_estimate = total_pp ** (1.0 / self.p)
-
-        # --- Step 2: universe sampling + index exchange ---------------------
-        alpha = (self.alpha_constant * math.log(max(n, 2))) ** (1.0 / self.p)
-        beta = min(alpha / (self.phi ** (1.0 / self.p) * lp_norm_estimate), 1.0)
-        kept_items = alice.rng.uniform(size=n_items) < beta
-        a_prime = a.copy()
-        a_prime[:, ~kept_items] = 0
-
-        c_alice, c_bob, exchange_info = exchange_item_supports(
-            alice, bob, a_prime, b, label_prefix="hhb/", send_u_counts=True
-        )
-
-        # --- Step 3: candidate generation -----------------------------------
-        candidate_threshold = (beta**self.p) * self.phi * total_pp / 20.0
-        alice_candidates = {
-            (int(i), int(j))
-            for i, j in zip(*np.nonzero(c_alice.astype(float) ** self.p >= candidate_threshold))
-        }
-        bob_candidates = {
-            (int(i), int(j))
-            for i, j in zip(*np.nonzero(c_bob.astype(float) ** self.p >= candidate_threshold))
-        }
-        alice.send(
-            bob,
-            sorted(alice_candidates),
-            label="hhb/alice-candidates",
-            bits=bitcost.bits_for_int(len(alice_candidates))
-            + len(alice_candidates) * 2 * bitcost.bits_for_index(max(n, 2)),
-        )
-        candidates = sorted(alice_candidates | bob_candidates)
-
-        # --- Step 4: verification by shared coordinate sampling -------------
-        sample_size = int(
-            min(
-                n_items,
-                max(8, math.ceil(self.verify_constant * (self.phi / self.epsilon) ** 2
-                                 * math.log(max(n, 2)))),
-            )
-        )
-        sample_coords = self.shared_rng.choice(n_items, size=sample_size, replace=False)
-        scale = n_items / sample_size
-
-        candidate_rows = sorted({i for i, _ in candidates})
-        rows_payload = {i: a[i, sample_coords] for i in candidate_rows}
-        alice.send(
-            bob,
-            rows_payload,
-            label="hhb/candidate-row-samples",
-            bits=len(candidate_rows) * (sample_size + bitcost.bits_for_index(max(n, 2))),
-        )
-
-        output_threshold = (self.phi - self.epsilon / 2.0) * total_pp
-        pairs = set()
-        estimates: dict[tuple[int, int], float] = {}
-        for i, j in candidates:
-            overlap = float(np.dot(rows_payload[i], b[sample_coords, j]))
-            estimate = overlap * scale if sample_size < n_items else overlap
-            if estimate**self.p >= output_threshold:
-                pairs.add((i, j))
-                estimates[(i, j)] = estimate
-        output = HeavyHitterOutput(pairs=pairs, estimates=estimates)
-        details = {
-            "total_pp": total_pp,
-            "beta": beta,
-            "candidates": len(candidates),
-            "verification_sample_size": sample_size,
-            "exchanged_indices": exchange_info["exchanged_indices"],
-        }
-        return output, details
+    engine_protocol = StarBinaryHeavyHittersProtocol

@@ -14,72 +14,34 @@ bits, ``O(1)`` rounds):
    down to ``C^beta`` with ``E[C^beta] = beta C`` while keeping every heavy
    entry detectable.
 3. The non-zero entries of ``C^beta`` are recovered exactly as an additive
-   split ``C_A + C_B`` via the distributed sparse-product protocol
-   (Lemma 2.5 substitute, :mod:`repro.distmm.sparse_product`).
+   split via the distributed sparse-product protocol (Lemma 2.5 substitute).
 4. Alice forwards her share's significant entries; Bob thresholds
    ``C' = C'_A + C_B`` at ``beta * ((phi - eps/2) T)^{1/p}`` and reports the
    surviving pairs with their rescaled estimates.
+
+The implementation lives in :mod:`repro.engine.heavy_hitters` (k-site,
+mergeable per-site summaries); this class is the two-party ``k = 1`` facade.
 """
 
 from __future__ import annotations
 
-import math
+from repro.core.facade import EngineBackedProtocol
+from repro.engine.heavy_hitters import (  # noqa: F401  (re-exported for compatibility)
+    StarHeavyHittersProtocol,
+    entry_sampling_rate,
+    forward_threshold,
+    report_heavy_entries,
+)
 
-import numpy as np
-
-from repro.comm import bitcost
-from repro.comm.party import Party
-from repro.comm.protocol import Protocol
-from repro.core.lp_norm import two_round_lp_pp_estimate
-from repro.core.result import HeavyHitterOutput
-from repro.distmm.sparse_product import sparse_product_shares
-
-
-def entry_sampling_rate(
-    phi: float, epsilon: float, p: float, *, beta_constant: float, n: int, total_pp: float
-) -> float:
-    """Step 2's down-sampling rate ``beta`` (shared with the k-party runtime)."""
-    heavy_value = ((phi / 8.0) * total_pp) ** (1.0 / p)
-    return min(
-        beta_constant
-        * math.log(max(n, 2))
-        / ((epsilon / phi) ** 2 * max(heavy_value, 1e-12)),
-        1.0,
-    )
+__all__ = [
+    "GeneralHeavyHittersProtocol",
+    "entry_sampling_rate",
+    "forward_threshold",
+    "report_heavy_entries",
+]
 
 
-def forward_threshold(
-    phi: float, epsilon: float, p: float, beta: float, total_pp: float
-) -> float:
-    """Step 4's threshold for forwarding locally significant entries."""
-    if p == 1.0:
-        # Faithful Algorithm 4 threshold for the forwarded entries.
-        return epsilon * beta * total_pp / 8.0
-    return beta * ((max(phi - epsilon, 0.0)) * total_pp) ** (1.0 / p) / 2.0
-
-
-def report_heavy_entries(
-    c_prime: np.ndarray, *, phi: float, epsilon: float, p: float, beta: float, total_pp: float
-) -> tuple[HeavyHitterOutput, float]:
-    """Final thresholding of ``C'``: the reported pairs with rescaled estimates.
-
-    Returns ``(output, output_threshold)``; shared by the two-party and
-    k-party protocols so the reporting rule cannot drift between runtimes.
-    """
-    if p == 1.0:
-        output_threshold = beta * (phi - epsilon / 2.0) * total_pp
-    else:
-        output_threshold = beta * ((phi - epsilon / 2.0) * total_pp) ** (1.0 / p)
-    pairs = set()
-    estimates: dict[tuple[int, int], float] = {}
-    for i, j in zip(*np.nonzero(c_prime >= output_threshold)):
-        pair = (int(i), int(j))
-        pairs.add(pair)
-        estimates[pair] = float(c_prime[i, j] / beta)
-    return HeavyHitterOutput(pairs=pairs, estimates=estimates), output_threshold
-
-
-class GeneralHeavyHittersProtocol(Protocol):
+class GeneralHeavyHittersProtocol(EngineBackedProtocol):
     """Heavy hitters of ``A B`` for non-negative integer matrices.
 
     Parameters
@@ -97,143 +59,4 @@ class GeneralHeavyHittersProtocol(Protocol):
     """
 
     name = "heavy-hitters-general"
-
-    def __init__(
-        self,
-        phi: float,
-        epsilon: float,
-        *,
-        p: float = 1.0,
-        beta_constant: float = 64.0,
-        rho_constant: float = 48.0,
-        seed: int | None = None,
-    ) -> None:
-        super().__init__(seed=seed)
-        if not 0 < epsilon <= phi <= 1:
-            raise ValueError(f"need 0 < eps <= phi <= 1, got eps={epsilon}, phi={phi}")
-        if not 0 < p <= 2:
-            raise ValueError(f"p must be in (0, 2], got {p}")
-        self.phi = float(phi)
-        self.epsilon = float(epsilon)
-        self.p = float(p)
-        self.beta_constant = float(beta_constant)
-        self.rho_constant = float(rho_constant)
-
-    # ----------------------------------------------------------------- run
-    def _execute(self, alice: Party, bob: Party):
-        a = np.asarray(alice.data, dtype=np.int64)
-        b = np.asarray(bob.data, dtype=np.int64)
-        if np.any(a < 0) or np.any(b < 0):
-            raise ValueError("heavy-hitter protocol requires non-negative matrices")
-        if a.shape[1] != b.shape[0]:
-            raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
-        n = max(a.shape[0], a.shape[1], b.shape[1])
-
-        # --- Step 1: both parties learn T ~ ||C||_p^p -----------------------
-        total_pp = self._estimate_total_pp(alice, bob, a, b)
-        if total_pp <= 0:
-            return HeavyHitterOutput(), {"total_pp": 0.0, "beta": 1.0}
-        bob.send(alice, total_pp, label="hh/total-norm", bits=bitcost.FLOAT_BITS)
-
-        # --- Step 2: Alice scales C down by entry sampling ------------------
-        beta = entry_sampling_rate(
-            self.phi, self.epsilon, self.p,
-            beta_constant=self.beta_constant, n=n, total_pp=total_pp,
-        )
-        keep = alice.rng.uniform(size=a.shape) < beta
-        a_beta = np.where((a != 0) & keep, a, 0).astype(np.int64)
-
-        # --- Step 3: distributed recovery of C^beta = C_A + C_B -------------
-        c_alice, c_bob = self._sparse_product_exchange(alice, bob, a_beta, b)
-
-        # --- Step 4: Alice forwards significant entries, Bob thresholds -----
-        report_threshold = forward_threshold(
-            self.phi, self.epsilon, self.p, beta, total_pp
-        )
-        heavy_alice = {
-            (int(i), int(j)): int(c_alice[i, j])
-            for i, j in zip(*np.nonzero(c_alice > report_threshold))
-        }
-        alice_bits = bitcost.bits_for_int(len(heavy_alice)) + len(heavy_alice) * (
-            2 * bitcost.bits_for_index(max(n, 2)) + bitcost.INT_ENTRY_BITS
-        )
-        alice.send(bob, heavy_alice, label="hh/alice-heavy-entries", bits=alice_bits)
-
-        c_prime = c_bob.astype(float)
-        for (i, j), value in heavy_alice.items():
-            c_prime[i, j] += value
-
-        output, output_threshold = report_heavy_entries(
-            c_prime,
-            phi=self.phi, epsilon=self.epsilon, p=self.p, beta=beta, total_pp=total_pp,
-        )
-        details = {
-            "total_pp": total_pp,
-            "beta": beta,
-            "scaled_nonzeros": int(np.count_nonzero(c_alice) + np.count_nonzero(c_bob)),
-            "output_threshold": output_threshold,
-        }
-        return output, details
-
-    # ------------------------------------------------------------ internals
-    def _estimate_total_pp(
-        self, alice: Party, bob: Party, a: np.ndarray, b: np.ndarray
-    ) -> float:
-        """Step 1: ``||C||_p^p`` — exact (Remark 2) for p=1, Algorithm 1 otherwise."""
-        if self.p == 1.0:
-            column_sums = a.sum(axis=0)
-            bits = a.shape[1] * bitcost.bits_for_int(int(max(column_sums.max(), 1)))
-            alice.send(bob, column_sums, label="hh/column-sums", bits=bits)
-            return float(column_sums.astype(float) @ b.sum(axis=1).astype(float))
-        accuracy = min(0.5, self.epsilon / (4.0 * self.phi))
-        estimate, _ = two_round_lp_pp_estimate(
-            alice,
-            bob,
-            p=self.p,
-            epsilon=accuracy,
-            rho_constant=self.rho_constant,
-            shared_rng=self.shared_rng,
-            label_prefix="hh/",
-        )
-        return float(estimate)
-
-    @staticmethod
-    def _sparse_product_exchange(
-        alice: Party, bob: Party, a_beta: np.ndarray, b: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Lemma 2.5 substitute run inline on the enclosing channel."""
-        n_items = a_beta.shape[1]
-        u = np.count_nonzero(a_beta, axis=0)
-        v = np.count_nonzero(b, axis=1)
-        alice.send(
-            bob,
-            u,
-            label="hh/sparse-product-counts",
-            bits=n_items * bitcost.bits_for_index(max(int(a_beta.shape[0]) + 1, 2)),
-        )
-
-        active = (u > 0) & (v > 0)
-        bob_ships = active & (v < u)
-        alice_ships = active & (v >= u)
-        values_are_binary = bool(
-            np.all((a_beta == 0) | (a_beta == 1)) and np.all((b == 0) | (b == 1))
-        )
-        value_bits = 0 if values_are_binary else bitcost.INT_ENTRY_BITS
-
-        bob_bits = n_items
-        for j in np.flatnonzero(bob_ships):
-            count = int(np.count_nonzero(b[j, :]))
-            bob_bits += count * (bitcost.bits_for_index(max(b.shape[1], 1)) + value_bits)
-        bob.send(alice, {"items": np.flatnonzero(bob_ships)}, label="hh/bob-lists", bits=bob_bits)
-
-        alice_bits = 0
-        for j in np.flatnonzero(alice_ships):
-            count = int(np.count_nonzero(a_beta[:, j]))
-            alice_bits += count * (bitcost.bits_for_index(max(a_beta.shape[0], 1)) + value_bits)
-        alice.send(
-            bob, {"items": np.flatnonzero(alice_ships)}, label="hh/alice-lists", bits=alice_bits
-        )
-
-        # Ownership: Bob accumulates items Alice shipped, and vice versa.
-        c_alice, c_bob = sparse_product_shares(a_beta, b, owner_is_bob=alice_ships)
-        return c_alice, c_bob
+    engine_protocol = StarHeavyHittersProtocol

@@ -10,55 +10,23 @@ composes two linear sketches, both applied to the *columns* of ``C``:
   draw a uniform non-zero row index inside a chosen column.
 
 Because columns of ``C`` satisfy ``C_{*,j} = A B_{*,j}``, Alice sends ``S A``
-and ``T A`` (one round, ``O~(n / eps^2)`` bits) and Bob finishes locally:
-he computes ``S A B`` and ``T A B``, picks a column proportionally to its
-estimated ``l_0`` norm, and recovers a uniform non-zero row in that column.
+and ``T A`` (one round, ``O~(n / eps^2)`` bits) and Bob finishes locally.
+The implementation lives in :mod:`repro.engine.l0_sampling` (k-site,
+mergeable partial sketches); this class is the two-party ``k = 1`` facade.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.core.facade import EngineBackedProtocol
+from repro.engine.l0_sampling import (  # noqa: F401  (re-exported for compatibility)
+    StarL0SamplingProtocol,
+    finish_l0_sample,
+)
 
-from repro.comm import bitcost
-from repro.comm.party import Party
-from repro.comm.protocol import Protocol
-from repro.core.result import SampleOutput
-from repro.sketch.l0_sampler import L0Sampler
-from repro.sketch.l0_sketch import L0Sketch
-
-
-def finish_l0_sample(
-    l0_sketch: L0Sketch,
-    sampler: L0Sampler,
-    sketched_c: np.ndarray,
-    sampler_c: np.ndarray,
-    rng: np.random.Generator,
-) -> tuple[SampleOutput, dict]:
-    """Receiver-side finish: pick a column by estimated ``l_0`` mass, then
-    recover a uniform non-zero row inside it.
-
-    Shared by the two-party protocol (Bob finishes) and the k-party runtime
-    (the coordinator finishes on the merged site summaries), so the column
-    choice and failure handling cannot drift between the two.
-    """
-    column_l0 = np.maximum(l0_sketch.estimate_rows_pp(sketched_c.T), 0.0)
-    total = float(column_l0.sum())
-    if total <= 0:
-        return SampleOutput(row=None, col=None), {"column_mass": 0.0}
-    col = int(rng.choice(sketched_c.shape[1], p=column_l0 / total))
-    outcome = sampler.sample(sampler_c[:, col])
-    if not outcome.success:
-        return (
-            SampleOutput(row=None, col=None),
-            {"column_mass": total, "column": col, "sampler_failed": True},
-        )
-    return (
-        SampleOutput(row=int(outcome.index), col=col, value=float(outcome.value)),
-        {"column_mass": total, "column": col, "sampler_level": outcome.level},
-    )
+__all__ = ["L0SamplingProtocol", "finish_l0_sample"]
 
 
-class L0SamplingProtocol(Protocol):
+class L0SamplingProtocol(EngineBackedProtocol):
     """One-round ``l_0``-sampling on ``C = A B`` (Theorem 3.2).
 
     Parameters
@@ -72,38 +40,4 @@ class L0SamplingProtocol(Protocol):
     """
 
     name = "l0-sampling-one-round"
-
-    def __init__(
-        self,
-        epsilon: float = 0.25,
-        *,
-        sampler_repetitions: int = 8,
-        seed: int | None = None,
-    ) -> None:
-        super().__init__(seed=seed)
-        if not 0 < epsilon <= 1:
-            raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
-        self.epsilon = float(epsilon)
-        self.sampler_repetitions = int(sampler_repetitions)
-
-    def _execute(self, alice: Party, bob: Party):
-        a = np.asarray(alice.data)
-        b = np.asarray(bob.data)
-        if a.shape[1] != b.shape[0]:
-            raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
-        n_rows = a.shape[0]
-
-        l0_sketch = L0Sketch.for_accuracy(n_rows, self.epsilon, self.shared_rng)
-        sampler = L0Sampler(n_rows, self.shared_rng, repetitions=self.sampler_repetitions)
-
-        sketched_a = l0_sketch.matrix @ a.astype(np.int64)
-        sampler_a = sampler.matrix @ a.astype(np.int64)
-        payload = {"l0_sketch_of_A": sketched_a, "sampler_of_A": sampler_a}
-        bits = bitcost.bits_for_matrix(sketched_a) + bitcost.bits_for_matrix(sampler_a)
-        alice.send(bob, payload, label="sketches-of-A", bits=bits)
-
-        # Bob finishes locally: sketches of every column of C.
-        sketched_c = sketched_a @ b.astype(np.int64)  # (l0 rows, n_cols)
-        sampler_c = sampler_a @ b.astype(np.int64)  # (sampler rows, n_cols)
-
-        return finish_l0_sample(l0_sketch, sampler, sketched_c, sampler_c, bob.rng)
+    engine_protocol = StarL0SamplingProtocol

@@ -11,49 +11,27 @@ entry of ``C`` proportionally to its value reduces to sampling the shared
 item ``j`` proportionally to ``||A_{*,j}||_1 ||B_{j,*}||_1`` and then a
 random "witness" on each side (Remark 3).  Both protocols use ``O(n log n)``
 bits and one round.
+
+The implementations live in :mod:`repro.engine.l1` (k-site, mergeable
+column sums); these classes are the two-party ``k = 1`` facades.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.core.facade import EngineBackedProtocol
+from repro.engine.l1 import StarExactL1Protocol, StarL1SamplingProtocol
 
-from repro.comm import bitcost
-from repro.comm.party import Party
-from repro.comm.protocol import Protocol
-from repro.core.result import SampleOutput
+__all__ = ["ExactL1Protocol", "L1SamplingProtocol"]
 
 
-def _check_nonnegative(matrix: np.ndarray, who: str) -> np.ndarray:
-    matrix = np.asarray(matrix)
-    if np.any(matrix < 0):
-        raise ValueError(
-            f"{who}'s matrix has negative entries; Remark 2/3 require "
-            "entrywise non-negative matrices (e.g. binary join matrices)"
-        )
-    return matrix
-
-
-class ExactL1Protocol(Protocol):
+class ExactL1Protocol(EngineBackedProtocol):
     """Remark 2: exact ``||A B||_1`` with ``O(n log n)`` bits, one round."""
 
     name = "l1-exact-one-round"
-
-    def _execute(self, alice: Party, bob: Party):
-        a = _check_nonnegative(alice.data, "Alice")
-        b = _check_nonnegative(bob.data, "Bob")
-        if a.shape[1] != b.shape[0]:
-            raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
-
-        column_sums = a.sum(axis=0)
-        bits = a.shape[1] * bitcost.bits_for_int(int(max(column_sums.max(), 1)))
-        alice.send(bob, column_sums, label="column-sums", bits=bits)
-
-        row_sums = b.sum(axis=1)
-        value = float(np.dot(column_sums.astype(float), row_sums.astype(float)))
-        return value, {"column_sums_bits": bits}
+    engine_protocol = StarExactL1Protocol
 
 
-class L1SamplingProtocol(Protocol):
+class L1SamplingProtocol(EngineBackedProtocol):
     """Remark 3: ``l_1``-sampling of an entry of ``A B`` in one round.
 
     Returns a :class:`repro.core.result.SampleOutput` whose ``(row, col)`` is
@@ -61,40 +39,4 @@ class L1SamplingProtocol(Protocol):
     """
 
     name = "l1-sampling-one-round"
-
-    def _execute(self, alice: Party, bob: Party):
-        a = _check_nonnegative(alice.data, "Alice")
-        b = _check_nonnegative(bob.data, "Bob")
-        if a.shape[1] != b.shape[0]:
-            raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
-        n_inner = a.shape[1]
-
-        column_sums = a.sum(axis=0).astype(float)
-        # One witness row index per shared item j, sampled proportionally to
-        # the column values A_{*, j}.
-        witnesses = np.full(n_inner, -1, dtype=np.int64)
-        for j in range(n_inner):
-            if column_sums[j] > 0:
-                probabilities = a[:, j] / column_sums[j]
-                witnesses[j] = alice.rng.choice(a.shape[0], p=probabilities)
-        bits = n_inner * (
-            bitcost.bits_for_int(int(max(column_sums.max(), 1)))
-            + bitcost.bits_for_index(max(a.shape[0], 1))
-        )
-        alice.send(
-            bob,
-            {"column_sums": column_sums, "witnesses": witnesses},
-            label="column-sums+witnesses",
-            bits=bits,
-        )
-
-        row_sums = b.sum(axis=1).astype(float)
-        masses = column_sums * row_sums
-        total = masses.sum()
-        if total <= 0:
-            return SampleOutput(row=None, col=None), {"total_mass": 0.0}
-        j = int(bob.rng.choice(n_inner, p=masses / total))
-        col_probabilities = b[j, :] / row_sums[j]
-        col = int(bob.rng.choice(b.shape[1], p=col_probabilities))
-        row = int(witnesses[j])
-        return SampleOutput(row=row, col=col), {"total_mass": float(total), "item": j}
+    engine_protocol = StarL1SamplingProtocol

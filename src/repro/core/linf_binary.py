@@ -5,131 +5,26 @@ Algorithm 2 (Theorem 4.1) gives a ``(2 + eps)``-approximation in 3 rounds and
 ``kappa``-approximation for ``kappa in [4, n]`` in ``O(1)`` rounds and
 ``O~(n^{1.5}/kappa)`` bits.
 
-Both share the same skeleton:
-
-1. *Down-scaling by sampling.*  Alice subsamples the 1-entries of ``A`` at
-   geometrically decreasing rates ``p_l`` (``(1+eps)^{-l}`` for Algorithm 2,
-   ``2^{-l}`` for Algorithm 3) to obtain nested matrices ``A^l``; ``||A^l
-   B||_1`` is computed cheaply via Remark 2 (Alice sends the column sums of
-   every ``A^l``), and the first level ``l*`` whose ``l_1`` mass falls below
-   a threshold (``gamma n^2`` resp. ``alpha n^2 / kappa``) is selected.
-
-2. *Per-item index exchange* (:func:`repro.core.exchange.exchange_item_supports`):
-   for every shared item the party with fewer incident sets ships its index
-   list, so the two parties end up with an additive split
-   ``C_A + C_B = A^{l*} B``.
-
-3. The output is ``max(||C_A||_inf, ||C_B||_inf) / p_{l*}`` — within a
-   factor ``2`` because a single entry is split across at most the two
-   shares, and within ``(1 + eps)`` of ``||C||_inf`` after rescaling because
-   the sampling preserves large entries (Lemma 4.2).
-
-Algorithm 3 additionally applies *universe sampling* (each shared item is
-kept with probability ``q = min(alpha/kappa, 1)``) before the level search,
-which is what improves the bound from ``O~(n^{1.5}/sqrt(kappa))`` to
-``O~(n^{1.5}/kappa)``.
+Both share the same skeleton — down-scaling by nested sampling, per-level
+column sums (Remark 2) to select a level, the per-item index exchange
+(:mod:`repro.engine.exchange`), and a rescaled maximum over the additive
+shares; Algorithm 3 additionally applies universe sampling before the level
+search.  The implementations live in :mod:`repro.engine.linf` (k-site);
+these classes are the two-party ``k = 1`` facades.
 """
 
 from __future__ import annotations
 
-import math
+from repro.core.facade import EngineBackedProtocol
+from repro.engine.linf import (
+    StarKappaApproxLinfProtocol,
+    StarTwoPlusEpsilonLinfProtocol,
+)
 
-import numpy as np
-
-from repro.comm import bitcost
-from repro.comm.party import Party
-from repro.comm.protocol import Protocol
-from repro.core.exchange import exchange_item_supports
-
-
-def _require_binary(matrix: np.ndarray, who: str) -> np.ndarray:
-    matrix = np.asarray(matrix)
-    if not np.all((matrix == 0) | (matrix == 1)):
-        raise ValueError(f"{who}'s matrix must be binary for this protocol")
-    return matrix.astype(np.int64)
+__all__ = ["KappaApproxLinfProtocol", "TwoPlusEpsilonLinfProtocol"]
 
 
-class _NestedSampler:
-    """Nested subsamples of the 1-entries of ``a`` at geometric keep-rates.
-
-    A single uniform priority per 1-entry makes the levels nested (level
-    ``l`` keeps an entry iff its priority is below ``keep_rates[l]``), the
-    coupling the paper's between-level Chernoff argument relies on.  Levels
-    are materialised lazily: only the selected level's matrix is built.
-    """
-
-    def __init__(self, a: np.ndarray, keep_rates: np.ndarray, rng: np.random.Generator) -> None:
-        self.ones = a != 0
-        self.keep_rates = np.asarray(keep_rates, dtype=float)
-        self.priorities = rng.uniform(size=a.shape)
-
-    def column_sums(self) -> np.ndarray:
-        """Column sums of every level matrix, shape ``(levels, n_items)``."""
-        return np.stack(
-            [
-                (self.ones & (self.priorities < rate)).sum(axis=0)
-                for rate in self.keep_rates
-            ]
-        )
-
-    def level_matrix(self, level: int) -> np.ndarray:
-        """Materialise the binary matrix of one level."""
-        rate = self.keep_rates[level]
-        return (self.ones & (self.priorities < rate)).astype(np.int64)
-
-
-def _select_level(
-    alice: Party,
-    bob: Party,
-    sampler: _NestedSampler,
-    b: np.ndarray,
-    threshold: float,
-    *,
-    label_prefix: str,
-) -> tuple[int, np.ndarray]:
-    """Rounds 1-2 of the skeleton: pick the first level with small l1 mass.
-
-    Alice sends the column sums of every level matrix (Remark 2 applied per
-    level); Bob computes ``||A^l B||_1`` for each level, picks the first
-    ``l*`` at or below ``threshold`` and announces it.
-    """
-    column_sums = sampler.column_sums()
-    n_rows = int(sampler.ones.shape[0])
-    bits = column_sums.size * bitcost.bits_for_index(max(n_rows + 1, 2))
-    alice.send(bob, column_sums, label=f"{label_prefix}level-column-sums", bits=bits)
-
-    row_sums = b.sum(axis=1).astype(float)
-    masses = column_sums.astype(float) @ row_sums
-    below = np.flatnonzero(masses <= threshold)
-    l_star = int(below[0]) if below.size else len(masses) - 1
-    bob.send(
-        alice,
-        l_star,
-        label=f"{label_prefix}level-choice",
-        bits=bitcost.bits_for_index(max(len(masses), 2)),
-    )
-    return l_star, masses
-
-
-def _split_and_take_max(
-    alice: Party,
-    bob: Party,
-    level_matrix: np.ndarray,
-    b: np.ndarray,
-    *,
-    label_prefix: str,
-) -> tuple[float, dict]:
-    """Steps 7-14 of Algorithm 2: index exchange and the 2-way maximum."""
-    c_alice, c_bob, info = exchange_item_supports(
-        alice, bob, level_matrix, b, label_prefix=label_prefix, send_u_counts=False
-    )
-    alice_max = float(c_alice.max()) if c_alice.size else 0.0
-    bob_max = float(c_bob.max()) if c_bob.size else 0.0
-    alice.send(bob, alice_max, label=f"{label_prefix}alice-share-max", bits=bitcost.FLOAT_BITS)
-    return max(alice_max, bob_max), info
-
-
-class TwoPlusEpsilonLinfProtocol(Protocol):
+class TwoPlusEpsilonLinfProtocol(EngineBackedProtocol):
     """Algorithm 2: ``(2 + eps)``-approximation of ``||A B||_inf`` (binary).
 
     Parameters
@@ -148,63 +43,10 @@ class TwoPlusEpsilonLinfProtocol(Protocol):
     """
 
     name = "linf-binary-2plus-eps"
-
-    def __init__(
-        self,
-        epsilon: float = 0.25,
-        *,
-        gamma_constant: float = 100.0,
-        gamma: float | None = None,
-        seed: int | None = None,
-    ) -> None:
-        super().__init__(seed=seed)
-        if not 0 < epsilon <= 1:
-            raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
-        self.epsilon = float(epsilon)
-        self.gamma_constant = float(gamma_constant)
-        self.gamma = gamma
-
-    def _execute(self, alice: Party, bob: Party):
-        a = _require_binary(alice.data, "Alice")
-        b = _require_binary(bob.data, "Bob")
-        if a.shape[1] != b.shape[0]:
-            raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
-        n = max(a.shape[0], a.shape[1], b.shape[1])
-
-        ones_in_a = int(a.sum())
-        if ones_in_a == 0 or int(b.sum()) == 0:
-            alice.send(bob, 0, label="empty", bits=1)
-            return 0.0, {"level": 0, "keep_rate": 1.0}
-
-        gamma = (
-            self.gamma
-            if self.gamma is not None
-            else self.gamma_constant * math.log(max(n, 2)) / self.epsilon**2
-        )
-        threshold = gamma * a.shape[0] * b.shape[1]
-
-        num_levels = int(math.ceil(math.log(max(ones_in_a, 2)) / math.log1p(self.epsilon))) + 1
-        keep_rates = (1.0 + self.epsilon) ** (-np.arange(num_levels))
-        sampler = _NestedSampler(a, keep_rates, alice.rng)
-
-        l_star, masses = _select_level(alice, bob, sampler, b, threshold, label_prefix="alg2/")
-        keep_rate = float(keep_rates[l_star])
-
-        shared_max, info = _split_and_take_max(
-            alice, bob, sampler.level_matrix(l_star), b, label_prefix="alg2/"
-        )
-        estimate = shared_max / keep_rate
-        details = {
-            "level": l_star,
-            "keep_rate": keep_rate,
-            "level_l1_mass": float(masses[l_star]),
-            "threshold": threshold,
-            "exchanged_indices": info["exchanged_indices"],
-        }
-        return estimate, details
+    engine_protocol = StarTwoPlusEpsilonLinfProtocol
 
 
-class KappaApproxLinfProtocol(Protocol):
+class KappaApproxLinfProtocol(EngineBackedProtocol):
     """Algorithm 3: ``kappa``-approximation of ``||A B||_inf`` (binary).
 
     Parameters
@@ -218,79 +60,4 @@ class KappaApproxLinfProtocol(Protocol):
     """
 
     name = "linf-binary-kappa"
-
-    def __init__(
-        self,
-        kappa: float,
-        *,
-        alpha_constant: float = 32.0,
-        seed: int | None = None,
-    ) -> None:
-        super().__init__(seed=seed)
-        if kappa < 1:
-            raise ValueError(f"kappa must be >= 1, got {kappa}")
-        self.kappa = float(kappa)
-        self.alpha_constant = float(alpha_constant)
-
-    def _execute(self, alice: Party, bob: Party):
-        a = _require_binary(alice.data, "Alice")
-        b = _require_binary(bob.data, "Bob")
-        if a.shape[1] != b.shape[0]:
-            raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
-        n = max(a.shape[0], a.shape[1], b.shape[1])
-        n_items = a.shape[1]
-
-        alpha = self.alpha_constant * math.log(max(n, 2))
-        q = min(alpha / self.kappa, 1.0)
-
-        # Universe sampling: keep each shared item (column of A) with prob q.
-        kept_items = alice.rng.uniform(size=n_items) < q
-        a_prime = a.copy()
-        a_prime[:, ~kept_items] = 0
-
-        # Remark 2 on both A and A': Alice ships both column-sum vectors.
-        column_sums_a = a.sum(axis=0)
-        column_sums_a_prime = a_prime.sum(axis=0)
-        bits = 2 * n_items * bitcost.bits_for_index(max(int(a.shape[0]) + 1, 2))
-        alice.send(
-            bob,
-            {"A": column_sums_a, "A_prime": column_sums_a_prime},
-            label="alg3/column-sums",
-            bits=bits,
-        )
-        row_sums = b.sum(axis=1).astype(float)
-        c_l1 = float(column_sums_a.astype(float) @ row_sums)
-        d_l1 = float(column_sums_a_prime.astype(float) @ row_sums)
-
-        if d_l1 == 0:
-            value = 0.0 if c_l1 == 0 else 1.0
-            bob.send(alice, value, label="alg3/degenerate-output", bits=bitcost.FLOAT_BITS)
-            return value, {"universe_keep_rate": q, "degenerate": True}
-
-        ones_in_a_prime = max(int(a_prime.sum()), 2)
-        num_levels = int(math.ceil(math.log2(ones_in_a_prime))) + 1
-        keep_rates = 2.0 ** (-np.arange(num_levels))
-        sampler = _NestedSampler(a_prime, keep_rates, alice.rng)
-        threshold = alpha * a.shape[0] * b.shape[1] / self.kappa
-
-        l_star, masses = _select_level(alice, bob, sampler, b, threshold, label_prefix="alg3/")
-        keep_rate = float(keep_rates[l_star])
-
-        shared_max, info = _split_and_take_max(
-            alice, bob, sampler.level_matrix(l_star), b, label_prefix="alg3/"
-        )
-        estimate = shared_max / (q * keep_rate)
-        if estimate == 0.0 and c_l1 > 0:
-            # All surviving mass vanished after subsampling; the paper's
-            # fallback is to output 1, which is a valid kappa-approximation
-            # because event E5 bounds every entry by kappa/4 in this case.
-            estimate = 1.0
-        details = {
-            "universe_keep_rate": q,
-            "level": l_star,
-            "keep_rate": keep_rate,
-            "level_l1_mass": float(masses[l_star]),
-            "threshold": threshold,
-            "exchanged_indices": info["exchanged_indices"],
-        }
-        return estimate, details
+    engine_protocol = StarKappaApproxLinfProtocol

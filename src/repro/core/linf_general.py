@@ -4,33 +4,22 @@ For general (non-binary) integer matrices the paper shows a sharp contrast
 with the binary case: ``Theta~(n^2/kappa^2)`` communication is both necessary
 and sufficient for a ``kappa``-approximation.  The upper bound is a one-round
 protocol built from a classic ``l_inf``-via-``l_2`` block sketch
-(Saks–Sun [33]):
+(Saks–Sun [33]): AMS-sketch blocks of ``kappa^2`` coordinates and output the
+largest block-``l_2`` estimate.
 
-* partition the ``n`` coordinates of a column of ``C`` into ``ceil(n/kappa^2)``
-  blocks of size ``kappa^2``;
-* AMS-sketch each block with ``O(1)`` rows;
-* since ``||y||_inf <= ||y||_2 <= kappa ||y||_inf`` for a block ``y`` of size
-  ``kappa^2``, the largest block-``l_2`` estimate approximates ``||C||_inf``
-  within a factor ``kappa`` (up to the AMS error).
-
-Alice applies the sketch to her matrix (sending ``S A``, which has
-``O~(n/kappa^2)`` rows and ``n`` columns, i.e. ``O~(n^2/kappa^2)`` entries);
-Bob computes ``S A B`` locally and takes the maximum block estimate over all
-columns.
+The implementation lives in :mod:`repro.engine.linf` (k-site, mergeable
+partial sketch images); this class is the two-party ``k = 1`` facade.
 """
 
 from __future__ import annotations
 
-import math
+from repro.core.facade import EngineBackedProtocol
+from repro.engine.linf import StarGeneralMatrixLinfProtocol
 
-import numpy as np
-
-from repro.comm import bitcost
-from repro.comm.party import Party
-from repro.comm.protocol import Protocol
+__all__ = ["GeneralMatrixLinfProtocol"]
 
 
-class GeneralMatrixLinfProtocol(Protocol):
+class GeneralMatrixLinfProtocol(EngineBackedProtocol):
     """One-round ``kappa``-approximation of ``||A B||_inf`` for integer matrices.
 
     Parameters
@@ -44,58 +33,4 @@ class GeneralMatrixLinfProtocol(Protocol):
     """
 
     name = "linf-general-blocked-ams"
-
-    def __init__(
-        self,
-        kappa: float,
-        *,
-        rows_per_block: int = 24,
-        seed: int | None = None,
-    ) -> None:
-        super().__init__(seed=seed)
-        if kappa < 1:
-            raise ValueError(f"kappa must be >= 1, got {kappa}")
-        if rows_per_block < 1:
-            raise ValueError("rows_per_block must be >= 1")
-        self.kappa = float(kappa)
-        self.rows_per_block = int(rows_per_block)
-
-    def _execute(self, alice: Party, bob: Party):
-        a = np.asarray(alice.data, dtype=np.int64)
-        b = np.asarray(bob.data, dtype=np.int64)
-        if a.shape[1] != b.shape[0]:
-            raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
-        n_rows = a.shape[0]
-
-        block_size = max(1, min(n_rows, int(math.floor(self.kappa**2))))
-        num_blocks = int(math.ceil(n_rows / block_size))
-
-        # Block-diagonal sign sketch over the rows of C (shared randomness).
-        sketch = np.zeros((num_blocks * self.rows_per_block, n_rows))
-        block_of_row = np.arange(n_rows) // block_size
-        signs = self.shared_rng.choice(
-            np.array([-1.0, 1.0]), size=(num_blocks * self.rows_per_block, n_rows)
-        )
-        for block in range(num_blocks):
-            members = block_of_row == block
-            rows = slice(block * self.rows_per_block, (block + 1) * self.rows_per_block)
-            sketch[rows, members] = signs[rows, members]
-
-        sketched_a = sketch @ a.astype(float)
-        alice.send(
-            bob,
-            sketched_a,
-            label="sketch-of-A",
-            bits=bitcost.bits_for_matrix(sketched_a),
-        )
-
-        sketched_c = sketched_a @ b.astype(float)  # (num_blocks * rows, n_cols)
-        per_block = sketched_c.reshape(num_blocks, self.rows_per_block, -1)
-        block_l2_estimates = np.sqrt(np.mean(per_block**2, axis=1))  # (num_blocks, n_cols)
-        estimate = float(block_l2_estimates.max()) if block_l2_estimates.size else 0.0
-        details = {
-            "block_size": block_size,
-            "num_blocks": num_blocks,
-            "sketch_rows": int(sketch.shape[0]),
-        }
-        return estimate, details
+    engine_protocol = StarGeneralMatrixLinfProtocol

@@ -21,172 +21,25 @@ Theorem 3.1 of the paper.  The protocol:
 Total communication ``O~(n/eps)`` — a ``1/eps`` factor better than the
 one-round baseline of [16] (see :mod:`repro.baselines.one_round`).
 
-The protocol body is exposed as :func:`two_round_lp_pp_estimate` so the
-heavy-hitter protocols (Section 5) can reuse it as a subroutine on the same
-channel, exactly as Corollary 5.2 prescribes.
+The implementation lives in :mod:`repro.engine.lp_norm` (the star protocol
+parameterized by the number of sites k); this class is the two-party
+``k = 1`` facade, and the heavy-hitter protocols reuse the same body as a
+subroutine exactly as Corollary 5.2 prescribes.
 """
 
 from __future__ import annotations
 
-import math
+from repro.core.facade import EngineBackedProtocol
+from repro.engine.lp_norm import (  # noqa: F401  (re-exported for compatibility)
+    StarLpNormProtocol,
+    sample_block_rows,
+    weighted_block_pp,
+)
 
-import numpy as np
-
-from repro.comm import bitcost
-from repro.comm.party import Party
-from repro.comm.protocol import Protocol
-from repro.sketch.lp_sketch import make_lp_sketch
-
-
-def _assign_groups(row_estimates: np.ndarray, beta: float) -> np.ndarray:
-    """Geometric grouping of rows by estimated norm.
-
-    Group ``l`` holds rows with estimate in ``[(1+beta)^l, (1+beta)^{l+1})``;
-    rows with estimate in ``(0, 1)`` share group 0 and zero rows get group -1
-    (they are never sampled and contribute nothing to the sum).
-    """
-    group_of = np.full(row_estimates.shape, -1, dtype=np.int64)
-    positive = row_estimates > 0
-    log_base = math.log1p(beta)
-    with np.errstate(divide="ignore"):
-        raw = np.floor(np.log(row_estimates[positive]) / log_base)
-    group_of[positive] = np.maximum(raw, 0).astype(np.int64)
-    return group_of
+__all__ = ["LpNormProtocol", "sample_block_rows", "weighted_block_pp"]
 
 
-def _sampling_probabilities(
-    row_estimates: np.ndarray,
-    group_of: np.ndarray,
-    rho: float,
-    total_estimate: float,
-) -> np.ndarray:
-    """Per-row sampling probability ``p_l`` from the paper, capped at 1."""
-    probs = np.zeros(row_estimates.shape)
-    for group in np.unique(group_of):
-        if group < 0:
-            continue
-        members = group_of == group
-        group_mass = float(np.sum(row_estimates[members]))
-        group_size = int(np.count_nonzero(members))
-        p_l = (rho / group_size) * (group_mass / total_estimate)
-        probs[members] = min(1.0, p_l)
-    return probs
-
-
-def sample_block_rows(
-    a: np.ndarray,
-    row_estimates: np.ndarray,
-    *,
-    beta: float,
-    rho: float,
-    rng: np.random.Generator,
-    total_rows: int,
-    row_offset: int = 0,
-) -> tuple[dict, int]:
-    """Group-sample the rows of one block of ``A`` (Algorithm 1, round 2).
-
-    Shared by the two-party protocol (one block = all of ``A``) and the
-    k-party runtime (one block per site shard, identified by
-    ``row_offset``), so the sampling logic and the round-2 bit-accounting
-    formula cannot drift apart.  Returns ``(payload, bits)``; the payload's
-    ``rows`` are global row indices.
-    """
-    block_total = float(np.sum(row_estimates))
-    group_of = _assign_groups(row_estimates, beta)
-    sample_probs = _sampling_probabilities(row_estimates, group_of, rho, block_total)
-    sampled_mask = rng.uniform(size=a.shape[0]) < sample_probs
-    sampled_rows = np.flatnonzero(sampled_mask)
-    weights = 1.0 / sample_probs[sampled_rows]
-
-    payload = {
-        "rows": row_offset + sampled_rows,
-        "weights": weights,
-        "a_rows": a[sampled_rows],
-    }
-    is_binary = bool(np.all((a == 0) | (a == 1)))
-    per_row_bits = a.shape[1] if is_binary else a.shape[1] * bitcost.INT_ENTRY_BITS
-    bits = len(sampled_rows) * (
-        per_row_bits + bitcost.bits_for_index(max(total_rows, 1)) + bitcost.FLOAT_BITS
-    )
-    return payload, bits
-
-
-def weighted_block_pp(payload: dict, b: np.ndarray, p: float) -> float:
-    """Receiver side of :func:`sample_block_rows`: exact importance-weighted
-    contribution of one block's sampled rows to ``||A B||_p^p``."""
-    if len(payload["rows"]) == 0:
-        return 0.0
-    sampled_c = payload["a_rows"] @ b
-    if p == 0:
-        row_pp = np.count_nonzero(sampled_c, axis=1).astype(float)
-    else:
-        row_pp = np.sum(np.abs(sampled_c.astype(float)) ** p, axis=1)
-    return float(np.dot(payload["weights"], row_pp))
-
-
-def two_round_lp_pp_estimate(
-    alice: Party,
-    bob: Party,
-    *,
-    p: float,
-    epsilon: float,
-    rho_constant: float,
-    shared_rng: np.random.Generator,
-    label_prefix: str = "",
-) -> tuple[float, dict]:
-    """Run Algorithm 1 on the parties' matrices over their shared channel.
-
-    Returns ``(estimate_of ||A B||_p^p, details)``.  The estimate ends up in
-    Bob's hands (he performs the final summation), matching the paper.
-    """
-    a = np.asarray(alice.data)
-    b = np.asarray(bob.data)
-    if a.shape[1] != b.shape[0]:
-        raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
-    n_inner = a.shape[1]
-    n_rows = a.shape[0]
-
-    beta = math.sqrt(epsilon)
-    rho = rho_constant / epsilon
-
-    # --- Round 1: Bob -> Alice, the row sketch S B^T -----------------------
-    sketch = make_lp_sketch(b.shape[1], p, beta, shared_rng)
-    sketched_bt = sketch.apply(b.T)  # shape (sketch rows, n_inner)
-    bob.send(
-        alice,
-        sketched_bt,
-        label=f"{label_prefix}round1/sketch-of-B",
-        bits=bitcost.bits_for_matrix(sketched_bt),
-    )
-
-    # Alice: C~ = A (S B^T)^T; its i-th row is the sketch of C_{i,*}.
-    c_tilde = a @ sketched_bt.T  # shape (n_rows, sketch rows)
-    row_estimates = np.maximum(np.asarray(sketch.estimate_rows_pp(c_tilde), dtype=float), 0.0)
-    total_estimate = float(np.sum(row_estimates))
-    if total_estimate <= 0:
-        alice.send(bob, 0, label=f"{label_prefix}round2/empty", bits=1)
-        return 0.0, {"sampled_rows": 0, "beta": beta, "rho": rho}
-
-    # --- Round 2: Alice -> Bob, group-sampled rows of A with weights --------
-    payload, round2_bits = sample_block_rows(
-        a, row_estimates, beta=beta, rho=rho, rng=alice.rng, total_rows=n_rows
-    )
-    alice.send(bob, payload, label=f"{label_prefix}round2/sampled-rows", bits=round2_bits)
-
-    # Bob: exact norms of the sampled rows of C, importance-weighted sum.
-    if len(payload["rows"]) == 0:
-        return 0.0, {"sampled_rows": 0, "beta": beta, "rho": rho}
-    estimate = weighted_block_pp(payload, b, p)
-    details = {
-        "sampled_rows": int(len(payload["rows"])),
-        "beta": beta,
-        "rho": rho,
-        "rough_total": total_estimate,
-    }
-    return estimate, details
-
-
-class LpNormProtocol(Protocol):
+class LpNormProtocol(EngineBackedProtocol):
     """Two-round (1 + eps)-approximation of ``||A B||_p^p`` for ``p in [0, 2]``.
 
     Parameters
@@ -204,32 +57,4 @@ class LpNormProtocol(Protocol):
     """
 
     name = "lp-norm-two-round"
-
-    def __init__(
-        self,
-        p: float,
-        epsilon: float,
-        *,
-        rho_constant: float = 48.0,
-        seed: int | None = None,
-    ) -> None:
-        super().__init__(seed=seed)
-        if not 0 <= p <= 2:
-            raise ValueError(f"p must be in [0, 2], got {p}")
-        if not 0 < epsilon <= 1:
-            raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
-        if rho_constant <= 0:
-            raise ValueError("rho_constant must be positive")
-        self.p = float(p)
-        self.epsilon = float(epsilon)
-        self.rho_constant = float(rho_constant)
-
-    def _execute(self, alice: Party, bob: Party):
-        return two_round_lp_pp_estimate(
-            alice,
-            bob,
-            p=self.p,
-            epsilon=self.epsilon,
-            rho_constant=self.rho_constant,
-            shared_rng=self.shared_rng,
-        )
+    engine_protocol = StarLpNormProtocol

@@ -1,0 +1,62 @@
+"""Topology-agnostic protocol engine.
+
+One implementation per protocol family, parameterized by the number of
+sites k.  The paper's two-party protocols are exactly the ``k = 1`` special
+case (Alice is the single site, Bob the coordinator), which is how the
+facades in :mod:`repro.core` run them; the k-site coordinator runtime in
+:mod:`repro.multiparty` runs the same bodies over a wider star.
+
+Layout
+------
+``repro.engine.topology``
+    :class:`Site` / :class:`Coordinator` endpoints and the
+    :class:`StarTopology` wiring (network + endpoints + seeded randomness).
+``repro.engine.base``
+    The :class:`StarProtocol` driver (``run`` for k shards,
+    ``run_two_party`` for the Alice/Bob view) and the cost reports.
+``repro.engine.lp_norm`` / ``l0_sampling`` / ``l1`` / ``linf`` /
+``heavy_hitters``
+    The protocol families (Algorithms 1-4, Remarks 2-3, Theorems 3.2, 4.1,
+    4.3, 4.8, 5.1, 5.3 — all lifted to k sites).
+``repro.engine.exchange``
+    The star per-item index-exchange primitive shared by the ``l_inf`` and
+    binary heavy-hitter protocols.
+``repro.engine.api``
+    :class:`EstimatorBase`, the query dispatch shared by
+    :class:`repro.core.api.MatrixProductEstimator` and
+    :class:`repro.multiparty.estimator.ClusterEstimator`.
+"""
+
+from repro.engine.base import ClusterCostReport, StarProtocol
+from repro.engine.heavy_hitters import (
+    StarBinaryHeavyHittersProtocol,
+    StarHeavyHittersProtocol,
+)
+from repro.engine.l0_sampling import StarL0SamplingProtocol
+from repro.engine.l1 import StarExactL1Protocol, StarL1SamplingProtocol
+from repro.engine.linf import (
+    StarGeneralMatrixLinfProtocol,
+    StarKappaApproxLinfProtocol,
+    StarTwoPlusEpsilonLinfProtocol,
+)
+from repro.engine.lp_norm import StarLpNormProtocol, star_lp_pp_estimate
+from repro.engine.topology import Coordinator, Site, StarTopology, coerce_shards
+
+__all__ = [
+    "ClusterCostReport",
+    "Coordinator",
+    "Site",
+    "StarProtocol",
+    "StarTopology",
+    "StarBinaryHeavyHittersProtocol",
+    "StarExactL1Protocol",
+    "StarGeneralMatrixLinfProtocol",
+    "StarHeavyHittersProtocol",
+    "StarKappaApproxLinfProtocol",
+    "StarL0SamplingProtocol",
+    "StarL1SamplingProtocol",
+    "StarLpNormProtocol",
+    "StarTwoPlusEpsilonLinfProtocol",
+    "coerce_shards",
+    "star_lp_pp_estimate",
+]

@@ -1,0 +1,119 @@
+"""Query dispatch shared by the two-party and k-site estimator facades.
+
+:class:`EstimatorBase` maps every query (``lp_norm``, ``join_size``,
+``l0_sample``, ``heavy_hitters``, ...) to the engine protocol that answers
+it, deriving one independent seed per query from a common stream.  The
+concrete facades only say *where the data lives*:
+
+* :class:`repro.core.api.MatrixProductEstimator` holds Alice's and Bob's
+  matrices and executes protocols in the two-party view.
+* :class:`repro.multiparty.estimator.ClusterEstimator` holds k row-shards
+  plus the coordinator's matrix and executes the same protocols over the
+  k-site star.
+
+Because both facades share this dispatch (including the seed-stream
+discipline), equal seeds produce comparable runs across topologies, and a
+query supported in one topology is automatically supported in the other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.protocol import ProtocolResult
+from repro.engine.base import StarProtocol
+from repro.engine.heavy_hitters import (
+    StarBinaryHeavyHittersProtocol,
+    StarHeavyHittersProtocol,
+)
+from repro.engine.l0_sampling import StarL0SamplingProtocol
+from repro.engine.l1 import StarExactL1Protocol, StarL1SamplingProtocol
+from repro.engine.linf import (
+    StarGeneralMatrixLinfProtocol,
+    StarKappaApproxLinfProtocol,
+    StarTwoPlusEpsilonLinfProtocol,
+)
+from repro.engine.lp_norm import StarLpNormProtocol
+
+__all__ = ["EstimatorBase"]
+
+
+class EstimatorBase:
+    """Statistics of ``C = A B`` behind a topology-specific ``_run`` hook.
+
+    Subclasses set :attr:`is_binary` during construction and implement
+    :meth:`_run`, which executes an engine protocol against their data in
+    their topology.
+    """
+
+    #: Whether every input matrix is 0/1 (drives protocol selection).
+    is_binary: bool = False
+
+    def __init__(self, *, seed: int | None = None) -> None:
+        self._seed_stream = np.random.default_rng(seed)
+
+    def _next_seed(self) -> int:
+        return int(self._seed_stream.integers(0, 2**31 - 1))
+
+    def _run(self, protocol: StarProtocol) -> ProtocolResult:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ lp
+    def lp_norm(self, p: float, epsilon: float = 0.25, **kwargs) -> ProtocolResult:
+        """(1 + eps)-approximation of ``||A B||_p^p`` for ``p in [0, 2]`` (Thm 3.1)."""
+        return self._run(StarLpNormProtocol(p, epsilon, seed=self._next_seed(), **kwargs))
+
+    def join_size(self, epsilon: float = 0.25, **kwargs) -> ProtocolResult:
+        """Set-intersection join size ``|A ∘ B| = ||A B||_0`` (p = 0)."""
+        return self.lp_norm(0.0, epsilon, **kwargs)
+
+    def natural_join_size(self) -> ProtocolResult:
+        """Exact natural-join size ``|A ⋈ B| = ||A B||_1`` (Remark 2)."""
+        return self._run(StarExactL1Protocol(seed=self._next_seed()))
+
+    # ------------------------------------------------------------- sampling
+    def l0_sample(self, epsilon: float = 0.25, **kwargs) -> ProtocolResult:
+        """Uniform sample from the non-zero entries of ``A B`` (Thm 3.2)."""
+        return self._run(StarL0SamplingProtocol(epsilon, seed=self._next_seed(), **kwargs))
+
+    def l1_sample(self) -> ProtocolResult:
+        """Sample an entry of ``A B`` proportionally to its value (Remark 3)."""
+        return self._run(StarL1SamplingProtocol(seed=self._next_seed()))
+
+    # ----------------------------------------------------------------- linf
+    def linf(self, epsilon: float = 0.25, **kwargs) -> ProtocolResult:
+        """(2 + eps)-approximation of ``||A B||_inf`` for binary inputs (Thm 4.1)."""
+        if not self.is_binary:
+            raise ValueError(
+                "the (2+eps) protocol needs binary matrices; use linf_kappa(...) "
+                "with general integer matrices"
+            )
+        return self._run(
+            StarTwoPlusEpsilonLinfProtocol(epsilon, seed=self._next_seed(), **kwargs)
+        )
+
+    def linf_kappa(self, kappa: float, **kwargs) -> ProtocolResult:
+        """kappa-approximation of ``||A B||_inf`` (Thm 4.3 binary / Thm 4.8 general)."""
+        seed = self._next_seed()
+        if self.is_binary:
+            protocol: StarProtocol = StarKappaApproxLinfProtocol(kappa, seed=seed, **kwargs)
+        else:
+            protocol = StarGeneralMatrixLinfProtocol(kappa, seed=seed, **kwargs)
+        return self._run(protocol)
+
+    # -------------------------------------------------------- heavy hitters
+    def heavy_hitters(
+        self, phi: float, epsilon: float, *, p: float = 1.0, **kwargs
+    ) -> ProtocolResult:
+        """``l_p``-(phi, eps) heavy hitters of ``A B`` (Thm 5.1 / Thm 5.3).
+
+        Binary inputs use the cheaper binary protocol automatically.
+        """
+        seed = self._next_seed()
+        if self.is_binary:
+            protocol: StarProtocol = StarBinaryHeavyHittersProtocol(
+                phi, epsilon, p=p, seed=seed, **kwargs
+            )
+        else:
+            protocol = StarHeavyHittersProtocol(phi, epsilon, p=p, seed=seed, **kwargs)
+        return self._run(protocol)

@@ -1,0 +1,124 @@
+"""The engine's protocol driver and its cost reports.
+
+A :class:`StarProtocol` is one protocol family written once against
+:class:`~repro.engine.topology.Coordinator` / ``Site`` endpoints and
+parameterized by the number of sites k.  It can be executed two ways:
+
+* :meth:`StarProtocol.run` — the k-site coordinator model.  Takes a list of
+  row-shards plus the coordinator's matrix and reports a
+  :class:`ClusterCostReport` (per-site, per-link and aggregate meters).
+* :meth:`StarProtocol.run_two_party` — the paper's two-party model, i.e.
+  the ``k = 1`` star with the single site named ``"alice"`` and the hub
+  named ``"bob"``.  Reports a classic
+  :class:`repro.comm.protocol.CostReport`.
+
+Both views share one seeding discipline (see
+:meth:`repro.engine.topology.StarTopology.build`), so a two-party run is
+bit-for-bit the single-shard cluster run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.comm.network import Network
+from repro.comm.protocol import CostReport, ProtocolResult, split_protocol_output
+from repro.engine.topology import Coordinator, Site, StarTopology
+
+__all__ = ["ClusterCostReport", "StarProtocol", "two_party_cost"]
+
+
+@dataclass
+class ClusterCostReport:
+    """Communication cost of one k-party protocol execution.
+
+    Mirrors :class:`repro.comm.protocol.CostReport` with the star-specific
+    quantities: per-site upload volumes, per-link loads, and the busiest
+    link (which bounds the makespan when links transfer in parallel).
+    """
+
+    total_bits: int
+    rounds: int
+    coordinator_bits: int
+    site_bits: dict[str, int] = field(default_factory=dict)
+    link_bits: dict[str, int] = field(default_factory=dict)
+    max_link_bits: int = 0
+    breakdown: dict[str, int] = field(default_factory=dict)
+    per_round: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_network(cls, network: Network) -> "ClusterCostReport":
+        return cls(
+            total_bits=network.total_bits,
+            rounds=network.rounds,
+            coordinator_bits=network.bits_sent_by(network.coordinator_name),
+            site_bits={name: network.bits_sent_by(name) for name in network.site_names},
+            link_bits=network.link_bits(),
+            max_link_bits=network.max_link_bits,
+            breakdown=network.bits_by_label(),
+            per_round=network.bits_per_round(),
+        )
+
+
+def two_party_cost(network: Network, alice_name: str, bob_name: str) -> CostReport:
+    """Collapse a one-leaf star's meters into a two-party cost report."""
+    return CostReport(
+        total_bits=network.total_bits,
+        rounds=network.rounds,
+        alice_bits=network.bits_sent_by(alice_name),
+        bob_bits=network.bits_sent_by(bob_name),
+        breakdown=network.bits_by_label(),
+    )
+
+
+class StarProtocol:
+    """Base driver for the engine's protocol families.
+
+    Subclasses implement :meth:`_execute` on fully wired
+    :class:`~repro.engine.topology.Coordinator` / ``Site`` endpoints; the
+    drivers handle topology construction, seeding and cost reporting.
+    """
+
+    #: Human-readable protocol name (used in benchmark tables).
+    name = "star-protocol"
+
+    def __init__(self, *, seed: int | None = None) -> None:
+        self.seed = seed
+
+    # ------------------------------------------------------------------ api
+    def run(self, shards: list[Any], coordinator_data: Any) -> ProtocolResult:
+        """Execute the protocol on k row-shards and the coordinator's matrix."""
+        topology = StarTopology.build(shards, coordinator_data, seed=self.seed)
+        value, details = self._run_on(topology)
+        details.setdefault("num_sites", topology.num_sites)
+        return ProtocolResult(
+            value=value,
+            cost=ClusterCostReport.from_network(topology.network),
+            details=details,
+        )
+
+    def run_two_party(self, alice_data: Any, bob_data: Any) -> ProtocolResult:
+        """Execute the protocol in the two-party model (one site = Alice)."""
+        topology = StarTopology.build(
+            [alice_data],
+            bob_data,
+            seed=self.seed,
+            site_names=("alice",),
+            coordinator_name="bob",
+        )
+        value, details = self._run_on(topology)
+        return ProtocolResult(
+            value=value,
+            cost=two_party_cost(topology.network, "alice", "bob"),
+            details=details,
+        )
+
+    def _run_on(self, topology: StarTopology) -> tuple[Any, dict]:
+        self.shared_rng = topology.shared_rng
+        output = self._execute(topology.coordinator, topology.sites)
+        return split_protocol_output(output)
+
+    # ------------------------------------------------------------- subclass
+    def _execute(self, coordinator: Coordinator, sites: list[Site]) -> Any:
+        raise NotImplementedError

@@ -1,0 +1,142 @@
+"""The per-item index-exchange primitive shared by Algorithms 2, 3 and 5.2.
+
+Given the sites' (possibly subsampled) binary shards ``A'`` and the
+coordinator's binary matrix ``B``, the endpoints learn an additive split of
+``C = A' B``: the coordinator accumulates the products of the items the
+sites shipped, and every site accumulates its shard's share of the items
+the coordinator shipped.
+
+* Every site announces ``u^s_j`` = number of its shard rows containing item
+  ``j`` (it may have done so already as part of an enclosing protocol, e.g.
+  Algorithm 2's per-level column sums).  The coordinator merges them into
+  the global ``u_j``.
+* The coordinator compares with ``v_j`` = number of columns of ``B``
+  containing item ``j``; for every active item with ``v_j < u_j`` it ships
+  its index list ``I_j = {j' : B_{j,j'} = 1}`` to the sites whose shards
+  touch the item, which accumulate those items' contributions locally.
+* Sites ship their row-index lists for the remaining (non-trivial) items
+  and the coordinator accumulates them into its share.
+
+The total shipped volume is ``sum_j min(u_j, v_j)`` indices, the quantity
+bounded by ``O~(n^{1.5}/eps)`` (Theorem 4.1) / ``O~(n^{1.5}/kappa)``
+(Theorem 4.3) in the paper's analyses.  With a single site this is exactly
+the two-party exchange (Bob ships the smaller side's lists, Alice the
+rest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm import bitcost
+from repro.engine.topology import Coordinator, Site
+
+__all__ = ["star_exchange_item_supports"]
+
+
+def star_exchange_item_supports(
+    coordinator: Coordinator,
+    sites: list[Site],
+    shard_subs: list[np.ndarray],
+    b: np.ndarray,
+    *,
+    site_counts: list[np.ndarray] | None = None,
+    label_prefix: str = "",
+    send_u_counts: bool = True,
+) -> tuple[list[np.ndarray], np.ndarray, dict]:
+    """Run the index exchange; returns ``(site_shares, c_coord, info)``.
+
+    Parameters
+    ----------
+    shard_subs:
+        The sites' (subsampled) binary shards ``A'_s``, aligned with
+        ``sites``.
+    b:
+        The coordinator's binary matrix of shape ``(n, m2)``.
+    site_counts:
+        Per-site item counts ``u^s_j`` if the enclosing protocol already
+        transmitted them (Algorithm 2 sends per-level column sums for *all*
+        levels up front); computed locally otherwise.
+    send_u_counts:
+        Whether the counts still need to be transmitted; set to False by
+        enclosing protocols that already paid for them, to avoid
+        double-charging.
+
+    Returns
+    -------
+    ``site_shares`` is one matrix per site (the site's share of its shard's
+    rows of ``C``), ``c_coord`` the coordinator's share over the full global
+    row space; ``site_shares`` stacked plus ``c_coord`` equals ``A' B``.
+    """
+    shard_subs = [np.asarray(shard, dtype=np.int64) for shard in shard_subs]
+    b = np.asarray(b, dtype=np.int64)
+    if shard_subs[0].shape[1] != b.shape[0]:
+        raise ValueError(
+            f"inner dimensions differ: {shard_subs[0].shape} vs {b.shape}"
+        )
+    n_items = b.shape[0]
+    total_rows = sum(shard.shape[0] for shard in shard_subs)
+
+    if site_counts is None:
+        site_counts = [shard.sum(axis=0) for shard in shard_subs]
+    if send_u_counts:
+        for site, shard, u_site in zip(sites, shard_subs, site_counts):
+            site.send(
+                u_site,
+                label=f"{label_prefix}item-counts",
+                bits=n_items * bitcost.bits_for_index(max(int(shard.shape[0]) + 1, 2)),
+            )
+
+    u = np.sum(site_counts, axis=0)
+    v = b.sum(axis=1)
+    active = (u > 0) & (v > 0)
+    coordinator_ships = active & (u > v)
+    site_ships = active & (u <= v)
+
+    # Coordinator -> sites: its column-index lists for items where its side
+    # is smaller, sent to the sites whose shards touch the item (plus the
+    # per-item bitmap announcing which items it covers).
+    for site, u_site in zip(sites, site_counts):
+        needed = coordinator_ships & (u_site > 0)
+        payload = {}
+        down_bits = n_items  # bitmap announcing which items the hub covers
+        for j in np.flatnonzero(needed):
+            indices = np.flatnonzero(b[j, :])
+            payload[int(j)] = indices
+            down_bits += bitcost.bits_for_index_list(indices, max(b.shape[1], 1))
+        coordinator.send(
+            site,
+            payload,
+            label=f"{label_prefix}coordinator-item-lists",
+            bits=down_bits,
+        )
+
+    # Sites -> coordinator: their row-index lists for the remaining items.
+    # Global row indexing comes from each site's own row_offset (shard_subs
+    # must be shape-aligned with the sites' shards).
+    c_coord = np.zeros((total_rows, b.shape[1]), dtype=np.int64)
+    site_shares = []
+    for site, shard, u_site in zip(sites, shard_subs, site_counts):
+        ship = site_ships & (u_site > 0)
+        payload = {}
+        up_bits = 0
+        for j in np.flatnonzero(ship):
+            indices = np.flatnonzero(shard[:, j])
+            payload[int(j)] = site.row_offset + indices
+            up_bits += bitcost.bits_for_index_list(indices, max(total_rows, 1))
+        site.send(payload, label=f"{label_prefix}site-item-lists", bits=up_bits)
+
+        # Local accumulation: the coordinator owns the items the sites
+        # shipped, each site its shard's share of the coordinator's items.
+        rows = slice(site.row_offset, site.row_offset + shard.shape[0])
+        c_coord[rows] = shard[:, site_ships] @ b[site_ships, :]
+        site_shares.append(shard[:, coordinator_ships] @ b[coordinator_ships, :])
+
+    info = {
+        "u": u,
+        "v": v,
+        "exchanged_indices": int(np.minimum(u, v)[active].sum()),
+        "site_owned_items": int(coordinator_ships.sum()),
+        "coordinator_owned_items": int(site_ships.sum()),
+    }
+    return site_shares, c_coord, info

@@ -1,0 +1,126 @@
+"""Remarks 2 and 3, k sites: exact ``||A B||_1`` and ``l_1``-sampling, one round.
+
+For entrywise non-negative matrices (in particular binary matrices /
+database joins) the natural-join size ``||A B||_1`` factorises over the
+shared attribute:
+
+    ``||A B||_1 = sum_j ||A_{*,j}||_1 * ||B_{j,*}||_1``
+
+Column sums are mergeable (they add over row-shards), so every site sends
+its shard's ``n`` column sums and the coordinator sums them before taking
+the inner product with ``B``'s row sums (Remark 2).  Sampling an entry of
+``C`` proportionally to its value reduces to sampling the shared item ``j``
+proportionally to ``||A_{*,j}||_1 ||B_{j,*}||_1``, then a random "witness"
+on each side (Remark 3); each site pre-draws one witness per item from its
+own shard, and the coordinator picks the owning site proportionally to the
+per-site column masses.  Both protocols use ``O(n log n)`` bits per site
+and one round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm import bitcost
+from repro.core.result import SampleOutput
+from repro.engine.base import StarProtocol
+from repro.engine.lp_norm import check_inner_dims, total_rows_of
+from repro.engine.topology import Coordinator, Site
+
+__all__ = ["StarExactL1Protocol", "StarL1SamplingProtocol"]
+
+
+def _check_nonnegative(matrix: np.ndarray, who: str) -> np.ndarray:
+    matrix = np.asarray(matrix)
+    if np.any(matrix < 0):
+        raise ValueError(
+            f"{who}'s matrix has negative entries; Remark 2/3 require "
+            "entrywise non-negative matrices (e.g. binary join matrices)"
+        )
+    return matrix
+
+
+class StarExactL1Protocol(StarProtocol):
+    """Remark 2: exact ``||A B||_1`` with ``O(n log n)`` bits, one round."""
+
+    name = "l1-exact-one-round"
+
+    def _execute(self, coordinator: Coordinator, sites: list[Site]):
+        b = _check_nonnegative(coordinator.data, "the coordinator")
+        check_inner_dims(sites, b)
+
+        merged = np.zeros(b.shape[0], dtype=float)
+        total_bits = 0
+        for site in sites:
+            shard = _check_nonnegative(site.data, site.name)
+            column_sums = shard.sum(axis=0)
+            bits = shard.shape[1] * bitcost.bits_for_int(int(max(column_sums.max(), 1)))
+            site.send(column_sums, label="column-sums", bits=bits)
+            merged += column_sums.astype(float)
+            total_bits += bits
+
+        row_sums = b.sum(axis=1)
+        value = float(np.dot(merged, row_sums.astype(float)))
+        return value, {"column_sums_bits": total_bits}
+
+
+class StarL1SamplingProtocol(StarProtocol):
+    """Remark 3: ``l_1``-sampling of an entry of ``A B`` in one round.
+
+    Returns a :class:`repro.core.result.SampleOutput` whose ``(row, col)`` is
+    distributed proportionally to ``C_{row, col}`` (for non-negative inputs).
+    """
+
+    name = "l1-sampling-one-round"
+
+    def _execute(self, coordinator: Coordinator, sites: list[Site]):
+        b = _check_nonnegative(coordinator.data, "the coordinator")
+        check_inner_dims(sites, b)
+        total_rows = total_rows_of(sites)
+        n_inner = b.shape[0]
+
+        # Round 1 (the only round): every site ships its shard's column sums
+        # plus one witness row per item, sampled proportionally to the
+        # column values within the shard (global row numbering).
+        site_column_sums = []
+        site_witnesses = []
+        for site in sites:
+            shard = _check_nonnegative(site.data, site.name)
+            column_sums = shard.sum(axis=0).astype(float)
+            witnesses = np.full(n_inner, -1, dtype=np.int64)
+            for j in range(n_inner):
+                if column_sums[j] > 0:
+                    probabilities = shard[:, j] / column_sums[j]
+                    witnesses[j] = site.row_offset + site.rng.choice(
+                        shard.shape[0], p=probabilities
+                    )
+            bits = n_inner * (
+                bitcost.bits_for_int(int(max(column_sums.max(), 1)))
+                + bitcost.bits_for_index(max(total_rows, 1))
+            )
+            site.send(
+                {"column_sums": column_sums, "witnesses": witnesses},
+                label="column-sums+witnesses",
+                bits=bits,
+            )
+            site_column_sums.append(column_sums)
+            site_witnesses.append(witnesses)
+
+        # Coordinator: item j ~ ||A_{*,j}||_1 ||B_{j,*}||_1, then a column
+        # witness from B and a row witness from the owning site.
+        merged = np.sum(site_column_sums, axis=0)
+        row_sums = b.sum(axis=1).astype(float)
+        masses = merged * row_sums
+        total = masses.sum()
+        if total <= 0:
+            return SampleOutput(row=None, col=None), {"total_mass": 0.0}
+        j = int(coordinator.rng.choice(n_inner, p=masses / total))
+        col_probabilities = b[j, :] / row_sums[j]
+        col = int(coordinator.rng.choice(b.shape[1], p=col_probabilities))
+        if len(sites) == 1:
+            owner = 0
+        else:
+            weights = np.array([sums[j] for sums in site_column_sums])
+            owner = int(coordinator.rng.choice(len(sites), p=weights / weights.sum()))
+        row = int(site_witnesses[owner][j])
+        return SampleOutput(row=row, col=col), {"total_mass": float(total), "item": j}

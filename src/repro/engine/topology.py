@@ -1,0 +1,241 @@
+"""Endpoints and wiring of the star topology the engine runs on.
+
+A :class:`StarTopology` bundles everything a protocol execution needs: the
+metered :class:`repro.comm.network.Network`, one :class:`Site` per shard,
+the :class:`Coordinator`, and the seeded randomness (one shared public-coin
+stream plus independent private streams per endpoint, spawned from a single
+root so runs with equal seeds are comparable across topologies).
+
+The two-party model is the single-site special case: ``StarTopology.build``
+with one shard named ``"alice"`` and the hub named ``"bob"`` reproduces the
+classic Alice/Bob channel — same seeding order, same round semantics, same
+per-message accounting — which is how the :mod:`repro.core` facades execute
+the engine protocols.
+
+Shared (public-coin) randomness is modelled exactly as before the
+unification: the protocol driver derives one seed and every endpoint
+constructs identical helper objects (sketches) from it.  Broadcasting the
+seed itself is never charged — the protocols are public-coin, and by
+Newman's theorem privatizing the coins costs only an additive ``O(log n)``
+bits per site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.comm.network import Network
+from repro.sketch.mergeable import MergeableSketch
+
+
+def coerce_shards(shards: Sequence[Any]) -> list[np.ndarray]:
+    """Validate and normalize a list of row-shards."""
+    shards = [np.asarray(shard) for shard in shards]
+    if not shards:
+        raise ValueError("need at least one site shard")
+    for shard in shards:
+        if shard.ndim != 2:
+            raise ValueError("every shard must be a 2-dimensional matrix")
+    if len({shard.shape[1] for shard in shards}) != 1:
+        raise ValueError("all shards must agree on the inner dimension")
+    return shards
+
+
+class Site:
+    """One leaf of the star, holding a row-shard of the global matrix.
+
+    Parameters
+    ----------
+    name:
+        Endpoint name (must be one of the network's site names).
+    shard:
+        The site's local block of rows of the global matrix ``A``.
+    network:
+        The shared star network.
+    row_offset:
+        Index of the shard's first row in the global row numbering, so the
+        site can report global coordinates.
+    rng:
+        The site's private randomness.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        shard: Any,
+        network: Network,
+        *,
+        row_offset: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.name = name
+        self.data = shard
+        self.network = network
+        self.row_offset = int(row_offset)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.scratch: dict[str, Any] = {}
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Global row indices covered by this site's shard."""
+        return self.row_offset + np.arange(np.asarray(self.data).shape[0])
+
+    def send(
+        self,
+        payload: Any,
+        *,
+        label: str = "",
+        bits: int | None = None,
+        universe: int | None = None,
+    ) -> Any:
+        """Send ``payload`` upstream to the coordinator."""
+        return self.network.send(
+            self.name,
+            self.network.coordinator_name,
+            payload,
+            label=label,
+            bits=bits,
+            universe=universe,
+        )
+
+    def partial_summaries(self, *templates: MergeableSketch) -> list[MergeableSketch]:
+        """The shard's partial summaries under shared sketch ``templates``.
+
+        This is the only per-row update route in the runtime: each summary is
+        built with one batched :meth:`~repro.sketch.mergeable.MergeableSketch
+        .update_many` call over the whole shard (global row indexing), never
+        row by row.  The shard is converted once and reused across all
+        templates; the returned sketches share their templates' randomness
+        and merge entrywise at the coordinator.
+        """
+        rows = self.rows
+        values = np.asarray(self.data).astype(np.int64)
+        partials = []
+        for template in templates:
+            partial = template.empty_copy()
+            partial.update_many(rows, values)
+            partials.append(partial)
+        return partials
+
+    def partial_summary(self, template: MergeableSketch) -> MergeableSketch:
+        """The shard's partial summary under one shared sketch ``template``."""
+        return self.partial_summaries(template)[0]
+
+    @property
+    def bits_sent(self) -> int:
+        """Total bits this site has sent so far."""
+        return self.network.bits_sent_by(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Site({self.name!r}, rows {self.row_offset}+{np.asarray(self.data).shape[0]})"
+
+
+class Coordinator:
+    """The hub of the star, holding the matrix ``B``."""
+
+    def __init__(
+        self,
+        data: Any,
+        network: Network,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.name = network.coordinator_name
+        self.data = data
+        self.network = network
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.scratch: dict[str, Any] = {}
+
+    def send(
+        self,
+        site: Site | str,
+        payload: Any,
+        *,
+        label: str = "",
+        bits: int | None = None,
+        universe: int | None = None,
+    ) -> Any:
+        """Send ``payload`` downstream to one site."""
+        receiver = site.name if isinstance(site, Site) else site
+        return self.network.send(
+            self.name, receiver, payload, label=label, bits=bits, universe=universe
+        )
+
+    def broadcast(
+        self,
+        payload: Any,
+        *,
+        label: str = "",
+        bits: int | None = None,
+        sites: Iterable[Site | str] | None = None,
+    ) -> Any:
+        """Send the same ``payload`` to every site (``bits`` charged per link)."""
+        names = None if sites is None else [s.name if isinstance(s, Site) else s for s in sites]
+        return self.network.broadcast(payload, label=label, bits=bits, sites=names)
+
+    @property
+    def bits_sent(self) -> int:
+        """Total bits the coordinator has sent so far (all links)."""
+        return self.network.bits_sent_by(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Coordinator({self.name!r})"
+
+
+@dataclass
+class StarTopology:
+    """A fully wired star: network, endpoints, and seeded randomness."""
+
+    network: Network
+    sites: list[Site]
+    coordinator: Coordinator
+    shared_rng: np.random.Generator
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    @classmethod
+    def build(
+        cls,
+        shards: Sequence[Any],
+        coordinator_data: Any,
+        *,
+        seed: int | None = None,
+        site_names: Sequence[str] | None = None,
+        coordinator_name: str = "coordinator",
+    ) -> "StarTopology":
+        """Wire a star around ``k = len(shards)`` sites.
+
+        The seeding discipline is load-bearing: the root generator first
+        yields the shared (public-coin) seed, then spawns ``k + 1`` private
+        streams — sites in shard order, the coordinator last.  For ``k = 1``
+        this reproduces the historical two-party driver exactly (alice =
+        site stream, bob = coordinator stream), which keeps pre-unification
+        transcripts bit-for-bit intact.
+        """
+        shards = coerce_shards(shards)
+        k = len(shards)
+        if site_names is None:
+            site_names = [f"site-{i}" for i in range(k)]
+        if len(site_names) != k:
+            raise ValueError(f"got {len(site_names)} site names for {k} shards")
+        network = Network(site_names, coordinator_name)
+        root = np.random.default_rng(seed)
+        shared_seed = int(root.integers(0, 2**63 - 1))
+        rngs = root.spawn(k + 1)
+        offsets = np.concatenate(([0], np.cumsum([s.shape[0] for s in shards])[:-1]))
+        sites = [
+            Site(site_names[i], shards[i], network, row_offset=int(offsets[i]), rng=rngs[i])
+            for i in range(k)
+        ]
+        coordinator = Coordinator(coordinator_data, network, rng=rngs[-1])
+        return cls(
+            network=network,
+            sites=sites,
+            coordinator=coordinator,
+            shared_rng=np.random.default_rng(shared_seed),
+        )

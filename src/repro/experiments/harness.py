@@ -10,19 +10,44 @@ import numpy as np
 
 
 def relative_error(estimate: float, truth: float) -> float:
-    """``|estimate - truth| / truth`` (0 when both are 0, inf when only truth is)."""
+    """``|estimate - truth| / |truth|``.
+
+    Edge cases: 0 when both are 0 (or both the same infinity), inf when
+    exactly one is 0 or infinite, NaN when either input is NaN.  Negative
+    truths are measured against their magnitude, so an exact estimate of a
+    negative quantity reports error 0, not a sign artefact.
+    """
+    if math.isnan(estimate) or math.isnan(truth):
+        return math.nan
     if truth == 0:
         return 0.0 if estimate == 0 else math.inf
+    if math.isinf(truth):
+        return 0.0 if estimate == truth else math.inf
+    if math.isinf(estimate):
+        return math.inf
     return abs(estimate - truth) / abs(truth)
 
 
 def approx_ratio(estimate: float, truth: float) -> float:
-    """Symmetric approximation ratio ``max(est/truth, truth/est)`` (>= 1)."""
+    """Symmetric approximation ratio ``max(|e|/|t|, |t|/|e|)`` (>= 1).
+
+    Defined for same-signed pairs (an estimator of a negative quantity that
+    lands on the correct sign is rated by magnitude); sign disagreement,
+    exactly one zero, or exactly one infinity rate as inf, matching infinities
+    as 1, and NaN inputs propagate.
+    """
+    if math.isnan(estimate) or math.isnan(truth):
+        return math.nan
     if truth == 0 and estimate == 0:
         return 1.0
-    if truth <= 0 or estimate <= 0:
+    if truth == 0 or estimate == 0:
         return math.inf
-    return max(estimate / truth, truth / estimate)
+    if (truth < 0) != (estimate < 0):
+        return math.inf
+    if math.isinf(truth) or math.isinf(estimate):
+        return 1.0 if estimate == truth else math.inf
+    magnitude_e, magnitude_t = abs(estimate), abs(truth)
+    return max(magnitude_e / magnitude_t, magnitude_t / magnitude_e)
 
 
 def fit_power_law(x: Sequence[float], y: Sequence[float]) -> tuple[float, float]:

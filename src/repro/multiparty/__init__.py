@@ -1,43 +1,50 @@
 """Multi-site coordinator runtime: k-party protocols over a metered star.
 
 The paper's protocols are stated for two parties (Alice holds ``A``, Bob
-holds ``B``).  This package generalizes the runtime to the *coordinator
-model* standard in distributed functional monitoring: the rows of ``A`` are
-sharded across k sites arranged in a star around one coordinator that holds
-``B``, every message travels over a metered coordinator-site link, and the
-coordinator combines k mergeable site summaries instead of two.
+holds ``B``).  This package exposes the *coordinator model* standard in
+distributed functional monitoring: the rows of ``A`` are sharded across k
+sites arranged in a star around one coordinator that holds ``B``, every
+message travels over a metered coordinator-site link, and the coordinator
+combines k mergeable site summaries instead of two.
 
-* :class:`repro.multiparty.network.Network` — the star-topology transport,
-  with the same bit/round accounting contract as the two-party
-  :class:`repro.comm.channel.Channel` (shared base:
-  :class:`repro.comm.accounting.MessageLog`) plus per-link meters and
-  ``max_link_bits``.
-* :class:`repro.multiparty.site.Site` / ``Coordinator`` — the endpoints.
-* :mod:`repro.multiparty.protocols` — k-site versions of the ``l_p`` norm,
-  ``l_0``-sampling and heavy-hitters protocols; for k = 2 they reduce to the
-  two-party protocols (same round counts, same accounting formulas).
+Since the engine unification the protocol bodies live in
+:mod:`repro.engine`, written once against the star topology; the two-party
+classes in :mod:`repro.core` run the same bodies with a single site.  This
+package keeps the cluster-facing surface:
+
 * :class:`repro.multiparty.estimator.ClusterEstimator` — the facade,
-  mirroring :class:`repro.core.api.MatrixProductEstimator` for a list of
-  shards.
+  sharing its query dispatch with
+  :class:`repro.core.api.MatrixProductEstimator`.
+* ``Network`` (now in :mod:`repro.comm.network`), ``Site`` / ``Coordinator``
+  (now in :mod:`repro.engine.topology`) — re-exported here for
+  compatibility, together with the historical ``Multiparty*`` protocol
+  names.  ``repro.multiparty.protocols`` itself is deprecated.
 """
 
-from repro.multiparty.estimator import ClusterEstimator
-from repro.multiparty.network import Network
-from repro.multiparty.protocols import (
-    ClusterCostReport,
-    CoordinatorProtocol,
-    MultipartyHeavyHittersProtocol,
-    MultipartyL0SamplingProtocol,
-    MultipartyLpNormProtocol,
-    star_lp_pp_estimate,
+from repro.comm.network import Network
+from repro.engine.base import ClusterCostReport, StarProtocol
+from repro.engine.heavy_hitters import (
+    StarBinaryHeavyHittersProtocol,
+    StarHeavyHittersProtocol,
 )
-from repro.multiparty.site import Coordinator, Site
+from repro.engine.l0_sampling import StarL0SamplingProtocol
+from repro.engine.lp_norm import StarLpNormProtocol, star_lp_pp_estimate
+from repro.engine.topology import Coordinator, Site
+from repro.multiparty.estimator import ClusterEstimator
+
+#: Historical names for the engine protocol classes (see ``protocols.py``).
+CoordinatorProtocol = StarProtocol
+MultipartyLpNormProtocol = StarLpNormProtocol
+MultipartyL0SamplingProtocol = StarL0SamplingProtocol
+MultipartyHeavyHittersProtocol = StarHeavyHittersProtocol
+MultipartyBinaryHeavyHittersProtocol = StarBinaryHeavyHittersProtocol
 
 __all__ = [
     "ClusterCostReport",
     "ClusterEstimator",
     "Coordinator",
     "CoordinatorProtocol",
+    "MultipartyBinaryHeavyHittersProtocol",
     "MultipartyHeavyHittersProtocol",
     "MultipartyL0SamplingProtocol",
     "MultipartyLpNormProtocol",

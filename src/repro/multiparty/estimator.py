@@ -4,8 +4,11 @@
 for the coordinator model: the rows of ``A`` live as shards on k sites, the
 coordinator holds ``B``, and every query returns a
 :class:`repro.comm.protocol.ProtocolResult` whose cost is a
-:class:`repro.multiparty.protocols.ClusterCostReport` (total bits, rounds,
-per-site and per-link loads).
+:class:`repro.engine.base.ClusterCostReport` (total bits, rounds, per-site
+and per-link loads).  The query dispatch is shared with the two-party
+estimator via :class:`repro.engine.api.EstimatorBase`, so every query the
+two-party facade answers — including ``natural_join_size``, ``l1_sample``,
+``linf`` and ``linf_kappa`` — is available on a cluster as well.
 
 Example
 -------
@@ -29,15 +32,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.comm.protocol import ProtocolResult
-from repro.multiparty.protocols import (
-    MultipartyHeavyHittersProtocol,
-    MultipartyL0SamplingProtocol,
-    MultipartyLpNormProtocol,
-    coerce_shards,
-)
+from repro.engine.api import EstimatorBase
+from repro.engine.base import StarProtocol
+from repro.engine.topology import coerce_shards
 
 
-class ClusterEstimator:
+class ClusterEstimator(EstimatorBase):
     """Distributed statistics of ``C = A B`` with ``A`` sharded over k sites.
 
     Parameters
@@ -61,6 +61,7 @@ class ClusterEstimator:
         *,
         seed: int | None = None,
     ) -> None:
+        super().__init__(seed=seed)
         shards = coerce_shards(shards)
         b = np.asarray(b)
         if b.ndim != 2:
@@ -71,7 +72,10 @@ class ClusterEstimator:
             )
         self.shards = shards
         self.b = b
-        self._seed_stream = np.random.default_rng(seed)
+        self.is_binary = bool(
+            all(np.all((shard == 0) | (shard == 1)) for shard in shards)
+            and np.all((b == 0) | (b == 1))
+        )
 
     @classmethod
     def from_matrix(
@@ -96,33 +100,5 @@ class ClusterEstimator:
     def num_sites(self) -> int:
         return len(self.shards)
 
-    def _next_seed(self) -> int:
-        return int(self._seed_stream.integers(0, 2**31 - 1))
-
-    # ------------------------------------------------------------------ lp
-    def lp_norm(self, p: float, epsilon: float = 0.25, **kwargs) -> ProtocolResult:
-        """(1 + eps)-approximation of ``||A B||_p^p`` for ``p in [0, 2]``."""
-        protocol = MultipartyLpNormProtocol(p, epsilon, seed=self._next_seed(), **kwargs)
-        return protocol.run(self.shards, self.b)
-
-    def join_size(self, epsilon: float = 0.25, **kwargs) -> ProtocolResult:
-        """Set-intersection join size ``|A ∘ B| = ||A B||_0`` (p = 0)."""
-        return self.lp_norm(0.0, epsilon, **kwargs)
-
-    # ------------------------------------------------------------- sampling
-    def l0_sample(self, epsilon: float = 0.25, **kwargs) -> ProtocolResult:
-        """Uniform sample from the non-zero entries of ``A B``."""
-        protocol = MultipartyL0SamplingProtocol(
-            epsilon, seed=self._next_seed(), **kwargs
-        )
-        return protocol.run(self.shards, self.b)
-
-    # -------------------------------------------------------- heavy hitters
-    def heavy_hitters(
-        self, phi: float, epsilon: float, *, p: float = 1.0, **kwargs
-    ) -> ProtocolResult:
-        """``l_p``-(phi, eps) heavy hitters of ``A B`` (non-negative inputs)."""
-        protocol = MultipartyHeavyHittersProtocol(
-            phi, epsilon, p=p, seed=self._next_seed(), **kwargs
-        )
+    def _run(self, protocol: StarProtocol) -> ProtocolResult:
         return protocol.run(self.shards, self.b)

@@ -1,557 +1,48 @@
-"""k-site coordinator-model protocols over the star network.
+"""Deprecated location: the k-site protocol bodies now live in :mod:`repro.engine`.
 
-Setting: the rows of ``A`` are sharded across k sites (site i holds a
-contiguous block of rows), the coordinator holds ``B``, and the goal is a
-statistic of ``C = A B`` — exactly the paper's two-party problems lifted to
-the coordinator model of distributed functional monitoring.
+This module used to hold a parallel re-implementation of the ``l_p`` norm,
+``l_0``-sampling and heavy-hitter protocols for the coordinator model.  The
+engine unification collapsed the two-party and k-site stacks onto one
+topology-agnostic implementation per protocol family; the historical names
+below are aliases kept for one release so existing imports keep working.
 
-Because every sketch in :mod:`repro.sketch` is linear, the two-party
-protocols generalize with *no extra rounds*: whatever Alice used to send,
-each site now sends for its shard, and the coordinator (playing Bob's role)
-merges the k summaries entrywise before finishing exactly as Bob would.
-Concretely:
-
-* :class:`MultipartyLpNormProtocol` — Algorithm 1 in 2 rounds: the
-  coordinator broadcasts the shared row sketch of ``B`` once, every site
-  group-samples its own rows, and the coordinator sums the importance
-  weighted contributions.  (Group sampling is stratified per shard; each
-  shard's estimate is ``(1 ± eps)`` of its block's mass, so the sum is
-  ``(1 ± eps)`` of ``||C||_p^p``.)
-* :class:`MultipartyL0SamplingProtocol` — Theorem 3.2 in 1 round: each site
-  ships the partial linear images of its shard and the coordinator merges
-  them (the merged state equals the sketch of the full ``A`` exactly).
-* :class:`MultipartyHeavyHittersProtocol` — Algorithm 4 / Corollary 5.2 in
-  the same round count as the two-party protocol: the per-column counts and
-  column lists of the sparse-product exchange are themselves mergeable
-  summaries.
-
-For k = 2 these reproduce the two-party protocols — same round counts, same
-accounting formulas, estimates within the protocols' error bounds — which
-the equivalence tests in ``tests/multiparty`` assert.
+Import from :mod:`repro.engine` (or :mod:`repro.multiparty`) in new code.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from functools import reduce
-from typing import Any
+import warnings
 
-import numpy as np
-
-from repro.comm import bitcost
-from repro.comm.protocol import ProtocolResult, split_protocol_output
-from repro.core.heavy_hitters_general import (
-    entry_sampling_rate,
-    forward_threshold,
-    report_heavy_entries,
+from repro.engine.base import ClusterCostReport, StarProtocol
+from repro.engine.heavy_hitters import (
+    StarBinaryHeavyHittersProtocol,
+    StarHeavyHittersProtocol,
 )
-from repro.core.l0_sampling import finish_l0_sample
-from repro.core.lp_norm import sample_block_rows, weighted_block_pp
-from repro.core.result import HeavyHitterOutput
-from repro.multiparty.network import Network
-from repro.multiparty.site import Coordinator, Site
-from repro.sketch.l0_sampler import L0Sampler
-from repro.sketch.l0_sketch import L0Sketch
-from repro.sketch.lp_sketch import make_lp_sketch
+from repro.engine.l0_sampling import StarL0SamplingProtocol
+from repro.engine.lp_norm import StarLpNormProtocol, star_lp_pp_estimate
+from repro.engine.topology import coerce_shards
 
+warnings.warn(
+    "repro.multiparty.protocols is deprecated; the protocol bodies moved to "
+    "repro.engine (aliases are exported from repro.multiparty)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-@dataclass
-class ClusterCostReport:
-    """Communication cost of one k-party protocol execution.
+#: Historical names for the engine protocol classes.
+CoordinatorProtocol = StarProtocol
+MultipartyLpNormProtocol = StarLpNormProtocol
+MultipartyL0SamplingProtocol = StarL0SamplingProtocol
+MultipartyHeavyHittersProtocol = StarHeavyHittersProtocol
+MultipartyBinaryHeavyHittersProtocol = StarBinaryHeavyHittersProtocol
 
-    Mirrors :class:`repro.comm.protocol.CostReport` with the star-specific
-    quantities: per-site upload volumes, per-link loads, and the busiest
-    link (which bounds the makespan when links transfer in parallel).
-    """
-
-    total_bits: int
-    rounds: int
-    coordinator_bits: int
-    site_bits: dict[str, int] = field(default_factory=dict)
-    link_bits: dict[str, int] = field(default_factory=dict)
-    max_link_bits: int = 0
-    breakdown: dict[str, int] = field(default_factory=dict)
-    per_round: dict[int, int] = field(default_factory=dict)
-
-    @classmethod
-    def from_network(cls, network: Network) -> "ClusterCostReport":
-        return cls(
-            total_bits=network.total_bits,
-            rounds=network.rounds,
-            coordinator_bits=network.bits_sent_by(network.coordinator_name),
-            site_bits={name: network.bits_sent_by(name) for name in network.site_names},
-            link_bits=network.link_bits(),
-            max_link_bits=network.max_link_bits,
-            breakdown=network.bits_by_label(),
-            per_round=network.bits_per_round(),
-        )
-
-
-def coerce_shards(shards: list[Any]) -> list[np.ndarray]:
-    """Validate and normalize a list of row-shards (shared with the facade)."""
-    shards = [np.asarray(shard) for shard in shards]
-    if not shards:
-        raise ValueError("need at least one site shard")
-    for shard in shards:
-        if shard.ndim != 2:
-            raise ValueError("every shard must be a 2-dimensional matrix")
-    if len({shard.shape[1] for shard in shards}) != 1:
-        raise ValueError("all shards must agree on the inner dimension")
-    return shards
-
-
-class CoordinatorProtocol:
-    """Base driver for the k-party protocols (mirrors ``comm.Protocol``).
-
-    Subclasses implement :meth:`_execute` on fully wired
-    :class:`~repro.multiparty.site.Coordinator` / ``Site`` endpoints;
-    :meth:`run` handles network construction, seeding (one shared
-    public-coin stream plus independent private streams per endpoint, spawned
-    from the same root as the two-party driver) and cost reporting.
-    """
-
-    #: Human-readable protocol name (used in benchmark tables).
-    name = "coordinator-protocol"
-
-    def __init__(self, *, seed: int | None = None) -> None:
-        self.seed = seed
-
-    # ------------------------------------------------------------------ api
-    def run(self, shards: list[Any], coordinator_data: Any) -> ProtocolResult:
-        """Execute the protocol on k row-shards and the coordinator's matrix."""
-        shards = coerce_shards(shards)
-        k = len(shards)
-        network = Network([f"site-{i}" for i in range(k)])
-        root = np.random.default_rng(self.seed)
-        shared_seed = int(root.integers(0, 2**63 - 1))
-        rngs = root.spawn(k + 1)
-        offsets = np.concatenate(([0], np.cumsum([s.shape[0] for s in shards])[:-1]))
-        sites = [
-            Site(f"site-{i}", shards[i], network, row_offset=int(offsets[i]), rng=rngs[i])
-            for i in range(k)
-        ]
-        coordinator = Coordinator(coordinator_data, network, rng=rngs[-1])
-        self.shared_rng = np.random.default_rng(shared_seed)
-
-        output = self._execute(coordinator, sites)
-        value, details = split_protocol_output(output)
-        details.setdefault("num_sites", k)
-        return ProtocolResult(
-            value=value, cost=ClusterCostReport.from_network(network), details=details
-        )
-
-    # ------------------------------------------------------------- subclass
-    def _execute(self, coordinator: Coordinator, sites: list[Site]) -> Any:
-        raise NotImplementedError
-
-
-def _total_rows(sites: list[Site]) -> int:
-    return sum(np.asarray(site.data).shape[0] for site in sites)
-
-
-def _check_inner_dims(sites: list[Site], b: np.ndarray) -> None:
-    inner = np.asarray(sites[0].data).shape[1]
-    if inner != b.shape[0]:
-        raise ValueError(
-            f"inner dimensions differ: shards have {inner} columns, "
-            f"B has {b.shape[0]} rows"
-        )
-
-
-# ---------------------------------------------------------------------------
-# Algorithm 1, k sites
-# ---------------------------------------------------------------------------
-def star_lp_pp_estimate(
-    coordinator: Coordinator,
-    sites: list[Site],
-    *,
-    p: float,
-    epsilon: float,
-    rho_constant: float,
-    shared_rng: np.random.Generator,
-    label_prefix: str = "",
-) -> tuple[float, dict]:
-    """Two-round k-site estimate of ``||A B||_p^p`` (Algorithm 1 lifted).
-
-    Round 1 (downstream): the coordinator broadcasts the shared row sketch
-    ``S B^T`` once.  Round 2 (upstream): every site group-samples its shard's
-    rows — stratified by shard, then by geometric norm group — and ships the
-    sampled rows with their inverse sampling weights.  The coordinator
-    computes the sampled rows of ``C`` exactly and sums the importance
-    weighted contributions over all shards.
-    """
-    b = np.asarray(coordinator.data)
-    _check_inner_dims(sites, b)
-    total_rows = _total_rows(sites)
-
-    beta = math.sqrt(epsilon)
-    rho = rho_constant / epsilon
-
-    # --- Round 1: coordinator -> all sites, the row sketch S B^T -----------
-    sketch = make_lp_sketch(b.shape[1], p, beta, shared_rng)
-    sketched_bt = sketch.apply(b.T)
-    coordinator.broadcast(
-        sketched_bt,
-        label=f"{label_prefix}round1/sketch-of-B",
-        bits=bitcost.bits_for_matrix(sketched_bt),
-        sites=sites,
-    )
-
-    # --- Round 2: every site -> coordinator, sampled shard rows ------------
-    estimate = 0.0
-    rough_total = 0.0
-    sampled_total = 0
-    for site in sites:
-        a = np.asarray(site.data)
-        c_tilde = a @ sketched_bt.T
-        row_estimates = np.maximum(
-            np.asarray(sketch.estimate_rows_pp(c_tilde), dtype=float), 0.0
-        )
-        site_total = float(np.sum(row_estimates))
-        rough_total += site_total
-        if site_total <= 0:
-            site.send(0, label=f"{label_prefix}round2/empty", bits=1)
-            continue
-
-        payload, round2_bits = sample_block_rows(
-            a,
-            row_estimates,
-            beta=beta,
-            rho=rho,
-            rng=site.rng,
-            total_rows=total_rows,
-            row_offset=site.row_offset,
-        )
-        site.send(payload, label=f"{label_prefix}round2/sampled-rows", bits=round2_bits)
-
-        # Coordinator: exact norms of the sampled rows of C, weighted sum.
-        estimate += weighted_block_pp(payload, b, p)
-        sampled_total += int(len(payload["rows"]))
-
-    details = {
-        "sampled_rows": sampled_total,
-        "beta": beta,
-        "rho": rho,
-        "rough_total": rough_total,
-    }
-    return estimate, details
-
-
-class MultipartyLpNormProtocol(CoordinatorProtocol):
-    """k-site two-round (1 + eps)-approximation of ``||A B||_p^p``.
-
-    Same parameters as :class:`repro.core.lp_norm.LpNormProtocol`; for k = 2
-    shards the runtime reduces to the two-party protocol (2 rounds, the same
-    per-message accounting formulas).
-    """
-
-    name = "multiparty-lp-norm"
-
-    def __init__(
-        self,
-        p: float,
-        epsilon: float,
-        *,
-        rho_constant: float = 48.0,
-        seed: int | None = None,
-    ) -> None:
-        super().__init__(seed=seed)
-        if not 0 <= p <= 2:
-            raise ValueError(f"p must be in [0, 2], got {p}")
-        if not 0 < epsilon <= 1:
-            raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
-        if rho_constant <= 0:
-            raise ValueError("rho_constant must be positive")
-        self.p = float(p)
-        self.epsilon = float(epsilon)
-        self.rho_constant = float(rho_constant)
-
-    def _execute(self, coordinator: Coordinator, sites: list[Site]):
-        return star_lp_pp_estimate(
-            coordinator,
-            sites,
-            p=self.p,
-            epsilon=self.epsilon,
-            rho_constant=self.rho_constant,
-            shared_rng=self.shared_rng,
-        )
-
-
-# ---------------------------------------------------------------------------
-# Theorem 3.2, k sites
-# ---------------------------------------------------------------------------
-class MultipartyL0SamplingProtocol(CoordinatorProtocol):
-    """k-site one-round ``l_0``-sampling of the support of ``A B``.
-
-    Every site accumulates the shared linear ``l_0`` sketch and
-    ``l_0``-sampler over its shard (batched ``update_many``, global row
-    indexing) and ships the partial summaries upstream; the coordinator
-    merges them entrywise — the merged state equals the sketch of the full
-    ``A`` exactly, because the sketches are linear — and finishes precisely
-    as Bob does in the two-party protocol.
-    """
-
-    name = "multiparty-l0-sampling"
-
-    def __init__(
-        self,
-        epsilon: float = 0.25,
-        *,
-        sampler_repetitions: int = 8,
-        seed: int | None = None,
-    ) -> None:
-        super().__init__(seed=seed)
-        if not 0 < epsilon <= 1:
-            raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
-        self.epsilon = float(epsilon)
-        self.sampler_repetitions = int(sampler_repetitions)
-
-    def _execute(self, coordinator: Coordinator, sites: list[Site]):
-        b = np.asarray(coordinator.data)
-        _check_inner_dims(sites, b)
-        total_rows = _total_rows(sites)
-
-        # Shared randomness: every endpoint derives the same sketch pair.
-        l0_sketch = L0Sketch.for_accuracy(total_rows, self.epsilon, self.shared_rng)
-        sampler = L0Sampler(
-            total_rows, self.shared_rng, repetitions=self.sampler_repetitions
-        )
-
-        # Round 1 (the only round): sites -> coordinator, partial summaries.
-        site_summaries = []
-        for site in sites:
-            shard = np.asarray(site.data).astype(np.int64)
-            partial_sketch = l0_sketch.empty_copy()
-            partial_sketch.update_many(site.rows, shard)
-            partial_sampler = sampler.empty_copy()
-            partial_sampler.update_many(site.rows, shard)
-            bits = bitcost.bits_for_matrix(partial_sketch.state) + bitcost.bits_for_matrix(
-                partial_sampler.state
-            )
-            site.send(
-                {"l0_sketch": partial_sketch, "sampler": partial_sampler},
-                label="sketches-of-shard",
-                bits=bits,
-            )
-            site_summaries.append((partial_sketch, partial_sampler))
-
-        # Coordinator: merge the k summaries, then finish exactly like Bob.
-        merged_sketch = reduce(
-            lambda acc, pair: acc.merge(pair[0]), site_summaries, l0_sketch.empty_copy()
-        )
-        merged_sampler = reduce(
-            lambda acc, pair: acc.merge(pair[1]), site_summaries, sampler.empty_copy()
-        )
-        sketched_c = merged_sketch.state @ b.astype(np.int64)
-        sampler_c = merged_sampler.state @ b.astype(np.int64)
-        return finish_l0_sample(
-            l0_sketch, sampler, sketched_c, sampler_c, coordinator.rng
-        )
-
-
-# ---------------------------------------------------------------------------
-# Algorithm 4 / Corollary 5.2, k sites
-# ---------------------------------------------------------------------------
-class MultipartyHeavyHittersProtocol(CoordinatorProtocol):
-    """k-site ``l_p``-(phi, eps) heavy hitters of ``A B`` (non-negative ints).
-
-    The star version of :class:`repro.core.heavy_hitters_general
-    .GeneralHeavyHittersProtocol`, with every Alice-side quantity replaced by
-    a mergeable per-site summary:
-
-    1. Both ends learn ``T ~= ||C||_p^p`` — per-site column sums merged at
-       the coordinator for ``p = 1`` (Remark 2), the k-site Algorithm 1
-       otherwise — and the coordinator broadcasts ``T`` back.
-    2. Every site samples its shard's entries with the paper's rate ``beta``.
-    3. Star sparse-product exchange: sites upload per-column non-zero counts
-       (merged into the global ``u``); for each shared item the cheaper side
-       ships — the coordinator sends its ``B``-rows to the sites that need
-       them, sites ship their column lists upstream.
-    4. Sites forward their shares' significant entries; the coordinator
-       thresholds ``C' = C'_sites + C_coord`` and reports survivors.
-
-    Round count matches the two-party protocol exactly: 5 rounds for
-    ``p = 1``, 6 otherwise.
-    """
-
-    name = "multiparty-heavy-hitters"
-
-    def __init__(
-        self,
-        phi: float,
-        epsilon: float,
-        *,
-        p: float = 1.0,
-        beta_constant: float = 64.0,
-        rho_constant: float = 48.0,
-        seed: int | None = None,
-    ) -> None:
-        super().__init__(seed=seed)
-        if not 0 < epsilon <= phi <= 1:
-            raise ValueError(f"need 0 < eps <= phi <= 1, got eps={epsilon}, phi={phi}")
-        if not 0 < p <= 2:
-            raise ValueError(f"p must be in (0, 2], got {p}")
-        self.phi = float(phi)
-        self.epsilon = float(epsilon)
-        self.p = float(p)
-        self.beta_constant = float(beta_constant)
-        self.rho_constant = float(rho_constant)
-
-    # ----------------------------------------------------------------- run
-    def _execute(self, coordinator: Coordinator, sites: list[Site]):
-        b = np.asarray(coordinator.data, dtype=np.int64)
-        shards = [np.asarray(site.data, dtype=np.int64) for site in sites]
-        if np.any(b < 0) or any(np.any(shard < 0) for shard in shards):
-            raise ValueError("heavy-hitter protocol requires non-negative matrices")
-        _check_inner_dims(sites, b)
-        total_rows = _total_rows(sites)
-        n_items = b.shape[0]
-        n = max(total_rows, n_items, b.shape[1])
-
-        # --- Step 1: everyone learns T ~ ||C||_p^p --------------------------
-        total_pp = self._estimate_total_pp(coordinator, sites, shards, b)
-        if total_pp <= 0:
-            return HeavyHitterOutput(), {"total_pp": 0.0, "beta": 1.0}
-        coordinator.broadcast(
-            total_pp, label="hh/total-norm", bits=bitcost.FLOAT_BITS, sites=sites
-        )
-
-        # --- Step 2: sites scale C down by entry sampling -------------------
-        beta = entry_sampling_rate(
-            self.phi, self.epsilon, self.p,
-            beta_constant=self.beta_constant, n=n, total_pp=total_pp,
-        )
-        beta_shards = []
-        for site, shard in zip(sites, shards):
-            keep = site.rng.uniform(size=shard.shape) < beta
-            beta_shards.append(np.where((shard != 0) & keep, shard, 0).astype(np.int64))
-
-        # --- Step 3: star sparse-product exchange ---------------------------
-        values_are_binary = bool(
-            all(np.all((s == 0) | (s == 1)) for s in beta_shards)
-            and np.all((b == 0) | (b == 1))
-        )
-        value_bits = 0 if values_are_binary else bitcost.INT_ENTRY_BITS
-
-        # Upstream: per-site per-column non-zero counts (mergeable).
-        site_counts = []
-        for site, beta_shard in zip(sites, beta_shards):
-            u_site = np.count_nonzero(beta_shard, axis=0)
-            site.send(
-                u_site,
-                label="hh/sparse-product-counts",
-                bits=n_items * bitcost.bits_for_index(max(beta_shard.shape[0] + 1, 2)),
-            )
-            site_counts.append(u_site)
-        u = np.sum(site_counts, axis=0)
-        v = np.count_nonzero(b, axis=1)
-
-        # Ownership: for each active item the cheaper side ships its lists.
-        active = (u > 0) & (v > 0)
-        coord_ships = active & (v < u)
-        site_ships = active & (v >= u)
-
-        # Downstream: B-rows for coordinator-shipped items, to the sites
-        # whose shards touch them, plus each site's shipping instructions.
-        for site, u_site in zip(sites, site_counts):
-            needed = coord_ships & (u_site > 0)
-            down_bits = n_items  # the per-item instruction bitmap
-            for j in np.flatnonzero(needed):
-                down_bits += int(v[j]) * (
-                    bitcost.bits_for_index(max(b.shape[1], 1)) + value_bits
-                )
-            coordinator.send(
-                site,
-                {"ship_items": np.flatnonzero(site_ships & (u_site > 0)), "b_rows": needed},
-                label="hh/coordinator-lists",
-                bits=down_bits,
-            )
-
-        # Upstream: sites ship their column lists and, in the same round,
-        # the significant entries of their shares of C^beta.
-        report_threshold = forward_threshold(
-            self.phi, self.epsilon, self.p, beta, total_pp
-        )
-
-        heavy_site_entries: dict[tuple[int, int], int] = {}
-        c_coord = np.zeros((total_rows, b.shape[1]), dtype=np.int64)
-        for site, u_site, beta_shard in zip(sites, site_counts, beta_shards):
-            ship_mask = site_ships & (u_site > 0)
-            ship_bits = 0
-            for j in np.flatnonzero(ship_mask):
-                ship_bits += int(np.count_nonzero(beta_shard[:, j])) * (
-                    bitcost.bits_for_index(max(total_rows, 1)) + value_bits
-                )
-            site.send(
-                {"items": np.flatnonzero(ship_mask)},
-                label="hh/site-lists",
-                bits=ship_bits,
-            )
-            # The coordinator owns the products of shipped items.
-            rows = slice(site.row_offset, site.row_offset + beta_shard.shape[0])
-            c_coord[rows] = beta_shard[:, ship_mask] @ b[ship_mask, :]
-
-            # The site owns the products of coordinator-shipped items; it
-            # forwards the significant entries of its share (same round).
-            c_site = beta_shard[:, coord_ships] @ b[coord_ships, :]
-            heavy_site = {
-                (int(i) + site.row_offset, int(j)): int(c_site[i, j])
-                for i, j in zip(*np.nonzero(c_site > report_threshold))
-            }
-            entry_bits = bitcost.bits_for_int(len(heavy_site)) + len(heavy_site) * (
-                2 * bitcost.bits_for_index(max(n, 2)) + bitcost.INT_ENTRY_BITS
-            )
-            site.send(heavy_site, label="hh/site-heavy-entries", bits=entry_bits)
-            heavy_site_entries.update(heavy_site)
-
-        # --- Step 4: coordinator thresholds C' = C_coord + forwarded --------
-        c_prime = c_coord.astype(float)
-        for (i, j), value in heavy_site_entries.items():
-            c_prime[i, j] += value
-
-        output, output_threshold = report_heavy_entries(
-            c_prime,
-            phi=self.phi, epsilon=self.epsilon, p=self.p, beta=beta, total_pp=total_pp,
-        )
-        details = {
-            "total_pp": total_pp,
-            "beta": beta,
-            "scaled_nonzeros": int(
-                np.count_nonzero(c_coord) + len(heavy_site_entries)
-            ),
-            "output_threshold": output_threshold,
-        }
-        return output, details
-
-    # ------------------------------------------------------------ internals
-    def _estimate_total_pp(
-        self,
-        coordinator: Coordinator,
-        sites: list[Site],
-        shards: list[np.ndarray],
-        b: np.ndarray,
-    ) -> float:
-        """Step 1: ``||C||_p^p`` — merged column sums (Remark 2) for p = 1,
-        the k-site Algorithm 1 otherwise."""
-        if self.p == 1.0:
-            merged = np.zeros(b.shape[0], dtype=np.int64)
-            for site, shard in zip(sites, shards):
-                column_sums = shard.sum(axis=0)
-                bits = shard.shape[1] * bitcost.bits_for_int(
-                    int(max(column_sums.max(initial=0), 1))
-                )
-                site.send(column_sums, label="hh/column-sums", bits=bits)
-                merged += column_sums
-            return float(merged.astype(float) @ b.sum(axis=1).astype(float))
-        accuracy = min(0.5, self.epsilon / (4.0 * self.phi))
-        estimate, _ = star_lp_pp_estimate(
-            coordinator,
-            sites,
-            p=self.p,
-            epsilon=accuracy,
-            rho_constant=self.rho_constant,
-            shared_rng=self.shared_rng,
-            label_prefix="hh/",
-        )
-        return float(estimate)
+__all__ = [
+    "ClusterCostReport",
+    "CoordinatorProtocol",
+    "MultipartyBinaryHeavyHittersProtocol",
+    "MultipartyHeavyHittersProtocol",
+    "MultipartyL0SamplingProtocol",
+    "MultipartyLpNormProtocol",
+    "coerce_shards",
+    "star_lp_pp_estimate",
+]

@@ -1,141 +1,12 @@
-"""Endpoints of the star network: k sites and one coordinator.
+"""Compatibility alias: the endpoints now live in :mod:`repro.engine.topology`.
 
-These mirror :class:`repro.comm.party.Party` for the k-party setting.  A
-:class:`Site` owns a *shard* — a contiguous block of rows of the global
-matrix ``A`` — plus its global row range, a private random generator, and a
-handle to the shared :class:`~repro.multiparty.network.Network`.  The
-:class:`Coordinator` owns the second matrix ``B`` (it plays Bob's role from
-the two-party protocols) and is the only endpoint every site can reach.
-
-Shared (public-coin) randomness is modelled exactly as in the two-party
-runtime: the protocol driver derives one seed and every endpoint constructs
-identical helper objects (sketches) from it.  Broadcasting the seed itself
-is never charged — the protocols are public-coin, and by Newman's theorem
-privatizing the coins costs only an additive ``O(log n)`` bits per site.
+``Site`` and ``Coordinator`` moved into the engine when the protocol stacks
+were unified; import them from ``repro.engine.topology`` (or
+``repro.engine``) in new code.  Sites build shard summaries exclusively via
+the batched :meth:`~repro.engine.topology.Site.partial_summary` /
+``MergeableSketch.update_many`` route — there is no per-row update path.
 """
 
-from __future__ import annotations
+from repro.engine.topology import Coordinator, Site
 
-from typing import Any, Iterable
-
-import numpy as np
-
-from repro.multiparty.network import Network
-
-
-class Site:
-    """One leaf of the star, holding a row-shard of the global matrix.
-
-    Parameters
-    ----------
-    name:
-        Endpoint name (must be one of the network's site names).
-    shard:
-        The site's local block of rows of the global matrix ``A``.
-    network:
-        The shared star network.
-    row_offset:
-        Index of the shard's first row in the global row numbering, so the
-        site can report global coordinates.
-    rng:
-        The site's private randomness.
-    """
-
-    def __init__(
-        self,
-        name: str,
-        shard: Any,
-        network: Network,
-        *,
-        row_offset: int = 0,
-        rng: np.random.Generator | None = None,
-    ) -> None:
-        self.name = name
-        self.data = shard
-        self.network = network
-        self.row_offset = int(row_offset)
-        self.rng = rng if rng is not None else np.random.default_rng()
-        self.scratch: dict[str, Any] = {}
-
-    @property
-    def rows(self) -> np.ndarray:
-        """Global row indices covered by this site's shard."""
-        return self.row_offset + np.arange(np.asarray(self.data).shape[0])
-
-    def send(
-        self,
-        payload: Any,
-        *,
-        label: str = "",
-        bits: int | None = None,
-        universe: int | None = None,
-    ) -> Any:
-        """Send ``payload`` upstream to the coordinator."""
-        return self.network.send(
-            self.name,
-            self.network.coordinator_name,
-            payload,
-            label=label,
-            bits=bits,
-            universe=universe,
-        )
-
-    @property
-    def bits_sent(self) -> int:
-        """Total bits this site has sent so far."""
-        return self.network.bits_sent_by(self.name)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"Site({self.name!r}, rows {self.row_offset}+{np.asarray(self.data).shape[0]})"
-
-
-class Coordinator:
-    """The hub of the star, holding the matrix ``B``."""
-
-    def __init__(
-        self,
-        data: Any,
-        network: Network,
-        *,
-        rng: np.random.Generator | None = None,
-    ) -> None:
-        self.name = network.coordinator_name
-        self.data = data
-        self.network = network
-        self.rng = rng if rng is not None else np.random.default_rng()
-        self.scratch: dict[str, Any] = {}
-
-    def send(
-        self,
-        site: Site | str,
-        payload: Any,
-        *,
-        label: str = "",
-        bits: int | None = None,
-        universe: int | None = None,
-    ) -> Any:
-        """Send ``payload`` downstream to one site."""
-        receiver = site.name if isinstance(site, Site) else site
-        return self.network.send(
-            self.name, receiver, payload, label=label, bits=bits, universe=universe
-        )
-
-    def broadcast(
-        self,
-        payload: Any,
-        *,
-        label: str = "",
-        bits: int | None = None,
-        sites: Iterable[Site | str] | None = None,
-    ) -> Any:
-        """Send the same ``payload`` to every site (``bits`` charged per link)."""
-        names = None if sites is None else [s.name if isinstance(s, Site) else s for s in sites]
-        return self.network.broadcast(payload, label=label, bits=bits, sites=names)
-
-    @property
-    def bits_sent(self) -> int:
-        """Total bits the coordinator has sent so far (all links)."""
-        return self.network.bits_sent_by(self.name)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"Coordinator({self.name!r})"
+__all__ = ["Coordinator", "Site"]

@@ -132,7 +132,7 @@ class L0Sketch(LinearStateMixin):
             )
         per_level = sketched_rows.reshape(sketched_rows.shape[0], self.levels, self.k)
         occupied = np.count_nonzero(self._nonzero(per_level), axis=2)
-        return np.array([self._estimate_from_occupancy(row) for row in occupied])
+        return self._estimates_from_occupancies(occupied)
 
     # alias so LpSketch/L0Sketch can be used interchangeably where the p-th
     # power of the norm is wanted (for p = 0 they coincide).
@@ -151,16 +151,27 @@ class L0Sketch(LinearStateMixin):
 
     def _estimate_from_occupancy(self, occupied: np.ndarray) -> float:
         """Invert bucket occupancy into a distinct-count estimate."""
+        return float(self._estimates_from_occupancies(np.asarray(occupied)[None, :])[0])
+
+    def _estimates_from_occupancies(self, occupied: np.ndarray) -> np.ndarray:
+        """Row-batched occupancy inversion, shape ``(m, levels) -> (m,)``.
+
+        Per row, the first level whose occupancy ``t`` is at or below the
+        saturation point decides the estimate (0 when ``t = 0`` — levels are
+        nested, so every deeper level is empty too).  Rows saturated at every
+        level fall back to the deepest level's (biased) estimate, clamped
+        below saturation.
+        """
         saturation = 0.75 * self.k
-        for level in range(self.levels):
-            t = int(occupied[level])
-            if t == 0:
-                return 0.0
-            if t <= saturation:
-                estimate_at_level = self.k * math.log(self.k / (self.k - t))
-                return estimate_at_level / self._thresholds[level]
-        # All levels saturated (extremely dense input): fall back to the
-        # deepest level's (biased) estimate, clamped below saturation.
-        t = min(int(occupied[-1]), int(saturation))
-        estimate_at_level = self.k * math.log(self.k / (self.k - t))
-        return estimate_at_level / self._thresholds[-1]
+        informative = occupied <= saturation
+        has_level = informative.any(axis=1)
+        level = np.argmax(informative, axis=1)  # first informative level
+        # Saturated-everywhere rows: deepest level, occupancy clamped.
+        level[~has_level] = self.levels - 1
+        t = np.where(
+            has_level,
+            occupied[np.arange(occupied.shape[0]), level],
+            np.minimum(occupied[:, -1], int(saturation)),
+        ).astype(float)
+        estimates = self.k * np.log(self.k / (self.k - t)) / self._thresholds[level]
+        return np.where(t == 0, 0.0, estimates)

@@ -74,8 +74,8 @@ class TestCostAccounting:
         alice, bob, channel = _make_parties(a, b)
         exchange_item_supports(alice, bob, a, b, label_prefix="x/")
         labels = {message.label for message in channel.messages}
-        assert "x/bob-item-lists" in labels
-        assert "x/alice-item-lists" in labels
+        assert "x/coordinator-item-lists" in labels
+        assert "x/site-item-lists" in labels
 
     def test_send_u_counts_flag_controls_first_message(self):
         a, b = random_binary_pair(32, density=0.2, seed=65)

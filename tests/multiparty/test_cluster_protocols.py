@@ -33,6 +33,19 @@ def integer_pair():
     return generators.integer_matrix_pair(48, density=0.1, planted_value=8, seed=11)
 
 
+#: Pre-refactor transcript volumes (total bits) under the fixture seeds; the
+#: unified engine must reproduce the historical two-party and k = 2 runs
+#: exactly (see also tests/test_engine_equivalence.py).
+PRE_REFACTOR_BITS = {
+    ("lp", 0.0): (395380, 782720),
+    ("lp", 1.0): (118766, 229626),
+    ("lp", 2.0): (118766, 229492),
+    ("l0",): (1669120, 3338240),
+    ("hh",): (8858, 12643),
+    ("hh_p2",): (220164, 372240),
+}
+
+
 class TestTwoSiteEquivalence:
     """ClusterEstimator with k = 2 vs the two-party MatrixProductEstimator."""
 
@@ -45,6 +58,7 @@ class TestTwoSiteEquivalence:
         cluster = ClusterEstimator.from_matrix(a, b, 2, seed=7).lp_norm(p, epsilon)
 
         assert cluster.cost.rounds == two_party.cost.rounds == 2
+        assert (two_party.cost.total_bits, cluster.cost.total_bits) == PRE_REFACTOR_BITS[("lp", p)]
         assert abs(two_party.value - truth) <= epsilon * truth
         assert abs(cluster.value - truth) <= epsilon * truth
         # Both are (1 +/- eps)-estimates of the same quantity, so they agree
@@ -58,6 +72,7 @@ class TestTwoSiteEquivalence:
         cluster = ClusterEstimator.from_matrix(a, b, 2, seed=3).l0_sample(0.3)
 
         assert cluster.cost.rounds == two_party.cost.rounds == 1
+        assert (two_party.cost.total_bits, cluster.cost.total_bits) == PRE_REFACTOR_BITS[("l0",)]
         # The merged site summaries equal the full-matrix sketches exactly,
         # so the column-mass estimate is identical bit for bit.
         assert cluster.details["column_mass"] == two_party.details["column_mass"]
@@ -74,6 +89,7 @@ class TestTwoSiteEquivalence:
         cluster = ClusterEstimator.from_matrix(a, b, 2, seed=9).heavy_hitters(phi, epsilon)
 
         assert cluster.cost.rounds == two_party.cost.rounds == 5
+        assert (two_party.cost.total_bits, cluster.cost.total_bits) == PRE_REFACTOR_BITS[("hh",)]
         # Completeness: every exact heavy hitter is reported by both runtimes.
         assert truth <= two_party.value.pairs
         assert truth <= cluster.value.pairs
@@ -92,6 +108,7 @@ class TestTwoSiteEquivalence:
             0.3, 0.2, p=2.0
         )
         assert cluster.cost.rounds == two_party.cost.rounds == 6
+        assert (two_party.cost.total_bits, cluster.cost.total_bits) == PRE_REFACTOR_BITS[("hh_p2",)]
 
     def test_as_cluster_routes_through_the_facade(self, binary_pair):
         a, b = binary_pair

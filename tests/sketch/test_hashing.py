@@ -8,10 +8,44 @@ import pytest
 from repro.sketch.hashing import KWiseHash, PRIME_61
 
 
+def _reference_horner(hash_fn: KWiseHash, keys: np.ndarray) -> np.ndarray:
+    """Python-int Horner evaluation, the pre-vectorization reference."""
+    out = np.empty(len(keys), dtype=np.uint64)
+    for idx, key in enumerate(np.asarray(keys, dtype=np.int64).tolist()):
+        acc = 0
+        for coeff in hash_fn._coeffs:
+            acc = (acc * key + coeff) % PRIME_61
+        out[idx] = acc
+    return out
+
+
 class TestKWiseHash:
     def test_rejects_nonpositive_k(self, rng):
         with pytest.raises(ValueError):
             KWiseHash(0, rng)
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_vectorized_mulmod_matches_python_int_arithmetic(self, rng, k):
+        """The Mersenne-61 split-multiply must be exact, not approximately so.
+
+        Checked against arbitrary-precision Python integers on keys that
+        stress every reduction path: 0, 1, values straddling the prime, and
+        large 62-bit keys.
+        """
+        h = KWiseHash(k, rng)
+        keys = np.concatenate(
+            [
+                rng.integers(0, 2**31, size=512),
+                rng.integers(0, 2**62, size=512),
+                np.array([0, 1, PRIME_61 - 1, PRIME_61, PRIME_61 + 7, 2**62 - 1]),
+            ]
+        )
+        assert np.array_equal(h.values(keys), _reference_horner(h, keys))
+
+    def test_values_preserve_input_shape(self, rng):
+        h = KWiseHash(2, rng)
+        assert h.values(np.arange(12).reshape(3, 4)).shape == (3, 4)
+        assert h.values(np.array([], dtype=np.int64)).shape == (0,)
 
     def test_values_in_field(self, rng):
         h = KWiseHash(2, rng)

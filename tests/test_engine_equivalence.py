@@ -1,0 +1,171 @@
+"""Pinned pre-unification transcripts: the engine refactor's safety net.
+
+Before the two-party and k-site stacks were collapsed onto the
+topology-agnostic engine, every protocol below was executed once under the
+seeds used here and its transcript recorded — round count, total bits, and
+the output value.  The unified engine must reproduce those transcripts
+*exactly*: the two-party facades run the engine with a single site, and the
+k = 2 cluster runs exercise the very same bodies, so any drift in message
+scheduling, bit accounting, or randomness consumption shows up here as a
+hard failure rather than a silent behavior change.
+
+(The values are environment-deterministic: fixed seeds, NumPy Generator
+streams, and integer bit accounting.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterEstimator, MatrixProductEstimator
+from repro.core.heavy_hitters_binary import BinaryHeavyHittersProtocol
+from repro.core.heavy_hitters_general import GeneralHeavyHittersProtocol
+from repro.core.l0_sampling import L0SamplingProtocol
+from repro.core.l1_exact import ExactL1Protocol, L1SamplingProtocol
+from repro.core.linf_binary import KappaApproxLinfProtocol, TwoPlusEpsilonLinfProtocol
+from repro.core.linf_general import GeneralMatrixLinfProtocol
+from repro.core.lp_norm import LpNormProtocol
+from repro.matrices import generators, random_binary_pair
+
+
+@pytest.fixture(scope="module")
+def binary_pair():
+    rng = np.random.default_rng(12345)
+    n = 64
+    a = (rng.uniform(size=(n, n)) < 0.1).astype(np.int64)
+    b = (rng.uniform(size=(n, n)) < 0.1).astype(np.int64)
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def integer_pair():
+    return generators.integer_matrix_pair(48, density=0.1, planted_value=8, seed=11)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return random_binary_pair(56, density=0.12, seed=99)
+
+
+def _assert_transcript(result, rounds, total_bits, value=None):
+    assert result.cost.rounds == rounds
+    assert result.cost.total_bits == total_bits
+    if value is not None:
+        assert result.value == pytest.approx(value, rel=1e-12)
+
+
+class TestTwoPartyFacadesMatchPreRefactorTranscripts:
+    """core/* classes delegate to the engine with identical transcripts."""
+
+    @pytest.mark.parametrize(
+        "p, total_bits, value",
+        [
+            (0.0, 395380, 1743.0209828329537),
+            (1.0, 118766, 2220.8886702528257),
+            (2.0, 118766, 3337.448986444418),
+        ],
+    )
+    def test_lp_norm(self, binary_pair, p, total_bits, value):
+        a, b = binary_pair
+        result = MatrixProductEstimator(a, b, seed=7).lp_norm(p, 0.3)
+        _assert_transcript(result, 2, total_bits, value)
+
+    def test_l0_sample(self, binary_pair):
+        a, b = binary_pair
+        result = MatrixProductEstimator(a, b, seed=3).l0_sample(0.3)
+        _assert_transcript(result, 1, 1669120)
+        assert (result.value.row, result.value.col) == (9, 1)
+
+    def test_heavy_hitters_general(self, integer_pair):
+        a, b = integer_pair
+        result = MatrixProductEstimator(a, b, seed=9).heavy_hitters(0.05, 0.03)
+        _assert_transcript(result, 5, 8858)
+        assert result.value.pairs == {(15, 5)}
+
+    def test_heavy_hitters_general_p2(self, integer_pair):
+        a, b = integer_pair
+        result = MatrixProductEstimator(a, b, seed=5).heavy_hitters(0.3, 0.2, p=2.0)
+        _assert_transcript(result, 6, 220164)
+        assert result.value.pairs == {(15, 5)}
+
+    def test_protocol_level_transcripts(self, workload, integer_pair):
+        wa, wb = workload
+        ga, gb = integer_pair
+        _assert_transcript(LpNormProtocol(0.0, 0.4, seed=1).run(wa, wb), 2, 257936, 1758.692272923915)
+        _assert_transcript(LpNormProtocol(2.0, 0.4, seed=1).run(wa, wb), 2, 78106, 4738.815788539778)
+        _assert_transcript(L0SamplingProtocol(0.4, seed=1).run(wa, wb), 1, 971264)
+        _assert_transcript(ExactL1Protocol(seed=1).run(wa, wb), 1, 280, 2595.0)
+        _assert_transcript(L1SamplingProtocol(seed=1).run(wa, wb), 1, 616)
+        _assert_transcript(TwoPlusEpsilonLinfProtocol(0.3, seed=1).run(wa, wb), 3, 10212, 4.0)
+        _assert_transcript(KappaApproxLinfProtocol(8, seed=1).run(wa, wb), 3, 6179, 4.0)
+        _assert_transcript(GeneralMatrixLinfProtocol(4, seed=1).run(ga, gb), 1, 221184, 3469.9471657841327)
+        _assert_transcript(GeneralHeavyHittersProtocol(0.1, 0.05, seed=1).run(ga, gb), 5, 8724)
+        _assert_transcript(BinaryHeavyHittersProtocol(0.1, 0.05, seed=1).run(wa, wb), 6, 238106)
+
+
+class TestClusterRunsMatchPreRefactorTranscripts:
+    """k = 2 cluster transcripts are unchanged by the engine move."""
+
+    @pytest.mark.parametrize(
+        "p, total_bits, value",
+        [
+            (0.0, 782720, 1754.0139199323316),
+            (1.0, 229626, 2229.6722021720075),
+            (2.0, 229492, 3334.2810239750106),
+        ],
+    )
+    def test_lp_norm_k2(self, binary_pair, p, total_bits, value):
+        a, b = binary_pair
+        result = ClusterEstimator.from_matrix(a, b, 2, seed=7).lp_norm(p, 0.3)
+        _assert_transcript(result, 2, total_bits, value)
+
+    def test_l0_sample_k2(self, binary_pair):
+        a, b = binary_pair
+        result = ClusterEstimator.from_matrix(a, b, 2, seed=3).l0_sample(0.3)
+        _assert_transcript(result, 1, 3338240)
+        assert (result.value.row, result.value.col) == (23, 14)
+
+    def test_heavy_hitters_k2(self, integer_pair):
+        a, b = integer_pair
+        result = ClusterEstimator.from_matrix(a, b, 2, seed=9).heavy_hitters(0.05, 0.03)
+        _assert_transcript(result, 5, 12643)
+        assert result.value.pairs == {(15, 5)}
+
+    def test_heavy_hitters_k2_p2(self, integer_pair):
+        a, b = integer_pair
+        result = ClusterEstimator.from_matrix(a, b, 2, seed=5).heavy_hitters(0.3, 0.2, p=2.0)
+        _assert_transcript(result, 6, 372240)
+        assert result.value.pairs == {(15, 5)}
+
+
+class TestTwoPartyIsTheSingleSiteCluster:
+    """The two-party view is bit-for-bit the k = 1 cluster run."""
+
+    def test_k1_cluster_equals_two_party(self, binary_pair):
+        a, b = binary_pair
+        for query in ("join_size", "l0_sample"):
+            two_party = getattr(MatrixProductEstimator(a, b, seed=13), query)(0.3)
+            cluster = getattr(ClusterEstimator([a], b, seed=13), query)(0.3)
+            assert cluster.cost.rounds == two_party.cost.rounds
+            assert cluster.cost.total_bits == two_party.cost.total_bits
+            assert cluster.cost.breakdown == two_party.cost.breakdown
+
+    def test_new_cluster_queries_match_two_party_at_k1(self, binary_pair):
+        """Queries newly lifted to the cluster (linf, l1) agree at k = 1."""
+        a, b = binary_pair
+        for query in ("natural_join_size", "l1_sample", "linf"):
+            two_party = getattr(MatrixProductEstimator(a, b, seed=21), query)()
+            cluster = getattr(ClusterEstimator([a], b, seed=21), query)()
+            assert cluster.cost.total_bits == two_party.cost.total_bits
+            assert cluster.cost.rounds == two_party.cost.rounds
+
+    def test_linf_kappa_cluster_scales(self, binary_pair):
+        """linf_kappa, newly available on clusters, stays correct at k > 1."""
+        a, b = binary_pair
+        c = a @ b
+        result = ClusterEstimator.from_matrix(a, b, 4, seed=2).linf_kappa(4)
+        assert result.value >= 0.0
+        assert result.details["num_sites"] == 4
+        # A kappa-approximation with generous slack for the small instance.
+        assert result.value <= 4 * c.max() * 4

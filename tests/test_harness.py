@@ -1,0 +1,114 @@
+"""Direct unit tests for the experiment harness metrics and helpers.
+
+``relative_error`` / ``approx_ratio`` summarize every experiment table, so
+their edge cases (negative truths, zeros, infinities, NaNs) are pinned here
+explicitly — a silent NaN or a spurious inf in a summary column would
+invalidate a whole report.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.harness import (
+    approx_ratio,
+    fit_power_law,
+    format_table,
+    relative_error,
+)
+
+
+class TestRelativeError:
+    def test_exact_match(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+    def test_plain_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_both_zero(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_truth_nonzero_estimate(self):
+        assert relative_error(1.0, 0.0) == math.inf
+
+    def test_negative_truth_uses_magnitude(self):
+        assert relative_error(-9.0, -10.0) == pytest.approx(0.1)
+        assert relative_error(-10.0, -10.0) == 0.0
+
+    def test_sign_flip_is_a_large_error_not_a_negative_one(self):
+        assert relative_error(10.0, -10.0) == pytest.approx(2.0)
+
+    def test_infinite_truth(self):
+        assert relative_error(math.inf, math.inf) == 0.0
+        assert relative_error(-math.inf, -math.inf) == 0.0
+        assert relative_error(5.0, math.inf) == math.inf
+        assert relative_error(math.inf, -math.inf) == math.inf
+
+    def test_infinite_estimate_finite_truth(self):
+        assert relative_error(math.inf, 10.0) == math.inf
+
+    def test_nan_propagates(self):
+        assert math.isnan(relative_error(math.nan, 1.0))
+        assert math.isnan(relative_error(1.0, math.nan))
+
+
+class TestApproxRatio:
+    def test_exact_match(self):
+        assert approx_ratio(7.0, 7.0) == 1.0
+
+    def test_symmetric(self):
+        assert approx_ratio(20.0, 10.0) == approx_ratio(10.0, 20.0) == 2.0
+
+    def test_both_zero(self):
+        assert approx_ratio(0.0, 0.0) == 1.0
+
+    def test_one_zero(self):
+        assert approx_ratio(0.0, 3.0) == math.inf
+        assert approx_ratio(3.0, 0.0) == math.inf
+
+    def test_negative_pair_rated_by_magnitude(self):
+        assert approx_ratio(-20.0, -10.0) == 2.0
+        assert approx_ratio(-10.0, -10.0) == 1.0
+
+    def test_sign_disagreement_is_inf(self):
+        assert approx_ratio(-10.0, 10.0) == math.inf
+        assert approx_ratio(10.0, -10.0) == math.inf
+
+    def test_infinities(self):
+        assert approx_ratio(math.inf, math.inf) == 1.0
+        assert approx_ratio(-math.inf, -math.inf) == 1.0
+        assert approx_ratio(math.inf, 10.0) == math.inf
+        assert approx_ratio(math.inf, -math.inf) == math.inf
+
+    def test_nan_propagates(self):
+        assert math.isnan(approx_ratio(math.nan, 1.0))
+        assert math.isnan(approx_ratio(1.0, math.nan))
+
+
+class TestFitPowerLaw:
+    def test_recovers_exponent(self):
+        x = [1.0, 2.0, 4.0, 8.0]
+        y = [3.0 * v**1.5 for v in x]
+        alpha, c = fit_power_law(x, y)
+        assert alpha == pytest.approx(1.5)
+        assert c == pytest.approx(3.0)
+
+    def test_rejects_nonpositive_data(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [0.0, 1.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_columns_aligned(self):
+        table = format_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1

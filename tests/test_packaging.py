@@ -1,0 +1,45 @@
+"""Packaging invariants: version single-sourcing, typing marker, deprecations."""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import re
+import sys
+
+import pytest
+
+import repro
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+class TestVersionSingleSourcing:
+    def test_version_matches_pyproject(self):
+        """``repro.__version__`` is read from package metadata / pyproject."""
+        pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+        match = re.search(r'^version\s*=\s*"([^"]+)"', pyproject, re.MULTILINE)
+        assert match is not None
+        assert repro.__version__ == match.group(1)
+
+    def test_no_setup_py_duplicate(self):
+        """The drift-prone setup.py shim is gone; pyproject is authoritative."""
+        assert not (REPO_ROOT / "setup.py").exists()
+
+
+class TestTypingMarker:
+    def test_py_typed_marker_ships_with_the_package(self):
+        package_dir = pathlib.Path(repro.__file__).parent
+        assert (package_dir / "py.typed").is_file()
+
+
+class TestDeprecations:
+    def test_multiparty_protocols_module_warns(self):
+        """The old protocol module is a deprecated alias shim."""
+        sys.modules.pop("repro.multiparty.protocols", None)
+        with pytest.warns(DeprecationWarning, match="repro.engine"):
+            module = importlib.import_module("repro.multiparty.protocols")
+        # The historical names still resolve to the engine implementations.
+        from repro.engine import StarLpNormProtocol
+
+        assert module.MultipartyLpNormProtocol is StarLpNormProtocol
