@@ -1,0 +1,34 @@
+"""E15 — streaming monitoring: wire bytes per epoch, refresh policies, sync equivalence."""
+
+import os
+
+from repro.experiments import e15_streaming_monitoring
+
+#: CI smoke mode: one tiny config so the streaming path is exercised on
+#: every change without paying for the full sweep.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def test_e15_streaming_monitoring(benchmark, once):
+    report = once(
+        benchmark,
+        e15_streaming_monitoring.run,
+        n=48 if SMOKE else 64,
+        num_sites=4,
+        epochs=4 if SMOKE else 8,
+        seed=5,
+    )
+    print()
+    print(report)
+    # Shape: on the skewed workload the threshold policy ships strictly
+    # fewer bytes than every-epoch refresh (quiet sites stay silent), the
+    # post-sync live estimates are within the monitor accuracy, and the
+    # final one-shot query is bit-identical to the batch protocol.
+    assert report.summary["threshold_strictly_fewer"]
+    assert report.summary["threshold_bytes"] < report.summary["every_epoch_bytes"]
+    assert report.summary["synced_f2_rel_err"] < 0.5
+    assert report.summary["synced_l0_rel_err"] < 0.5
+    assert report.summary["sync_matches_one_shot"]
+    # Every epoch reports its bytes on the wire, for both policies.
+    assert {row["policy"] for row in report.rows} == {"every-epoch", "threshold"}
+    assert all("bytes" in row and "cum_bytes" in row for row in report.rows)

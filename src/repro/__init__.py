@@ -59,6 +59,7 @@ from repro.core.linf_general import GeneralMatrixLinfProtocol
 from repro.core.lp_norm import LpNormProtocol
 from repro.core.result import HeavyHitterOutput, SampleOutput
 from repro.engine.base import ClusterCostReport
+from repro.engine.streaming import StreamingSession
 from repro.multiparty.estimator import ClusterEstimator
 
 
@@ -95,6 +96,7 @@ __version__ = _load_version()
 __all__ = [
     "MatrixProductEstimator",
     "ClusterEstimator",
+    "StreamingSession",
     "ProtocolResult",
     "CostReport",
     "ClusterCostReport",

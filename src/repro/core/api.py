@@ -26,7 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm.protocol import ProtocolResult
-from repro.engine.api import EstimatorBase
+from repro.engine.api import EstimatorBase, is_binary_data
 from repro.engine.base import StarProtocol
 
 
@@ -51,9 +51,7 @@ class MatrixProductEstimator(EstimatorBase):
             raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
         self.a = a
         self.b = b
-        self.is_binary = bool(
-            np.all((a == 0) | (a == 1)) and np.all((b == 0) | (b == 1))
-        )
+        self.is_binary = is_binary_data(a, b)
 
     def _run(self, protocol: StarProtocol) -> ProtocolResult:
         return protocol.run_two_party(self.a, self.b)

@@ -25,6 +25,11 @@ Layout
     :class:`EstimatorBase`, the query dispatch shared by
     :class:`repro.core.api.MatrixProductEstimator` and
     :class:`repro.multiparty.estimator.ClusterEstimator`.
+``repro.engine.streaming``
+    :class:`StreamingSession`, the continuous-monitoring runtime: batched
+    turnstile ingestion over epochs, serialized sketch deltas metered in
+    real wire bytes, configurable refresh policies, and live estimates
+    between syncs.
 """
 
 from repro.engine.base import ClusterCostReport, StarProtocol
@@ -40,10 +45,13 @@ from repro.engine.linf import (
     StarTwoPlusEpsilonLinfProtocol,
 )
 from repro.engine.lp_norm import StarLpNormProtocol, star_lp_pp_estimate
+from repro.engine.streaming import EpochReport, StreamingSession
 from repro.engine.topology import Coordinator, Site, StarTopology, coerce_shards
 
 __all__ = [
     "ClusterCostReport",
+    "EpochReport",
+    "StreamingSession",
     "Coordinator",
     "Site",
     "StarProtocol",

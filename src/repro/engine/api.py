@@ -35,7 +35,12 @@ from repro.engine.linf import (
 )
 from repro.engine.lp_norm import StarLpNormProtocol
 
-__all__ = ["EstimatorBase"]
+__all__ = ["EstimatorBase", "is_binary_data"]
+
+
+def is_binary_data(*arrays: np.ndarray) -> bool:
+    """True iff every array is entrywise 0/1 (drives protocol selection)."""
+    return all(bool(np.all((array == 0) | (array == 1))) for array in arrays)
 
 
 class EstimatorBase:
@@ -50,6 +55,7 @@ class EstimatorBase:
     is_binary: bool = False
 
     def __init__(self, *, seed: int | None = None) -> None:
+        self.seed = seed
         self._seed_stream = np.random.default_rng(seed)
 
     def _next_seed(self) -> int:

@@ -1,0 +1,465 @@
+"""Streaming continuous-monitoring runtime over the star topology.
+
+The engine's protocols (:mod:`repro.engine`) are *one-shot*: sites sketch a
+static shard, ship one summary, and the protocol ends.  This module adds the
+execution mode the distributed functional monitoring literature is actually
+about: sites receive batched turnstile updates to their rows of ``A`` over a
+sequence of *epochs*, ship **serialized sketch deltas** upstream (the
+byte-exact wire encoding of :mod:`repro.comm.wire`, so the network meters
+real encoded bytes instead of formula-estimated bits), and the coordinator
+keeps live estimates of ``C = A B`` — ``l_p`` norms, support size, heavy
+hitters, support samples — between syncs.
+
+Refresh policies
+----------------
+``"every-epoch"``
+    Every site with pending updates uploads its delta at every epoch
+    boundary — the continuous-monitoring baseline.
+``"threshold"``
+    A site uploads only when its pending update mass exceeds ``threshold``
+    times the mass it has already shipped (the classic local-drift trigger),
+    so quiet sites stay silent and skewed workloads ship far fewer bytes.
+    Live estimates are stale by at most the un-shipped drift.
+
+Equivalence discipline
+----------------------
+A :class:`StreamingSession` is also a full
+:class:`repro.engine.api.EstimatorBase`: every one-shot query (``lp_norm``,
+``l0_sample``, ``heavy_hitters``, ...) runs the engine protocol over the
+*accumulated* shards with the same seed-stream discipline as
+:class:`repro.multiparty.estimator.ClusterEstimator`.  Because turnstile
+ingestion is exact integer accumulation, a session that ingested a shard in
+any epoch chunking answers those queries **bit-for-bit identically** — same
+estimates, same bit counts, same rounds — to a one-shot cluster built from
+the final shards with the same seed (pinned in
+``tests/engine/test_streaming.py``).  The live merged summaries obey the
+same discipline: after a final sync they equal, byte for byte, the
+summaries of a one-shot run over the full data.
+
+Live monitoring uses the four mergeable sketch families: AMS (live
+``||C||_2^2``), the ``l_0`` sketch (live ``||C||_0``), the ``l_0`` sampler
+(live support samples), and a vector-valued CountSketch (live heavy
+hitters).  All are linear in ``A``, so the coordinator turns merged
+``A``-space states into ``C``-space summaries by one multiplication with
+its own matrix ``B``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.comm import wire
+from repro.comm.network import Network
+from repro.comm.protocol import ProtocolResult
+from repro.core.result import HeavyHitterOutput, SampleOutput
+from repro.engine.api import EstimatorBase, is_binary_data
+from repro.engine.base import StarProtocol
+from repro.engine.l0_sampling import finish_l0_sample
+from repro.sketch.ams import AmsSketch
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.l0_sampler import L0Sampler
+from repro.sketch.l0_sketch import L0Sketch
+from repro.sketch.mergeable import MergeableSketch
+from repro.sketch.serialization import deserialize_deltas, extract_deltas
+
+__all__ = ["EpochReport", "REFRESH_POLICIES", "StreamingSession"]
+
+#: Supported refresh policies.
+EVERY_EPOCH = "every-epoch"
+THRESHOLD = "threshold"
+REFRESH_POLICIES = (EVERY_EPOCH, THRESHOLD)
+
+#: Message label for delta uploads (shows up in ``bits_by_label``).
+DELTA_LABEL = "stream/delta"
+
+#: Fixed order of the monitored sketch families inside a delta bundle.
+FAMILIES = ("ams", "l0", "sampler", "countsketch")
+
+
+@dataclass
+class EpochReport:
+    """What one epoch boundary shipped."""
+
+    epoch: int
+    shipped: dict[str, bool] = field(default_factory=dict)
+    upload_bytes: dict[str, int] = field(default_factory=dict)
+    total_bytes: int = 0
+    cumulative_bytes: int = 0
+
+
+class _SiteStream:
+    """One site's streaming state: accumulated shard + pending sketch deltas."""
+
+    def __init__(
+        self,
+        name: str,
+        row_offset: int,
+        num_rows: int,
+        inner_dim: int,
+        templates: dict[str, MergeableSketch],
+    ) -> None:
+        self.name = name
+        self.row_offset = row_offset
+        self.num_rows = num_rows
+        self.shard = np.zeros((num_rows, inner_dim), dtype=np.int64)
+        self.pending = {key: sketch.empty_copy() for key, sketch in templates.items()}
+        self.pending_updates = 0
+        self.pending_mass = 0.0
+        self.shipped_mass = 0.0
+
+    def ingest(self, rows: np.ndarray, deltas: np.ndarray) -> None:
+        np.add.at(self.shard, rows - self.row_offset, deltas)
+        for sketch in self.pending.values():
+            sketch.update_many(rows, deltas)
+        self.pending_updates += rows.shape[0]
+        self.pending_mass += float(np.abs(deltas).sum())
+
+    def should_ship(self, refresh: str, threshold: float, *, force: bool) -> bool:
+        if self.pending_updates == 0:
+            return False
+        if force or refresh == EVERY_EPOCH:
+            return True
+        if math.isinf(threshold):
+            return False  # explicit policy: only forced syncs ever ship
+        if self.shipped_mass == 0:
+            return True  # first drift always ships (nothing to compare against)
+        return self.pending_mass > threshold * self.shipped_mass
+
+    def take_delta(self) -> bytes:
+        """Serialize and reset the pending sketches (the site's delta)."""
+        payload = extract_deltas(self.pending)
+        self.shipped_mass += self.pending_mass
+        self.pending_mass = 0.0
+        self.pending_updates = 0
+        return payload
+
+
+class StreamingSession(EstimatorBase):
+    """Continuous monitoring of ``C = A B`` under streaming updates to ``A``.
+
+    Parameters
+    ----------
+    row_counts:
+        Rows of ``A`` owned by each site, in global row order (fixes the
+        partition; ``k = len(row_counts)``).  Shards start empty and grow by
+        turnstile ingestion.
+    b:
+        The coordinator's (static) matrix; ``b.shape[0]`` is the common
+        column count of the shards.
+    seed:
+        Base seed.  One-shot sync queries derive per-query seeds exactly
+        like :class:`~repro.multiparty.estimator.ClusterEstimator`; the
+        monitoring sketches use an independent stream derived from the same
+        seed, so streaming never perturbs the sync transcripts.
+    refresh:
+        ``"every-epoch"`` or ``"threshold"`` (see the module docstring).
+    threshold:
+        Drift fraction for the threshold policy.  A site's first non-empty
+        drift always ships; ``inf`` means sites ship only on forced syncs.
+    monitor_epsilon:
+        Target accuracy of the live ``l_0`` / ``l_2`` monitors (sizes the
+        AMS and ``l_0`` sketches).
+    hh_depth, hh_width:
+        Shape of the vector-valued CountSketch behind live heavy hitters.
+    sampler_repetitions:
+        Repetitions inside the live ``l_0`` sampler.
+    """
+
+    def __init__(
+        self,
+        row_counts: Sequence[int],
+        b: np.ndarray,
+        *,
+        seed: int | None = None,
+        refresh: str = EVERY_EPOCH,
+        threshold: float = 0.2,
+        monitor_epsilon: float = 0.25,
+        hh_depth: int = 5,
+        hh_width: int = 64,
+        sampler_repetitions: int = 8,
+        site_names: Sequence[str] | None = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        row_counts = [int(count) for count in row_counts]
+        if not row_counts or any(count < 0 for count in row_counts):
+            raise ValueError(
+                "row_counts must be a non-empty list of non-negative ints"
+            )
+        if sum(row_counts) < 1:
+            # Zero-row *sites* are fine (they simply never ingest); a
+            # zero-row *universe* leaves the sketches nothing to hash.
+            raise ValueError("row_counts must cover at least one row in total")
+        if refresh not in REFRESH_POLICIES:
+            raise ValueError(f"refresh must be one of {REFRESH_POLICIES}, got {refresh!r}")
+        if math.isnan(threshold) or threshold < 0:
+            raise ValueError(
+                "threshold must be non-negative (inf = ship only on sync)"
+            )
+        b = np.asarray(b)
+        if b.ndim != 2:
+            raise ValueError("b must be a 2-dimensional matrix")
+        self.b = b
+        # B is static for the session's lifetime: both live-query views are
+        # materialized once.  Integer dtypes widen to int64 for the exact
+        # paths; float matrices pass through (the l_0 estimators handle
+        # float states with a tolerance, and truncating would zero
+        # fractional entries).
+        self._b_float = b.astype(float)
+        self._b_exact = (
+            b.astype(np.int64) if np.issubdtype(b.dtype, np.integer) else b
+        )
+        self.total_rows = sum(row_counts)
+        self.refresh = refresh
+        self.threshold = float(threshold)
+
+        k = len(row_counts)
+        if site_names is None:
+            site_names = [f"site-{i}" for i in range(k)]
+        if len(site_names) != k:
+            raise ValueError(f"got {len(site_names)} site names for {k} row counts")
+        self.network = Network(site_names, "coordinator")
+
+        # Shared monitoring randomness: independent of the query seed stream
+        # (EstimatorBase) so streaming never shifts one-shot transcripts.
+        if seed is None:
+            monitor_rng = np.random.default_rng()
+        else:
+            monitor_rng = np.random.default_rng(
+                np.random.SeedSequence([0x515E_A000, seed])
+            )
+        # FAMILIES fixes both the construction order (each constructor draws
+        # from the shared monitor stream) and the delta-bundle framing.
+        builders = {
+            "ams": lambda: AmsSketch.for_accuracy(
+                self.total_rows, monitor_epsilon, monitor_rng
+            ),
+            "l0": lambda: L0Sketch.for_accuracy(
+                self.total_rows, monitor_epsilon, monitor_rng
+            ),
+            "sampler": lambda: L0Sampler(
+                self.total_rows, monitor_rng, repetitions=sampler_repetitions
+            ),
+            "countsketch": lambda: CountSketch(
+                self.total_rows, hh_width, hh_depth, monitor_rng
+            ),
+        }
+        self.templates: dict[str, MergeableSketch] = {
+            name: builders[name]() for name in FAMILIES
+        }
+        self._live_rng = np.random.default_rng(monitor_rng.integers(0, 2**63 - 1))
+        self.merged: dict[str, MergeableSketch] = {
+            key: sketch.empty_copy() for key, sketch in self.templates.items()
+        }
+
+        offsets = np.concatenate(([0], np.cumsum(row_counts)[:-1]))
+        self.sites = [
+            _SiteStream(
+                site_names[i], int(offsets[i]), row_counts[i], b.shape[0], self.templates
+            )
+            for i in range(k)
+        ]
+        self.epoch = 0
+        self.history: list[EpochReport] = []
+        self._b_is_binary = is_binary_data(b)
+        self._shards_binary_cache: bool | None = None
+
+    # ------------------------------------------------------------- construct
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    @property
+    def is_binary(self) -> bool:
+        """Whether the *current* accumulated data is 0/1 (drives dispatch).
+
+        Recomputed from the shards at most once per ingest (turnstile
+        deletions can restore binarity, so the flag cannot be maintained
+        falsified-once); back-to-back queries reuse the cache.
+        """
+        if not self._b_is_binary:
+            return False
+        if self._shards_binary_cache is None:
+            self._shards_binary_cache = is_binary_data(
+                *(site.shard for site in self.sites)
+            )
+        return self._shards_binary_cache
+
+    def shards(self) -> list[np.ndarray]:
+        """The accumulated per-site shards of ``A`` (global row order)."""
+        return [site.shard for site in self.sites]
+
+    # ---------------------------------------------------------------- ingest
+    def ingest(self, site: int, rows: Any, deltas: Any) -> None:
+        """Apply a batched turnstile update at one site.
+
+        ``rows`` are *global* row indices inside the site's range and
+        ``deltas`` is an integer matrix of shape ``(len(rows), m)`` added to
+        those rows of ``A`` (negative entries are deletions).  Integer
+        deltas keep every sketch state exact — provided the *accumulated*
+        bucket magnitudes also stay within the float64-exact ``2**53`` range
+        — which is what makes streamed and one-shot summaries bit-identical.
+        """
+        if not 0 <= site < len(self.sites):
+            raise ValueError(f"site index {site} out of range [0, {len(self.sites)})")
+        target = self.sites[site]
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        deltas = np.asarray(deltas)
+        # Every delta — float *or* integer dtype — must be an integer within
+        # the float64-exact range +-2**53: the AMS and CountSketch monitor
+        # states are float64 sums, so a larger magnitude would round there
+        # and break the streamed==one-shot bit-identity.  Out-of-range or
+        # fractional values are rejected, never truncated.  (Same invariant
+        # as the wire codec's float->int downcast.)
+        if not np.issubdtype(deltas.dtype, np.integer):
+            if not wire.is_exact_integer_valued(deltas):
+                raise ValueError(
+                    "turnstile deltas must be integer-valued within the "
+                    "float64-exact range 2**53"
+                )
+        elif deltas.size and (
+            int(deltas.min()) < -(2**53) or int(deltas.max()) > 2**53
+        ):
+            raise ValueError(
+                "turnstile deltas must be integer-valued within the "
+                "float64-exact range 2**53"
+            )
+        deltas = deltas.astype(np.int64)
+        if deltas.ndim != 2 or deltas.shape != (rows.shape[0], self.b.shape[0]):
+            raise ValueError(
+                f"deltas must have shape ({rows.shape[0]}, {self.b.shape[0]}), "
+                f"got {deltas.shape}"
+            )
+        low, high = target.row_offset, target.row_offset + target.num_rows
+        if rows.size and (rows.min() < low or rows.max() >= high):
+            raise ValueError(
+                f"rows must lie in {target.name}'s range [{low}, {high})"
+            )
+        if rows.size:
+            target.ingest(rows, deltas)
+            self._shards_binary_cache = None
+
+    # ---------------------------------------------------------------- epochs
+    def end_epoch(self, *, force: bool = False) -> EpochReport:
+        """Close the current epoch, shipping deltas per the refresh policy.
+
+        With ``force=True`` every pending delta is shipped regardless of the
+        policy (a *sync*): afterwards the coordinator's merged summaries
+        equal a one-shot sketching of the full accumulated data.
+        """
+        self.epoch += 1
+        report = EpochReport(epoch=self.epoch)
+        for site in self.sites:
+            ship = site.should_ship(self.refresh, self.threshold, force=force)
+            report.shipped[site.name] = ship
+            if not ship:
+                report.upload_bytes[site.name] = 0
+                continue
+            payload = site.take_delta()
+            self.network.send(
+                site.name,
+                self.network.coordinator_name,
+                payload,
+                label=DELTA_LABEL,
+                bits=wire.payload_bits(payload),
+            )
+            for key, delta in deserialize_deltas(self.templates, payload).items():
+                self.merged[key].merge(delta)
+            report.upload_bytes[site.name] = len(payload)
+        report.total_bytes = sum(report.upload_bytes.values())
+        report.cumulative_bytes = (self.history[-1].cumulative_bytes if self.history else 0)
+        report.cumulative_bytes += report.total_bytes
+        self.history.append(report)
+        return report
+
+    def sync(self) -> EpochReport:
+        """Force-ship every pending delta (threshold policy included)."""
+        return self.end_epoch(force=True)
+
+    @property
+    def total_upload_bytes(self) -> int:
+        """Bytes shipped upstream so far (the network meters 8 bits each)."""
+        return self.network.total_bits // 8
+
+    # ----------------------------------------------------------- live queries
+    def live_lp_norm(self, p: float = 2.0) -> float:
+        """Live ``||C||_p^p`` from the shipped summaries (``p`` in {0, 2}).
+
+        ``p = 2`` reads the merged AMS summary, ``p = 0`` the merged ``l_0``
+        summary; both reflect exactly the deltas shipped so far (threshold
+        refresh trades staleness for bytes).
+        """
+        if p == 0.0:
+            return self.live_l0()
+        if p != 2.0:
+            raise ValueError(
+                f"live monitoring supports p in {{0, 2}}, got {p}; run the "
+                f"one-shot lp_norm({p}, ...) query for other norms"
+            )
+        ams: AmsSketch = self.merged["ams"]  # type: ignore[assignment]
+        if ams.state is None:
+            return 0.0
+        sketched_c = ams.state @ self._b_float
+        return float(ams.estimate_f2_columns(sketched_c).sum())
+
+    def live_l0(self) -> float:
+        """Live ``||C||_0`` (support size of the product) from shipped deltas."""
+        l0: L0Sketch = self.merged["l0"]  # type: ignore[assignment]
+        if l0.state is None:
+            return 0.0
+        sketched_c = l0.state @ self._b_exact
+        column_l0 = np.maximum(l0.estimate_rows_pp(sketched_c.T), 0.0)
+        return float(column_l0.sum())
+
+    def live_l0_sample(self) -> SampleOutput:
+        """A (near-)uniform sample from the support of ``C``, live."""
+        l0: L0Sketch = self.merged["l0"]  # type: ignore[assignment]
+        sampler: L0Sampler = self.merged["sampler"]  # type: ignore[assignment]
+        if l0.state is None or sampler.state is None:
+            return SampleOutput(row=None, col=None)
+        b_int = self._b_exact
+        output, _ = finish_l0_sample(
+            self.templates["l0"],
+            self.templates["sampler"],
+            l0.state @ b_int,
+            sampler.state @ b_int,
+            self._live_rng,
+        )
+        return output
+
+    def live_heavy_hitters(self, phi: float) -> HeavyHitterOutput:
+        """Live ``l_2``-``phi`` heavy entries of ``C`` from shipped deltas.
+
+        Point estimates come from the vector-valued CountSketch turned into
+        per-column CountSketches of ``C`` (one multiplication by ``B``); the
+        threshold is ``phi`` times the live AMS estimate of ``||C||_2^2``.
+        """
+        if not 0 < phi <= 1:
+            raise ValueError(f"phi must be in (0, 1], got {phi}")
+        cs: CountSketch = self.merged["countsketch"]  # type: ignore[assignment]
+        if cs.table.ndim != 3:
+            return HeavyHitterOutput()
+        total_f2 = self.live_lp_norm(2.0)
+        if total_f2 <= 0:
+            return HeavyHitterOutput()
+        c_space = cs.empty_copy()
+        c_space.load_state_array(cs.table @ self._b_float)
+        estimates = c_space.query_rows()
+        reported = {
+            (int(i), int(j)): float(estimates[i, j])
+            for i, j in zip(*np.nonzero(estimates**2 >= phi * total_f2))
+        }
+        return HeavyHitterOutput(pairs=set(reported), estimates=reported)
+
+    # ------------------------------------------------------- one-shot queries
+    def _run(self, protocol: StarProtocol) -> ProtocolResult:
+        """Run a one-shot engine protocol over the accumulated shards.
+
+        Same dispatch and seed discipline as ``ClusterEstimator``: the n-th
+        query of a session matches the n-th query of a one-shot cluster
+        built from the final shards, bit for bit.
+        """
+        return protocol.run(self.shards(), self.b)

@@ -32,6 +32,7 @@ from repro.experiments import (
     e12_lb_gap_linf,
     e13_rectangular,
     e14_multiparty_scaling,
+    e15_streaming_monitoring,
 )
 from repro.experiments.harness import ExperimentReport
 
@@ -51,6 +52,7 @@ ALL_DRIVERS: list[Callable[..., ExperimentReport]] = [
     e12_lb_gap_linf.run,
     e13_rectangular.run,
     e14_multiparty_scaling.run,
+    e15_streaming_monitoring.run,
     a1_beta_ablation.run,
     a2_universe_sampling.run,
 ]

@@ -32,7 +32,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.comm.protocol import ProtocolResult
-from repro.engine.api import EstimatorBase
+from repro.engine.api import EstimatorBase, is_binary_data
 from repro.engine.base import StarProtocol
 from repro.engine.topology import coerce_shards
 
@@ -72,10 +72,7 @@ class ClusterEstimator(EstimatorBase):
             )
         self.shards = shards
         self.b = b
-        self.is_binary = bool(
-            all(np.all((shard == 0) | (shard == 1)) for shard in shards)
-            and np.all((b == 0) | (b == 1))
-        )
+        self.is_binary = is_binary_data(*shards, b)
 
     @classmethod
     def from_matrix(
@@ -102,3 +99,42 @@ class ClusterEstimator(EstimatorBase):
 
     def _run(self, protocol: StarProtocol) -> ProtocolResult:
         return protocol.run(self.shards, self.b)
+
+    # -------------------------------------------------------------- streaming
+    def stream(self, *, preload: bool = False, **kwargs):
+        """Open a :class:`repro.engine.streaming.StreamingSession` over this
+        cluster's topology.
+
+        The session keeps this cluster's row partition, coordinator matrix
+        and base seed, but its shards start *empty* and grow by batched
+        turnstile ingestion (``ingest``) over epochs; sites ship serialized
+        sketch deltas metered in real encoded bytes, and the coordinator
+        serves live estimates between syncs.  One-shot queries on the
+        session use the same per-query seed stream as this facade, so a
+        session that has ingested exactly this cluster's shards answers them
+        bit-for-bit identically — the migration path for one-shot users.
+
+        With ``preload=True`` the cluster's current shards are ingested and
+        synced as an initial epoch (``session.history[0]``, epoch 1), so
+        live estimates are warm from the start.
+        Keyword arguments (``refresh``, ``threshold``, ``monitor_epsilon``,
+        ...) pass through to the session constructor.
+        """
+        from repro.engine.streaming import StreamingSession
+
+        session = StreamingSession(
+            [shard.shape[0] for shard in self.shards],
+            self.b,
+            seed=self.seed,
+            **kwargs,
+        )
+        if preload:
+            for index, shard in enumerate(self.shards):
+                site = session.sites[index]
+                # Shards pass through uncast so ingest's integer-delta guard
+                # fires on non-integral data instead of silently truncating.
+                session.ingest(
+                    index, site.row_offset + np.arange(shard.shape[0]), shard
+                )
+            session.sync()
+        return session

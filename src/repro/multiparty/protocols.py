@@ -22,6 +22,11 @@ from repro.engine.l0_sampling import StarL0SamplingProtocol
 from repro.engine.lp_norm import StarLpNormProtocol, star_lp_pp_estimate
 from repro.engine.topology import coerce_shards
 
+# Exactly one DeprecationWarning per (fresh) import of this module,
+# attributed to the importer's ``import`` statement: ``warnings.warn``
+# skips import-machinery frames when resolving ``stacklevel``, so level 2
+# lands on the caller that pulled the shim in (pinned by
+# ``tests/multiparty/test_deprecation.py``).
 warnings.warn(
     "repro.multiparty.protocols is deprecated; the protocol bodies moved to "
     "repro.engine (aliases are exported from repro.multiparty)",

@@ -29,9 +29,21 @@ from repro.sketch.l0_sampler import L0Sampler
 from repro.sketch.l0_sketch import L0Sketch
 from repro.sketch.lp_sketch import LpSketch, lp_norm, make_lp_sketch
 from repro.sketch.mergeable import MergeableSketch
+from repro.sketch.serialization import (
+    deserialize_deltas,
+    deserialize_state,
+    extract_delta,
+    extract_deltas,
+    serialize_state,
+)
 from repro.sketch.stable import sample_standard_stable, stable_scale_factor
 
 __all__ = [
+    "deserialize_deltas",
+    "deserialize_state",
+    "extract_delta",
+    "extract_deltas",
+    "serialize_state",
     "AmsSketch",
     "CountMinSketch",
     "CountSketch",

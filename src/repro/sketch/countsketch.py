@@ -19,10 +19,20 @@ from repro.sketch.mergeable import check_mergeable, check_same_randomness
 class CountSketch:
     """CountSketch with ``depth`` rows of ``width`` buckets each.
 
-    Implements the :class:`repro.sketch.mergeable.MergeableSketch` contract
-    for scalar deltas: tables built with identical hash functions combine
-    entrywise, so k sites can sketch their local frequency vectors and a
-    coordinator can merge the summaries.
+    Implements the :class:`repro.sketch.mergeable.MergeableSketch` contract:
+    tables built with identical hash functions combine entrywise, so k sites
+    can sketch their local frequency vectors and a coordinator can merge the
+    summaries.
+
+    Counters are scalar by default (the classic frequency-vector sketch).
+    Feeding :meth:`update_many` matrix-shaped deltas switches the table to
+    *vector-valued* counters — bucket ``(r, w)`` holds the sign-weighted sum
+    of the updated row-vectors — which is how the streaming runtime sketches
+    the rows of a matrix ``A``: because the construction stays linear, the
+    coordinator can multiply the merged table by ``B`` on the right and
+    obtain, per column ``j``, a classic CountSketch (same hashes) of column
+    ``j`` of ``C = A B``, from which :meth:`query_rows` recovers per-entry
+    estimates.
     """
 
     def __init__(self, n: int, width: int, depth: int, rng: np.random.Generator) -> None:
@@ -43,6 +53,7 @@ class CountSketch:
     # ----------------------------------------------------------------- build
     def update(self, index: int, delta: float = 1.0) -> None:
         """Add ``delta`` to coordinate ``index``."""
+        self._require_scalar_table()
         for row in range(self.depth):
             self.table[row, self.bucket_of[row, index]] += self.sign_of[row, index] * delta
 
@@ -51,14 +62,40 @@ class CountSketch:
 
         Vectorized over the updates (one ``np.add.at`` per sketch row); with
         ``deltas`` omitted every listed coordinate is incremented by one.
+        Matrix-shaped ``deltas`` (one row-vector per index) switch the table
+        to vector-valued counters; scalar and vector updates cannot mix.
+        Dimensionality is taken literally: a column vector of shape
+        ``(len(indices), 1)`` means vector counters of dimension 1, not
+        scalar updates — flatten to 1-D for the scalar path.
         """
         indices = np.asarray(indices, dtype=np.int64).reshape(-1)
         if deltas is None:
             deltas = np.ones(indices.shape[0])
         else:
-            deltas = np.asarray(deltas, dtype=float).reshape(-1)
+            deltas = np.asarray(deltas, dtype=float)
+            if deltas.ndim == 0:  # a bare scalar pairs with a single index
+                deltas = deltas.reshape(1)
+            if deltas.ndim > 2:
+                raise ValueError(f"deltas must be 1- or 2-dimensional, got {deltas.ndim}")
             if deltas.shape[0] != indices.shape[0]:
                 raise ValueError("indices and deltas must have matching length")
+        if indices.size == 0:
+            # A no-op payload must not switch the table's counter shape.
+            return
+        if deltas.ndim == 2:
+            self._require_vector_table(deltas.shape[1])
+            for row in range(self.depth):
+                np.add.at(
+                    self.table[row],
+                    self.bucket_of[row, indices],
+                    self.sign_of[row, indices, None] * deltas,
+                )
+            return
+        if self.table.ndim != 2:
+            raise ValueError(
+                "this table holds vector-valued counters; deltas must be "
+                "matrix-shaped (len(indices), value_dim), not scalars"
+            )
         for row in range(self.depth):
             np.add.at(
                 self.table[row],
@@ -66,26 +103,67 @@ class CountSketch:
                 self.sign_of[row, indices] * deltas,
             )
 
+    def _require_vector_table(self, value_dim: int) -> None:
+        """Widen an untouched scalar table to vector-valued counters."""
+        if self.table.ndim == 3:
+            if self.table.shape[2] != value_dim:
+                raise ValueError(
+                    f"vector updates of dimension {value_dim} do not match "
+                    f"counters of dimension {self.table.shape[2]}"
+                )
+            return
+        if np.any(self.table):
+            raise ValueError(
+                "cannot apply vector-valued updates to a table already "
+                "holding scalar updates"
+            )
+        self.table = np.zeros((self.depth, self.width, value_dim), dtype=float)
+
     def merge(self, other: "CountSketch") -> "CountSketch":
         """Entrywise-combine ``other``'s table into this one; returns self."""
         check_mergeable(self, other)
+        check_same_randomness(self.bucket_of, other.bucket_of, "bucket hashes")
+        check_same_randomness(self.sign_of, other.sign_of, "sign hashes")
         if self.table.shape != other.table.shape:
+            # An untouched scalar table adopts the other side's vector-valued
+            # shape (mirrors the empty-state adoption of the linear sketches).
+            if other.table.ndim == 3 and self.table.ndim == 2 and not np.any(self.table):
+                self.table = other.table.copy()
+                return self
+            if self.table.ndim == 3 and other.table.ndim == 2 and not np.any(other.table):
+                return self
             raise ValueError(
                 f"cannot merge tables of shape {other.table.shape} into {self.table.shape}"
             )
-        check_same_randomness(self.bucket_of, other.bucket_of, "bucket hashes")
-        check_same_randomness(self.sign_of, other.sign_of, "sign hashes")
         self.table += other.table
         return self
 
     def empty_copy(self) -> "CountSketch":
         """A fresh sketch sharing this one's hash functions, with a zero table."""
         clone = copy.copy(self)
-        clone.table = np.zeros_like(self.table)
+        clone.table = np.zeros((self.depth, self.width), dtype=float)
         return clone
+
+    def state_array(self) -> np.ndarray:
+        """The counter table (never ``None``: an empty table is all zeros)."""
+        return self.table
+
+    def load_state_array(self, state: np.ndarray | None) -> None:
+        """Install a (deserialized) table; ``None`` resets to all zeros."""
+        if state is None:
+            self.table = np.zeros((self.depth, self.width), dtype=float)
+            return
+        state = np.asarray(state, dtype=float)
+        if state.ndim not in (2, 3) or state.shape[:2] != (self.depth, self.width):
+            raise ValueError(
+                f"table of shape {state.shape} does not fit a "
+                f"({self.depth}, {self.width}) sketch"
+            )
+        self.table = state
 
     def build_from_vector(self, x: np.ndarray) -> None:
         """Populate the sketch from a dense frequency vector."""
+        self._require_scalar_table()
         x = np.asarray(x, dtype=float)
         if x.shape[0] != self.n:
             raise ValueError(f"vector has length {x.shape[0]}, expected {self.n}")
@@ -94,8 +172,15 @@ class CountSketch:
             np.add.at(self.table[row], self.bucket_of[row], self.sign_of[row] * x)
 
     # ----------------------------------------------------------------- query
+    def _require_scalar_table(self) -> None:
+        if self.table.ndim != 2:
+            raise ValueError(
+                "this table holds vector-valued counters; use query_rows()"
+            )
+
     def query(self, index: int) -> float:
         """Estimate coordinate ``index`` of the underlying vector."""
+        self._require_scalar_table()
         estimates = [
             self.sign_of[row, index] * self.table[row, self.bucket_of[row, index]]
             for row in range(self.depth)
@@ -104,9 +189,26 @@ class CountSketch:
 
     def query_all(self) -> np.ndarray:
         """Estimate every coordinate (length ``n`` vector)."""
+        self._require_scalar_table()
         estimates = np.empty((self.depth, self.n))
         for row in range(self.depth):
             estimates[row] = self.sign_of[row] * self.table[row, self.bucket_of[row]]
+        return np.median(estimates, axis=0)
+
+    def query_rows(self) -> np.ndarray:
+        """Estimate every row-vector of a vector-valued table (``n x m``).
+
+        Row ``i``'s estimate is the entrywise median over the ``depth``
+        repetitions of ``sign_r(i) * table[r, bucket_r(i), :]`` — the classic
+        point query applied coordinate by coordinate.
+        """
+        if self.table.ndim != 3:
+            raise ValueError("this table holds scalar counters; use query_all()")
+        estimates = np.empty((self.depth, self.n, self.table.shape[2]))
+        for row in range(self.depth):
+            estimates[row] = (
+                self.sign_of[row][:, None] * self.table[row, self.bucket_of[row]]
+            )
         return np.median(estimates, axis=0)
 
     def heavy_hitters(self, threshold: float) -> list[tuple[int, float]]:

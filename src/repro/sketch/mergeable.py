@@ -22,7 +22,8 @@ A conforming sketch exposes:
     AMS, ``l_0`` sketch, ``l_0``-sampler) matrix-shaped ``values``
     accumulate one sketch column per input column, which is how a site
     sketches the rows of its matrix shard in one call; CountSketch's fixed
-    table accumulates scalar deltas only.
+    table takes scalar deltas by default and switches to vector-valued
+    counters when fed matrix-shaped values (one row-vector per index).
 
 ``merge(other)``
     Entrywise combination of two states built with identical randomness
@@ -30,6 +31,14 @@ A conforming sketch exposes:
     Returns ``self`` so coordinators can ``functools.reduce`` over site
     summaries.  Merging is associative and commutative (it is a sum), which
     the property tests assert.
+
+``state_array()`` / ``load_state_array(state)``
+    The accumulated state as one numpy array (``None`` before the first
+    update), and its inverse.  This is the serialization hook used by the
+    streaming runtime: a site's *delta* — everything accumulated since its
+    last upload — is exactly the state array of a pending ``empty_copy``,
+    so :mod:`repro.sketch.serialization` can put any conforming sketch on
+    the wire without knowing its family.
 """
 
 from __future__ import annotations
@@ -54,6 +63,14 @@ class MergeableSketch(Protocol):
 
     def merge(self, other: "MergeableSketch") -> "MergeableSketch":
         """Entrywise-combine ``other``'s state into this sketch; returns self."""
+        ...
+
+    def state_array(self) -> np.ndarray | None:
+        """The accumulated state as one array (``None`` if never updated)."""
+        ...
+
+    def load_state_array(self, state: np.ndarray | None) -> None:
+        """Replace the accumulated state with ``state`` (``None`` clears it)."""
         ...
 
 
@@ -147,3 +164,19 @@ class LinearStateMixin:
         clone = copy.copy(self)
         clone.state = None
         return clone
+
+    def state_array(self) -> np.ndarray | None:
+        """The accumulated partial image ``S x`` (``None`` before any update)."""
+        return self.state
+
+    def load_state_array(self, state: np.ndarray | None) -> None:
+        """Install a (deserialized) state; ``None`` resets to the empty state."""
+        if state is None:
+            self.state = None
+            return
+        state = np.asarray(state)
+        if state.shape[0] != self.matrix.shape[0]:
+            raise ValueError(
+                f"state has {state.shape[0]} rows, expected {self.matrix.shape[0]}"
+            )
+        self.state = state

@@ -1,0 +1,107 @@
+"""Transcript determinism: same seed => identical transcript, at every k.
+
+For each engine protocol family and k in {1, 2, 4}, two runs with the same
+seed must produce identical rounds, identical total bits (and their
+per-label / per-round / per-link breakdowns), and identical outputs.  This
+pins every source of randomness in the engine — the shared/private stream
+spawning in ``StarTopology.build``, the vectorized Mersenne-61 ``KWiseHash``
+fast path inside the sketches, and each protocol's private sampling — as
+fully seed-determined, which is what makes the pinned-transcript tests
+(``tests/test_engine_equivalence.py``) meaningful across environments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    StarBinaryHeavyHittersProtocol,
+    StarExactL1Protocol,
+    StarGeneralMatrixLinfProtocol,
+    StarHeavyHittersProtocol,
+    StarKappaApproxLinfProtocol,
+    StarL0SamplingProtocol,
+    StarL1SamplingProtocol,
+    StarLpNormProtocol,
+    StarTwoPlusEpsilonLinfProtocol,
+)
+
+SEED = 424242
+
+#: (family id, protocol factory, needs-integer-workload)
+FAMILIES = [
+    ("lp-p0", lambda: StarLpNormProtocol(0.0, 0.4, seed=SEED), False),
+    ("lp-p1", lambda: StarLpNormProtocol(1.0, 0.4, seed=SEED), False),
+    ("lp-p2", lambda: StarLpNormProtocol(2.0, 0.4, seed=SEED), False),
+    ("l0-sampling", lambda: StarL0SamplingProtocol(0.4, seed=SEED), False),
+    ("l1-exact", lambda: StarExactL1Protocol(seed=SEED), False),
+    ("l1-sampling", lambda: StarL1SamplingProtocol(seed=SEED), False),
+    ("linf-2eps", lambda: StarTwoPlusEpsilonLinfProtocol(0.4, seed=SEED), False),
+    ("linf-kappa", lambda: StarKappaApproxLinfProtocol(6, seed=SEED), False),
+    ("linf-general", lambda: StarGeneralMatrixLinfProtocol(4, seed=SEED), True),
+    ("hh-general", lambda: StarHeavyHittersProtocol(0.1, 0.05, seed=SEED), True),
+    ("hh-binary", lambda: StarBinaryHeavyHittersProtocol(0.1, 0.05, seed=SEED), False),
+]
+
+
+@pytest.fixture(scope="module")
+def binary_pair():
+    rng = np.random.default_rng(31)
+    n = 32
+    a = (rng.uniform(size=(n, n)) < 0.15).astype(np.int64)
+    b = (rng.uniform(size=(n, n)) < 0.15).astype(np.int64)
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def integer_pair():
+    rng = np.random.default_rng(32)
+    n = 32
+    a = rng.integers(0, 4, size=(n, n)).astype(np.int64)
+    b = rng.integers(0, 4, size=(n, n)).astype(np.int64)
+    return a, b
+
+
+def assert_identical_transcripts(first, second):
+    assert first.cost.rounds == second.cost.rounds
+    assert first.cost.total_bits == second.cost.total_bits
+    assert first.cost.breakdown == second.cost.breakdown
+    assert first.cost.per_round == second.cost.per_round
+    assert first.cost.link_bits == second.cost.link_bits
+    assert first.cost.site_bits == second.cost.site_bits
+    assert first.value == second.value
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+@pytest.mark.parametrize(
+    "factory, integer_workload",
+    [(factory, integer) for _, factory, integer in FAMILIES],
+    ids=[family for family, _, _ in FAMILIES],
+)
+def test_same_seed_same_transcript(
+    factory, integer_workload, k, binary_pair, integer_pair
+):
+    a, b = integer_pair if integer_workload else binary_pair
+    shards = np.array_split(a, k, axis=0)
+    first = factory().run(shards, b)
+    second = factory().run(shards, b)
+    assert_identical_transcripts(first, second)
+
+
+@pytest.mark.parametrize(
+    "factory, integer_workload",
+    [(factory, integer) for _, factory, integer in FAMILIES],
+    ids=[family for family, _, _ in FAMILIES],
+)
+def test_two_party_view_same_seed_same_transcript(
+    factory, integer_workload, binary_pair, integer_pair
+):
+    """The k = 1 Alice/Bob view is deterministic under the same seeds too."""
+    a, b = integer_pair if integer_workload else binary_pair
+    first = factory().run_two_party(a, b)
+    second = factory().run_two_party(a, b)
+    assert first.cost.rounds == second.cost.rounds
+    assert first.cost.total_bits == second.cost.total_bits
+    assert first.cost.breakdown == second.cost.breakdown
+    assert first.value == second.value

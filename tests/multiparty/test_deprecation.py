@@ -1,0 +1,97 @@
+"""The ``repro.multiparty.protocols`` deprecation shim.
+
+The shim must warn **exactly once per import**, attribute the warning to
+the importing code (not to the frozen importlib machinery), and keep every
+historical name resolving to the engine implementation it aliases.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+import pytest
+
+from repro.engine.base import StarProtocol
+from repro.engine.heavy_hitters import (
+    StarBinaryHeavyHittersProtocol,
+    StarHeavyHittersProtocol,
+)
+from repro.engine.l0_sampling import StarL0SamplingProtocol
+from repro.engine.lp_norm import StarLpNormProtocol, star_lp_pp_estimate
+from repro.engine.topology import coerce_shards
+
+
+def fresh_import():
+    """Import the shim from scratch, recording every warning it emits."""
+    sys.modules.pop("repro.multiparty.protocols", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        import repro.multiparty.protocols as shim
+    return shim, caught
+
+
+class TestDeprecationShim:
+    def test_warns_exactly_once_per_import(self):
+        _, caught = fresh_import()
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.multiparty.protocols is deprecated" in str(
+            deprecations[0].message
+        )
+        assert "repro.engine" in str(deprecations[0].message)
+
+    def test_cached_reimport_stays_silent(self):
+        fresh_import()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            import repro.multiparty.protocols  # noqa: F401  (cached)
+        assert caught == []
+
+    def test_warning_attributed_to_the_importer(self):
+        """The warning points at the import statement, not frozen importlib."""
+        _, caught = fresh_import()
+        (warning,) = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert warning.filename == __file__
+        assert "importlib" not in warning.filename
+
+    def test_pytest_warns_sees_the_import(self):
+        sys.modules.pop("repro.multiparty.protocols", None)
+        with pytest.warns(DeprecationWarning, match="protocol bodies moved"):
+            import repro.multiparty.protocols  # noqa: F401
+
+    def test_aliases_resolve_to_engine_implementations(self):
+        shim, _ = fresh_import()
+        assert shim.CoordinatorProtocol is StarProtocol
+        assert shim.MultipartyLpNormProtocol is StarLpNormProtocol
+        assert shim.MultipartyL0SamplingProtocol is StarL0SamplingProtocol
+        assert shim.MultipartyHeavyHittersProtocol is StarHeavyHittersProtocol
+        assert (
+            shim.MultipartyBinaryHeavyHittersProtocol
+            is StarBinaryHeavyHittersProtocol
+        )
+        assert shim.star_lp_pp_estimate is star_lp_pp_estimate
+        assert shim.coerce_shards is coerce_shards
+
+    def test_every_advertised_name_resolves(self):
+        shim, _ = fresh_import()
+        for name in shim.__all__:
+            assert getattr(shim, name) is not None, f"missing export {name}"
+
+    def test_package_level_aliases_match_the_shim(self):
+        """``repro.multiparty`` exposes the same names without deprecation."""
+        import repro.multiparty as pkg
+
+        shim, _ = fresh_import()
+        for name in (
+            "CoordinatorProtocol",
+            "MultipartyLpNormProtocol",
+            "MultipartyL0SamplingProtocol",
+            "MultipartyHeavyHittersProtocol",
+            "MultipartyBinaryHeavyHittersProtocol",
+        ):
+            assert getattr(pkg, name) is getattr(shim, name)

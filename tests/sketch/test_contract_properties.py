@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the MergeableSketch contract.
+
+For every sketch family the coordinator runtime merges — CountSketch, AMS,
+``l_0`` sketch, ``l_0`` sampler — and for *every* generated integer update
+sequence, the contract must hold exactly:
+
+* ``merge`` is associative and commutative,
+* ``update_many`` equals the same updates applied one at a time,
+* ``empty_copy()`` is a merge identity (both sides),
+* serialize -> deserialize restores the state bit for bit.
+
+Integer updates make every state integer-valued, so all equalities are
+exact byte comparisons, not approximate ones — the same exactness that
+makes streamed and one-shot summaries bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import (
+    AmsSketch,
+    CountSketch,
+    L0Sampler,
+    L0Sketch,
+    deserialize_state,
+    serialize_state,
+)
+
+DIM = 20
+
+#: Shared templates (fixed randomness); examples only ever use empty copies.
+_RNG = np.random.default_rng(20260730)
+TEMPLATES = {
+    "countsketch": CountSketch(DIM, 8, 3, _RNG),
+    "ams": AmsSketch(DIM, 12, _RNG),
+    "l0": L0Sketch(DIM, 8, _RNG),
+    "sampler": L0Sampler(DIM, _RNG, repetitions=2),
+}
+
+families = st.sampled_from(sorted(TEMPLATES))
+updates = st.lists(
+    st.tuples(st.integers(0, DIM - 1), st.integers(-8, 8)),
+    min_size=1,
+    max_size=16,
+)
+
+
+def state_bytes(sketch) -> bytes:
+    state = sketch.state_array()
+    return b"absent" if state is None else state.tobytes()
+
+
+def built(family: str, batch: list[tuple[int, int]]):
+    sketch = TEMPLATES[family].empty_copy()
+    indices = np.array([index for index, _ in batch], dtype=np.int64)
+    values = np.array([value for _, value in batch], dtype=np.int64)
+    sketch.update_many(indices, values)
+    return sketch
+
+
+class TestMergeAlgebra:
+    @given(family=families, a=updates, b=updates)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_commutes(self, family, a, b):
+        ab = built(family, a).merge(built(family, b))
+        ba = built(family, b).merge(built(family, a))
+        assert state_bytes(ab) == state_bytes(ba)
+
+    @given(family=families, a=updates, b=updates, c=updates)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_associates(self, family, a, b, c):
+        left = built(family, a).merge(built(family, b)).merge(built(family, c))
+        right = built(family, a).merge(built(family, b).merge(built(family, c)))
+        assert state_bytes(left) == state_bytes(right)
+
+    @given(family=families, a=updates, b=updates)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_of_parts_equals_one_build(self, family, a, b):
+        merged = built(family, a).merge(built(family, b))
+        assert state_bytes(merged) == state_bytes(built(family, a + b))
+
+
+class TestUpdateSemantics:
+    @given(family=families, batch=updates)
+    @settings(max_examples=40, deadline=None)
+    def test_update_many_equals_sequential_single_updates(self, family, batch):
+        batched = built(family, batch)
+        sequential = TEMPLATES[family].empty_copy()
+        for index, value in batch:
+            sequential.update_many(
+                np.array([index], dtype=np.int64), np.array([value], dtype=np.int64)
+            )
+        assert state_bytes(batched) == state_bytes(sequential)
+
+
+class TestMergeIdentity:
+    @given(family=families, batch=updates)
+    @settings(max_examples=40, deadline=None)
+    def test_empty_copy_is_merge_identity(self, family, batch):
+        template = TEMPLATES[family]
+        part = built(family, batch)
+        before = state_bytes(part)
+        # Right identity: merging an empty sketch changes nothing.
+        assert state_bytes(part.merge(template.empty_copy())) == before
+        # Left identity: an empty sketch absorbing the part equals the part.
+        absorbed = template.empty_copy().merge(built(family, batch))
+        assert state_bytes(absorbed) == before
+
+
+class TestSerializationRoundTrip:
+    @given(family=families, batch=updates)
+    @settings(max_examples=40, deadline=None)
+    def test_serialize_deserialize_is_bit_identical(self, family, batch):
+        template = TEMPLATES[family]
+        sketch = built(family, batch)
+        restored = deserialize_state(template, serialize_state(sketch))
+        assert state_bytes(restored) == state_bytes(sketch)
+        # The restored clone is a first-class summary: it merges like the
+        # original (same bytes after absorbing the same other part).
+        other = built(family, batch[::-1])
+        assert state_bytes(restored.merge(other)) == state_bytes(
+            built(family, batch).merge(built(family, batch[::-1]))
+        )
+
+    @given(family=families)
+    @settings(max_examples=8, deadline=None)
+    def test_absent_state_round_trips(self, family):
+        template = TEMPLATES[family]
+        restored = deserialize_state(template, serialize_state(template.empty_copy()))
+        assert state_bytes(restored) == state_bytes(template.empty_copy())

@@ -63,6 +63,78 @@ class TestCountSketch:
         assert 17 in hits
 
 
+class TestVectorCountSketch:
+    """Vector-valued counters: CountSketch over the rows of a matrix."""
+
+    def test_query_rows_recovers_heavy_rows(self, rng):
+        n, m = 80, 12
+        a = np.zeros((n, m), dtype=np.int64)
+        a[7] = 300
+        a[41, 3] = -200
+        sketch = CountSketch(n, 32, 5, rng)
+        sketch.update_many(np.arange(n), a)
+        estimates = sketch.query_rows()
+        assert estimates.shape == (n, m)
+        assert np.allclose(estimates[7], a[7], atol=40)
+        assert estimates[41, 3] == pytest.approx(-200, abs=40)
+
+    def test_vector_updates_are_linear_in_chunks(self, rng):
+        n, m = 40, 6
+        a = np.random.default_rng(3).integers(-4, 5, size=(n, m))
+        whole = CountSketch(n, 16, 3, rng)
+        whole.update_many(np.arange(n), a)
+        chunked = whole.empty_copy()
+        chunked.update_many(np.arange(25), a[:25])
+        chunked.update_many(np.arange(25, n), a[25:])
+        np.testing.assert_array_equal(whole.table, chunked.table)
+
+    def test_merge_adopts_vector_table_from_empty(self, rng):
+        sketch = CountSketch(30, 8, 3, rng)
+        part = sketch.empty_copy()
+        part.update_many(np.arange(10), np.ones((10, 4), dtype=np.int64))
+        merged = sketch.empty_copy().merge(part)
+        np.testing.assert_array_equal(merged.table, part.table)
+        # The mirror case: merging an untouched scalar clone is a no-op.
+        np.testing.assert_array_equal(
+            merged.merge(sketch.empty_copy()).table, part.table
+        )
+
+    def test_scalar_and_vector_updates_cannot_mix(self, rng):
+        sketch = CountSketch(20, 8, 2, rng).empty_copy()
+        sketch.update_many(np.array([3]), np.array([2.0]))
+        with pytest.raises(ValueError, match="scalar"):
+            sketch.update_many(np.array([3]), np.ones((1, 4)))
+        widened = CountSketch(20, 8, 2, rng).empty_copy()
+        widened.update_many(np.array([3]), np.ones((1, 4), dtype=np.int64))
+        with pytest.raises(ValueError, match="vector-valued"):
+            widened.update_many(np.array([3]), np.array([2.0]))
+        with pytest.raises(ValueError, match="dimension"):
+            widened.update_many(np.array([3]), np.ones((1, 5), dtype=np.int64))
+
+    def test_scalar_delta_pairs_with_single_index(self, rng):
+        sketch = CountSketch(20, 8, 2, rng).empty_copy()
+        sketch.update_many(np.array([3]), 2.0)  # 0-d delta, historical form
+        assert sketch.query(3) == pytest.approx(2.0)
+
+    def test_empty_batch_does_not_switch_counter_shape(self, rng):
+        sketch = CountSketch(20, 8, 2, rng).empty_copy()
+        sketch.update_many(np.empty(0, dtype=np.int64), np.empty((0, 4)))
+        assert sketch.table.ndim == 2  # still scalar counters
+        sketch.update(3, 2.0)  # scalar use keeps working
+        assert sketch.query(3) == pytest.approx(2.0)
+
+    def test_scalar_queries_reject_vector_tables(self, rng):
+        sketch = CountSketch(20, 8, 2, rng).empty_copy()
+        sketch.update_many(np.array([3]), np.ones((1, 4), dtype=np.int64))
+        with pytest.raises(ValueError, match="query_rows"):
+            sketch.query(3)
+        with pytest.raises(ValueError, match="query_rows"):
+            sketch.query_all()
+        scalar = CountSketch(20, 8, 2, rng)
+        with pytest.raises(ValueError, match="query_all"):
+            scalar.query_rows()
+
+
 class TestCountMin:
     def test_invalid_parameters_rejected(self, rng):
         with pytest.raises(ValueError):

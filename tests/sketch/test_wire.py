@@ -1,0 +1,201 @@
+"""Wire codec: byte-exact round trips, lossless compaction, framing errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.comm import wire
+
+
+def roundtrip(array):
+    return wire.decode_array(wire.encode_array(array))
+
+
+def assert_bit_identical(a, b):
+    assert a.dtype == b.dtype
+    assert a.shape == b.shape
+    assert a.tobytes() == b.tobytes()
+
+
+class TestRoundTrips:
+    def test_absent_state(self):
+        payload = wire.encode_array(None)
+        assert wire.decode_array(payload) is None
+
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.arange(12, dtype=np.int64).reshape(3, 4) - 6,
+            np.zeros((5, 7), dtype=np.int64),
+            np.array([2**40, -(2**40)], dtype=np.int64),
+            np.linspace(-1.0, 1.0, 9).reshape(3, 3),
+            np.array([[-0.0, 0.0], [1.5, np.inf]]),
+            np.zeros(0, dtype=np.int64),
+            np.float64(3.25) * np.ones((2, 2, 2)),
+            np.arange(6, dtype=np.int32),
+            np.arange(6, dtype=np.float32),
+        ],
+    )
+    def test_dense_and_sparse_arrays(self, array):
+        assert_bit_identical(roundtrip(array), array)
+
+    def test_negative_zero_survives(self):
+        array = np.array([-0.0, 0.0, 2.0])
+        back = roundtrip(array)
+        assert_bit_identical(back, array)
+        assert np.signbit(back[0]) and not np.signbit(back[1])
+
+    def test_nan_payload_survives(self):
+        array = np.array([np.nan, 1.0, -np.inf])
+        assert_bit_identical(roundtrip(array), array)
+
+
+class TestCompaction:
+    def test_small_ints_travel_narrow(self):
+        wide = np.arange(1000, dtype=np.int64) % 5
+        blob = wire.encode_array(wide)
+        assert len(blob) < 1000 * 2  # one byte per entry plus header
+        assert_bit_identical(wire.decode_array(blob), wide)
+
+    def test_integer_valued_floats_travel_as_ints(self):
+        floats = np.arange(1000, dtype=float) % 7 - 3
+        blob = wire.encode_array(floats)
+        assert len(blob) < 1000 * 2
+        assert_bit_identical(wire.decode_array(blob), floats)
+
+    def test_mostly_zero_states_travel_sparse(self):
+        state = np.zeros(10_000, dtype=np.int64)
+        state[17] = 123456
+        blob = wire.encode_array(state)
+        assert len(blob) < 200
+        assert_bit_identical(wire.decode_array(blob), state)
+
+    def test_non_integral_floats_stay_float64(self):
+        array = np.array([0.5, 1.25, -3.75])
+        assert_bit_identical(roundtrip(array), array)
+
+    def test_downcast_never_widens_float32(self):
+        """Integer-valued float32 with large values must not inflate to int64."""
+        array = np.full(1000, 2.0**40, dtype=np.float32)
+        blob = wire.encode_array(array)
+        assert len(blob) <= 1000 * 4 + 32  # at most the raw float32 bytes
+        assert_bit_identical(wire.decode_array(blob), array)
+
+    def test_negative_zero_blocks_integer_downcast(self):
+        array = np.array([-0.0] * 100)
+        assert_bit_identical(roundtrip(array), array)
+
+
+class TestBundles:
+    def test_bundle_round_trip_preserves_order_and_content(self):
+        records = {
+            "ams": np.arange(6, dtype=float),
+            "l0": np.zeros((4, 3), dtype=np.int64),
+            "empty": None,
+        }
+        decoded = wire.decode_bundle(wire.encode_bundle(records))
+        assert list(decoded) == ["ams", "l0", "empty"]
+        assert_bit_identical(decoded["ams"], records["ams"])
+        assert_bit_identical(decoded["l0"], records["l0"])
+        assert decoded["empty"] is None
+
+    def test_empty_bundle(self):
+        assert wire.decode_bundle(wire.encode_bundle({})) == {}
+
+    def test_oversized_bundle_rejected(self):
+        records = {f"sketch-{i}": None for i in range(256)}
+        with pytest.raises(wire.WireFormatError, match="max 255"):
+            wire.encode_bundle(records)
+
+    def test_corrupt_shape_overflow_rejected(self):
+        """A shape whose product wraps int64 must not bypass the guards."""
+        import struct
+
+        for kind in (1, 2):  # dense, sparse
+            blob = (
+                struct.pack("<2sBB", b"RS", 1, kind)
+                + struct.pack("<BBB", 4, 4, 3)  # int64 orig/wire, ndim 3
+                + struct.pack("<3I", 2**31, 2**31, 4)
+            )
+            with pytest.raises(wire.WireFormatError):
+                wire.decode_array(blob)
+
+    def test_duplicate_record_names_rejected(self):
+        import struct
+
+        record = wire.encode_array(np.arange(3, dtype=np.int64))
+        framed = b"\x03ams" + struct.pack("<I", len(record)) + record
+        blob = struct.pack("<2sBB", b"RS", 1, 2) + framed + framed
+        with pytest.raises(wire.WireFormatError, match="duplicate"):
+            wire.decode_bundle(blob)
+
+
+class TestFramingErrors:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(wire.WireFormatError, match="magic"):
+            wire.decode_array(b"XX\x01\x00")
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(wire.WireFormatError, match="version"):
+            wire.decode_array(b"RS\x63\x00")
+
+    def test_trailing_bytes_rejected(self):
+        blob = wire.encode_array(np.arange(3, dtype=np.int64)) + b"\x00"
+        with pytest.raises(wire.WireFormatError, match="trailing"):
+            wire.decode_array(blob)
+
+    @pytest.mark.parametrize("cut", [1, 3, 5, 9, 20])
+    def test_truncated_payloads_rejected(self, cut):
+        """Every truncation point raises WireFormatError, never struct/numpy errors."""
+        blob = wire.encode_array(np.arange(100, dtype=np.int64))
+        with pytest.raises(wire.WireFormatError, match="truncated"):
+            wire.decode_array(blob[:cut])
+
+    def test_truncated_sparse_payload_rejected(self):
+        sparse = np.zeros(1000, dtype=np.int64)
+        sparse[3] = 7
+        blob = wire.encode_array(sparse)
+        with pytest.raises(wire.WireFormatError, match="truncated"):
+            wire.decode_array(blob[:-1])
+
+    def test_truncated_bundle_rejected(self):
+        blob = wire.encode_bundle({"ams": np.arange(6, dtype=np.int64)})
+        for cut in (2, 5, 8, len(blob) - 1):
+            with pytest.raises(wire.WireFormatError, match="truncated"):
+                wire.decode_bundle(blob[:cut])
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(wire.WireFormatError, match="dtype"):
+            wire.encode_array(np.zeros(3, dtype=np.uint64))
+
+    def test_payload_bits_is_eight_per_byte(self):
+        blob = wire.encode_array(np.arange(5, dtype=np.int64))
+        assert wire.payload_bits(blob) == 8 * len(blob)
+
+
+class TestPropertyRoundTrips:
+    @given(
+        array=hnp.arrays(
+            dtype=np.int64,
+            shape=hnp.array_shapes(min_dims=1, max_dims=3, max_side=8),
+            elements=st.integers(min_value=-(2**62), max_value=2**62),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_int64_arrays_round_trip_bit_identically(self, array):
+        assert_bit_identical(roundtrip(array), array)
+
+    @given(
+        array=hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(min_dims=1, max_dims=2, max_side=10),
+            elements=st.floats(allow_subnormal=True),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_float64_arrays_round_trip_bit_identically(self, array):
+        assert_bit_identical(roundtrip(array), array)
