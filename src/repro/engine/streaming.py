@@ -167,6 +167,16 @@ class StreamingSession(EstimatorBase):
         Shape of the vector-valued CountSketch behind live heavy hitters.
     sampler_repetitions:
         Repetitions inside the live ``l_0`` sampler.
+    sketch_mode:
+        Randomness mode of the monitoring sketches: ``"dense"`` (default,
+        per-coordinate draws — byte-compatible with all recorded
+        transcripts) or ``"hash"`` (lazy hashed randomness: monitor-sketch
+        construction cost and memory become independent of the row count).
+        CountSketch hashes lazily in both modes.  Note the session itself
+        still keeps a dense ``O(rows x inner_dim)`` accumulated shard per
+        site for the one-shot queries, so the row count must remain
+        RAM-sized; ``"hash"`` removes the sketches from that bill, not the
+        shards.
     """
 
     def __init__(
@@ -181,6 +191,7 @@ class StreamingSession(EstimatorBase):
         hh_depth: int = 5,
         hh_width: int = 64,
         sampler_repetitions: int = 8,
+        sketch_mode: str = "dense",
         site_names: Sequence[str] | None = None,
     ) -> None:
         super().__init__(seed=seed)
@@ -231,17 +242,25 @@ class StreamingSession(EstimatorBase):
             monitor_rng = np.random.default_rng(
                 np.random.SeedSequence([0x515E_A000, seed])
             )
+        if sketch_mode not in ("dense", "hash"):
+            raise ValueError(
+                f"sketch_mode must be 'dense' or 'hash', got {sketch_mode!r}"
+            )
+        self.sketch_mode = sketch_mode
         # FAMILIES fixes both the construction order (each constructor draws
         # from the shared monitor stream) and the delta-bundle framing.
         builders = {
             "ams": lambda: AmsSketch.for_accuracy(
-                self.total_rows, monitor_epsilon, monitor_rng
+                self.total_rows, monitor_epsilon, monitor_rng, mode=sketch_mode
             ),
             "l0": lambda: L0Sketch.for_accuracy(
-                self.total_rows, monitor_epsilon, monitor_rng
+                self.total_rows, monitor_epsilon, monitor_rng, mode=sketch_mode
             ),
             "sampler": lambda: L0Sampler(
-                self.total_rows, monitor_rng, repetitions=sampler_repetitions
+                self.total_rows,
+                monitor_rng,
+                repetitions=sampler_repetitions,
+                mode=sketch_mode,
             ),
             "countsketch": lambda: CountSketch(
                 self.total_rows, hh_width, hh_depth, monitor_rng

@@ -112,7 +112,9 @@ class Site:
         and merge entrywise at the coordinator.
         """
         rows = self.rows
-        values = np.asarray(self.data).astype(np.int64)
+        # int64 shards pass through without a universe-sized copy; sketches
+        # only read the values.
+        values = np.asarray(self.data).astype(np.int64, copy=False)
         partials = []
         for template in templates:
             partial = template.empty_copy()

@@ -118,7 +118,10 @@ class ClusterEstimator(EstimatorBase):
         synced as an initial epoch (``session.history[0]``, epoch 1), so
         live estimates are warm from the start.
         Keyword arguments (``refresh``, ``threshold``, ``monitor_epsilon``,
-        ...) pass through to the session constructor.
+        ``sketch_mode="hash"`` for monitoring sketches whose construction
+        cost is independent of the row count — the session's dense per-site
+        shards still scale with it, ...) pass through to the session
+        constructor.
         """
         from repro.engine.streaming import StreamingSession
 

@@ -19,12 +19,20 @@ Available sketches
   :class:`repro.sketch.countmin.CountMinSketch` — point-query sketches used
   by the heavy-hitter baselines.
 * :mod:`repro.sketch.hashing` — k-wise independent hash families.
+* :mod:`repro.sketch.kernels` — the shared lazy-hashing / fused
+  scatter-add kernel layer every family's hot path runs on.
+
+Every family supports universes far past RAM-sized dense tables:
+CountSketch/Count-Min hash lazily always, and the linear families accept
+``mode="hash"`` to derive their per-coordinate randomness lazily as well
+(construction cost and memory independent of ``n``).
 """
 
 from repro.sketch.ams import AmsSketch
 from repro.sketch.countmin import CountMinSketch
 from repro.sketch.countsketch import CountSketch
 from repro.sketch.hashing import KWiseHash, PRIME_61
+from repro.sketch.kernels import BitSignHash, StackedKWiseHash
 from repro.sketch.l0_sampler import L0Sampler
 from repro.sketch.l0_sketch import L0Sketch
 from repro.sketch.lp_sketch import LpSketch, lp_norm, make_lp_sketch
@@ -45,9 +53,11 @@ __all__ = [
     "extract_deltas",
     "serialize_state",
     "AmsSketch",
+    "BitSignHash",
     "CountMinSketch",
     "CountSketch",
     "KWiseHash",
+    "StackedKWiseHash",
     "PRIME_61",
     "L0Sampler",
     "L0Sketch",

@@ -1,14 +1,17 @@
 """Count-Min sketch for non-negative frequency vectors.
 
 Provides upper-bounding point queries; used in tests and as an alternative
-candidate-verification structure for heavy hitters.
+candidate-verification structure for heavy hitters.  Hashing is lazy
+(:mod:`repro.sketch.kernels`), so construction is independent of the
+universe size; values are bit-identical to the historical dense tables.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.sketch.hashing import KWiseHash
+from repro.sketch.kernels import StackedKWiseHash, scatter_add_scalar
+from repro.sketch.mergeable import check_coordinate_range
 
 
 class CountMinSketch:
@@ -22,16 +25,20 @@ class CountMinSketch:
         self.n = n
         self.width = width
         self.depth = depth
-        keys = np.arange(n)
-        self.bucket_of = np.stack(
-            [KWiseHash(2, rng).buckets(keys, width) for _ in range(depth)]
-        )
+        self._bucket_hashes = StackedKWiseHash(2, depth, rng)
         self.table = np.zeros((depth, width), dtype=float)
+
+    @property
+    def bucket_of(self) -> np.ndarray:
+        """Dense ``(depth, n)`` bucket table, for inspection only."""
+        return self._bucket_hashes.buckets(np.arange(self.n), self.width)
 
     def update(self, index: int, delta: float = 1.0) -> None:
         """Add ``delta`` (must keep the vector non-negative) to a coordinate."""
-        for row in range(self.depth):
-            self.table[row, self.bucket_of[row, index]] += delta
+        keys = np.array([index], dtype=np.int64)
+        check_coordinate_range(keys, self.n)
+        buckets = self._bucket_hashes.buckets(keys, self.width)
+        self.table[np.arange(self.depth), buckets[:, 0]] += delta
 
     def build_from_vector(self, x: np.ndarray) -> None:
         """Populate the sketch from a dense non-negative frequency vector."""
@@ -41,18 +48,18 @@ class CountMinSketch:
         if np.any(x < 0):
             raise ValueError("Count-Min requires non-negative frequencies")
         self.table[:] = 0.0
-        for row in range(self.depth):
-            np.add.at(self.table[row], self.bucket_of[row], x)
+        buckets = self._bucket_hashes.buckets(np.arange(self.n), self.width)
+        scatter_add_scalar(self.table, buckets, None, x)
 
     def query(self, index: int) -> float:
         """Upper-bounding estimate of coordinate ``index``."""
-        return float(
-            min(self.table[row, self.bucket_of[row, index]] for row in range(self.depth))
-        )
+        keys = np.array([index], dtype=np.int64)
+        check_coordinate_range(keys, self.n)
+        buckets = self._bucket_hashes.buckets(keys, self.width)[:, 0]
+        return float(np.min(self.table[np.arange(self.depth), buckets]))
 
     def query_all(self) -> np.ndarray:
         """Upper-bounding estimates for all coordinates."""
-        estimates = np.empty((self.depth, self.n))
-        for row in range(self.depth):
-            estimates[row] = self.table[row, self.bucket_of[row]]
+        buckets = self._bucket_hashes.buckets(np.arange(self.n), self.width)
+        estimates = self.table[np.arange(self.depth)[:, None], buckets]
         return np.min(estimates, axis=0)

@@ -4,6 +4,15 @@ Used by the heavy-hitter baseline (Pagh's compressed matrix multiplication)
 and by tests.  Each of ``depth`` rows hashes coordinates into ``width``
 buckets with a pairwise-independent hash and a 4-wise-independent sign; a
 point query returns the median over rows of ``sign * bucket``.
+
+Hashing is *lazy* (:mod:`repro.sketch.kernels`): bucket and sign values are
+evaluated on demand for each update batch instead of being precomputed as
+dense universe-sized tables, so construction costs ``O(width x depth)``
+memory and time independent of ``n`` — a CountSketch over a ``2^30``
+universe builds in microseconds.  The hash values (and therefore every
+table state and transcript) are bit-identical to the historical dense
+implementation; full-universe queries over small universes cache the dense
+tables on first use to keep repeated queries cheap.
 """
 
 from __future__ import annotations
@@ -12,8 +21,20 @@ import copy
 
 import numpy as np
 
-from repro.sketch.hashing import KWiseHash
-from repro.sketch.mergeable import check_mergeable, check_same_randomness
+from repro.sketch.kernels import StackedKWiseHash, scatter_add_scalar, scatter_add_vector
+from repro.sketch.mergeable import (
+    check_coordinate_range,
+    check_mergeable,
+    check_same_randomness,
+)
+
+#: Full-universe helpers (``query_all``/``bucket_of``) materialize and cache
+#: dense hash tables only below this universe size; above it they stream in
+#: chunks of :data:`_CHUNK` keys so memory stays bounded.
+_DENSE_CACHE_MAX = 1 << 22
+
+#: Keys hashed per chunk in streamed full-universe operations.
+_CHUNK = 1 << 20
 
 
 class CountSketch:
@@ -43,30 +64,99 @@ class CountSketch:
         self.n = n
         self.width = width
         self.depth = depth
-        keys = np.arange(n)
-        self.bucket_of = np.stack(
-            [KWiseHash(2, rng).buckets(keys, width) for _ in range(depth)]
-        )
-        self.sign_of = np.stack([KWiseHash(4, rng).signs(keys) for _ in range(depth)])
+        # Same draw order as the historical dense constructor: all bucket
+        # hashes first, then all sign hashes.
+        self._bucket_hashes = StackedKWiseHash(2, depth, rng)
+        self._sign_hashes = StackedKWiseHash(4, depth, rng)
+        # Dense-table cache for small universes, shared across empty_copy
+        # clones (they share the hash functions, hence the tables).
+        self._cache: dict[str, np.ndarray] = {}
         self.table = np.zeros((depth, width), dtype=float)
+
+    # --------------------------------------------------------------- hashing
+    def _batch_buckets(self, keys: np.ndarray) -> np.ndarray:
+        cached = self._cache.get("buckets")
+        if cached is not None:
+            return cached[:, keys]
+        return self._bucket_hashes.buckets(keys, self.width)
+
+    def _batch_signs(self, keys: np.ndarray) -> np.ndarray:
+        cached = self._cache.get("signs")
+        if cached is not None:
+            return cached[:, keys]
+        return self._sign_hashes.signs(keys)
+
+    def _hash_pair(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(buckets, signs) for a batch, with adaptive densification.
+
+        Small universes whose cumulative lazily-hashed key count reaches
+        ``n`` switch to cached dense tables: from then on the one-off
+        densification cost is amortized and gathers replace hashing (~10x
+        on long streams).  Purely a speed policy — the returned values are
+        identical either way; the cache (and the counter) is shared with
+        every ``empty_copy`` clone, so streaming sites warm it together.
+        """
+        check_coordinate_range(keys, self.n)
+        if "buckets" not in self._cache and self.n <= _DENSE_CACHE_MAX:
+            lazy = self._cache.get("lazy_keys", 0) + keys.size
+            self._cache["lazy_keys"] = lazy
+            if lazy >= self.n:
+                self._ensure_dense_cache()
+        return self._batch_buckets(keys), self._batch_signs(keys)
+
+    def _ensure_dense_cache(self) -> None:
+        if "buckets" in self._cache:
+            return
+        if self.n > _DENSE_CACHE_MAX:
+            raise ValueError(
+                f"dense hash tables over a universe of {self.n} keys exceed "
+                f"the cache bound {_DENSE_CACHE_MAX}; use the batched update/"
+                f"query APIs instead"
+            )
+        keys = np.arange(self.n)
+        self._cache["buckets"] = self._bucket_hashes.buckets(keys, self.width)
+        self._cache["signs"] = self._sign_hashes.signs(keys)
+
+    @property
+    def bucket_of(self) -> np.ndarray:
+        """Dense ``(depth, n)`` bucket table (materialized on first access).
+
+        Kept for inspection and backward compatibility; the update/query
+        paths evaluate hashes lazily and never require it.  Raises for
+        universes past the dense-cache bound.
+        """
+        self._ensure_dense_cache()
+        return self._cache["buckets"]
+
+    @property
+    def sign_of(self) -> np.ndarray:
+        """Dense ``(depth, n)`` sign table (see :attr:`bucket_of`)."""
+        self._ensure_dense_cache()
+        return self._cache["signs"]
 
     # ----------------------------------------------------------------- build
     def update(self, index: int, delta: float = 1.0) -> None:
         """Add ``delta`` to coordinate ``index``."""
         self._require_scalar_table()
-        for row in range(self.depth):
-            self.table[row, self.bucket_of[row, index]] += self.sign_of[row, index] * delta
+        keys = np.array([index], dtype=np.int64)
+        buckets, signs = self._hash_pair(keys)
+        # Direct indexed add: one element per row, no width-sized scatter.
+        self.table[np.arange(self.depth), buckets[:, 0]] += signs[:, 0] * delta
 
     def update_many(self, indices: np.ndarray, deltas: np.ndarray | None = None) -> None:
         """Batched :meth:`update`: add ``deltas[t]`` at ``indices[t]`` for all ``t``.
 
-        Vectorized over the updates (one ``np.add.at`` per sketch row); with
-        ``deltas`` omitted every listed coordinate is incremented by one.
-        Matrix-shaped ``deltas`` (one row-vector per index) switch the table
-        to vector-valued counters; scalar and vector updates cannot mix.
-        Dimensionality is taken literally: a column vector of shape
-        ``(len(indices), 1)`` means vector counters of dimension 1, not
-        scalar updates — flatten to 1-D for the scalar path.
+        Vectorized over the updates: one lazy hash evaluation of the batch
+        and one fused flattened ``np.bincount`` covering every sketch row
+        (:mod:`repro.sketch.kernels`); with ``deltas`` omitted every listed
+        coordinate is incremented by one.  Matrix-shaped ``deltas`` (one
+        row-vector per index) switch the table to vector-valued counters;
+        scalar and vector updates cannot mix.  Dimensionality is taken
+        literally: a column vector of shape ``(len(indices), 1)`` means
+        vector counters of dimension 1, not scalar updates — flatten to 1-D
+        for the scalar path.  Accumulation is exact (order-independent) for
+        integer-valued deltas within the float64-exact ``2^53`` range, the
+        invariant every engine and streaming path maintains.
         """
         indices = np.asarray(indices, dtype=np.int64).reshape(-1)
         if deltas is None:
@@ -82,26 +172,17 @@ class CountSketch:
         if indices.size == 0:
             # A no-op payload must not switch the table's counter shape.
             return
+        buckets, signs = self._hash_pair(indices)
         if deltas.ndim == 2:
             self._require_vector_table(deltas.shape[1])
-            for row in range(self.depth):
-                np.add.at(
-                    self.table[row],
-                    self.bucket_of[row, indices],
-                    self.sign_of[row, indices, None] * deltas,
-                )
+            scatter_add_vector(self.table, buckets, signs, deltas)
             return
         if self.table.ndim != 2:
             raise ValueError(
                 "this table holds vector-valued counters; deltas must be "
                 "matrix-shaped (len(indices), value_dim), not scalars"
             )
-        for row in range(self.depth):
-            np.add.at(
-                self.table[row],
-                self.bucket_of[row, indices],
-                self.sign_of[row, indices] * deltas,
-            )
+        scatter_add_scalar(self.table, buckets, signs, deltas)
 
     def _require_vector_table(self, value_dim: int) -> None:
         """Widen an untouched scalar table to vector-valued counters."""
@@ -122,8 +203,12 @@ class CountSketch:
     def merge(self, other: "CountSketch") -> "CountSketch":
         """Entrywise-combine ``other``'s table into this one; returns self."""
         check_mergeable(self, other)
-        check_same_randomness(self.bucket_of, other.bucket_of, "bucket hashes")
-        check_same_randomness(self.sign_of, other.sign_of, "sign hashes")
+        check_same_randomness(
+            self._bucket_hashes.coeffs, other._bucket_hashes.coeffs, "bucket hashes"
+        )
+        check_same_randomness(
+            self._sign_hashes.coeffs, other._sign_hashes.coeffs, "sign hashes"
+        )
         if self.table.shape != other.table.shape:
             # An untouched scalar table adopts the other side's vector-valued
             # shape (mirrors the empty-state adoption of the linear sketches).
@@ -162,14 +247,27 @@ class CountSketch:
         self.table = state
 
     def build_from_vector(self, x: np.ndarray) -> None:
-        """Populate the sketch from a dense frequency vector."""
+        """Populate the sketch from a dense frequency vector.
+
+        Streams the universe through the lazy hash kernel in bounded-memory
+        chunks; starting from a zeroed table the chunked bincounts reproduce
+        the historical sequential scatter bit for bit (adding to zero is
+        exact), for float inputs included.
+        """
         self._require_scalar_table()
         x = np.asarray(x, dtype=float)
         if x.shape[0] != self.n:
             raise ValueError(f"vector has length {x.shape[0]}, expected {self.n}")
         self.table[:] = 0.0
-        for row in range(self.depth):
-            np.add.at(self.table[row], self.bucket_of[row], self.sign_of[row] * x)
+        if self.n <= _DENSE_CACHE_MAX:
+            # Building from a dense vector hashes the full universe anyway;
+            # keep the tables for the next full-universe operation.
+            self._ensure_dense_cache()
+        for start in range(0, self.n, _CHUNK):
+            keys = np.arange(start, min(start + _CHUNK, self.n))
+            scatter_add_scalar(
+                self.table, self._batch_buckets(keys), self._batch_signs(keys), x[keys]
+            )
 
     # ----------------------------------------------------------------- query
     def _require_scalar_table(self) -> None:
@@ -181,19 +279,29 @@ class CountSketch:
     def query(self, index: int) -> float:
         """Estimate coordinate ``index`` of the underlying vector."""
         self._require_scalar_table()
-        estimates = [
-            self.sign_of[row, index] * self.table[row, self.bucket_of[row, index]]
-            for row in range(self.depth)
-        ]
+        keys = np.array([index], dtype=np.int64)
+        check_coordinate_range(keys, self.n)
+        buckets = self._batch_buckets(keys)[:, 0]
+        signs = self._batch_signs(keys)[:, 0]
+        estimates = signs * self.table[np.arange(self.depth), buckets]
         return float(np.median(estimates))
 
     def query_all(self) -> np.ndarray:
-        """Estimate every coordinate (length ``n`` vector)."""
+        """Estimate every coordinate (length ``n`` vector).
+
+        Small universes hash once into the dense cache; larger ones stream
+        in chunks (the output itself is ``O(n)`` either way).
+        """
         self._require_scalar_table()
-        estimates = np.empty((self.depth, self.n))
-        for row in range(self.depth):
-            estimates[row] = self.sign_of[row] * self.table[row, self.bucket_of[row]]
-        return np.median(estimates, axis=0)
+        if self.n <= _DENSE_CACHE_MAX:
+            self._ensure_dense_cache()
+        out = np.empty(self.n)
+        rows = np.arange(self.depth)[:, None]
+        for start in range(0, self.n, _CHUNK):
+            keys = np.arange(start, min(start + _CHUNK, self.n))
+            estimates = self._batch_signs(keys) * self.table[rows, self._batch_buckets(keys)]
+            out[keys] = np.median(estimates, axis=0)
+        return out
 
     def query_rows(self) -> np.ndarray:
         """Estimate every row-vector of a vector-valued table (``n x m``).
@@ -204,12 +312,18 @@ class CountSketch:
         """
         if self.table.ndim != 3:
             raise ValueError("this table holds scalar counters; use query_all()")
-        estimates = np.empty((self.depth, self.n, self.table.shape[2]))
-        for row in range(self.depth):
-            estimates[row] = (
-                self.sign_of[row][:, None] * self.table[row, self.bucket_of[row]]
+        if self.n <= _DENSE_CACHE_MAX:
+            self._ensure_dense_cache()
+        out = np.empty((self.n, self.table.shape[2]))
+        rows = np.arange(self.depth)[:, None]
+        for start in range(0, self.n, _CHUNK):
+            keys = np.arange(start, min(start + _CHUNK, self.n))
+            estimates = (
+                self._batch_signs(keys)[:, :, None]
+                * self.table[rows, self._batch_buckets(keys)]
             )
-        return np.median(estimates, axis=0)
+            out[keys] = np.median(estimates, axis=0)
+        return out
 
     def heavy_hitters(self, threshold: float) -> list[tuple[int, float]]:
         """All coordinates whose estimate is at least ``threshold``."""

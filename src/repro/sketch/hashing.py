@@ -47,6 +47,27 @@ def _mulmod_p61(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.where(total >= _P61, total - _P61, total)
 
 
+def _mulmod_p61_small_b(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """:func:`_mulmod_p61` specialized to ``b < 2^32`` (bit-identical).
+
+    With ``b_hi = 0`` the ``hi`` and ``a_lo * b_hi`` partial products vanish,
+    which saves two wide multiplies per element — the common case for hash
+    keys, which are universe indices well below ``2^32``.
+    """
+    a_hi = a >> np.uint64(32)
+    a_lo = a & _MASK32
+    mid = a_hi * b  # < 2^61
+    lo = a_lo * b  # < 2^64
+    total = (
+        (mid >> np.uint64(29))
+        + ((mid & np.uint64((1 << 29) - 1)) << np.uint64(32))
+        + (lo >> np.uint64(61))
+        + (lo & _P61)
+    )
+    total = (total >> np.uint64(61)) + (total & _P61)
+    return np.where(total >= _P61, total - _P61, total)
+
+
 class KWiseHash:
     """A k-wise independent hash function family member.
 
@@ -81,9 +102,11 @@ class KWiseHash:
         """
         keys = np.asarray(keys, dtype=np.int64)
         keys_mod = (keys % np.int64(PRIME_61)).astype(np.uint64)
+        small = keys_mod.size == 0 or int(keys_mod.max()) < (1 << 32)
+        mulmod = _mulmod_p61_small_b if small else _mulmod_p61
         acc = np.zeros(keys.shape, dtype=np.uint64)
         for coeff in self._coeffs:
-            acc = _mulmod_p61(acc, keys_mod) + np.uint64(coeff)  # < 2^62
+            acc = mulmod(acc, keys_mod) + np.uint64(coeff)  # < 2^62
             acc = np.where(acc >= _P61, acc - _P61, acc)
         return acc
 

@@ -1,7 +1,7 @@
 """Linear ``l_0``-sampler (Lemma 2.6 substitute).
 
 Samples a (near-)uniform non-zero coordinate of an integer vector from a
-small linear sketch.  Construction: ``L = ceil(log2 n) + 1`` subsampling
+small linear sketch.  Construction: ``L = ceil(log2 n) + 2`` subsampling
 levels; at level ``g`` each coordinate survives with probability ``2^-g``.
 For each level we keep three linear measurements of the surviving
 sub-vector ``y``:
@@ -18,6 +18,16 @@ single survivor with constant probability, repeating the structure a few
 times makes failure unlikely, and the returned coordinate is uniform over the
 support (every non-zero coordinate is equally likely to be the unique
 survivor).
+
+Like the ``l_0`` sketch, the measurement matrix is never materialized:
+updates run through the fused level-expansion scatter kernels, recovery is
+one vectorized scan over all ``(repetition, level)`` cells, and
+``mode="hash"`` derives all per-coordinate randomness from lazy hashes so
+the universe can be ``2^30`` and beyond.  Measurements accumulate in
+int64 exactly like the historical dense matmul: exact while each
+measurement fits, i.e. ``(index + 1) * |value| < 2^63`` for ``s1`` — past
+that the fingerprint check rejects the (wrapped) cell rather than return a
+wrong coordinate.
 """
 
 from __future__ import annotations
@@ -27,10 +37,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sketch.hashing import PRIME_61
+from repro.sketch.kernels import (
+    StackedKWiseHash,
+    bincount_rows,
+    count_alive_levels,
+    expand_levels,
+)
 from repro.sketch.mergeable import LinearStateMixin
 
 #: Fingerprint coefficients come from [1, COEFF_BOUND).
 COEFF_BOUND = 1 << 20
+
+#: ``matrix`` materialization bound (inspection/tests only).
+_DENSE_MATERIALIZE_MAX = 1 << 24
 
 
 @dataclass
@@ -62,66 +82,200 @@ class L0Sampler(LinearStateMixin):
         succeeds if any copy recovers a verified 1-sparse level.
     rng:
         Shared randomness.
+    mode:
+        ``"dense"`` (default): per-coordinate priorities and fingerprint
+        coefficients drawn from ``rng`` exactly as before the kernel layer.
+        ``"hash"``: the same quantities from lazy pairwise-independent
+        hashes — memory independent of ``n``.
     """
 
-    def __init__(self, n: int, rng: np.random.Generator, *, repetitions: int = 8) -> None:
+    def __init__(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        *,
+        repetitions: int = 8,
+        mode: str = "dense",
+    ) -> None:
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
         if repetitions < 1:
             raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        if mode not in ("dense", "hash"):
+            raise ValueError(f"mode must be 'dense' or 'hash', got {mode!r}")
         self.n = n
         self.repetitions = repetitions
         self.levels = int(math.ceil(math.log2(max(n, 2)))) + 2
         self.rows_per_level = 3
         self.num_rows = repetitions * self.levels * self.rows_per_level
+        self.mode = mode
+        self._thresholds = 2.0 ** (-np.arange(self.levels))
 
-        matrix = np.zeros((self.num_rows, n), dtype=np.int64)
-        coords = np.arange(n, dtype=np.int64)
-        self._fingerprint_coeffs = np.zeros((repetitions, n), dtype=np.int64)
-        thresholds = 2.0 ** (-np.arange(self.levels))
-        for rep in range(repetitions):
-            priorities = rng.uniform(0.0, 1.0, size=n)
-            coeffs = rng.integers(1, COEFF_BOUND, size=n, dtype=np.int64)
-            self._fingerprint_coeffs[rep] = coeffs
-            for level in range(self.levels):
-                alive = priorities < thresholds[level]
-                base = (rep * self.levels + level) * self.rows_per_level
-                matrix[base + 0, alive] = 1
-                matrix[base + 1, alive] = coords[alive] + 1  # +1 keeps s1 != 0 for j = 0
-                matrix[base + 2, alive] = coeffs[alive]
-        self.matrix = matrix
+        if mode == "dense":
+            # Historical draw order: per repetition, priorities then
+            # fingerprint coefficients.
+            priorities = np.empty((repetitions, n))
+            coeffs = np.empty((repetitions, n), dtype=np.int64)
+            for rep in range(repetitions):
+                priorities[rep] = rng.uniform(0.0, 1.0, size=n)
+                coeffs[rep] = rng.integers(1, COEFF_BOUND, size=n, dtype=np.int64)
+            self._priorities = priorities
+            self._fingerprint_coeffs = coeffs
+            self._alive_counts = count_alive_levels(
+                priorities.reshape(-1), self._thresholds
+            ).reshape(repetitions, n)
+            self._priority_hash = self._coeff_hash = None
+        else:
+            self._priority_hash = StackedKWiseHash(2, repetitions, rng)
+            self._coeff_hash = StackedKWiseHash(2, repetitions, rng)
+            self._priorities = self._fingerprint_coeffs = self._alive_counts = None
+
+    # ------------------------------------------------------------ randomness
+    def _batch_randomness(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(alive level counts, fingerprint coeffs), each ``(reps, batch)``."""
+        if self.mode == "dense":
+            return self._alive_counts[:, indices], self._fingerprint_coeffs[:, indices]
+        priorities = self._priority_hash.values(indices) / PRIME_61
+        counts = count_alive_levels(priorities.reshape(-1), self._thresholds).reshape(
+            priorities.shape
+        )
+        coeffs = 1 + (
+            self._coeff_hash.values(indices) % np.uint64(COEFF_BOUND - 1)
+        ).astype(np.int64)
+        return counts, coeffs
+
+    def _randomness_fingerprints(self):
+        if self.mode == "dense":
+            return [
+                ("level priorities", self._priorities),
+                ("fingerprint coefficients", self._fingerprint_coeffs),
+            ]
+        return [
+            ("priority hashes", self._priority_hash.coeffs),
+            ("coefficient hashes", self._coeff_hash.coeffs),
+        ]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The dense measurement matrix, materialized on demand (inspection).
+
+        Reconstruction reproduces the historical dense layout exactly; the
+        update/recovery paths never build it.
+        """
+        if self.num_rows * self.n > _DENSE_MATERIALIZE_MAX:
+            raise ValueError(
+                f"refusing to materialize a {self.num_rows} x {self.n} "
+                f"measurement matrix; use update_many()/apply(), which stay lazy"
+            )
+        keys = np.arange(self.n, dtype=np.int64)
+        counts, coeffs = self._batch_randomness(keys)
+        matrix = np.zeros((self.num_rows, self.n), dtype=np.int64)
+        for rep in range(self.repetitions):
+            take, level = expand_levels(counts[rep])
+            base = (rep * self.levels + level) * self.rows_per_level
+            matrix[base + 0, keys[take]] = 1
+            matrix[base + 1, keys[take]] = keys[take] + 1  # +1 keeps s1 != 0 for j = 0
+            matrix[base + 2, keys[take]] = coeffs[rep, take]
+        return matrix
 
     # ------------------------------------------------------------------ api
+    def _contribution(self, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Fused scatter of one batch: ``T[:, indices] @ values`` without ``T``."""
+        counts, coeffs = self._batch_randomness(indices)
+        exact = bool(np.issubdtype(values.dtype, np.integer))
+        rows_parts: list[np.ndarray] = []
+        weights_parts: list[np.ndarray] = []
+        shifted = indices + 1  # +1 keeps s1 != 0 for coordinate 0
+        for rep in range(self.repetitions):
+            take, level = expand_levels(counts[rep])
+            base = (rep * self.levels + level) * self.rows_per_level
+            taken = values[take]
+            if values.ndim == 1:
+                rows_parts += [base, base + 1, base + 2]
+                weights_parts += [taken, shifted[take] * taken, coeffs[rep, take] * taken]
+            else:
+                rows_parts += [base, base + 1, base + 2]
+                weights_parts += [
+                    taken,
+                    shifted[take, None] * taken,
+                    coeffs[rep, take, None] * taken,
+                ]
+        rows = np.concatenate(rows_parts) if rows_parts else np.empty(0, dtype=np.int64)
+        if values.ndim == 1:
+            weights = (
+                np.concatenate(weights_parts)
+                if weights_parts
+                else np.empty(0, dtype=values.dtype)
+            )
+        else:
+            weights = (
+                np.concatenate(weights_parts, axis=0)
+                if weights_parts
+                else np.empty((0, values.shape[1]), dtype=values.dtype)
+            )
+        return bincount_rows(rows, weights, self.num_rows, exact_int=exact)
+
     def apply(self, x: np.ndarray) -> np.ndarray:
         """Compute the sampler sketch ``T x`` (integer inputs expected)."""
         x = np.asarray(x)
         if np.issubdtype(x.dtype, np.integer):
-            return self.matrix @ x.astype(np.int64)
-        return self.matrix @ x
+            x = x.astype(np.int64)
+        return self._contribution(np.arange(self.n, dtype=np.int64), x)
 
     def sample(self, sketched: np.ndarray) -> L0SampleOutcome:
-        """Recover a uniform non-zero coordinate from the sketch ``T x``."""
+        """Recover a uniform non-zero coordinate from the sketch ``T x``.
+
+        Fully vectorized: every ``(repetition, level)`` cell is decoded and
+        verified at once, then the scan order of the historical loops —
+        repetitions ascending, levels descending within a repetition — picks
+        the first verified singleton.
+        """
         sketched = np.asarray(sketched).reshape(-1)
         if sketched.shape[0] != self.num_rows:
             raise ValueError(
                 f"sketch has {sketched.shape[0]} rows, expected {self.num_rows}"
             )
-        per_rep = sketched.reshape(self.repetitions, self.levels, self.rows_per_level)
-        for rep in range(self.repetitions):
-            # Scan from the most aggressive subsampling level downwards; the
-            # first verified singleton is the sample for this repetition.
-            for level in range(self.levels - 1, -1, -1):
-                s0, s1, fingerprint = (int(v) for v in per_rep[rep, level])
-                if s0 == 0:
-                    continue
-                if s1 % s0 != 0:
-                    continue
-                shifted_index = s1 // s0
-                index = shifted_index - 1
-                if not 0 <= index < self.n:
-                    continue
-                expected_fingerprint = int(self._fingerprint_coeffs[rep, index]) * s0
-                if fingerprint != expected_fingerprint:
-                    continue
-                return L0SampleOutcome(index=index, value=s0, level=level)
-        return L0SampleOutcome(index=None, value=None, level=None)
+        if np.issubdtype(sketched.dtype, np.floating):
+            cells = np.trunc(sketched).astype(np.int64)  # match int() truncation
+        else:
+            cells = sketched.astype(np.int64)
+        per_rep = cells.reshape(self.repetitions, self.levels, self.rows_per_level)
+        s0, s1, fingerprint = per_rep[..., 0], per_rep[..., 1], per_rep[..., 2]
+
+        candidate = s0 != 0
+        safe_s0 = np.where(candidate, s0, 1)
+        candidate &= s1 % safe_s0 == 0
+        index = s1 // safe_s0 - 1
+        candidate &= (index >= 0) & (index < self.n)
+        clipped = np.clip(index, 0, self.n - 1)
+        expected = self._fingerprint_at(clipped) * s0
+        candidate &= fingerprint == expected
+        if not candidate.any():
+            return L0SampleOutcome(index=None, value=None, level=None)
+        # Scan order: repetition ascending, level descending — flip the
+        # level axis so the first True in C order is the historical pick.
+        flipped = candidate[:, ::-1]
+        flat = int(np.argmax(flipped))
+        rep, flipped_level = divmod(flat, self.levels)
+        level = self.levels - 1 - flipped_level
+        return L0SampleOutcome(
+            index=int(index[rep, level]),
+            value=int(s0[rep, level]),
+            level=int(level),
+        )
+
+    def _fingerprint_at(self, indices: np.ndarray) -> np.ndarray:
+        """Fingerprint coefficients ``c_rep(j)``, shape ``(reps, ...)``.
+
+        ``indices`` has shape ``(reps, levels)``: entry ``[r, g]`` is looked
+        up under repetition ``r``'s coefficients.
+        """
+        if self.mode == "dense":
+            return np.take_along_axis(
+                self._fingerprint_coeffs, indices.reshape(self.repetitions, -1), axis=1
+            ).reshape(indices.shape)
+        # Row-wise evaluation: repetition r's hash only touches its own
+        # key block (values() would redundantly hash every block under
+        # every repetition).
+        own = self._coeff_hash.values_grid(indices)
+        return 1 + (own % np.uint64(COEFF_BOUND - 1)).astype(np.int64)

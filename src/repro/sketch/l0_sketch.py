@@ -20,6 +20,14 @@ estimation:
 
 With ``k = O(1/eps^2)`` buckets per level this yields a ``(1 +/- eps)``
 estimate with constant probability, matching Lemma 2.1 for ``p = 0``.
+
+The sketch matrix is never materialized: updates scatter straight through
+the fused level-expansion kernels (:mod:`repro.sketch.kernels`), so memory
+is ``O(n)`` per-coordinate randomness in the default (``"dense"``,
+historically byte-compatible) mode and ``O(1)`` in ``mode="hash"``, where
+priorities,
+buckets and coefficients all come from lazy pairwise-independent hashes and
+the universe can be ``2^30`` and beyond.
 """
 
 from __future__ import annotations
@@ -28,10 +36,20 @@ import math
 
 import numpy as np
 
+from repro.sketch.kernels import (
+    StackedKWiseHash,
+    bincount_rows,
+    count_alive_levels,
+    expand_levels,
+)
+from repro.sketch.hashing import PRIME_61
 from repro.sketch.mergeable import LinearStateMixin
 
 #: Random coefficients are drawn from [1, COEFF_BOUND); keeps int64 exact.
 COEFF_BOUND = 1 << 20
+
+#: ``matrix`` materialization bound (inspection/tests only).
+_DENSE_MATERIALIZE_MAX = 1 << 24
 
 
 class L0Sketch(LinearStateMixin):
@@ -51,52 +69,140 @@ class L0Sketch(LinearStateMixin):
         Number of hash buckets per subsampling level (``k``).
     rng:
         Shared randomness.
+    mode:
+        ``"dense"`` (default): per-coordinate priorities/buckets/
+        coefficients drawn from ``rng`` exactly as before the kernel layer —
+        ``O(n)`` memory, byte-compatible transcripts.  ``"hash"``: the same
+        quantities derived from lazy pairwise-independent hashes — memory
+        independent of ``n``.
     """
 
     #: Norm parameter, for interface parity with :class:`LpSketch`.
     p = 0.0
 
-    def __init__(self, n: int, buckets_per_level: int, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        n: int,
+        buckets_per_level: int,
+        rng: np.random.Generator,
+        *,
+        mode: str = "dense",
+    ) -> None:
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
         if buckets_per_level < 2:
             raise ValueError(f"buckets_per_level must be >= 2, got {buckets_per_level}")
+        if mode not in ("dense", "hash"):
+            raise ValueError(f"mode must be 'dense' or 'hash', got {mode!r}")
         self.n = n
         self.k = int(buckets_per_level)
         self.levels = int(math.ceil(math.log2(max(n, 2)))) + 1
         self.num_rows = self.levels * self.k
+        self.mode = mode
+        self._thresholds = 2.0 ** (-np.arange(self.levels))
 
-        # Level membership: coordinate j survives at level g iff
-        # priority[j] < 2^-g, with a single uniform priority per coordinate so
-        # the levels are nested (standard construction).
-        priorities = rng.uniform(0.0, 1.0, size=n)
-        buckets = rng.integers(0, self.k, size=n)
-        coefficients = rng.integers(1, COEFF_BOUND, size=n, dtype=np.int64)
-
-        matrix = np.zeros((self.num_rows, n), dtype=np.int64)
-        thresholds = 2.0 ** (-np.arange(self.levels))
-        for level in range(self.levels):
-            alive = priorities < thresholds[level]
-            rows = level * self.k + buckets[alive]
-            matrix[rows, np.flatnonzero(alive)] = coefficients[alive]
-        self.matrix = matrix
-        self._thresholds = thresholds
+        if mode == "dense":
+            # Level membership: coordinate j survives at level g iff
+            # priority[j] < 2^-g, with a single uniform priority per
+            # coordinate so the levels are nested (standard construction).
+            # Draw order matches the historical dense constructor exactly.
+            self._priorities = rng.uniform(0.0, 1.0, size=n)
+            self._buckets = rng.integers(0, self.k, size=n)
+            self._coefficients = rng.integers(1, COEFF_BOUND, size=n, dtype=np.int64)
+            self._alive_counts = count_alive_levels(self._priorities, self._thresholds)
+            self._priority_hash = self._bucket_hash = self._coeff_hash = None
+        else:
+            self._priority_hash = StackedKWiseHash(2, 1, rng)
+            self._bucket_hash = StackedKWiseHash(2, 1, rng)
+            self._coeff_hash = StackedKWiseHash(2, 1, rng)
+            self._priorities = self._buckets = self._coefficients = None
+            self._alive_counts = None
 
     @classmethod
-    def for_accuracy(cls, n: int, epsilon: float, rng: np.random.Generator) -> "L0Sketch":
+    def for_accuracy(
+        cls, n: int, epsilon: float, rng: np.random.Generator, *, mode: str = "dense"
+    ) -> "L0Sketch":
         """Construct a sketch sized for a ``(1 +/- epsilon)`` estimate."""
         if not 0 < epsilon <= 1:
             raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
         buckets = max(16, int(np.ceil(8.0 / epsilon**2)))
-        return cls(n, buckets, rng)
+        return cls(n, buckets, rng, mode=mode)
+
+    # ------------------------------------------------------------ randomness
+    def _coordinate_randomness(
+        self, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(alive level counts, buckets, coefficients) for a batch."""
+        if self.mode == "dense":
+            return (
+                self._alive_counts[indices],
+                self._buckets[indices],
+                self._coefficients[indices],
+            )
+        priorities = self._priority_hash.values(indices)[0] / PRIME_61
+        counts = count_alive_levels(priorities, self._thresholds)
+        buckets = self._bucket_hash.buckets(indices, self.k)[0]
+        coefficients = 1 + (
+            self._coeff_hash.values(indices)[0] % np.uint64(COEFF_BOUND - 1)
+        ).astype(np.int64)
+        return counts, buckets, coefficients
+
+    def _randomness_fingerprints(self):
+        if self.mode == "dense":
+            return [
+                ("level priorities", self._priorities),
+                ("bucket assignments", self._buckets),
+                ("bucket coefficients", self._coefficients),
+            ]
+        return [
+            ("priority hashes", self._priority_hash.coeffs),
+            ("bucket hashes", self._bucket_hash.coeffs),
+            ("coefficient hashes", self._coeff_hash.coeffs),
+        ]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The dense sketch matrix, materialized on demand (inspection only).
+
+        The update/apply paths never build it; reconstruction reproduces the
+        historical dense layout exactly.
+        """
+        if self.num_rows * self.n > _DENSE_MATERIALIZE_MAX:
+            raise ValueError(
+                f"refusing to materialize a {self.num_rows} x {self.n} sketch "
+                f"matrix; use update_many()/apply(), which stay lazy"
+            )
+        keys = np.arange(self.n)
+        counts, buckets, coefficients = self._coordinate_randomness(keys)
+        matrix = np.zeros((self.num_rows, self.n), dtype=np.int64)
+        take, level = expand_levels(counts)
+        matrix[level * self.k + buckets[take], keys[take]] = coefficients[take]
+        return matrix
 
     # ------------------------------------------------------------------ api
+    def _contribution(self, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Fused scatter of one batch: ``S[:, indices] @ values`` without ``S``.
+
+        Exact (order-independent) for integer values within the
+        float64-exact ``2^53`` range; integer inputs keep the historical
+        int64 state dtype.
+        """
+        counts, buckets, coefficients = self._coordinate_randomness(indices)
+        take, level = expand_levels(counts)
+        rows = level * self.k + buckets[take]
+        exact = bool(np.issubdtype(values.dtype, np.integer))
+        if values.ndim == 1:
+            weights = coefficients[take] * values[take]
+        else:
+            weights = coefficients[take, None] * values[take]
+        return bincount_rows(rows, weights, self.num_rows, exact_int=exact)
+
     def apply(self, x: np.ndarray) -> np.ndarray:
         """Compute ``S x``; inputs should be integer-valued for exactness."""
         x = np.asarray(x)
         if np.issubdtype(x.dtype, np.integer):
-            return self.matrix @ x.astype(np.int64)
-        return self.matrix @ x
+            x = x.astype(np.int64)
+        return self._contribution(np.arange(self.n), x)
 
     def estimate_state_l0(self) -> float:
         """Estimate ``||x||_0`` from the accumulated (possibly merged) state."""

@@ -18,6 +18,7 @@ import math
 
 import numpy as np
 
+from repro.sketch.mergeable import LinearStateMixin
 from repro.sketch.stable import sample_standard_stable, stable_scale_factor
 
 
@@ -29,8 +30,15 @@ def lp_norm(x: np.ndarray, p: float) -> float:
     return float(np.sum(np.abs(x) ** p))
 
 
-class LpSketch:
+class LpSketch(LinearStateMixin):
     """p-stable linear sketch with the median estimator (``0 < p <= 2``).
+
+    Also a :class:`repro.sketch.mergeable.MergeableSketch` (via
+    :class:`~repro.sketch.mergeable.LinearStateMixin`), so ``p``-norm
+    summaries can ride the same batched ``update_many`` / entrywise
+    ``merge`` runtime as the other families.  The p-stable entries are
+    genuinely real-valued, so unlike the integer-exact families, merged
+    float states agree with one-shot states only to rounding.
 
     Parameters
     ----------

@@ -74,6 +74,19 @@ class MergeableSketch(Protocol):
         ...
 
 
+def check_coordinate_range(indices: np.ndarray, n: int) -> None:
+    """Coordinates must lie in ``[0, n)``.
+
+    The dense-table era got this for free (an out-of-range gather raised);
+    lazy hashes happily hash any integer, so the kernel-based update paths
+    enforce the universe bound explicitly — in every mode, which also
+    closes the historical gap where negative indices silently wrapped.
+    """
+    if indices.size and (int(indices.min()) < 0 or int(indices.max()) >= n):
+        bad = indices[(indices < 0) | (indices >= n)][0]
+        raise IndexError(f"coordinate {int(bad)} out of range for universe [0, {n})")
+
+
 def check_mergeable(this, other) -> None:
     """Shared sanity check: merging requires identical type and dimensions."""
     if type(this) is not type(other):
@@ -105,18 +118,37 @@ def check_same_randomness(mine: np.ndarray, theirs: np.ndarray, what: str) -> No
 
 
 class LinearStateMixin:
-    """Mergeable-state plumbing for sketches backed by an explicit matrix.
+    """Mergeable-state plumbing for the linear-map sketches.
 
-    Host classes expose ``matrix`` of shape ``(num_rows, n)``.  The
+    Host classes expose ``num_rows`` (the sketch dimension).  The
     accumulated ``state`` is the partial linear image ``S[:, idx] @ values``
     summed over all updates: ``S x`` when values are scalars per coordinate,
     or ``S X`` (one column per input column) when a site sketches a matrix
     shard in one batched call.  ``state`` is ``None`` until the first update
     so its trailing shape can adapt to the input.
+
+    How the image is computed is a host hook: matrix-backed hosts keep the
+    historical dense gather+matmul (:meth:`_contribution`'s default), while
+    the kernel-based hosts (AMS in hash mode, the ``l_0`` machinery)
+    scatter each batch through :mod:`repro.sketch.kernels` without ever
+    materializing ``S``.  Likewise the randomness-identity check behind
+    ``merge`` compares whatever arrays actually determine the host's
+    randomness (:meth:`_randomness_fingerprints`), dense matrix or hash
+    coefficients alike.
     """
 
     state: np.ndarray | None = None
 
+    # ------------------------------------------------------------ host hooks
+    def _contribution(self, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """The partial image ``S[:, indices] @ values`` of one batch."""
+        return self.matrix[:, indices] @ values
+
+    def _randomness_fingerprints(self):
+        """(name, array) pairs that must match for two sketches to merge."""
+        return [("sketch matrices", self.matrix)]
+
+    # -------------------------------------------------------------- contract
     def update_many(self, indices: np.ndarray, values: np.ndarray) -> None:
         """Add ``values[t]`` at coordinate ``indices[t]``, batched."""
         indices = np.asarray(indices, dtype=np.int64).reshape(-1)
@@ -126,7 +158,8 @@ class LinearStateMixin:
                 f"values lead dimension {values.shape[0]} does not match "
                 f"{indices.shape[0]} indices"
             )
-        contribution = self.matrix[:, indices] @ values
+        check_coordinate_range(indices, self.n)
+        contribution = self._contribution(indices, values)
         if self.state is None:
             self.state = contribution
         elif self.state.shape != contribution.shape:
@@ -140,12 +173,15 @@ class LinearStateMixin:
     def merge(self, other):
         """Entrywise-combine ``other``'s state into this sketch; returns self."""
         check_mergeable(self, other)
-        if self.matrix.shape != other.matrix.shape:
+        if self.num_rows != other.num_rows:
             raise ValueError(
-                f"cannot merge sketches with {other.matrix.shape[0]} rows "
-                f"into one with {self.matrix.shape[0]} rows"
+                f"cannot merge sketches with {other.num_rows} rows "
+                f"into one with {self.num_rows} rows"
             )
-        check_same_randomness(self.matrix, other.matrix, "sketch matrices")
+        for (name, mine), (_, theirs) in zip(
+            self._randomness_fingerprints(), other._randomness_fingerprints()
+        ):
+            check_same_randomness(mine, theirs, name)
         if other.state is None:
             return self
         if self.state is None:
@@ -175,8 +211,8 @@ class LinearStateMixin:
             self.state = None
             return
         state = np.asarray(state)
-        if state.shape[0] != self.matrix.shape[0]:
+        if state.shape[0] != self.num_rows:
             raise ValueError(
-                f"state has {state.shape[0]} rows, expected {self.matrix.shape[0]}"
+                f"state has {state.shape[0]} rows, expected {self.num_rows}"
             )
         self.state = state

@@ -11,6 +11,12 @@ accumulates updates into a pending ``empty_copy`` of the shared template;
 shipped bytes describe exactly what changed since the last upload.  Because
 every sketch is linear, the coordinator can merge deserialized deltas into
 its running summary in any arrival order.
+
+Only state arrays travel; randomness never does.  That is what lets the
+kernel-layer sketches stay lazy end to end: a huge-universe sketch
+(``mode="hash"`` or CountSketch at any ``n``) serializes exactly like a
+small one, because the wire record is ``O(width x depth)`` regardless of
+the universe the hashes span.
 """
 
 from __future__ import annotations
