@@ -1,0 +1,37 @@
+"""E16 — runtime conditions: latency/straggler makespans + dropout policies."""
+
+import os
+
+from repro.experiments import e16_runtime_conditions
+
+#: CI smoke mode: one tiny config so the runtime/conditions path is
+#: exercised on every change without paying for the full sweep.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def test_e16_runtime_conditions(benchmark, once):
+    report = once(
+        benchmark,
+        e16_runtime_conditions.run,
+        n=32 if SMOKE else 64,
+        num_sites=4,
+        latencies=(0.0, 0.01) if SMOKE else (0.0, 0.005, 0.02, 0.08),
+        seed=9,
+    )
+    print()
+    print(report)
+    # Shape: conditions only price the transcript (bits/rounds invariant),
+    # the latency sweep's makespan slope is exactly the round count, one
+    # straggler link dominates the critical path, and both dropout policies
+    # behave as declared — fail raises, exclude renormalizes and reports
+    # the contributing sites.
+    assert report.summary["bits_invariant_under_conditions"]
+    assert report.summary["latency_slope_matches_rounds"]
+    assert report.summary["straggler_dominates_makespan"]
+    assert report.summary["dropout_fail_raises"]
+    assert report.summary["dropout_renormalized"]
+    assert report.summary["dropout_rel_err"] < 1.0
+    assert report.summary["streaming_recovers_bit_exact"]
+    latency_rows = [row for row in report.rows if row["scenario"] == "latency"]
+    makespans = [row["makespan_s"] for row in latency_rows]
+    assert makespans == sorted(makespans)  # monotone in latency

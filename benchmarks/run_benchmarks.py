@@ -1,6 +1,12 @@
 #!/usr/bin/env python
 """Machine-readable benchmark runner: sketch-kernel microbenches + trajectory.
 
+With ``--runtime`` it additionally benchmarks the message-passing runtime's
+executors (serial vs threads vs processes) on k-site ingest and query
+wall-clock and appends the record to a second trajectory
+(``benchmarks/BENCH_runtime.json``) — the executors are bit-identical in
+output, so these numbers are pure wall-clock comparisons.
+
 Measures the kernel layer's three headline numbers and appends them to a
 JSON trajectory (``benchmarks/BENCH_sketch.json`` by default), so the bench
 history is a committed, diffable artifact instead of folklore:
@@ -54,6 +60,7 @@ MIN_SESSION_SPEEDUP = 5.0
 MAX_HUGE_CONSTRUCT_SECONDS = 1.0
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_sketch.json"
+DEFAULT_RUNTIME_OUTPUT = Path(__file__).resolve().parent / "BENCH_runtime.json"
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
@@ -334,6 +341,62 @@ def bench_streaming_epoch(metrics: dict) -> None:
     }
 
 
+def bench_runtime_executors(metrics: dict) -> None:
+    """Serial vs threads vs processes: k-site ingest + query wall-clock.
+
+    *Ingest* is the one-round ``l0_sample`` protocol (every site pushes its
+    whole shard through two sketches — the engine's ``update_many`` fan-out);
+    *query* is the two-round ``lp_norm(p=2)`` protocol (matmul-heavy per-site
+    round 2).  All three executors produce bit-identical transcripts (pinned
+    in ``tests/engine/test_runtime.py``), so the only thing that varies here
+    is wall-clock.  Speedups are recorded relative to serial; on single-core
+    hosts they hover around 1x, which the run record states honestly via its
+    top-level ``cpu_count`` field.
+    """
+    from repro.engine import Runtime
+    from repro.multiparty import ClusterEstimator
+
+    k = 4
+    rows = 512 if SMOKE else 4096
+    inner = 48 if SMOKE else 192
+    repeats = 2 if SMOKE else 3
+    rng = np.random.default_rng(11)
+    a = rng.integers(0, 3, size=(rows, inner)).astype(np.int64)
+    b = rng.integers(0, 3, size=(inner, inner)).astype(np.int64)
+
+    legs = {
+        "ingest_l0_sample": lambda cluster: cluster.l0_sample(0.3),
+        "query_lp2": lambda cluster: cluster.lp_norm(2.0, 0.3),
+    }
+    for executor in ("serial", "threads", "processes"):
+        runtime = Runtime(executor, max_workers=k)
+        cluster = ClusterEstimator.from_matrix(a, b, k, seed=11, runtime=runtime)
+        for leg, query in legs.items():
+            seconds = timed(lambda q=query, c=cluster: q(c), repeats)
+            # cpu_count is recorded on the run record, NOT in this config:
+            # the regression gate only compares same-config metrics, and a
+            # host property in the config would silently retire the gate on
+            # any machine unlike the baseline's.
+            metrics[f"runtime/{leg}/{executor}"] = {
+                "config": {"rows": rows, "inner": inner, "sites": k},
+                "seconds": seconds,
+                "rows_per_sec": rows / seconds,
+            }
+        runtime.close()
+
+
+def compute_runtime_speedups(metrics: dict) -> dict:
+    """Wall-clock speedup of each concurrent executor over serial, per leg."""
+    speedups = {}
+    for leg in ("ingest_l0_sample", "query_lp2"):
+        base = metrics.get(f"runtime/{leg}/serial")
+        for executor in ("threads", "processes"):
+            record = metrics.get(f"runtime/{leg}/{executor}")
+            if base and record:
+                speedups[f"{leg}/{executor}"] = base["seconds"] / record["seconds"]
+    return speedups
+
+
 def run_experiment_benches(metrics: dict) -> None:
     """Run the per-experiment pytest benches (assertion-only) and record."""
     bench_dir = Path(__file__).resolve().parent
@@ -439,6 +502,13 @@ def main() -> int:
     parser.add_argument(
         "--experiments", action="store_true", help="also run the pytest experiment benches"
     )
+    parser.add_argument(
+        "--runtime",
+        action="store_true",
+        help="also run the executor benches (serial/threads/processes), "
+        "tracked in their own trajectory file",
+    )
+    parser.add_argument("--runtime-output", type=Path, default=DEFAULT_RUNTIME_OUTPUT)
     args = parser.parse_args()
 
     mode = "smoke" if SMOKE else "full"
@@ -451,35 +521,59 @@ def main() -> int:
         run_experiment_benches(metrics)
 
     speedups = compute_speedups(metrics)
-    run_record = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "mode": mode,
-        "numpy": np.__version__,
-        "python": platform.python_version(),
-        "metrics": metrics,
-        "speedups": speedups,
-    }
 
-    history = {"schema": 1, "runs": []}
-    if args.output.exists():
-        history = json.loads(args.output.read_text())
+    def stamp(run_metrics: dict, run_speedups: dict) -> dict:
+        return {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "mode": mode,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "metrics": run_metrics,
+            "speedups": run_speedups,
+        }
+
+    def load_history(path: Path) -> dict:
+        if path.exists():
+            return json.loads(path.read_text())
+        return {"schema": 1, "runs": []}
+
+    history = load_history(args.output)
 
     failures = check_acceptance(metrics, speedups)
     if args.check_regression:
         failures += check_regression(metrics, history.get("runs", []), mode)
 
-    for key in sorted(metrics):
-        record = metrics[key]
-        rate = record.get("rows_per_sec")
-        extra = f"  {rate:>12,.0f} rows/s" if rate else ""
-        print(f"{key:<45} {record['seconds']*1e3:>10.2f} ms{extra}")
-    for name, factor in sorted(speedups.items()):
-        print(f"speedup/{name:<37} {factor:>10.1f} x")
+    runtime_metrics: dict = {}
+    runtime_speedups: dict = {}
+    runtime_history: dict = {}
+    if args.runtime:
+        bench_runtime_executors(runtime_metrics)
+        runtime_speedups = compute_runtime_speedups(runtime_metrics)
+        runtime_history = load_history(args.runtime_output)
+        if args.check_regression:
+            failures += check_regression(
+                runtime_metrics, runtime_history.get("runs", []), mode
+            )
+
+    for table, table_speedups in ((metrics, speedups), (runtime_metrics, runtime_speedups)):
+        for key in sorted(table):
+            record = table[key]
+            rate = record.get("rows_per_sec")
+            extra = f"  {rate:>12,.0f} rows/s" if rate else ""
+            print(f"{key:<45} {record['seconds']*1e3:>10.2f} ms{extra}")
+        for name, factor in sorted(table_speedups.items()):
+            print(f"speedup/{name:<37} {factor:>10.1f} x")
 
     if not args.no_write:
-        history.setdefault("runs", []).append(run_record)
+        history.setdefault("runs", []).append(stamp(metrics, speedups))
         args.output.write_text(json.dumps(history, indent=1) + "\n")
         print(f"appended {mode} run to {args.output}")
+        if args.runtime:
+            runtime_record = stamp(runtime_metrics, runtime_speedups)
+            runtime_record["cpu_count"] = os.cpu_count() or 1
+            runtime_history.setdefault("runs", []).append(runtime_record)
+            args.runtime_output.write_text(json.dumps(runtime_history, indent=1) + "\n")
+            print(f"appended {mode} run to {args.runtime_output}")
 
     if failures:
         print("\nBENCH FAILURES:", file=sys.stderr)

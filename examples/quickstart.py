@@ -69,6 +69,24 @@ def main() -> None:
         value = int(c[l1_sample.row, l1_sample.col])
         print(f"  value-weighted (l_1) sample: entry {l1_sample.as_pair()} "
               f"with value {value}")
+    print()
+
+    # --- runtime conditions: a k-site run under simulated WAN links ---------
+    # Same protocols, same bits — but the star's links now carry 10 ms of
+    # latency at 1 Mbit/s, so the cost report gains a simulated makespan
+    # (critical path over rounds, links transferring in parallel).
+    from repro import ClusterEstimator
+    from repro.comm import LinkModel, NetworkConditions
+
+    conditions = NetworkConditions(LinkModel(latency=0.010, bandwidth=1e6))
+    cluster = ClusterEstimator.from_matrix(a, b, num_sites=4, seed=7, conditions=conditions)
+    result = cluster.join_size(epsilon=0.25)
+    print("k-site run under simulated WAN conditions (10 ms, 1 Mbit/s links)")
+    print(f"  estimate {result.value:10.1f}   truth {exact_lp_pp(c, 0):10.1f}")
+    print(f"  cost     {result.cost.total_bits} bits in {result.cost.rounds} rounds, "
+          f"busiest link {result.cost.max_link_bits} bits")
+    print(f"  simulated makespan {result.cost.makespan * 1e3:.1f} ms "
+          f"(per round: {[round(s * 1e3, 1) for s in result.cost.makespan_per_round.values()]} ms)")
 
 
 if __name__ == "__main__":

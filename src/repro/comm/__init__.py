@@ -20,6 +20,10 @@ This package provides an in-process simulation of that model:
 * :class:`repro.comm.party.Party` — base class for Alice/Bob endpoints.
 * :class:`repro.comm.protocol.Protocol` — driver that runs a protocol and
   returns a :class:`repro.comm.protocol.CostReport`.
+* :mod:`repro.comm.conditions` — per-link latency/bandwidth/jitter models
+  (:class:`repro.comm.conditions.LinkModel` /
+  :class:`repro.comm.conditions.NetworkConditions`) that price a recorded
+  transcript into a simulated makespan.
 """
 
 from repro.comm.accounting import Message, MessageLog
@@ -33,6 +37,7 @@ from repro.comm.bitcost import (
     bits_for_vector,
 )
 from repro.comm.channel import Channel
+from repro.comm.conditions import IDEAL_LINK, LinkModel, NetworkConditions
 from repro.comm.network import Network
 from repro.comm.party import Party
 from repro.comm.protocol import CostReport, Protocol, ProtocolResult
@@ -46,9 +51,12 @@ __all__ = [
     "bits_for_payload",
     "bits_for_vector",
     "Channel",
+    "IDEAL_LINK",
+    "LinkModel",
     "Message",
     "MessageLog",
     "Network",
+    "NetworkConditions",
     "Party",
     "CostReport",
     "Protocol",

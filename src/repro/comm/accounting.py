@@ -113,6 +113,20 @@ class MessageLog:
             breakdown[message.round_index] += message.bits
         return dict(sorted(breakdown.items()))
 
+    def per_round(self) -> dict[int, list[Message]]:
+        """Messages grouped by round index (1-based, ascending).
+
+        The round structure is the synchronization structure of a protocol:
+        everything inside one round could be in flight simultaneously, while
+        rounds are sequential.  The makespan model
+        (:func:`repro.comm.conditions.simulate_makespan`) consumes this
+        grouping directly.
+        """
+        batches: dict[int, list[Message]] = {}
+        for message in self.messages:
+            batches.setdefault(message.round_index, []).append(message)
+        return dict(sorted(batches.items()))
+
     def reset(self) -> None:
         """Clear all recorded traffic (used when reusing a transport)."""
         self.messages.clear()

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.comm.accounting import Message, MessageLog
+from repro.comm.conditions import NetworkConditions
 from repro.comm.network import Network
 
 __all__ = ["Channel", "Message"]
@@ -31,12 +32,24 @@ class Channel:
     alice_name, bob_name:
         Display names for the two endpoints; used for per-party accounting.
         Alice backs the underlying star's single site, Bob its hub.
+    conditions:
+        Optional timing model of the single link (see
+        :mod:`repro.comm.conditions`); forwarded to the backing network so
+        two-party transcripts can be priced into a simulated makespan too.
     """
 
-    def __init__(self, alice_name: str = "alice", bob_name: str = "bob") -> None:
+    def __init__(
+        self,
+        alice_name: str = "alice",
+        bob_name: str = "bob",
+        *,
+        conditions: "NetworkConditions | None" = None,
+    ) -> None:
         self.alice_name = alice_name
         self.bob_name = bob_name
-        self.network = Network([alice_name], coordinator_name=bob_name)
+        self.network = Network(
+            [alice_name], coordinator_name=bob_name, conditions=conditions
+        )
 
     # ------------------------------------------------------------------ send
     def send(
@@ -101,6 +114,10 @@ class Channel:
     def bits_per_round(self) -> dict[int, int]:
         """Total bits grouped by round index (1-based, ascending)."""
         return self.network.bits_per_round()
+
+    def makespan(self) -> float:
+        """Simulated seconds of the transcript under the channel's conditions."""
+        return self.network.makespan()
 
     def reset(self) -> None:
         """Clear all recorded traffic (used when reusing a transport)."""

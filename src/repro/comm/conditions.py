@@ -1,0 +1,180 @@
+"""Simulated network conditions: per-link latency/bandwidth models + makespan.
+
+The metered transports count *bits* and *rounds* exactly; this module turns
+those meters into an end-to-end **time** estimate.  A :class:`LinkModel`
+describes one coordinator-site link (fixed per-round latency, finite
+bandwidth, optional seeded jitter); :class:`NetworkConditions` assigns a
+model to every link of a star (one default plus per-site overrides) and
+also carries the *fault scenario* — which sites are declared dropped — so
+a whole experimental condition travels as one object.
+
+Makespan model
+--------------
+Links of a star transfer **in parallel**, and the round structure of the
+message log is exactly the synchronization structure of the protocol: all
+messages of one round could be in flight simultaneously, but round ``r+1``
+cannot start before every link of round ``r`` has delivered (the hub needs
+the uploads before it can reply, and vice versa).  So the simulated
+makespan is the critical path over rounds::
+
+    makespan = sum over rounds r of  max over links s active in r of
+               latency_s + jitter_s(r) + bits_{s,r} / bandwidth_s
+
+Messages on the same link in the same round share one latency hit (they
+form a single burst).  Jitter is drawn deterministically per (site, round)
+from a seeded stream, so a given ``NetworkConditions`` object prices a
+given transcript identically every time it is asked.
+
+With the default (ideal) conditions every link has zero latency and
+infinite bandwidth, so the makespan of every existing transcript is 0.0
+and nothing about the recorded cost reports changes.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.comm.accounting import Message
+
+__all__ = ["IDEAL_LINK", "LinkModel", "NetworkConditions", "simulate_makespan"]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Timing model of one coordinator-site link.
+
+    Parameters
+    ----------
+    latency:
+        Fixed seconds added once per round in which the link is active
+        (propagation delay; a *straggler* site is modelled by a large
+        per-site latency override).
+    bandwidth:
+        Link throughput in bits per second (``inf`` = transfer is free).
+    jitter:
+        Upper bound of a uniform extra per-round delay in seconds, drawn
+        from the seeded stream of the enclosing :class:`NetworkConditions`.
+    """
+
+    latency: float = 0.0
+    bandwidth: float = math.inf
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or math.isnan(self.latency):
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth <= 0 or math.isnan(self.bandwidth):
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+        if self.jitter < 0 or math.isnan(self.jitter):
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def transfer_seconds(self, bits: int) -> float:
+        """Seconds to push ``bits`` through this link in one round (no jitter)."""
+        if math.isinf(self.bandwidth):
+            return self.latency
+        return self.latency + bits / self.bandwidth
+
+
+#: The default: zero latency, infinite bandwidth, no jitter — makespan 0.
+IDEAL_LINK = LinkModel()
+
+
+class NetworkConditions:
+    """One experimental condition of a star network.
+
+    Parameters
+    ----------
+    default:
+        The :class:`LinkModel` of every link without an override.
+    overrides:
+        Per-site link models, keyed by site name (e.g. one straggler).
+    dropped:
+        Site names declared *dropped* for this condition.  The transports
+        themselves never consult this — dropout is a protocol-level policy
+        (see :class:`repro.engine.runtime.Runtime` and
+        ``StreamingSession.drop_site``) — but carrying it here keeps the
+        whole scenario in one object.
+    jitter_seed:
+        Seed of the deterministic per-(site, round) jitter stream.
+    """
+
+    def __init__(
+        self,
+        default: LinkModel = IDEAL_LINK,
+        *,
+        overrides: Mapping[str, LinkModel] | None = None,
+        dropped: Iterable[str] = (),
+        jitter_seed: int = 0,
+    ) -> None:
+        self.default = default
+        self.overrides = dict(overrides or {})
+        self.dropped = frozenset(dropped)
+        self.jitter_seed = int(jitter_seed)
+
+    def link(self, site_name: str) -> LinkModel:
+        """The model governing one coordinator-site link."""
+        return self.overrides.get(site_name, self.default)
+
+    def link_seconds(self, site_name: str, round_index: int, bits: int) -> float:
+        """Time for one link's burst in one round, jitter included.
+
+        Jitter is a pure function of ``(jitter_seed, site_name,
+        round_index)``, so re-pricing the same transcript with the same
+        conditions always yields the same makespan.
+        """
+        model = self.link(site_name)
+        seconds = model.transfer_seconds(bits)
+        if model.jitter > 0:
+            entropy = [self.jitter_seed, zlib.crc32(site_name.encode()), round_index]
+            draw = np.random.default_rng(np.random.SeedSequence(entropy))
+            seconds += float(draw.uniform(0.0, model.jitter))
+        return seconds
+
+    def is_ideal(self) -> bool:
+        """True when every link is the ideal model (makespan trivially 0)."""
+        return self.default == IDEAL_LINK and not self.overrides
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        parts = [f"default={self.default}"]
+        if self.overrides:
+            parts.append(f"overrides={self.overrides}")
+        if self.dropped:
+            parts.append(f"dropped={sorted(self.dropped)}")
+        return f"NetworkConditions({', '.join(parts)})"
+
+
+def simulate_makespan(
+    rounds: Mapping[int, Iterable[Message]],
+    conditions: NetworkConditions,
+    coordinator_name: str,
+) -> tuple[float, dict[int, float]]:
+    """Price a recorded transcript under the given conditions.
+
+    ``rounds`` is the round grouping a :class:`repro.comm.accounting
+    .MessageLog` exposes via :meth:`~repro.comm.accounting.MessageLog
+    .per_round`.  Returns ``(total makespan seconds, per-round
+    makespans)``.  Each message is attributed to its coordinator-site link
+    (the non-hub endpoint); per round, link bursts transfer in parallel,
+    so the round's time is the maximum over its active links, and rounds
+    are sequential.
+    """
+    per_round: dict[int, float] = {}
+    for round_index, messages in sorted(rounds.items()):
+        link_bits: dict[str, int] = {}
+        for message in messages:
+            site = (
+                message.receiver
+                if message.sender == coordinator_name
+                else message.sender
+            )
+            link_bits[site] = link_bits.get(site, 0) + message.bits
+        per_round[round_index] = max(
+            conditions.link_seconds(site, round_index, bits)
+            for site, bits in link_bits.items()
+        )
+    return sum(per_round.values()), per_round

@@ -18,8 +18,16 @@ Accounting contract (via the shared
   With a single site this reduces exactly to the two-party definition.
 * a *per-link* log per site meters the same quantities restricted to that
   coordinator-site link, with the two-party (sender-flip) round semantics.
-  ``max_link_bits`` — the busiest link — is the quantity that bounds the
-  star's makespan when links transfer in parallel.
+  ``max_link_bits`` — the busiest link — is a *lower bound* ingredient of
+  the simulated makespan when links transfer in parallel.
+
+A network optionally carries :class:`repro.comm.conditions
+.NetworkConditions` (per-link latency/bandwidth/jitter models); the
+recorded transcript is then priced into a simulated **makespan** — the
+critical-path time over rounds, links in parallel — via :meth:`Network
+.makespan` / :meth:`Network.makespan_per_round`.  Under the default ideal
+conditions both report zeros and nothing about the bit/round meters
+changes.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from typing import Any, Iterable, Sequence
 
 from repro.comm import bitcost
 from repro.comm.accounting import MessageLog
+from repro.comm.conditions import NetworkConditions, simulate_makespan
 
 #: Direction keys for the aggregate round counter.
 UPSTREAM = "up"
@@ -43,12 +52,17 @@ class Network:
         Names of the k leaf sites (order fixes the site indexing).
     coordinator_name:
         Name of the hub endpoint.
+    conditions:
+        Optional per-link timing models (defaults to ideal links: zero
+        latency, infinite bandwidth — makespan 0).
     """
 
     def __init__(
         self,
         site_names: Sequence[str],
         coordinator_name: str = "coordinator",
+        *,
+        conditions: NetworkConditions | None = None,
     ) -> None:
         site_names = list(site_names)
         if not site_names:
@@ -59,6 +73,20 @@ class Network:
             raise ValueError("the coordinator cannot double as a site")
         self.coordinator_name = coordinator_name
         self.site_names = site_names
+        self.conditions = conditions if conditions is not None else NetworkConditions()
+        unknown = (
+            set(self.conditions.overrides) - set(site_names) - self.conditions.dropped
+        )
+        if unknown:
+            # A link override that names no site would be silently priced as
+            # the default model — a typo'd straggler scenario must fail loud,
+            # like unknown dropped-site declarations do.  Overrides for sites
+            # the conditions themselves declare dropped are legitimate: the
+            # protocol driver excludes those sites before wiring the star.
+            raise ValueError(
+                f"link-model overrides {sorted(unknown)} match no site of "
+                f"this star (sites: {site_names})"
+            )
         self.links: dict[str, MessageLog] = {name: MessageLog() for name in site_names}
         self.log = MessageLog()
 
@@ -150,6 +178,32 @@ class Network:
     def max_link_bits(self) -> int:
         """Load of the busiest coordinator-site link."""
         return max(meter.total_bits for meter in self.links.values())
+
+    # ------------------------------------------------------------- simulation
+    def simulate(self) -> tuple[float, dict[int, float]]:
+        """Price the recorded transcript: ``(makespan, per-round makespans)``.
+
+        Critical path over rounds under :attr:`conditions`: per round, link
+        bursts transfer in parallel and the slowest link gates the round;
+        rounds are sequential.  Ideal conditions price every transcript at
+        0.0 seconds (per round too) without running the simulation.  Cost
+        reports call this once and read both values.
+        """
+        if self.conditions.is_ideal():
+            return 0.0, {round_index: 0.0 for round_index in self.log.bits_per_round()}
+        return simulate_makespan(
+            self.log.per_round(), self.conditions, self.coordinator_name
+        )
+
+    def makespan(self) -> float:
+        """Simulated end-to-end seconds of the recorded transcript."""
+        total, _ = self.simulate()
+        return total
+
+    def makespan_per_round(self) -> dict[int, float]:
+        """Simulated seconds per aggregate round (keys match bits_per_round)."""
+        _, per_round = self.simulate()
+        return per_round
 
     def reset(self) -> None:
         """Clear all recorded traffic on every link."""

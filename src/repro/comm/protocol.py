@@ -13,13 +13,19 @@ from repro.comm.party import Party
 
 @dataclass
 class CostReport:
-    """Communication cost of one protocol execution."""
+    """Communication cost of one protocol execution.
+
+    ``makespan`` is the simulated end-to-end seconds of the transcript
+    under the transport's :class:`repro.comm.conditions.NetworkConditions`
+    (0.0 under the default ideal links).
+    """
 
     total_bits: int
     rounds: int
     alice_bits: int
     bob_bits: int
     breakdown: dict[str, int] = field(default_factory=dict)
+    makespan: float = 0.0
 
     @classmethod
     def from_channel(cls, channel: Channel) -> "CostReport":
@@ -29,6 +35,7 @@ class CostReport:
             alice_bits=channel.bits_sent_by(channel.alice_name),
             bob_bits=channel.bits_sent_by(channel.bob_name),
             breakdown=channel.bits_by_label(),
+            makespan=channel.makespan(),
         )
 
 

@@ -39,10 +39,22 @@ class MatrixProductEstimator(EstimatorBase):
         The two parties' matrices, with compatible inner dimensions.
     seed:
         Base seed; each query derives an independent stream from it.
+    runtime, conditions:
+        Optional execution runtime (executor choice) and per-link timing
+        model, forwarded to every query (see
+        :class:`repro.engine.api.EstimatorBase`).
     """
 
-    def __init__(self, a: np.ndarray, b: np.ndarray, *, seed: int | None = None) -> None:
-        super().__init__(seed=seed)
+    def __init__(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        seed: int | None = None,
+        runtime=None,
+        conditions=None,
+    ) -> None:
+        super().__init__(seed=seed, runtime=runtime, conditions=conditions)
         a = np.asarray(a)
         b = np.asarray(b)
         if a.ndim != 2 or b.ndim != 2:
@@ -54,7 +66,9 @@ class MatrixProductEstimator(EstimatorBase):
         self.is_binary = is_binary_data(a, b)
 
     def _run(self, protocol: StarProtocol) -> ProtocolResult:
-        return protocol.run_two_party(self.a, self.b)
+        return protocol.run_two_party(
+            self.a, self.b, runtime=self.runtime, conditions=self.conditions
+        )
 
     # ------------------------------------------------------------- scale-out
     def as_cluster(self, num_sites: int, *, seed: int | None = None):
@@ -64,8 +78,18 @@ class MatrixProductEstimator(EstimatorBase):
         ``B`` moves to the coordinator; the returned
         :class:`repro.multiparty.ClusterEstimator` answers the same queries
         over the metered star network.  With ``num_sites=2`` the k-party
-        runtime reduces to the two-party protocols.
+        runtime reduces to the two-party protocols.  This estimator's
+        runtime and network conditions carry over (link models keyed by the
+        two-party names will be rejected loudly by the wider star rather
+        than silently ignored).
         """
         from repro.multiparty.estimator import ClusterEstimator
 
-        return ClusterEstimator.from_matrix(self.a, self.b, num_sites, seed=seed)
+        return ClusterEstimator.from_matrix(
+            self.a,
+            self.b,
+            num_sites,
+            seed=seed,
+            runtime=self.runtime,
+            conditions=self.conditions,
+        )

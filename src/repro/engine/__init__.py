@@ -25,6 +25,11 @@ Layout
     :class:`EstimatorBase`, the query dispatch shared by
     :class:`repro.core.api.MatrixProductEstimator` and
     :class:`repro.multiparty.estimator.ClusterEstimator`.
+``repro.engine.runtime``
+    :class:`Runtime`, the message-passing execution layer: pluggable
+    per-site executors (``serial``/``threads``/``processes``) with a
+    serial-equivalence guarantee, plus the dropout policies applied when
+    network conditions declare sites dropped.
 ``repro.engine.streaming``
     :class:`StreamingSession`, the continuous-monitoring runtime: batched
     turnstile ingestion over epochs, serialized sketch deltas metered in
@@ -45,12 +50,15 @@ from repro.engine.linf import (
     StarTwoPlusEpsilonLinfProtocol,
 )
 from repro.engine.lp_norm import StarLpNormProtocol, star_lp_pp_estimate
+from repro.engine.runtime import Runtime, SiteDroppedError
 from repro.engine.streaming import EpochReport, StreamingSession
 from repro.engine.topology import Coordinator, Site, StarTopology, coerce_shards
 
 __all__ = [
     "ClusterCostReport",
     "EpochReport",
+    "Runtime",
+    "SiteDroppedError",
     "StreamingSession",
     "Coordinator",
     "Site",

@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm.conditions import NetworkConditions
 from repro.comm.protocol import ProtocolResult
 from repro.engine.base import StarProtocol
+from repro.engine.runtime import Runtime
 from repro.engine.heavy_hitters import (
     StarBinaryHeavyHittersProtocol,
     StarHeavyHittersProtocol,
@@ -49,13 +51,28 @@ class EstimatorBase:
     Subclasses set :attr:`is_binary` during construction and implement
     :meth:`_run`, which executes an engine protocol against their data in
     their topology.
+
+    Every facade accepts an optional :class:`repro.engine.runtime.Runtime`
+    (per-site executor + dropout policy) and
+    :class:`repro.comm.conditions.NetworkConditions` (per-link timing
+    models + dropped sites); both are forwarded to every query's protocol
+    run.  The defaults — serial execution over ideal links — reproduce the
+    historical transcripts bit for bit.
     """
 
     #: Whether every input matrix is 0/1 (drives protocol selection).
     is_binary: bool = False
 
-    def __init__(self, *, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        seed: int | None = None,
+        runtime: "Runtime | None" = None,
+        conditions: "NetworkConditions | None" = None,
+    ) -> None:
         self.seed = seed
+        self.runtime = runtime
+        self.conditions = conditions
         self._seed_stream = np.random.default_rng(seed)
 
     def _next_seed(self) -> int:

@@ -15,15 +15,28 @@ parameterized by the number of sites k.  It can be executed two ways:
 Both views share one seeding discipline (see
 :meth:`repro.engine.topology.StarTopology.build`), so a two-party run is
 bit-for-bit the single-shard cluster run.
+
+Both drivers accept an optional :class:`repro.engine.runtime.Runtime`
+(per-site executor + dropout policy) and :class:`repro.comm.conditions
+.NetworkConditions` (per-link timing models + dropped sites).  The default
+serial runtime over ideal links reproduces every historical transcript
+bit for bit; non-default conditions add a simulated makespan to the cost
+report and may declare sites dropped, which the runtime's dropout policy
+resolves (fail, or exclude-with-renormalization — see
+:mod:`repro.engine.runtime`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
+import numpy as np
+
+from repro.comm.conditions import NetworkConditions
 from repro.comm.network import Network
 from repro.comm.protocol import CostReport, ProtocolResult, split_protocol_output
+from repro.engine.runtime import SERIAL_RUNTIME, Runtime
 from repro.engine.topology import Coordinator, Site, StarTopology
 
 __all__ = ["ClusterCostReport", "StarProtocol", "two_party_cost"]
@@ -35,7 +48,13 @@ class ClusterCostReport:
 
     Mirrors :class:`repro.comm.protocol.CostReport` with the star-specific
     quantities: per-site upload volumes, per-link loads, and the busiest
-    link (which bounds the makespan when links transfer in parallel).
+    link.  ``max_link_bits`` alone does *not* bound the end-to-end time —
+    latency and per-round synchronization do too — which is what the
+    simulated ``makespan`` measures: the critical-path seconds over rounds
+    (links transfer in parallel within a round) under the network's
+    :class:`~repro.comm.conditions.NetworkConditions`.  ``makespan_per_round``
+    aligns with ``per_round`` (same 1-based round keys); both are zero
+    under the default ideal links.
     """
 
     total_bits: int
@@ -46,9 +65,12 @@ class ClusterCostReport:
     max_link_bits: int = 0
     breakdown: dict[str, int] = field(default_factory=dict)
     per_round: dict[int, int] = field(default_factory=dict)
+    makespan: float = 0.0
+    makespan_per_round: dict[int, float] = field(default_factory=dict)
 
     @classmethod
     def from_network(cls, network: Network) -> "ClusterCostReport":
+        makespan, makespan_per_round = network.simulate()
         return cls(
             total_bits=network.total_bits,
             rounds=network.rounds,
@@ -58,6 +80,8 @@ class ClusterCostReport:
             max_link_bits=network.max_link_bits,
             breakdown=network.bits_by_label(),
             per_round=network.bits_per_round(),
+            makespan=makespan,
+            makespan_per_round=makespan_per_round,
         )
 
 
@@ -69,6 +93,7 @@ def two_party_cost(network: Network, alice_name: str, bob_name: str) -> CostRepo
         alice_bits=network.bits_sent_by(alice_name),
         bob_bits=network.bits_sent_by(bob_name),
         breakdown=network.bits_by_label(),
+        makespan=network.simulate()[0],
     )
 
 
@@ -77,35 +102,86 @@ class StarProtocol:
 
     Subclasses implement :meth:`_execute` on fully wired
     :class:`~repro.engine.topology.Coordinator` / ``Site`` endpoints; the
-    drivers handle topology construction, seeding and cost reporting.
+    drivers handle topology construction, seeding, runtime/fault handling
+    and cost reporting.  During :meth:`_execute` the active
+    :class:`~repro.engine.runtime.Runtime` is available as ``self.runtime``
+    (protocol bodies fan their per-site phases out through it).
     """
 
     #: Human-readable protocol name (used in benchmark tables).
     name = "star-protocol"
 
+    #: Whether the protocol's output is an additive mass over row-shards
+    #: (mergeable-summary semantics).  Such outputs are renormalized by the
+    #: inverse surviving row fraction under the "exclude" dropout policy.
+    renormalizes_on_dropout = False
+
     def __init__(self, *, seed: int | None = None) -> None:
         self.seed = seed
+        self.runtime: Runtime = SERIAL_RUNTIME
 
     # ------------------------------------------------------------------ api
-    def run(self, shards: list[Any], coordinator_data: Any) -> ProtocolResult:
+    def run(
+        self,
+        shards: list[Any],
+        coordinator_data: Any,
+        *,
+        runtime: Runtime | None = None,
+        conditions: NetworkConditions | None = None,
+    ) -> ProtocolResult:
         """Execute the protocol on k row-shards and the coordinator's matrix."""
-        topology = StarTopology.build(shards, coordinator_data, seed=self.seed)
+        self.runtime = runtime if runtime is not None else SERIAL_RUNTIME
+        # Validation/coercion happens once, inside StarTopology.build; here
+        # only the shard count and row counts are needed.
+        shards = list(shards)
+        site_names = [f"site-{i}" for i in range(len(shards))]
+        shards, site_names, dropout_details = self._apply_dropout(
+            shards, site_names, conditions
+        )
+        topology = StarTopology.build(
+            shards,
+            coordinator_data,
+            seed=self.seed,
+            site_names=site_names,
+            conditions=conditions,
+        )
         value, details = self._run_on(topology)
         details.setdefault("num_sites", topology.num_sites)
+        if dropout_details is not None:
+            if self.renormalizes_on_dropout:
+                value = value * dropout_details["renormalization"]
+                dropout_details["renormalized"] = True
+            details["dropout"] = dropout_details
         return ProtocolResult(
             value=value,
             cost=ClusterCostReport.from_network(topology.network),
             details=details,
         )
 
-    def run_two_party(self, alice_data: Any, bob_data: Any) -> ProtocolResult:
-        """Execute the protocol in the two-party model (one site = Alice)."""
+    def run_two_party(
+        self,
+        alice_data: Any,
+        bob_data: Any,
+        *,
+        runtime: Runtime | None = None,
+        conditions: NetworkConditions | None = None,
+    ) -> ProtocolResult:
+        """Execute the protocol in the two-party model (one site = Alice).
+
+        Dropping the single site leaves no survivors, so a dropped
+        ``"alice"`` raises :class:`~repro.engine.runtime.SiteDroppedError`
+        under *either* dropout policy.
+        """
+        self.runtime = runtime if runtime is not None else SERIAL_RUNTIME
+        if conditions is not None:
+            self.runtime.partition_dropped(["alice"], conditions.dropped)
         topology = StarTopology.build(
             [alice_data],
             bob_data,
             seed=self.seed,
             site_names=("alice",),
             coordinator_name="bob",
+            conditions=conditions,
         )
         value, details = self._run_on(topology)
         return ProtocolResult(
@@ -113,6 +189,39 @@ class StarProtocol:
             cost=two_party_cost(topology.network, "alice", "bob"),
             details=details,
         )
+
+    # --------------------------------------------------------------- faults
+    def _apply_dropout(
+        self,
+        shards: list[np.ndarray],
+        site_names: Sequence[str],
+        conditions: NetworkConditions | None,
+    ) -> tuple[list[np.ndarray], list[str], dict | None]:
+        """Resolve dropped sites per the runtime's policy.
+
+        Under ``"exclude"`` the protocol runs over the surviving sub-cluster
+        (global row indices then refer to the survivors' concatenation); the
+        returned details record who contributed and the renormalization
+        factor (inverse surviving row fraction) applied to additive-mass
+        outputs.
+        """
+        dropped_names = conditions.dropped if conditions is not None else frozenset()
+        surviving, dropped = self.runtime.partition_dropped(site_names, dropped_names)
+        if not dropped:
+            return list(shards), list(site_names), None
+        total_rows = sum(int(np.asarray(shard).shape[0]) for shard in shards)
+        kept_shards = [shards[i] for i in surviving]
+        kept_names = [site_names[i] for i in surviving]
+        surviving_rows = sum(int(np.asarray(shard).shape[0]) for shard in kept_shards)
+        details = {
+            "policy": self.runtime.dropout,
+            "dropped_sites": dropped,
+            "contributing_sites": kept_names,
+            "surviving_row_fraction": surviving_rows / max(total_rows, 1),
+            "renormalization": total_rows / max(surviving_rows, 1),
+            "renormalized": False,
+        }
+        return kept_shards, kept_names, details
 
     def _run_on(self, topology: StarTopology) -> tuple[Any, dict]:
         self.shared_rng = topology.shared_rng

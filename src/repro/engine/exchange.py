@@ -29,9 +29,53 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm import bitcost
+from repro.engine.l1 import shard_column_sums
+from repro.engine.runtime import SERIAL_RUNTIME, Runtime
 from repro.engine.topology import Coordinator, Site
 
 __all__ = ["star_exchange_item_supports"]
+
+
+def _down_list_task(b: np.ndarray, needed: np.ndarray) -> tuple[dict, int]:
+    """Coordinator-side fan-out: column-index lists for one site's items.
+
+    Returns ``(payload, down_bits)``; the bitmap charge (``n_items`` bits
+    announcing which items the hub covers) is included in ``down_bits``.
+    """
+    n_items = b.shape[0]
+    payload = {}
+    down_bits = n_items  # bitmap announcing which items the hub covers
+    for j in np.flatnonzero(needed):
+        indices = np.flatnonzero(b[j, :])
+        payload[int(j)] = indices
+        down_bits += bitcost.bits_for_index_list(indices, max(b.shape[1], 1))
+    return payload, down_bits
+
+
+def _up_list_task(
+    shard: np.ndarray,
+    b: np.ndarray,
+    ship: np.ndarray,
+    site_ships: np.ndarray,
+    coordinator_ships: np.ndarray,
+    row_offset: int,
+    total_rows: int,
+) -> tuple[dict, int, np.ndarray, np.ndarray]:
+    """Site-side fan-out: row-index lists + both shares' local accumulation.
+
+    Returns ``(payload, up_bits, coordinator-share block, site share)`` —
+    all the per-site compute of the exchange, so the serial phase only
+    sends and assembles.
+    """
+    payload = {}
+    up_bits = 0
+    for j in np.flatnonzero(ship):
+        indices = np.flatnonzero(shard[:, j])
+        payload[int(j)] = row_offset + indices
+        up_bits += bitcost.bits_for_index_list(indices, max(total_rows, 1))
+    coord_block = shard[:, site_ships] @ b[site_ships, :]
+    site_share = shard[:, coordinator_ships] @ b[coordinator_ships, :]
+    return payload, up_bits, coord_block, site_share
 
 
 def star_exchange_item_supports(
@@ -43,6 +87,7 @@ def star_exchange_item_supports(
     site_counts: list[np.ndarray] | None = None,
     label_prefix: str = "",
     send_u_counts: bool = True,
+    runtime: Runtime | None = None,
 ) -> tuple[list[np.ndarray], np.ndarray, dict]:
     """Run the index exchange; returns ``(site_shares, c_coord, info)``.
 
@@ -67,7 +112,13 @@ def star_exchange_item_supports(
     ``site_shares`` is one matrix per site (the site's share of its shard's
     rows of ``C``), ``c_coord`` the coordinator's share over the full global
     row space; ``site_shares`` stacked plus ``c_coord`` equals ``A' B``.
+
+    Per-site list construction and the exchange-level accumulation (both
+    shares' local products) fan out through ``runtime``; every send happens
+    in the serial phase, in site order, so the transcript is
+    executor-invariant.
     """
+    runtime = runtime if runtime is not None else SERIAL_RUNTIME
     shard_subs = [np.asarray(shard, dtype=np.int64) for shard in shard_subs]
     b = np.asarray(b, dtype=np.int64)
     if shard_subs[0].shape[1] != b.shape[0]:
@@ -78,7 +129,11 @@ def star_exchange_item_supports(
     total_rows = sum(shard.shape[0] for shard in shard_subs)
 
     if site_counts is None:
-        site_counts = [shard.sum(axis=0) for shard in shard_subs]
+        # For binary shards the per-item counts u^s_j ARE the column sums
+        # (Remark 2's mergeable summary, shared across the fan-out paths).
+        site_counts = runtime.map(
+            shard_column_sums, [(shard,) for shard in shard_subs]
+        )
     if send_u_counts:
         for site, shard, u_site in zip(sites, shard_subs, site_counts):
             site.send(
@@ -95,15 +150,13 @@ def star_exchange_item_supports(
 
     # Coordinator -> sites: its column-index lists for items where its side
     # is smaller, sent to the sites whose shards touch the item (plus the
-    # per-item bitmap announcing which items it covers).
-    for site, u_site in zip(sites, site_counts):
-        needed = coordinator_ships & (u_site > 0)
-        payload = {}
-        down_bits = n_items  # bitmap announcing which items the hub covers
-        for j in np.flatnonzero(needed):
-            indices = np.flatnonzero(b[j, :])
-            payload[int(j)] = indices
-            down_bits += bitcost.bits_for_index_list(indices, max(b.shape[1], 1))
+    # per-item bitmap announcing which items it covers).  List construction
+    # fans out; sends run serially in site order.
+    down_payloads = runtime.map(
+        _down_list_task,
+        [(b, coordinator_ships & (u_site > 0)) for u_site in site_counts],
+    )
+    for site, (payload, down_bits) in zip(sites, down_payloads):
         coordinator.send(
             site,
             payload,
@@ -113,24 +166,36 @@ def star_exchange_item_supports(
 
     # Sites -> coordinator: their row-index lists for the remaining items.
     # Global row indexing comes from each site's own row_offset (shard_subs
-    # must be shape-aligned with the sites' shards).
+    # must be shape-aligned with the sites' shards).  The exchange-level
+    # accumulation — each side's share of the split product — rides in the
+    # same fan-out.
+    up_payloads = runtime.map(
+        _up_list_task,
+        [
+            (
+                shard,
+                b,
+                site_ships & (u_site > 0),
+                site_ships,
+                coordinator_ships,
+                site.row_offset,
+                total_rows,
+            )
+            for site, shard, u_site in zip(sites, shard_subs, site_counts)
+        ],
+    )
     c_coord = np.zeros((total_rows, b.shape[1]), dtype=np.int64)
     site_shares = []
-    for site, shard, u_site in zip(sites, shard_subs, site_counts):
-        ship = site_ships & (u_site > 0)
-        payload = {}
-        up_bits = 0
-        for j in np.flatnonzero(ship):
-            indices = np.flatnonzero(shard[:, j])
-            payload[int(j)] = site.row_offset + indices
-            up_bits += bitcost.bits_for_index_list(indices, max(total_rows, 1))
+    for site, shard, (payload, up_bits, coord_block, site_share) in zip(
+        sites, shard_subs, up_payloads
+    ):
         site.send(payload, label=f"{label_prefix}site-item-lists", bits=up_bits)
 
         # Local accumulation: the coordinator owns the items the sites
         # shipped, each site its shard's share of the coordinator's items.
         rows = slice(site.row_offset, site.row_offset + shard.shape[0])
-        c_coord[rows] = shard[:, site_ships] @ b[site_ships, :]
-        site_shares.append(shard[:, coordinator_ships] @ b[coordinator_ships, :])
+        c_coord[rows] = coord_block
+        site_shares.append(site_share)
 
     info = {
         "u": u,

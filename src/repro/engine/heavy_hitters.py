@@ -41,6 +41,7 @@ from repro.comm import bitcost
 from repro.core.result import HeavyHitterOutput
 from repro.engine.base import StarProtocol
 from repro.engine.exchange import star_exchange_item_supports
+from repro.engine.l1 import shard_column_sums
 from repro.engine.linf import _universe_mask_rng
 from repro.engine.lp_norm import check_inner_dims, star_lp_pp_estimate, total_rows_of
 from repro.engine.topology import Coordinator, Site
@@ -75,6 +76,78 @@ def forward_threshold(
         # Faithful Algorithm 4 threshold for the forwarded entries.
         return epsilon * beta * total_pp / 8.0
     return beta * ((max(phi - epsilon, 0.0)) * total_pp) ** (1.0 / p) / 2.0
+
+
+def _beta_shard_task(
+    rng: np.random.Generator, shard: np.ndarray, beta: float
+) -> tuple[np.ndarray, np.random.Generator]:
+    """Step 2 fan-out: down-sample one shard's entries at rate ``beta``.
+
+    Draws from the site's private ``rng`` (returned advanced per the
+    runtime contract).
+    """
+    keep = rng.uniform(size=shard.shape) < beta
+    return np.where((shard != 0) & keep, shard, 0).astype(np.int64), rng
+
+
+def _nonzero_counts_task(beta_shard: np.ndarray) -> np.ndarray:
+    """Step 3 fan-out: one site's per-column non-zero counts (mergeable)."""
+    return np.count_nonzero(beta_shard, axis=0)
+
+
+def _site_share_task(
+    beta_shard: np.ndarray,
+    b: np.ndarray,
+    ship_mask: np.ndarray,
+    coord_ships: np.ndarray,
+    row_offset: int,
+    total_rows: int,
+    value_bits: int,
+    report_threshold: float,
+    n: int,
+) -> tuple[np.ndarray, int, np.ndarray, int, dict, int]:
+    """Steps 3-4 fan-out: one site's exchange lists, shares and heavy entries.
+
+    Returns ``(shipped item indices, ship_bits, coordinator-share block,
+    site-share non-zeros, heavy entries with global row indices,
+    entry_bits)`` so the serial phase only sends and accumulates — the
+    shipped-item list and its bit charge come from the same mask, so they
+    cannot drift apart.
+    """
+    ship_items = np.flatnonzero(ship_mask)
+    ship_bits = 0
+    for j in ship_items:
+        ship_bits += int(np.count_nonzero(beta_shard[:, j])) * (
+            bitcost.bits_for_index(max(total_rows, 1)) + value_bits
+        )
+    coord_block = beta_shard[:, ship_mask] @ b[ship_mask, :]
+
+    c_site = beta_shard[:, coord_ships] @ b[coord_ships, :]
+    heavy_site = {
+        (int(i) + row_offset, int(j)): int(c_site[i, j])
+        for i, j in zip(*np.nonzero(c_site > report_threshold))
+    }
+    entry_bits = bitcost.bits_for_int(len(heavy_site)) + len(heavy_site) * (
+        2 * bitcost.bits_for_index(max(n, 2)) + bitcost.INT_ENTRY_BITS
+    )
+    return (
+        ship_items,
+        ship_bits,
+        coord_block,
+        int(np.count_nonzero(c_site)),
+        heavy_site,
+        entry_bits,
+    )
+
+
+def _candidate_task(
+    share: np.ndarray, row_offset: int, p: float, threshold: float
+) -> list[tuple[int, int]]:
+    """Binary-protocol step 3 fan-out: one site's candidate entries."""
+    return sorted(
+        (int(i) + row_offset, int(j))
+        for i, j in zip(*np.nonzero(share.astype(float) ** p >= threshold))
+    )
 
 
 def report_heavy_entries(
@@ -153,15 +226,14 @@ class StarHeavyHittersProtocol(StarProtocol):
             total_pp, label="hh/total-norm", bits=bitcost.FLOAT_BITS, sites=sites
         )
 
-        # --- Step 2: sites scale C down by entry sampling -------------------
+        # --- Step 2: sites scale C down by entry sampling (fan-out) ---------
         beta = entry_sampling_rate(
             self.phi, self.epsilon, self.p,
             beta_constant=self.beta_constant, n=n, total_pp=total_pp,
         )
-        beta_shards = []
-        for site, shard in zip(sites, shards):
-            keep = site.rng.uniform(size=shard.shape) < beta
-            beta_shards.append(np.where((shard != 0) & keep, shard, 0).astype(np.int64))
+        beta_shards = self.runtime.map_sites(
+            _beta_shard_task, sites, [(shard, beta) for shard in shards]
+        )
 
         # --- Step 3: star sparse-product exchange ---------------------------
         values_are_binary = bool(
@@ -170,16 +242,17 @@ class StarHeavyHittersProtocol(StarProtocol):
         )
         value_bits = 0 if values_are_binary else bitcost.INT_ENTRY_BITS
 
-        # Upstream: per-site per-column non-zero counts (mergeable).
-        site_counts = []
-        for site, beta_shard in zip(sites, beta_shards):
-            u_site = np.count_nonzero(beta_shard, axis=0)
+        # Upstream: per-site per-column non-zero counts (mergeable; counts
+        # fan out, sends stay serial in site order).
+        site_counts = self.runtime.map(
+            _nonzero_counts_task, [(beta_shard,) for beta_shard in beta_shards]
+        )
+        for site, beta_shard, u_site in zip(sites, beta_shards, site_counts):
             site.send(
                 u_site,
                 label="hh/sparse-product-counts",
                 bits=n_items * bitcost.bits_for_index(max(beta_shard.shape[0] + 1, 2)),
             )
-            site_counts.append(u_site)
         u = np.sum(site_counts, axis=0)
         v = np.count_nonzero(b, axis=1)
 
@@ -210,36 +283,45 @@ class StarHeavyHittersProtocol(StarProtocol):
             self.phi, self.epsilon, self.p, beta, total_pp
         )
 
+        # Fan-out: per-site exchange lists, both shares' accumulation, and
+        # the locally significant entries; the serial phase sends in site
+        # order and assembles the coordinator's view.
+        share_outcomes = self.runtime.map(
+            _site_share_task,
+            [
+                (
+                    beta_shard,
+                    b,
+                    site_ships & (u_site > 0),
+                    coord_ships,
+                    site.row_offset,
+                    total_rows,
+                    value_bits,
+                    report_threshold,
+                    n,
+                )
+                for site, u_site, beta_shard in zip(sites, site_counts, beta_shards)
+            ],
+        )
         heavy_site_entries: dict[tuple[int, int], int] = {}
         site_share_nonzeros = 0
         c_coord = np.zeros((total_rows, b.shape[1]), dtype=np.int64)
-        for site, u_site, beta_shard in zip(sites, site_counts, beta_shards):
-            ship_mask = site_ships & (u_site > 0)
-            ship_bits = 0
-            for j in np.flatnonzero(ship_mask):
-                ship_bits += int(np.count_nonzero(beta_shard[:, j])) * (
-                    bitcost.bits_for_index(max(total_rows, 1)) + value_bits
-                )
+        for site, beta_shard, outcome in zip(sites, beta_shards, share_outcomes):
+            ship_items, ship_bits, coord_block, share_nonzeros, heavy_site, entry_bits = (
+                outcome
+            )
             site.send(
-                {"items": np.flatnonzero(ship_mask)},
+                {"items": ship_items},
                 label="hh/site-lists",
                 bits=ship_bits,
             )
             # The coordinator owns the products of shipped items.
             rows = slice(site.row_offset, site.row_offset + beta_shard.shape[0])
-            c_coord[rows] = beta_shard[:, ship_mask] @ b[ship_mask, :]
+            c_coord[rows] = coord_block
 
             # The site owns the products of coordinator-shipped items; it
             # forwards the significant entries of its share (same round).
-            c_site = beta_shard[:, coord_ships] @ b[coord_ships, :]
-            site_share_nonzeros += int(np.count_nonzero(c_site))
-            heavy_site = {
-                (int(i) + site.row_offset, int(j)): int(c_site[i, j])
-                for i, j in zip(*np.nonzero(c_site > report_threshold))
-            }
-            entry_bits = bitcost.bits_for_int(len(heavy_site)) + len(heavy_site) * (
-                2 * bitcost.bits_for_index(max(n, 2)) + bitcost.INT_ENTRY_BITS
-            )
+            site_share_nonzeros += share_nonzeros
             site.send(heavy_site, label="hh/site-heavy-entries", bits=entry_bits)
             heavy_site_entries.update(heavy_site)
 
@@ -273,10 +355,12 @@ class StarHeavyHittersProtocol(StarProtocol):
         """Step 1: ``||C||_p^p`` — merged column sums (Remark 2) for p = 1,
         the k-site Algorithm 1 otherwise."""
         if self.p == 1.0:
+            site_sums = self.runtime.map(
+                shard_column_sums, [(shard,) for shard in shards]
+            )
             merged = np.zeros(b.shape[0], dtype=np.int64)
-            for site, shard in zip(sites, shards):
-                column_sums = shard.sum(axis=0)
-                bits = shard.shape[1] * bitcost.bits_for_int(
+            for site, column_sums in zip(sites, site_sums):
+                bits = column_sums.shape[0] * bitcost.bits_for_int(
                     int(max(column_sums.max(initial=0), 1))
                 )
                 site.send(column_sums, label="hh/column-sums", bits=bits)
@@ -291,6 +375,7 @@ class StarHeavyHittersProtocol(StarProtocol):
             rho_constant=self.rho_constant,
             shared_rng=self.shared_rng,
             label_prefix="hh/",
+            runtime=self.runtime,
         )
         return float(estimate)
 
@@ -363,6 +448,7 @@ class StarBinaryHeavyHittersProtocol(StarProtocol):
             rho_constant=self.rho_constant,
             shared_rng=self.shared_rng,
             label_prefix="hhb/",
+            runtime=self.runtime,
         )
         if total_pp <= 0:
             return HeavyHitterOutput(), {"total_pp": 0.0, "beta": 1.0}
@@ -384,27 +470,33 @@ class StarBinaryHeavyHittersProtocol(StarProtocol):
             primed.append(shard_prime)
 
         site_shares, c_coord, exchange_info = star_exchange_item_supports(
-            coordinator, sites, primed, b, label_prefix="hhb/", send_u_counts=True
+            coordinator,
+            sites,
+            primed,
+            b,
+            label_prefix="hhb/",
+            send_u_counts=True,
+            runtime=self.runtime,
         )
 
-        # --- Step 3: candidate generation -----------------------------------
+        # --- Step 3: candidate generation (fan-out; serial sends) -----------
         candidate_threshold = (beta**self.p) * self.phi * total_pp / 20.0
+        site_candidates = self.runtime.map(
+            _candidate_task,
+            [
+                (share, site.row_offset, self.p, candidate_threshold)
+                for site, share in zip(sites, site_shares)
+            ],
+        )
         candidates: set[tuple[int, int]] = set()
-        site_candidate_rows: list[set[int]] = []
-        for site, share in zip(sites, site_shares):
-            local = {
-                (int(i) + site.row_offset, int(j))
-                for i, j in zip(
-                    *np.nonzero(share.astype(float) ** self.p >= candidate_threshold)
-                )
-            }
+        for site, local in zip(sites, site_candidates):
             site.send(
-                sorted(local),
+                local,
                 label="hhb/site-candidates",
                 bits=bitcost.bits_for_int(len(local))
                 + len(local) * 2 * bitcost.bits_for_index(max(n, 2)),
             )
-            candidates |= local
+            candidates |= set(local)
         candidates |= {
             (int(i), int(j))
             for i, j in zip(

@@ -28,7 +28,7 @@ from repro.comm import bitcost
 from repro.core.result import SampleOutput
 from repro.engine.base import StarProtocol
 from repro.engine.lp_norm import check_inner_dims, total_rows_of
-from repro.engine.topology import Coordinator, Site
+from repro.engine.topology import Coordinator, Site, shard_partial_summaries
 from repro.sketch.l0_sampler import L0Sampler
 from repro.sketch.l0_sketch import L0Sketch
 
@@ -101,9 +101,13 @@ class StarL0SamplingProtocol(StarProtocol):
         )
 
         # Round 1 (the only round): sites -> coordinator, partial summaries.
-        site_summaries = []
-        for site in sites:
-            partial_sketch, partial_sampler = site.partial_summaries(l0_sketch, sampler)
+        # Fan-out: every site pushes its shard through both sketches
+        # concurrently; sends and merges stay serial in site order.
+        site_summaries = self.runtime.map(
+            shard_partial_summaries,
+            [(site.rows, site.data, (l0_sketch, sampler)) for site in sites],
+        )
+        for site, (partial_sketch, partial_sampler) in zip(sites, site_summaries):
             bits = bitcost.bits_for_matrix(partial_sketch.state) + bitcost.bits_for_matrix(
                 partial_sampler.state
             )
@@ -112,7 +116,6 @@ class StarL0SamplingProtocol(StarProtocol):
                 label="sketches-of-shard",
                 bits=bits,
             )
-            site_summaries.append((partial_sketch, partial_sampler))
 
         # Coordinator: merge the k summaries, then finish exactly like Bob.
         merged_sketch = reduce(

@@ -27,7 +27,7 @@ from repro.engine.base import StarProtocol
 from repro.engine.lp_norm import check_inner_dims, total_rows_of
 from repro.engine.topology import Coordinator, Site
 
-__all__ = ["StarExactL1Protocol", "StarL1SamplingProtocol"]
+__all__ = ["StarExactL1Protocol", "StarL1SamplingProtocol", "shard_column_sums"]
 
 
 def _check_nonnegative(matrix: np.ndarray, who: str) -> np.ndarray:
@@ -40,21 +40,53 @@ def _check_nonnegative(matrix: np.ndarray, who: str) -> np.ndarray:
     return matrix
 
 
+def shard_column_sums(shard: np.ndarray) -> np.ndarray:
+    """One shard's per-item column sums (Remark 2's mergeable summary).
+
+    Module-level so the runtime can fan it out across sites; the ``l_inf``
+    and heavy-hitter protocols reuse it for their own Remark-2 phases.
+    """
+    return np.asarray(shard).sum(axis=0)
+
+
+def _l1_witness_task(
+    rng: np.random.Generator, shard: np.ndarray, row_offset: int
+) -> tuple[tuple[np.ndarray, np.ndarray], np.random.Generator]:
+    """One site's Remark-3 work: column sums + one witness row per item.
+
+    Witnesses are drawn column by column from the site's private ``rng``
+    (returned advanced, per the runtime's ``map_sites`` contract), exactly
+    as the serial protocol always did.
+    """
+    n_inner = shard.shape[1]
+    column_sums = shard.sum(axis=0).astype(float)
+    witnesses = np.full(n_inner, -1, dtype=np.int64)
+    for j in range(n_inner):
+        if column_sums[j] > 0:
+            probabilities = shard[:, j] / column_sums[j]
+            witnesses[j] = row_offset + rng.choice(shard.shape[0], p=probabilities)
+    return (column_sums, witnesses), rng
+
+
 class StarExactL1Protocol(StarProtocol):
     """Remark 2: exact ``||A B||_1`` with ``O(n log n)`` bits, one round."""
 
     name = "l1-exact-one-round"
+    renormalizes_on_dropout = True
 
     def _execute(self, coordinator: Coordinator, sites: list[Site]):
         b = _check_nonnegative(coordinator.data, "the coordinator")
         check_inner_dims(sites, b)
+        shards = [_check_nonnegative(site.data, site.name) for site in sites]
 
+        # Fan-out: per-shard column sums; serial: sends + merge in site order.
+        site_column_sums = self.runtime.map(
+            shard_column_sums, [(shard,) for shard in shards]
+        )
         merged = np.zeros(b.shape[0], dtype=float)
         total_bits = 0
-        for site in sites:
-            shard = _check_nonnegative(site.data, site.name)
-            column_sums = shard.sum(axis=0)
-            bits = shard.shape[1] * bitcost.bits_for_int(int(max(column_sums.max(), 1)))
+        for site, column_sums in zip(sites, site_column_sums):
+            bits = column_sums.shape[0] * bitcost.bits_for_int(int(max(column_sums.max(), 1)))
             site.send(column_sums, label="column-sums", bits=bits)
             merged += column_sums.astype(float)
             total_bits += bits
@@ -81,19 +113,17 @@ class StarL1SamplingProtocol(StarProtocol):
 
         # Round 1 (the only round): every site ships its shard's column sums
         # plus one witness row per item, sampled proportionally to the
-        # column values within the shard (global row numbering).
+        # column values within the shard (global row numbering).  Witness
+        # drawing fans out (private coins per site); sends stay serial.
+        shards = [_check_nonnegative(site.data, site.name) for site in sites]
+        outcomes = self.runtime.map_sites(
+            _l1_witness_task,
+            sites,
+            [(shard, site.row_offset) for site, shard in zip(sites, shards)],
+        )
         site_column_sums = []
         site_witnesses = []
-        for site in sites:
-            shard = _check_nonnegative(site.data, site.name)
-            column_sums = shard.sum(axis=0).astype(float)
-            witnesses = np.full(n_inner, -1, dtype=np.int64)
-            for j in range(n_inner):
-                if column_sums[j] > 0:
-                    probabilities = shard[:, j] / column_sums[j]
-                    witnesses[j] = site.row_offset + site.rng.choice(
-                        shard.shape[0], p=probabilities
-                    )
+        for site, (column_sums, witnesses) in zip(sites, outcomes):
             bits = n_inner * (
                 bitcost.bits_for_int(int(max(column_sums.max(), 1)))
                 + bitcost.bits_for_index(max(total_rows, 1))

@@ -42,7 +42,9 @@ import numpy as np
 from repro.comm import bitcost
 from repro.engine.base import StarProtocol
 from repro.engine.exchange import star_exchange_item_supports
+from repro.engine.l1 import shard_column_sums
 from repro.engine.lp_norm import check_inner_dims, total_rows_of
+from repro.engine.runtime import Runtime
 from repro.engine.topology import Coordinator, Site
 
 __all__ = [
@@ -57,6 +59,18 @@ def _require_binary(matrix: np.ndarray, who: str) -> np.ndarray:
     if not np.all((matrix == 0) | (matrix == 1)):
         raise ValueError(f"{who}'s matrix must be binary for this protocol")
     return matrix.astype(np.int64)
+
+
+def _pair_column_sums(
+    shard: np.ndarray, shard_prime: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Column sums of one shard and its universe-sampled companion."""
+    return shard_column_sums(shard), shard_column_sums(shard_prime)
+
+
+def _blocked_sketch_task(sketch_block: np.ndarray, shard: np.ndarray) -> np.ndarray:
+    """One site's partial image of the shared block-diagonal sign sketch."""
+    return sketch_block @ shard.astype(float)
 
 
 def _universe_mask_rng(sites: list[Site], shared_rng: np.random.Generator):
@@ -98,29 +112,56 @@ class _NestedSampler:
         return (self.ones & (self.priorities < rate)).astype(np.int64)
 
 
+def _nested_sampler_task(
+    rng: np.random.Generator, shard: np.ndarray, keep_rates: np.ndarray
+) -> tuple[tuple[_NestedSampler, np.ndarray], np.random.Generator]:
+    """One site's down-scaling fan-out: nested sampler + level column sums.
+
+    Priorities come from the site's private ``rng`` (returned advanced per
+    the runtime contract); the sampler itself is returned so the selected
+    level's matrix can be materialised later.
+    """
+    sampler = _NestedSampler(shard, keep_rates, rng)
+    return (sampler, sampler.column_sums()), rng
+
+
+def _build_samplers(
+    runtime: Runtime,
+    sites: list[Site],
+    shards: list[np.ndarray],
+    keep_rates: np.ndarray,
+) -> tuple[list[_NestedSampler], list[np.ndarray]]:
+    """Fan the nested subsampling out over the sites (private coins each)."""
+    outcomes = runtime.map_sites(
+        _nested_sampler_task, sites, [(shard, keep_rates) for shard in shards]
+    )
+    samplers = [sampler for sampler, _ in outcomes]
+    stacks = [stack for _, stack in outcomes]
+    return samplers, stacks
+
+
 def _select_level(
     coordinator: Coordinator,
     sites: list[Site],
-    samplers: list[_NestedSampler],
+    stacks: list[np.ndarray],
+    shards: list[np.ndarray],
     b: np.ndarray,
     threshold: float,
     *,
     label_prefix: str,
-) -> tuple[int, np.ndarray, list[np.ndarray]]:
+) -> tuple[int, np.ndarray]:
     """Rounds 1-2 of the skeleton: pick the first level with small l1 mass.
 
     Every site sends the column sums of its shard's level matrices (Remark 2
-    applied per level); the coordinator merges them, computes ``||A^l B||_1``
-    for each level, picks the first ``l*`` at or below ``threshold`` and
-    broadcasts it.  Returns ``(l*, masses, per-site column-sum stacks)``.
+    applied per level, precomputed in the fan-out phase); the coordinator
+    merges them, computes ``||A^l B||_1`` for each level, picks the first
+    ``l*`` at or below ``threshold`` and broadcasts it.  Returns
+    ``(l*, masses)``.
     """
-    stacks = []
-    for site, sampler in zip(sites, samplers):
-        stack = sampler.column_sums()
-        n_rows = int(sampler.ones.shape[0])
+    for site, stack, shard in zip(sites, stacks, shards):
+        n_rows = int(shard.shape[0])
         bits = stack.size * bitcost.bits_for_index(max(n_rows + 1, 2))
         site.send(stack, label=f"{label_prefix}level-column-sums", bits=bits)
-        stacks.append(stack)
 
     row_sums = b.sum(axis=1).astype(float)
     masses = np.sum(stacks, axis=0).astype(float) @ row_sums
@@ -132,7 +173,7 @@ def _select_level(
         bits=bitcost.bits_for_index(max(len(masses), 2)),
         sites=sites,
     )
-    return l_star, masses, stacks
+    return l_star, masses
 
 
 def _split_and_take_max(
@@ -143,6 +184,7 @@ def _split_and_take_max(
     b: np.ndarray,
     *,
     label_prefix: str,
+    runtime: Runtime | None = None,
 ) -> tuple[float, dict]:
     """Steps 7-14 of Algorithm 2: index exchange and the shared maximum."""
     site_shares, c_coord, info = star_exchange_item_supports(
@@ -153,6 +195,7 @@ def _split_and_take_max(
         site_counts=site_counts,
         label_prefix=label_prefix,
         send_u_counts=False,
+        runtime=runtime,
     )
     shared_max = float(c_coord.max()) if c_coord.size else 0.0
     for site, share in zip(sites, site_shares):
@@ -221,13 +264,10 @@ class StarTwoPlusEpsilonLinfProtocol(StarProtocol):
 
         num_levels = int(math.ceil(math.log(max(ones_in_a, 2)) / math.log1p(self.epsilon))) + 1
         keep_rates = (1.0 + self.epsilon) ** (-np.arange(num_levels))
-        samplers = [
-            _NestedSampler(shard, keep_rates, site.rng)
-            for site, shard in zip(sites, shards)
-        ]
+        samplers, stacks = _build_samplers(self.runtime, sites, shards, keep_rates)
 
-        l_star, masses, stacks = _select_level(
-            coordinator, sites, samplers, b, threshold, label_prefix="alg2/"
+        l_star, masses = _select_level(
+            coordinator, sites, stacks, shards, b, threshold, label_prefix="alg2/"
         )
         keep_rate = float(keep_rates[l_star])
 
@@ -238,6 +278,7 @@ class StarTwoPlusEpsilonLinfProtocol(StarProtocol):
             [stack[l_star] for stack in stacks],
             b,
             label_prefix="alg2/",
+            runtime=self.runtime,
         )
         estimate = shared_max / keep_rate
         details = {
@@ -297,12 +338,17 @@ class StarKappaApproxLinfProtocol(StarProtocol):
             shard_prime[:, ~kept_items] = 0
             primed.append(shard_prime)
 
-        # Remark 2 on both A and A': every site ships both column-sum vectors.
+        # Remark 2 on both A and A': every site ships both column-sum vectors
+        # (sums fan out; sends and merges stay serial in site order).
+        both_sums = self.runtime.map(
+            _pair_column_sums,
+            [(shard, shard_prime) for shard, shard_prime in zip(shards, primed)],
+        )
         merged_a = np.zeros(n_items, dtype=np.int64)
         merged_a_prime = np.zeros(n_items, dtype=np.int64)
-        for site, shard, shard_prime in zip(sites, shards, primed):
-            column_sums = shard.sum(axis=0)
-            column_sums_prime = shard_prime.sum(axis=0)
+        for site, shard, (column_sums, column_sums_prime) in zip(
+            sites, shards, both_sums
+        ):
             bits = 2 * n_items * bitcost.bits_for_index(max(int(shard.shape[0]) + 1, 2))
             site.send(
                 {"A": column_sums, "A_prime": column_sums_prime},
@@ -328,14 +374,11 @@ class StarKappaApproxLinfProtocol(StarProtocol):
         ones_in_a_prime = max(int(sum(int(s.sum()) for s in primed)), 2)
         num_levels = int(math.ceil(math.log2(ones_in_a_prime))) + 1
         keep_rates = 2.0 ** (-np.arange(num_levels))
-        samplers = [
-            _NestedSampler(shard_prime, keep_rates, site.rng)
-            for site, shard_prime in zip(sites, primed)
-        ]
+        samplers, stacks = _build_samplers(self.runtime, sites, primed, keep_rates)
         threshold = alpha * total_rows * b.shape[1] / self.kappa
 
-        l_star, masses, stacks = _select_level(
-            coordinator, sites, samplers, b, threshold, label_prefix="alg3/"
+        l_star, masses = _select_level(
+            coordinator, sites, stacks, primed, b, threshold, label_prefix="alg3/"
         )
         keep_rate = float(keep_rates[l_star])
 
@@ -346,6 +389,7 @@ class StarKappaApproxLinfProtocol(StarProtocol):
             [stack[l_star] for stack in stacks],
             b,
             label_prefix="alg3/",
+            runtime=self.runtime,
         )
         estimate = shared_max / (q * keep_rate)
         if estimate == 0.0 and c_l1 > 0:
@@ -426,11 +470,18 @@ class StarGeneralMatrixLinfProtocol(StarProtocol):
             rows = slice(block * self.rows_per_block, (block + 1) * self.rows_per_block)
             sketch[rows, members] = signs[rows, members]
 
-        # Round 1 (the only round): per-site partial images of S A.
+        # Round 1 (the only round): per-site partial images of S A.  Each
+        # site gets only its column block of the shared sketch (fan-out);
+        # sends and the entrywise merge stay serial in site order.
+        partials = self.runtime.map(
+            _blocked_sketch_task,
+            [
+                (sketch[:, site.rows], np.asarray(site.data, dtype=np.int64))
+                for site in sites
+            ],
+        )
         sketched_a = None
-        for site in sites:
-            shard = np.asarray(site.data, dtype=np.int64)
-            partial = sketch[:, site.rows] @ shard.astype(float)
+        for site, partial in zip(sites, partials):
             site.send(
                 partial,
                 label="sketch-of-A",

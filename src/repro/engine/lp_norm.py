@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.comm import bitcost
 from repro.engine.base import StarProtocol
+from repro.engine.runtime import SERIAL_RUNTIME, Runtime
 from repro.engine.topology import Coordinator, Site
 from repro.sketch.lp_sketch import make_lp_sketch
 
@@ -136,6 +137,43 @@ def check_inner_dims(sites: list[Site], b: np.ndarray) -> None:
         )
 
 
+def _round2_site_task(
+    rng: np.random.Generator,
+    a: np.ndarray,
+    sketch,
+    sketched_bt: np.ndarray,
+    beta: float,
+    rho: float,
+    total_rows: int,
+    row_offset: int,
+) -> tuple[tuple[float, dict | None, int], np.random.Generator]:
+    """One site's round-2 work (fan-out phase; no network access).
+
+    Sketch-estimates the shard's per-row masses and group-samples the rows,
+    drawing only from the site's private ``rng`` (returned advanced, per the
+    :meth:`repro.engine.runtime.Runtime.map_sites` contract).  Returns
+    ``(site_total, payload-or-None, round2_bits)``.
+    """
+    a = np.asarray(a)
+    c_tilde = a @ sketched_bt.T
+    row_estimates = np.maximum(
+        np.asarray(sketch.estimate_rows_pp(c_tilde), dtype=float), 0.0
+    )
+    site_total = float(np.sum(row_estimates))
+    if site_total <= 0:
+        return (site_total, None, 0), rng
+    payload, round2_bits = sample_block_rows(
+        a,
+        row_estimates,
+        beta=beta,
+        rho=rho,
+        rng=rng,
+        total_rows=total_rows,
+        row_offset=row_offset,
+    )
+    return (site_total, payload, round2_bits), rng
+
+
 def star_lp_pp_estimate(
     coordinator: Coordinator,
     sites: list[Site],
@@ -145,14 +183,18 @@ def star_lp_pp_estimate(
     rho_constant: float,
     shared_rng: np.random.Generator,
     label_prefix: str = "",
+    runtime: Runtime | None = None,
 ) -> tuple[float, dict]:
     """Run Algorithm 1 over the star; the heavy-hitter protocols reuse it as
     a subroutine on the same network, exactly as Corollary 5.2 prescribes.
 
     Returns ``(estimate of ||A B||_p^p, details)``.  The estimate ends up in
     the coordinator's hands (it performs the final summation), matching the
-    paper's Bob.
+    paper's Bob.  Per-site round-2 work fans out through ``runtime``; sends
+    and the coordinator's weighted summation stay serial in site order, so
+    the transcript is executor-invariant.
     """
+    runtime = runtime if runtime is not None else SERIAL_RUNTIME
     b = np.asarray(coordinator.data)
     check_inner_dims(sites, b)
     total_rows = total_rows_of(sites)
@@ -171,30 +213,25 @@ def star_lp_pp_estimate(
     )
 
     # --- Round 2: every site -> coordinator, sampled shard rows ------------
+    # Fan-out: sketch estimation + group sampling per site (private coins).
+    outcomes = runtime.map_sites(
+        _round2_site_task,
+        sites,
+        [
+            (site.data, sketch, sketched_bt, beta, rho, total_rows, site.row_offset)
+            for site in sites
+        ],
+    )
+
+    # Serial: sends in site order, coordinator accumulation in site order.
     estimate = 0.0
     rough_total = 0.0
     sampled_total = 0
-    for site in sites:
-        a = np.asarray(site.data)
-        c_tilde = a @ sketched_bt.T
-        row_estimates = np.maximum(
-            np.asarray(sketch.estimate_rows_pp(c_tilde), dtype=float), 0.0
-        )
-        site_total = float(np.sum(row_estimates))
+    for site, (site_total, payload, round2_bits) in zip(sites, outcomes):
         rough_total += site_total
-        if site_total <= 0:
+        if payload is None:
             site.send(0, label=f"{label_prefix}round2/empty", bits=1)
             continue
-
-        payload, round2_bits = sample_block_rows(
-            a,
-            row_estimates,
-            beta=beta,
-            rho=rho,
-            rng=site.rng,
-            total_rows=total_rows,
-            row_offset=site.row_offset,
-        )
         site.send(payload, label=f"{label_prefix}round2/sampled-rows", bits=round2_bits)
 
         # Coordinator: exact norms of the sampled rows of C, weighted sum.
@@ -228,6 +265,7 @@ class StarLpNormProtocol(StarProtocol):
     """
 
     name = "lp-norm-two-round"
+    renormalizes_on_dropout = True
 
     def __init__(
         self,
@@ -256,4 +294,5 @@ class StarLpNormProtocol(StarProtocol):
             epsilon=self.epsilon,
             rho_constant=self.rho_constant,
             shared_rng=self.shared_rng,
+            runtime=self.runtime,
         )

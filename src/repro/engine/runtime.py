@@ -1,0 +1,265 @@
+"""The engine's message-passing runtime: pluggable per-site executors.
+
+Every engine protocol is now written as an alternation of two phases:
+
+1. a **fan-out phase** — per-site local computation (sketch ``update_many``
+   over a shard, group sampling, exchange-list construction, ...) with *no*
+   network access, expressed as a picklable module-level task function and
+   executed through :meth:`Runtime.map`;
+2. a **serial phase** — the coordinator's side: sends in fixed site order,
+   entrywise merges, thresholding, the final estimate.
+
+The runtime only parallelizes phase 1, so the transcript — the order of
+messages on the network, the bits charged per message, the round counter —
+is produced by exactly the same serial code regardless of the executor.
+
+Serial-equivalence guarantee
+----------------------------
+``Runtime("serial")`` (the default) runs every task inline, in site order,
+on the caller's thread: byte for byte the pre-runtime control flow, which
+is why the pinned-transcript suites (``tests/test_engine_equivalence.py``,
+``tests/engine/test_determinism.py``, the golden-state and the streaming
+equivalence tests) pass unmodified.  The concurrent executors preserve
+bit-identical *results* too, because the engine's randomness discipline
+makes per-site work independent:
+
+* each site draws only from its **private** generator, so concurrent sites
+  never contend for a stream, and results are collected **in site order**
+  regardless of completion order;
+* task functions that consume randomness take the generator as an argument
+  and return it alongside their result; :meth:`Runtime.map_sites` restores
+  the returned generator onto the site, so a later phase continues from the
+  advanced state even when the draw happened in another *process* (in the
+  serial and thread executors the returned object is the site's own
+  generator and the restore is a no-op);
+* floating-point accumulation across sites happens in the serial phase, in
+  site order, so sums associate identically under every executor.
+
+Together these give the contract pinned by ``tests/engine/test_runtime.py``:
+all three executors produce identical protocol outputs and identical
+bit/round/per-link meters, for every protocol family, at every k.
+
+Executors
+---------
+``serial``
+    Inline execution (default).  Zero overhead, zero dependencies.
+``threads``
+    A shared :class:`~concurrent.futures.ThreadPoolExecutor`.  NumPy
+    releases the GIL inside the BLAS/ufunc kernels that dominate per-site
+    work, so k-site runs overlap their heavy lifting on multicore hosts.
+``processes``
+    A shared :class:`~concurrent.futures.ProcessPoolExecutor` (fork start
+    method where available).  True multi-core fan-out; task functions and
+    their arguments must be picklable — all engine sketches and payloads
+    are.  Task arguments are pickled per task, so phases that pass the
+    coordinator's full matrix to every site pay IPC proportional to
+    ``k * size(B)``; worth it only when per-site compute dominates (the
+    honest trade-off is recorded per host in ``BENCH_runtime.json``).
+
+Fault policies
+--------------
+The runtime also owns the **dropout policy** applied when the network
+conditions declare sites dropped (:class:`repro.comm.conditions
+.NetworkConditions.dropped`):
+
+``"fail"``
+    (default) Raise :class:`SiteDroppedError` — a one-shot protocol cannot
+    answer without all shards.
+``"exclude"``
+    Run the protocol over the surviving sites only and report which sites
+    contributed (``details["dropout"]``).  Protocol families whose output
+    is an additive mass over row-shards (the mergeable-summary families:
+    ``lp_norm`` / ``join_size``, ``natural_join_size``) are additionally
+    **renormalized** by the inverse surviving row fraction, so the estimate
+    still targets the full ``||A B||`` under a uniform-mass assumption.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = [
+    "DROPOUT_POLICIES",
+    "EXECUTORS",
+    "Runtime",
+    "SERIAL_RUNTIME",
+    "SiteDroppedError",
+]
+
+#: Supported executors, in cost order.
+EXECUTORS = ("serial", "threads", "processes")
+
+#: Supported dropout policies.
+DROPOUT_POLICIES = ("fail", "exclude")
+
+
+class SiteDroppedError(RuntimeError):
+    """Raised when dropped sites make a protocol unanswerable under policy."""
+
+    def __init__(self, dropped: Sequence[str], message: str | None = None) -> None:
+        self.dropped = sorted(dropped)
+        super().__init__(
+            message
+            or f"sites {self.dropped} are dropped; rerun with "
+            f"Runtime(dropout='exclude') to estimate from the survivors"
+        )
+
+
+def _default_workers() -> int:
+    return max(os.cpu_count() or 1, 1)
+
+
+class Runtime:
+    """Executes the engine's per-site fan-out phases.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (default), ``"threads"`` or ``"processes"``.
+    max_workers:
+        Pool width for the concurrent executors (default: CPU count).
+    dropout:
+        Policy applied to sites declared dropped by the network conditions:
+        ``"fail"`` (default) or ``"exclude"`` (see the module docstring).
+
+    A runtime is reusable across protocol runs and queries; its worker pool
+    is created lazily on the first concurrent :meth:`map` and shared until
+    :meth:`close` (also invoked by the context-manager exit and at
+    interpreter shutdown).
+    """
+
+    def __init__(
+        self,
+        executor: str = "serial",
+        *,
+        max_workers: int | None = None,
+        dropout: str = "fail",
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if dropout not in DROPOUT_POLICIES:
+            raise ValueError(f"dropout must be one of {DROPOUT_POLICIES}, got {dropout!r}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.executor = executor
+        self.max_workers = max_workers
+        self.dropout = dropout
+        self._pool: Executor | None = None
+        self._atexit_registered = False
+
+    # ------------------------------------------------------------------ pool
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            workers = self.max_workers or _default_workers()
+            if self.executor == "threads":
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-site"
+                )
+            else:
+                import multiprocessing
+
+                try:
+                    context = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-fork platforms
+                    context = multiprocessing.get_context()
+                self._pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+            if not self._atexit_registered:
+                atexit.register(self.close)
+                self._atexit_registered = True
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; pool recreates on demand)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._atexit_registered:
+            # Drop the interpreter-shutdown hook so closed runtimes are
+            # garbage-collectable instead of accumulating in the atexit list.
+            atexit.unregister(self.close)
+            self._atexit_registered = False
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- map
+    def map(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> list[Any]:
+        """Run ``fn(*task)`` for every task; results come back in task order.
+
+        The serial executor (and any call with fewer than two tasks, where
+        concurrency cannot help) runs inline on the caller's thread.  For
+        the ``processes`` executor ``fn`` must be a module-level function
+        and every task element picklable.
+        """
+        if self.executor == "serial" or len(tasks) < 2:
+            return [fn(*task) for task in tasks]
+        pool = self._ensure_pool()
+        return list(pool.map(fn, *zip(*tasks)))
+
+    def map_sites(
+        self,
+        fn: Callable[..., tuple[Any, Any]],
+        sites: Sequence[Any],
+        tasks: Sequence[tuple],
+    ) -> list[Any]:
+        """Fan ``fn(site.rng, *task)`` out over sites; restore advanced rngs.
+
+        ``fn`` must return ``(result, rng)``.  Each site's private generator
+        is passed as the first argument and *replaced* by the returned one,
+        so draws made in a worker process are visible to later phases — the
+        serial/threads executors return the site's own (mutated) generator
+        and the replacement is a no-op.  Results are in site order.
+        """
+        outcomes = self.map(
+            fn, [(site.rng,) + tuple(task) for site, task in zip(sites, tasks)]
+        )
+        results = []
+        for site, (result, rng) in zip(sites, outcomes):
+            site.rng = rng
+            results.append(result)
+        return results
+
+    # ---------------------------------------------------------------- faults
+    def partition_dropped(
+        self, site_names: Sequence[str], dropped: Iterable[str]
+    ) -> tuple[list[int], list[str]]:
+        """Split site indices into (surviving, dropped-names) under policy.
+
+        Returns the indices of surviving sites (in order) and the sorted
+        names actually dropped.  Raises :class:`SiteDroppedError` when the
+        policy is ``"fail"`` and any site is dropped, or when no site
+        survives — and ``ValueError`` when a declared name matches no site
+        (a typo'd fault declaration must not silently test nothing).
+        """
+        dropped = set(dropped)
+        unknown = dropped - set(site_names)
+        if unknown:
+            raise ValueError(
+                f"dropped sites {sorted(unknown)} match no site in this "
+                f"topology (sites: {list(site_names)})"
+            )
+        if not dropped:
+            return list(range(len(site_names))), []
+        if self.dropout == "fail":
+            raise SiteDroppedError(sorted(dropped))
+        surviving = [i for i, name in enumerate(site_names) if name not in dropped]
+        if not surviving:
+            raise SiteDroppedError(
+                sorted(dropped), "every site is dropped; nothing can be estimated"
+            )
+        return surviving, sorted(dropped)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Runtime({self.executor!r}, dropout={self.dropout!r})"
+
+
+#: The shared default: serial execution, fail-on-dropout.  The serial
+#: executor never allocates a pool, so one stateless instance backs every
+#: protocol run and helper invoked without an explicit runtime.
+SERIAL_RUNTIME = Runtime()

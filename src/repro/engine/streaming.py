@@ -53,18 +53,20 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.comm import wire
+from repro.comm.conditions import NetworkConditions
 from repro.comm.network import Network
 from repro.comm.protocol import ProtocolResult
 from repro.core.result import HeavyHitterOutput, SampleOutput
 from repro.engine.api import EstimatorBase, is_binary_data
 from repro.engine.base import StarProtocol
 from repro.engine.l0_sampling import finish_l0_sample
+from repro.engine.runtime import SERIAL_RUNTIME, Runtime, SiteDroppedError
 from repro.sketch.ams import AmsSketch
 from repro.sketch.countsketch import CountSketch
 from repro.sketch.l0_sampler import L0Sampler
 from repro.sketch.l0_sketch import L0Sketch
 from repro.sketch.mergeable import MergeableSketch
-from repro.sketch.serialization import deserialize_deltas, extract_deltas
+from repro.sketch.serialization import deserialize_deltas, serialize_deltas
 
 __all__ = ["EpochReport", "REFRESH_POLICIES", "StreamingSession"]
 
@@ -80,15 +82,23 @@ DELTA_LABEL = "stream/delta"
 FAMILIES = ("ams", "l0", "sampler", "countsketch")
 
 
+
 @dataclass
 class EpochReport:
-    """What one epoch boundary shipped."""
+    """What one epoch boundary shipped.
+
+    ``dropped`` lists the sites that were partitioned from the coordinator
+    at this boundary (their pending deltas stay queued locally); ``shipped``
+    marks who actually uploaded, so the two together report exactly which
+    sites contributed to the coordinator's live summaries.
+    """
 
     epoch: int
     shipped: dict[str, bool] = field(default_factory=dict)
     upload_bytes: dict[str, int] = field(default_factory=dict)
     total_bytes: int = 0
     cumulative_bytes: int = 0
+    dropped: list[str] = field(default_factory=list)
 
 
 class _SiteStream:
@@ -129,13 +139,19 @@ class _SiteStream:
             return True  # first drift always ships (nothing to compare against)
         return self.pending_mass > threshold * self.shipped_mass
 
-    def take_delta(self) -> bytes:
-        """Serialize and reset the pending sketches (the site's delta)."""
-        payload = extract_deltas(self.pending)
+    def mark_shipped(self) -> None:
+        """Reset the pending state after its serialization went on the wire.
+
+        The serialization half is :func:`repro.sketch.serialization
+        .serialize_deltas` (fanned out by ``end_epoch``); splitting the two
+        halves is what lets the encoding run in a worker process while the
+        reset stays in the parent.
+        """
+        for sketch in self.pending.values():
+            sketch.load_state_array(None)
         self.shipped_mass += self.pending_mass
         self.pending_mass = 0.0
         self.pending_updates = 0
-        return payload
 
 
 class StreamingSession(EstimatorBase):
@@ -177,6 +193,26 @@ class StreamingSession(EstimatorBase):
         site for the one-shot queries, so the row count must remain
         RAM-sized; ``"hash"`` removes the sketches from that bill, not the
         shards.
+    runtime:
+        Optional :class:`repro.engine.runtime.Runtime`.  Delta
+        serialization at epoch close fans out through it, and one-shot
+        queries execute under it (executor choice + dropout policy for
+        queries issued while sites are dropped).
+    conditions:
+        Optional :class:`repro.comm.conditions.NetworkConditions` — the
+        session's network then prices shipped deltas into a simulated
+        makespan (``session.network.makespan()``), and one-shot queries
+        inherit the link models.  Sites the conditions declare ``dropped``
+        start partitioned (exactly as if :meth:`drop_site` had been called),
+        so epoch boundaries and queries see one consistent fault state;
+        :meth:`restore_site` reconnects them.
+    dropout:
+        Epoch-close policy for sites marked dropped via :meth:`drop_site`:
+        ``"exclude"`` (default) keeps their deltas queued locally — they
+        ship on a later epoch after :meth:`restore_site`, restoring the
+        streamed == one-shot summary identity — while ``"fail"`` raises
+        :class:`repro.engine.runtime.SiteDroppedError` as soon as a dropped
+        site *would* have shipped.
     """
 
     def __init__(
@@ -193,8 +229,15 @@ class StreamingSession(EstimatorBase):
         sampler_repetitions: int = 8,
         sketch_mode: str = "dense",
         site_names: Sequence[str] | None = None,
+        runtime: Runtime | None = None,
+        conditions: NetworkConditions | None = None,
+        dropout: str = "exclude",
     ) -> None:
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, runtime=runtime, conditions=conditions)
+        if dropout not in ("fail", "exclude"):
+            raise ValueError(f"dropout must be 'fail' or 'exclude', got {dropout!r}")
+        self.dropout = dropout
+        self._dropped: set[int] = set()  # seeded from conditions.dropped below
         row_counts = [int(count) for count in row_counts]
         if not row_counts or any(count < 0 for count in row_counts):
             raise ValueError(
@@ -232,7 +275,19 @@ class StreamingSession(EstimatorBase):
             site_names = [f"site-{i}" for i in range(k)]
         if len(site_names) != k:
             raise ValueError(f"got {len(site_names)} site names for {k} row counts")
-        self.network = Network(site_names, "coordinator")
+        self.network = Network(site_names, "coordinator", conditions=conditions)
+        # The scenario's static dropped-site declarations become the initial
+        # dynamic partition set, so epoch boundaries and one-shot queries see
+        # one consistent fault state (restore_site reconnects either kind).
+        if conditions is not None and conditions.dropped:
+            index_of = {name: i for i, name in enumerate(site_names)}
+            unknown = set(conditions.dropped) - set(index_of)
+            if unknown:
+                raise ValueError(
+                    f"dropped sites {sorted(unknown)} match no site of this "
+                    f"session (sites: {list(site_names)})"
+                )
+            self._dropped = {index_of[name] for name in conditions.dropped}
 
         # Shared monitoring randomness: independent of the query seed stream
         # (EstimatorBase) so streaming never shifts one-shot transcripts.
@@ -311,6 +366,36 @@ class StreamingSession(EstimatorBase):
         """The accumulated per-site shards of ``A`` (global row order)."""
         return [site.shard for site in self.sites]
 
+    # ---------------------------------------------------------------- faults
+    def drop_site(self, site: int) -> None:
+        """Declare a site partitioned from the coordinator.
+
+        While dropped the site keeps ingesting locally (its pending deltas
+        queue up) but cannot upload at epoch boundaries; what happens then
+        is the session's ``dropout`` policy.  Live estimates go stale by
+        exactly the un-shipped drift — and recover fully once the site is
+        restored and ships its backlog, because deltas are linear.
+        """
+        if not 0 <= site < len(self.sites):
+            raise ValueError(f"site index {site} out of range [0, {len(self.sites)})")
+        self._dropped.add(site)
+
+    def restore_site(self, site: int) -> None:
+        """Reconnect a dropped site; its backlog ships on the next boundary."""
+        self._dropped.discard(site)
+
+    @property
+    def dropped_sites(self) -> list[str]:
+        """Names of the currently dropped sites."""
+        return [self.sites[i].name for i in sorted(self._dropped)]
+
+    @property
+    def contributing_sites(self) -> list[str]:
+        """Names of the sites currently connected to the coordinator."""
+        return [
+            site.name for i, site in enumerate(self.sites) if i not in self._dropped
+        ]
+
     # ---------------------------------------------------------------- ingest
     def ingest(self, site: int, rows: Any, deltas: Any) -> None:
         """Apply a batched turnstile update at one site.
@@ -367,17 +452,52 @@ class StreamingSession(EstimatorBase):
 
         With ``force=True`` every pending delta is shipped regardless of the
         policy (a *sync*): afterwards the coordinator's merged summaries
-        equal a one-shot sketching of the full accumulated data.
+        equal a one-shot sketching of the full accumulated data — provided
+        no site is dropped; dropped sites cannot upload even on a sync (the
+        ``dropout`` policy decides whether that raises or merely queues),
+        and the identity is restored by the first sync after every site is
+        back.
+
+        Delta serialization fans out through the session's runtime; sends
+        and merges stay serial in site order, so the shipped bytes and the
+        merged summaries are executor-invariant.
         """
+        # Decide (and possibly fail) before any state mutates, so a raised
+        # boundary leaves the epoch counter and history untouched.
+        decisions: list[bool] = []
+        for index, site in enumerate(self.sites):
+            wants_to_ship = site.should_ship(self.refresh, self.threshold, force=force)
+            if index in self._dropped:
+                if wants_to_ship and self.dropout == "fail":
+                    raise SiteDroppedError(
+                        [site.name],
+                        f"dropped site {site.name!r} has pending deltas at the "
+                        f"epoch boundary (dropout policy 'fail')",
+                    )
+                wants_to_ship = False
+            decisions.append(wants_to_ship)
+
         self.epoch += 1
         report = EpochReport(epoch=self.epoch)
+        shipping: list[_SiteStream] = []
+        for index, (site, ships) in enumerate(zip(self.sites, decisions)):
+            if index in self._dropped:
+                report.dropped.append(site.name)
+            report.shipped[site.name] = ships
+            if ships:
+                shipping.append(site)
+
+        runtime = self.runtime if self.runtime is not None else SERIAL_RUNTIME
+        payloads = runtime.map(
+            serialize_deltas, [(site.pending,) for site in shipping]
+        )
+        payload_of = {site.name: payload for site, payload in zip(shipping, payloads)}
         for site in self.sites:
-            ship = site.should_ship(self.refresh, self.threshold, force=force)
-            report.shipped[site.name] = ship
-            if not ship:
+            payload = payload_of.get(site.name)
+            if payload is None:
                 report.upload_bytes[site.name] = 0
                 continue
-            payload = site.take_delta()
+            site.mark_shipped()
             self.network.send(
                 site.name,
                 self.network.coordinator_name,
@@ -479,6 +599,34 @@ class StreamingSession(EstimatorBase):
 
         Same dispatch and seed discipline as ``ClusterEstimator``: the n-th
         query of a session matches the n-th query of a one-shot cluster
-        built from the final shards, bit for bit.
+        built from the final shards, bit for bit.  Sites currently dropped
+        are declared to the protocol driver (the one-shot protocols index
+        sites ``site-0..k-1``, matching the session's default naming), so
+        the runtime's dropout policy governs whether the query fails or
+        excludes their unreachable shards.
         """
-        return protocol.run(self.shards(), self.b)
+        conditions = self.conditions
+        scenario_active = bool(self._dropped) or (
+            conditions is not None and (conditions.dropped or conditions.overrides)
+        )
+        if scenario_active:
+            base = conditions if conditions is not None else NetworkConditions()
+            # The session's dynamic partition set (which absorbed the static
+            # conditions.dropped at construction and shrinks on restore_site)
+            # is the single source of truth for dropout; translate it — and
+            # any per-link overrides keyed by custom session names — to the
+            # one-shot drivers' positional site-i naming, so a straggler
+            # model keeps pricing the same link.
+            name_of = {site.name: f"site-{i}" for i, site in enumerate(self.sites)}
+            conditions = NetworkConditions(
+                base.default,
+                overrides={
+                    name_of.get(name, name): model
+                    for name, model in base.overrides.items()
+                },
+                dropped={f"site-{i}" for i in sorted(self._dropped)},
+                jitter_seed=base.jitter_seed,
+            )
+        return protocol.run(
+            self.shards(), self.b, runtime=self.runtime, conditions=conditions
+        )

@@ -27,8 +27,31 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from repro.comm.conditions import NetworkConditions
 from repro.comm.network import Network
 from repro.sketch.mergeable import MergeableSketch
+
+
+def shard_partial_summaries(
+    rows: np.ndarray, shard: Any, templates: Sequence[MergeableSketch]
+) -> list[MergeableSketch]:
+    """One shard's partial summaries under shared sketch ``templates``.
+
+    The engine's only per-row update route, and a picklable module-level
+    function so :meth:`repro.engine.runtime.Runtime.map` can fan it out
+    across sites under any executor: each summary is built with one batched
+    :meth:`~repro.sketch.mergeable.MergeableSketch.update_many` call over
+    the whole shard (global row indexing), never row by row.
+    """
+    # int64 shards pass through without a universe-sized copy; sketches
+    # only read the values.
+    values = np.asarray(shard).astype(np.int64, copy=False)
+    partials = []
+    for template in templates:
+        partial = template.empty_copy()
+        partial.update_many(rows, values)
+        partials.append(partial)
+    return partials
 
 
 def coerce_shards(shards: Sequence[Any]) -> list[np.ndarray]:
@@ -104,23 +127,13 @@ class Site:
     def partial_summaries(self, *templates: MergeableSketch) -> list[MergeableSketch]:
         """The shard's partial summaries under shared sketch ``templates``.
 
-        This is the only per-row update route in the runtime: each summary is
-        built with one batched :meth:`~repro.sketch.mergeable.MergeableSketch
-        .update_many` call over the whole shard (global row indexing), never
-        row by row.  The shard is converted once and reused across all
-        templates; the returned sketches share their templates' randomness
-        and merge entrywise at the coordinator.
+        Delegates to :func:`shard_partial_summaries` (the engine's only
+        per-row update route); protocols that fan the same work out across
+        sites call that function through the runtime instead.  The returned
+        sketches share their templates' randomness and merge entrywise at
+        the coordinator.
         """
-        rows = self.rows
-        # int64 shards pass through without a universe-sized copy; sketches
-        # only read the values.
-        values = np.asarray(self.data).astype(np.int64, copy=False)
-        partials = []
-        for template in templates:
-            partial = template.empty_copy()
-            partial.update_many(rows, values)
-            partials.append(partial)
-        return partials
+        return shard_partial_summaries(self.rows, self.data, templates)
 
     def partial_summary(self, template: MergeableSketch) -> MergeableSketch:
         """The shard's partial summary under one shared sketch ``template``."""
@@ -209,6 +222,7 @@ class StarTopology:
         seed: int | None = None,
         site_names: Sequence[str] | None = None,
         coordinator_name: str = "coordinator",
+        conditions: NetworkConditions | None = None,
     ) -> "StarTopology":
         """Wire a star around ``k = len(shards)`` sites.
 
@@ -218,6 +232,9 @@ class StarTopology:
         this reproduces the historical two-party driver exactly (alice =
         site stream, bob = coordinator stream), which keeps pre-unification
         transcripts bit-for-bit intact.
+
+        ``conditions`` (per-link latency/bandwidth models) only affect the
+        network's simulated makespan, never the transcript itself.
         """
         shards = coerce_shards(shards)
         k = len(shards)
@@ -225,7 +242,7 @@ class StarTopology:
             site_names = [f"site-{i}" for i in range(k)]
         if len(site_names) != k:
             raise ValueError(f"got {len(site_names)} site names for {k} shards")
-        network = Network(site_names, coordinator_name)
+        network = Network(site_names, coordinator_name, conditions=conditions)
         root = np.random.default_rng(seed)
         shared_seed = int(root.integers(0, 2**63 - 1))
         rngs = root.spawn(k + 1)

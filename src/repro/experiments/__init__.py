@@ -12,6 +12,7 @@ can also be run directly::
 from repro.experiments.harness import (
     ExperimentReport,
     approx_ratio,
+    cost_summary,
     fit_power_law,
     format_table,
     relative_error,
@@ -20,6 +21,7 @@ from repro.experiments.harness import (
 __all__ = [
     "ExperimentReport",
     "approx_ratio",
+    "cost_summary",
     "fit_power_law",
     "format_table",
     "relative_error",

@@ -50,6 +50,25 @@ def approx_ratio(estimate: float, truth: float) -> float:
     return max(magnitude_e / magnitude_t, magnitude_t / magnitude_e)
 
 
+def cost_summary(result) -> dict:
+    """Standard cost columns of a :class:`~repro.comm.protocol.ProtocolResult`.
+
+    Returns ``bits`` / ``rounds`` / ``makespan_s`` (the simulated end-to-end
+    seconds under the run's network conditions — 0 on ideal links) plus
+    ``max_link_bits`` for cluster runs, so experiment tables report the time
+    dimension alongside the communication meters uniformly.
+    """
+    cost = result.cost
+    row = {
+        "bits": cost.total_bits,
+        "rounds": cost.rounds,
+        "makespan_s": round(float(getattr(cost, "makespan", 0.0)), 6),
+    }
+    if hasattr(cost, "max_link_bits"):
+        row["max_link_bits"] = cost.max_link_bits
+    return row
+
+
 def fit_power_law(x: Sequence[float], y: Sequence[float]) -> tuple[float, float]:
     """Least-squares fit of ``y ~= c * x^alpha`` in log-log space.
 

@@ -33,6 +33,7 @@ from repro.experiments import (
     e13_rectangular,
     e14_multiparty_scaling,
     e15_streaming_monitoring,
+    e16_runtime_conditions,
 )
 from repro.experiments.harness import ExperimentReport
 
@@ -53,6 +54,7 @@ ALL_DRIVERS: list[Callable[..., ExperimentReport]] = [
     e13_rectangular.run,
     e14_multiparty_scaling.run,
     e15_streaming_monitoring.run,
+    e16_runtime_conditions.run,
     a1_beta_ablation.run,
     a2_universe_sampling.run,
 ]

@@ -52,6 +52,14 @@ class ClusterEstimator(EstimatorBase):
         Base seed; each query derives an independent stream from it, in the
         same way as ``MatrixProductEstimator`` so that runs with equal seeds
         are comparable.
+    runtime:
+        Optional :class:`repro.engine.runtime.Runtime` selecting the
+        per-site executor (``serial``/``threads``/``processes``) and the
+        dropout policy; forwarded to every query.
+    conditions:
+        Optional :class:`repro.comm.conditions.NetworkConditions` — per-link
+        latency/bandwidth models (adds a simulated ``makespan`` to every
+        cost report) and dropped-site declarations.
     """
 
     def __init__(
@@ -60,8 +68,10 @@ class ClusterEstimator(EstimatorBase):
         b: np.ndarray,
         *,
         seed: int | None = None,
+        runtime=None,
+        conditions=None,
     ) -> None:
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, runtime=runtime, conditions=conditions)
         shards = coerce_shards(shards)
         b = np.asarray(b)
         if b.ndim != 2:
@@ -82,6 +92,8 @@ class ClusterEstimator(EstimatorBase):
         num_sites: int,
         *,
         seed: int | None = None,
+        runtime=None,
+        conditions=None,
     ) -> "ClusterEstimator":
         """Shard the rows of ``a`` evenly across ``num_sites`` sites."""
         a = np.asarray(a)
@@ -91,14 +103,22 @@ class ClusterEstimator(EstimatorBase):
             raise ValueError(
                 f"num_sites must be in [1, {a.shape[0]}], got {num_sites}"
             )
-        return cls(np.array_split(a, num_sites, axis=0), b, seed=seed)
+        return cls(
+            np.array_split(a, num_sites, axis=0),
+            b,
+            seed=seed,
+            runtime=runtime,
+            conditions=conditions,
+        )
 
     @property
     def num_sites(self) -> int:
         return len(self.shards)
 
     def _run(self, protocol: StarProtocol) -> ProtocolResult:
-        return protocol.run(self.shards, self.b)
+        return protocol.run(
+            self.shards, self.b, runtime=self.runtime, conditions=self.conditions
+        )
 
     # -------------------------------------------------------------- streaming
     def stream(self, *, preload: bool = False, **kwargs):
@@ -125,6 +145,8 @@ class ClusterEstimator(EstimatorBase):
         """
         from repro.engine.streaming import StreamingSession
 
+        kwargs.setdefault("runtime", self.runtime)
+        kwargs.setdefault("conditions", self.conditions)
         session = StreamingSession(
             [shard.shape[0] for shard in self.shards],
             self.b,

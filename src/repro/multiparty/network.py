@@ -3,6 +3,10 @@
 The ``Network`` moved next to the channel it generalizes when the protocol
 stacks were unified on the topology-agnostic engine; import it from
 ``repro.comm.network`` (or ``repro.comm``) in new code.
+
+This module is **scheduled for removal** (see the README migration note);
+its aliasing behaviour is pinned by ``tests/multiparty/test_deprecation.py``
+so the removal will be a deliberate, test-visible change.
 """
 
 from repro.comm.network import DOWNSTREAM, UPSTREAM, Network

@@ -42,6 +42,7 @@ from repro.sketch.serialization import (
     deserialize_state,
     extract_delta,
     extract_deltas,
+    serialize_deltas,
     serialize_state,
 )
 from repro.sketch.stable import sample_standard_stable, stable_scale_factor
@@ -51,6 +52,7 @@ __all__ = [
     "deserialize_state",
     "extract_delta",
     "extract_deltas",
+    "serialize_deltas",
     "serialize_state",
     "AmsSketch",
     "BitSignHash",

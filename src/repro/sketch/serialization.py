@@ -31,6 +31,7 @@ __all__ = [
     "deserialize_state",
     "extract_delta",
     "extract_deltas",
+    "serialize_deltas",
     "serialize_state",
 ]
 
@@ -65,10 +66,23 @@ def extract_delta(sketch: MergeableSketch) -> bytes:
     return payload
 
 
+def serialize_deltas(pending: Mapping[str, MergeableSketch]) -> bytes:
+    """Bundle several named sketches' states into one message blob.
+
+    Read-only on the sketches — the one definition of the delta-bundle
+    byte layout.  :func:`extract_deltas` adds the reset;
+    :class:`repro.engine.streaming.StreamingSession` calls this half from
+    worker processes (the reset must happen in the parent) and resets
+    separately.
+    """
+    return wire.encode_bundle(
+        {name: sketch.state_array() for name, sketch in pending.items()}
+    )
+
+
 def extract_deltas(pending: Mapping[str, MergeableSketch]) -> bytes:
-    """Bundle the deltas of several named sketches into one message blob."""
-    records = {name: sketch.state_array() for name, sketch in pending.items()}
-    payload = wire.encode_bundle(records)
+    """Bundle the deltas of several named sketches and reset them to empty."""
+    payload = serialize_deltas(pending)
     for sketch in pending.values():
         sketch.load_state_array(None)
     return payload

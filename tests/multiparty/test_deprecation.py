@@ -1,8 +1,11 @@
-"""The ``repro.multiparty.protocols`` deprecation shim.
+"""The ``repro.multiparty`` compatibility shims.
 
-The shim must warn **exactly once per import**, attribute the warning to
-the importing code (not to the frozen importlib machinery), and keep every
-historical name resolving to the engine implementation it aliases.
+The ``protocols`` shim must warn **exactly once per import**, attribute the
+warning to the importing code (not to the frozen importlib machinery), and
+keep every historical name resolving to the engine implementation it
+aliases.  The ``network`` shim is a silent alias (no warning — it predates
+the warning policy) scheduled for removal; its aliasing behaviour is pinned
+here so the eventual removal is a deliberate, test-visible act.
 """
 
 from __future__ import annotations
@@ -95,3 +98,37 @@ class TestDeprecationShim:
             "MultipartyBinaryHeavyHittersProtocol",
         ):
             assert getattr(pkg, name) is getattr(shim, name)
+
+
+class TestNetworkAlias:
+    """``repro.multiparty.network``: the silent alias slated for removal.
+
+    The star network moved to ``repro.comm.network`` in the engine
+    unification; this module re-exports it verbatim.  Pinning the aliasing
+    keeps historical imports working until the module is removed (see the
+    README migration note) — and makes the removal show up as a test edit.
+    """
+
+    def test_is_a_pure_alias_of_the_comm_network(self):
+        import repro.comm.network as canonical
+        import repro.multiparty.network as legacy
+
+        assert legacy.Network is canonical.Network
+        assert legacy.UPSTREAM is canonical.UPSTREAM
+        assert legacy.DOWNSTREAM is canonical.DOWNSTREAM
+
+    def test_every_advertised_name_resolves(self):
+        import repro.multiparty.network as legacy
+
+        assert sorted(legacy.__all__) == ["DOWNSTREAM", "Network", "UPSTREAM"]
+        for name in legacy.__all__:
+            assert getattr(legacy, name) is not None
+
+    def test_imports_silently(self):
+        """No warning today: pinned so adding one (or removing the module)
+        is a conscious, test-visible change."""
+        sys.modules.pop("repro.multiparty.network", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            import repro.multiparty.network  # noqa: F401
+        assert caught == []

@@ -13,6 +13,7 @@ from repro.experiments import (
     e09_hh_binary,
     e13_rectangular,
     e15_streaming_monitoring,
+    e16_runtime_conditions,
     run_all,
 )
 
@@ -59,6 +60,16 @@ class TestRemainingDrivers:
         report = e15_streaming_monitoring.run(n=2, num_sites=3, epochs=2, seed=1)
         assert report.summary["sync_matches_one_shot"]
 
+    def test_e16(self):
+        report = e16_runtime_conditions.run(
+            n=32, num_sites=4, latencies=(0.0, 0.01), seed=9
+        )
+        assert report.summary["bits_invariant_under_conditions"]
+        assert report.summary["latency_slope_matches_rounds"]
+        assert report.summary["straggler_dominates_makespan"]
+        assert report.summary["dropout_fail_raises"]
+        assert report.summary["streaming_recovers_bit_exact"]
+
 
 class TestRunAll:
     def test_run_all_subset(self):
@@ -88,13 +99,14 @@ class TestRunAll:
     def test_driver_registry_covers_every_experiment(self):
         # Check the registry size and module names statically (running every
         # driver here would duplicate the smoke tests above).
-        assert len(run_all.ALL_DRIVERS) == 17
+        assert len(run_all.ALL_DRIVERS) == 18
         module_names = {driver.__module__.rsplit(".", 1)[-1] for driver in run_all.ALL_DRIVERS}
         assert {
             "e01_lp_norm",
             "e13_rectangular",
             "e14_multiparty_scaling",
             "e15_streaming_monitoring",
+            "e16_runtime_conditions",
             "a1_beta_ablation",
         }.issubset(module_names)
 
