@@ -7,6 +7,13 @@ wall-clock and appends the record to a second trajectory
 (``benchmarks/BENCH_runtime.json``) — the executors are bit-identical in
 output, so these numbers are pure wall-clock comparisons.
 
+With ``--service`` it benchmarks the real-transport service layer
+(coordinator server + site OS processes over loopback sockets): query
+round-trip latency against the in-process yardstick and streamed-epoch
+ingest throughput, appended to ``benchmarks/BENCH_service.json`` — the
+answers are bit-identical to in-process by contract, so these too are pure
+wall-clock (transport overhead) numbers.
+
 Measures the kernel layer's three headline numbers and appends them to a
 JSON trajectory (``benchmarks/BENCH_sketch.json`` by default), so the bench
 history is a committed, diffable artifact instead of folklore:
@@ -61,6 +68,7 @@ MAX_HUGE_CONSTRUCT_SECONDS = 1.0
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_sketch.json"
 DEFAULT_RUNTIME_OUTPUT = Path(__file__).resolve().parent / "BENCH_runtime.json"
+DEFAULT_SERVICE_OUTPUT = Path(__file__).resolve().parent / "BENCH_service.json"
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
@@ -385,6 +393,85 @@ def bench_runtime_executors(metrics: dict) -> None:
         runtime.close()
 
 
+def bench_service(metrics: dict) -> None:
+    """The service layer over real loopback sockets: latency and throughput.
+
+    Spawns one coordinator server plus k site OS processes
+    (:func:`repro.service.client.local_cluster`) and measures:
+
+    * **ping** — an ``info`` query round trip (pure service overhead: two
+      frames, no protocol traffic);
+    * **query** — ``lp_norm(p=2)`` end-to-end over the sockets, with the
+      same query on an in-process estimator as the yardstick (the answers
+      are bit-identical by contract, so the gap is purely transport);
+    * **stream ingest** — a full streamed epoch (ingest every site + sync),
+      deltas travelling as real wire bytes.
+    """
+    from repro.multiparty import ClusterEstimator
+    from repro.service.client import local_cluster
+
+    k = 4
+    rows = 128 if SMOKE else 512
+    inner = 24 if SMOKE else 64
+    repeats = 2 if SMOKE else 3
+    rng = np.random.default_rng(13)
+    a = rng.integers(0, 3, size=(rows, inner)).astype(np.int64)
+    b = rng.integers(0, 3, size=(inner, inner)).astype(np.int64)
+    shards = np.array_split(a, k, axis=0)
+    config = {"rows": rows, "inner": inner, "sites": k}
+
+    reference = ClusterEstimator(shards, b, seed=13)
+    seconds = timed(lambda: reference.lp_norm(2.0, 0.3), repeats)
+    metrics["service/query_lp2_inprocess"] = {
+        "config": config,
+        "seconds": seconds,
+        "rows_per_sec": rows / seconds,
+    }
+
+    with local_cluster(shards, b, seed=13) as (_server, client):
+        seconds = timed(lambda: client.query("info"), repeats=max(repeats, 3))
+        metrics["service/ping"] = {"config": {"sites": k}, "seconds": seconds}
+
+        seconds = timed(lambda: client.query("lp_norm", p=2.0, epsilon=0.3), repeats)
+        report = client.last_service
+        metrics["service/query_lp2"] = {
+            "config": config,
+            "seconds": seconds,
+            "rows_per_sec": rows / seconds,
+            "observed_bytes": report["observed_bytes"],
+        }
+
+        client.query("stream_open")
+        offsets = np.cumsum([0] + [shard.shape[0] for shard in shards])
+
+        def one_epoch():
+            for index, shard in enumerate(shards):
+                client.query(
+                    "stream_ingest",
+                    site=index,
+                    rows=offsets[index] + np.arange(shard.shape[0]),
+                    deltas=shard,
+                )
+            client.query("stream_sync")
+
+        one_epoch()  # warm
+        seconds = timed(one_epoch, repeats)
+        metrics["service/stream_epoch"] = {
+            "config": config,
+            "seconds": seconds,
+            "rows_per_sec": rows / seconds,
+        }
+
+
+def compute_service_overheads(metrics: dict) -> dict:
+    """Socket-vs-in-process wall-clock ratio (>= 1: transport overhead)."""
+    served = metrics.get("service/query_lp2")
+    inprocess = metrics.get("service/query_lp2_inprocess")
+    if served and inprocess:
+        return {"query_lp2/socket_overhead": served["seconds"] / inprocess["seconds"]}
+    return {}
+
+
 def compute_runtime_speedups(metrics: dict) -> dict:
     """Wall-clock speedup of each concurrent executor over serial, per leg."""
     speedups = {}
@@ -509,6 +596,14 @@ def main() -> int:
         "tracked in their own trajectory file",
     )
     parser.add_argument("--runtime-output", type=Path, default=DEFAULT_RUNTIME_OUTPUT)
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="also benchmark the service layer over real loopback sockets "
+        "(coordinator server + site processes), tracked in its own "
+        "trajectory file",
+    )
+    parser.add_argument("--service-output", type=Path, default=DEFAULT_SERVICE_OUTPUT)
     args = parser.parse_args()
 
     mode = "smoke" if SMOKE else "full"
@@ -555,7 +650,23 @@ def main() -> int:
                 runtime_metrics, runtime_history.get("runs", []), mode
             )
 
-    for table, table_speedups in ((metrics, speedups), (runtime_metrics, runtime_speedups)):
+    service_metrics: dict = {}
+    service_speedups: dict = {}
+    service_history: dict = {}
+    if args.service:
+        bench_service(service_metrics)
+        service_speedups = compute_service_overheads(service_metrics)
+        service_history = load_history(args.service_output)
+        if args.check_regression:
+            failures += check_regression(
+                service_metrics, service_history.get("runs", []), mode
+            )
+
+    for table, table_speedups in (
+        (metrics, speedups),
+        (runtime_metrics, runtime_speedups),
+        (service_metrics, service_speedups),
+    ):
         for key in sorted(table):
             record = table[key]
             rate = record.get("rows_per_sec")
@@ -574,6 +685,12 @@ def main() -> int:
             runtime_history.setdefault("runs", []).append(runtime_record)
             args.runtime_output.write_text(json.dumps(runtime_history, indent=1) + "\n")
             print(f"appended {mode} run to {args.runtime_output}")
+        if args.service:
+            service_record = stamp(service_metrics, service_speedups)
+            service_record["cpu_count"] = os.cpu_count() or 1
+            service_history.setdefault("runs", []).append(service_record)
+            args.service_output.write_text(json.dumps(service_history, indent=1) + "\n")
+            print(f"appended {mode} run to {args.service_output}")
 
     if failures:
         print("\nBENCH FAILURES:", file=sys.stderr)

@@ -1,7 +1,7 @@
 """Shared bit/round accounting for metered transports.
 
 Both the two-party :class:`repro.comm.channel.Channel` and the star-topology
-:class:`repro.multiparty.network.Network` charge messages the same way: every
+:class:`repro.comm.network.Network` charge messages the same way: every
 message carries a bit cost, and a *round* counter increments whenever the
 direction of communication flips.  This module holds the common machinery so
 the two transports cannot drift apart.

@@ -1,0 +1,113 @@
+"""Length-prefixed framing of wire payloads for stream transports.
+
+TCP delivers a byte *stream*: one ``send`` may arrive split across many
+reads, and many sends may coalesce into one read.  The service layer
+(:mod:`repro.service`) therefore wraps every message in a minimal frame::
+
+    magic   b"RP"     (2 bytes)
+    version 0x01      (1 byte)
+    length  uint32    (little-endian byte count of the body)
+    body    length x bytes
+
+and this module owns both halves of that contract:
+
+* :func:`encode_frame` / :func:`decode_frames` — pure functions over bytes.
+* :class:`FrameDecoder` — an incremental reassembler: feed it the chunks a
+  socket actually produced (partial frames, coalesced frames, byte-by-byte
+  dribble) and it yields exactly the framed bodies, in order.  The
+  hypothesis suite in ``tests/service/test_framing.py`` pins the property
+  that *any* byte-level chunking of a framed stream reassembles to
+  identical messages.
+
+Malformed input — wrong magic, unsupported version, or a declared length
+above :data:`MAX_FRAME_BYTES` — raises :class:`FramingError` immediately;
+a truncated tail is not an error until the stream closes (the decoder
+simply reports bytes still pending via :attr:`FrameDecoder.pending`).
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = [
+    "FramingError",
+    "FrameDecoder",
+    "HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frames",
+]
+
+_MAGIC = b"RP"
+_VERSION = 1
+
+#: magic + version + uint32 length.
+HEADER_BYTES = 7
+
+#: Upper bound on one frame's body; a corrupt length field must not make a
+#: receiver buffer gigabytes before noticing.  1 GiB comfortably holds any
+#: shard or sketch bundle the repo ships.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class FramingError(ValueError):
+    """A byte stream does not parse as a sequence of frames."""
+
+
+def encode_frame(body: bytes) -> bytes:
+    """Wrap one message body in a length-prefixed frame."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"frame body of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} cap"
+        )
+    return struct.pack("<2sBI", _MAGIC, _VERSION, len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame reassembler over an arbitrarily chunked stream."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered but not yet part of a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> list[bytes]:
+        """Absorb one chunk; return every message body it completed."""
+        self._buffer.extend(chunk)
+        bodies: list[bytes] = []
+        while True:
+            if len(self._buffer) < HEADER_BYTES:
+                return bodies
+            magic, version, length = struct.unpack_from("<2sBI", self._buffer, 0)
+            if magic != _MAGIC:
+                raise FramingError(f"bad frame magic {bytes(magic)!r}")
+            if version != _VERSION:
+                raise FramingError(f"unsupported frame version {version}")
+            if length > MAX_FRAME_BYTES:
+                raise FramingError(
+                    f"declared frame body of {length} bytes exceeds the "
+                    f"{MAX_FRAME_BYTES} cap"
+                )
+            if len(self._buffer) < HEADER_BYTES + length:
+                return bodies
+            bodies.append(bytes(self._buffer[HEADER_BYTES : HEADER_BYTES + length]))
+            del self._buffer[: HEADER_BYTES + length]
+
+    def close(self) -> None:
+        """Declare end-of-stream; leftover bytes mean a truncated frame."""
+        if self._buffer:
+            raise FramingError(
+                f"stream closed with {len(self._buffer)} bytes of an "
+                f"incomplete frame pending"
+            )
+
+
+def decode_frames(stream: bytes) -> list[bytes]:
+    """Decode a complete byte stream into its framed bodies."""
+    decoder = FrameDecoder()
+    bodies = decoder.feed(stream)
+    decoder.close()
+    return bodies

@@ -1,0 +1,66 @@
+"""Transport abstraction: who builds the star network a protocol runs on.
+
+Every engine execution wires a star :class:`~repro.comm.network.Network`
+around its sites (:meth:`repro.engine.topology.StarTopology.build`, the
+:class:`~repro.engine.streaming.StreamingSession` constructor).  Until the
+service layer there was exactly one way to do that — the in-process metered
+star — so the wiring was hard-coded.  A :class:`Transport` makes it a
+pluggable decision:
+
+* :class:`InProcessTransport` (the default everywhere) builds the classic
+  in-process :class:`~repro.comm.network.Network`: messages are delivered
+  by returning them, meters charge the declared formula bits.  Zero
+  behaviour change — every historical transcript is produced by exactly
+  this transport.
+* :class:`repro.service.transport.SocketTransport` builds a
+  :class:`~repro.service.transport.RemoteNetwork` bound to live TCP
+  connections: every metered message additionally travels over a real
+  socket to/from the site-agent processes, and observed wire bytes are
+  counted per link per round.
+
+Estimator facades accept ``transport=`` and forward it to every query's
+protocol run, so all protocol families and the streaming session run
+unmodified over whichever transport is plugged in.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.comm.conditions import NetworkConditions
+from repro.comm.network import Network
+
+__all__ = ["IN_PROCESS", "InProcessTransport", "Transport"]
+
+
+class Transport:
+    """Factory for the star network one protocol execution runs over.
+
+    Subclasses implement :meth:`build_network`; a single transport instance
+    may build many networks (one per protocol run), so implementations hold
+    connection state, not per-run meters.
+    """
+
+    def build_network(
+        self,
+        site_names: Sequence[str],
+        coordinator_name: str,
+        conditions: NetworkConditions | None = None,
+    ) -> Network:
+        raise NotImplementedError
+
+
+class InProcessTransport(Transport):
+    """The default transport: the classic in-process metered star."""
+
+    def build_network(
+        self,
+        site_names: Sequence[str],
+        coordinator_name: str,
+        conditions: NetworkConditions | None = None,
+    ) -> Network:
+        return Network(site_names, coordinator_name, conditions=conditions)
+
+
+#: Shared stateless default; used wherever no explicit transport is given.
+IN_PROCESS = InProcessTransport()

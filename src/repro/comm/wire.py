@@ -44,6 +44,7 @@ import struct
 import numpy as np
 
 __all__ = [
+    "MAX_DECODE_BYTES",
     "WireFormatError",
     "decode_array",
     "decode_bundle",
@@ -55,6 +56,14 @@ __all__ = [
 
 _MAGIC = b"RS"
 _VERSION = 1
+
+#: Upper bound on one record's decoded (dense) size.  Dense records are
+#: already bounded by the payload they arrived in, but a *sparse* record
+#: materializes ``prod(shape)`` entries from a few bytes — a corrupt shape
+#: field must not make a receiver allocate gigabytes before any integrity
+#: check fires (the same principle as ``framing.MAX_FRAME_BYTES``).  1 GiB
+#: comfortably holds every state the repo's sketches ship.
+MAX_DECODE_BYTES = 1 << 30
 
 _KIND_ABSENT = 0
 _KIND_DENSE = 1
@@ -225,6 +234,12 @@ def _decode_array_at(payload: bytes, offset: int) -> tuple[np.ndarray | None, in
             # The encoder only emits sparse records for sizes below 2**32
             # (uint32 flat indices); anything larger is corruption.
             raise WireFormatError(f"sparse record size {size} exceeds uint32 indexing")
+        itemsize = max(wire_dtype.itemsize, _DTYPES[orig_code].itemsize)
+        if size * itemsize > MAX_DECODE_BYTES:
+            raise WireFormatError(
+                f"sparse record would materialize {size * itemsize} dense bytes "
+                f"(cap {MAX_DECODE_BYTES})"
+            )
         _need(payload, offset, 4, "sparse count")
         (nnz,) = struct.unpack_from("<I", payload, offset)
         offset += 4
@@ -280,7 +295,10 @@ def decode_bundle(payload: bytes) -> dict[str, np.ndarray | None]:
         (name_len,) = struct.unpack_from("<B", payload, offset)
         offset += 1
         _need(payload, offset, name_len, "record name")
-        name = payload[offset : offset + name_len].decode("utf-8")
+        try:
+            name = payload[offset : offset + name_len].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"record name is not valid UTF-8: {exc}") from None
         offset += name_len
         _need(payload, offset, 4, "record length")
         (record_len,) = struct.unpack_from("<I", payload, offset)

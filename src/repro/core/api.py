@@ -53,8 +53,11 @@ class MatrixProductEstimator(EstimatorBase):
         seed: int | None = None,
         runtime=None,
         conditions=None,
+        transport=None,
     ) -> None:
-        super().__init__(seed=seed, runtime=runtime, conditions=conditions)
+        super().__init__(
+            seed=seed, runtime=runtime, conditions=conditions, transport=transport
+        )
         a = np.asarray(a)
         b = np.asarray(b)
         if a.ndim != 2 or b.ndim != 2:
@@ -67,7 +70,11 @@ class MatrixProductEstimator(EstimatorBase):
 
     def _run(self, protocol: StarProtocol) -> ProtocolResult:
         return protocol.run_two_party(
-            self.a, self.b, runtime=self.runtime, conditions=self.conditions
+            self.a,
+            self.b,
+            runtime=self.runtime,
+            conditions=self.conditions,
+            transport=self.transport,
         )
 
     # ------------------------------------------------------------- scale-out

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.comm.conditions import NetworkConditions
 from repro.comm.protocol import ProtocolResult
+from repro.comm.transport import Transport
 from repro.engine.base import StarProtocol
 from repro.engine.runtime import Runtime
 from repro.engine.heavy_hitters import (
@@ -53,11 +54,13 @@ class EstimatorBase:
     their topology.
 
     Every facade accepts an optional :class:`repro.engine.runtime.Runtime`
-    (per-site executor + dropout policy) and
+    (per-site executor + dropout policy),
     :class:`repro.comm.conditions.NetworkConditions` (per-link timing
-    models + dropped sites); both are forwarded to every query's protocol
-    run.  The defaults — serial execution over ideal links — reproduce the
-    historical transcripts bit for bit.
+    models + dropped sites) and :class:`repro.comm.transport.Transport`
+    (who carries the star network — in-process simulation or real
+    sockets); all are forwarded to every query's protocol run.  The
+    defaults — serial execution over ideal in-process links — reproduce
+    the historical transcripts bit for bit.
     """
 
     #: Whether every input matrix is 0/1 (drives protocol selection).
@@ -69,10 +72,12 @@ class EstimatorBase:
         seed: int | None = None,
         runtime: "Runtime | None" = None,
         conditions: "NetworkConditions | None" = None,
+        transport: "Transport | None" = None,
     ) -> None:
         self.seed = seed
         self.runtime = runtime
         self.conditions = conditions
+        self.transport = transport
         self._seed_stream = np.random.default_rng(seed)
 
     def _next_seed(self) -> int:

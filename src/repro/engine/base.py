@@ -36,6 +36,7 @@ import numpy as np
 from repro.comm.conditions import NetworkConditions
 from repro.comm.network import Network
 from repro.comm.protocol import CostReport, ProtocolResult, split_protocol_output
+from repro.comm.transport import Transport
 from repro.engine.runtime import SERIAL_RUNTIME, Runtime
 from repro.engine.topology import Coordinator, Site, StarTopology
 
@@ -128,6 +129,7 @@ class StarProtocol:
         *,
         runtime: Runtime | None = None,
         conditions: NetworkConditions | None = None,
+        transport: Transport | None = None,
     ) -> ProtocolResult:
         """Execute the protocol on k row-shards and the coordinator's matrix."""
         self.runtime = runtime if runtime is not None else SERIAL_RUNTIME
@@ -144,6 +146,7 @@ class StarProtocol:
             seed=self.seed,
             site_names=site_names,
             conditions=conditions,
+            transport=transport,
         )
         value, details = self._run_on(topology)
         details.setdefault("num_sites", topology.num_sites)
@@ -165,6 +168,7 @@ class StarProtocol:
         *,
         runtime: Runtime | None = None,
         conditions: NetworkConditions | None = None,
+        transport: Transport | None = None,
     ) -> ProtocolResult:
         """Execute the protocol in the two-party model (one site = Alice).
 
@@ -182,6 +186,7 @@ class StarProtocol:
             site_names=("alice",),
             coordinator_name="bob",
             conditions=conditions,
+            transport=transport,
         )
         value, details = self._run_on(topology)
         return ProtocolResult(

@@ -56,6 +56,7 @@ from repro.comm import wire
 from repro.comm.conditions import NetworkConditions
 from repro.comm.network import Network
 from repro.comm.protocol import ProtocolResult
+from repro.comm.transport import IN_PROCESS, Transport
 from repro.core.result import HeavyHitterOutput, SampleOutput
 from repro.engine.api import EstimatorBase, is_binary_data
 from repro.engine.base import StarProtocol
@@ -231,9 +232,12 @@ class StreamingSession(EstimatorBase):
         site_names: Sequence[str] | None = None,
         runtime: Runtime | None = None,
         conditions: NetworkConditions | None = None,
+        transport: Transport | None = None,
         dropout: str = "exclude",
     ) -> None:
-        super().__init__(seed=seed, runtime=runtime, conditions=conditions)
+        super().__init__(
+            seed=seed, runtime=runtime, conditions=conditions, transport=transport
+        )
         if dropout not in ("fail", "exclude"):
             raise ValueError(f"dropout must be 'fail' or 'exclude', got {dropout!r}")
         self.dropout = dropout
@@ -275,7 +279,9 @@ class StreamingSession(EstimatorBase):
             site_names = [f"site-{i}" for i in range(k)]
         if len(site_names) != k:
             raise ValueError(f"got {len(site_names)} site names for {k} row counts")
-        self.network = Network(site_names, "coordinator", conditions=conditions)
+        self.network = (transport if transport is not None else IN_PROCESS).build_network(
+            site_names, "coordinator", conditions
+        )
         # The scenario's static dropped-site declarations become the initial
         # dynamic partition set, so epoch boundaries and one-shot queries see
         # one consistent fault state (restore_site reconnects either kind).
@@ -628,5 +634,9 @@ class StreamingSession(EstimatorBase):
                 jitter_seed=base.jitter_seed,
             )
         return protocol.run(
-            self.shards(), self.b, runtime=self.runtime, conditions=conditions
+            self.shards(),
+            self.b,
+            runtime=self.runtime,
+            conditions=conditions,
+            transport=self.transport,
         )

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.comm.conditions import NetworkConditions
 from repro.comm.network import Network
+from repro.comm.transport import IN_PROCESS, Transport
 from repro.sketch.mergeable import MergeableSketch
 
 
@@ -223,6 +224,7 @@ class StarTopology:
         site_names: Sequence[str] | None = None,
         coordinator_name: str = "coordinator",
         conditions: NetworkConditions | None = None,
+        transport: Transport | None = None,
     ) -> "StarTopology":
         """Wire a star around ``k = len(shards)`` sites.
 
@@ -235,6 +237,10 @@ class StarTopology:
 
         ``conditions`` (per-link latency/bandwidth models) only affect the
         network's simulated makespan, never the transcript itself.
+
+        ``transport`` picks who builds (and therefore carries) the star
+        network — default :data:`repro.comm.transport.IN_PROCESS`; the
+        service layer passes a socket-backed transport instead.
         """
         shards = coerce_shards(shards)
         k = len(shards)
@@ -242,7 +248,9 @@ class StarTopology:
             site_names = [f"site-{i}" for i in range(k)]
         if len(site_names) != k:
             raise ValueError(f"got {len(site_names)} site names for {k} shards")
-        network = Network(site_names, coordinator_name, conditions=conditions)
+        if transport is None:
+            transport = IN_PROCESS
+        network = transport.build_network(site_names, coordinator_name, conditions)
         root = np.random.default_rng(seed)
         shared_seed = int(root.integers(0, 2**63 - 1))
         rngs = root.spawn(k + 1)

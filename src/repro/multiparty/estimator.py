@@ -60,6 +60,12 @@ class ClusterEstimator(EstimatorBase):
         Optional :class:`repro.comm.conditions.NetworkConditions` — per-link
         latency/bandwidth models (adds a simulated ``makespan`` to every
         cost report) and dropped-site declarations.
+    transport:
+        Optional :class:`repro.comm.transport.Transport` deciding who
+        carries the star network.  The default is the in-process simulated
+        star; the service layer's socket transport makes every metered
+        message travel over a real TCP connection instead (see
+        :meth:`serve` / :mod:`repro.service`).
     """
 
     def __init__(
@@ -70,8 +76,11 @@ class ClusterEstimator(EstimatorBase):
         seed: int | None = None,
         runtime=None,
         conditions=None,
+        transport=None,
     ) -> None:
-        super().__init__(seed=seed, runtime=runtime, conditions=conditions)
+        super().__init__(
+            seed=seed, runtime=runtime, conditions=conditions, transport=transport
+        )
         shards = coerce_shards(shards)
         b = np.asarray(b)
         if b.ndim != 2:
@@ -94,6 +103,7 @@ class ClusterEstimator(EstimatorBase):
         seed: int | None = None,
         runtime=None,
         conditions=None,
+        transport=None,
     ) -> "ClusterEstimator":
         """Shard the rows of ``a`` evenly across ``num_sites`` sites."""
         a = np.asarray(a)
@@ -109,15 +119,59 @@ class ClusterEstimator(EstimatorBase):
             seed=seed,
             runtime=runtime,
             conditions=conditions,
+            transport=transport,
         )
 
     @property
     def num_sites(self) -> int:
         return len(self.shards)
 
+    # ---------------------------------------------------------------- service
+    def serve(self, *, host: str = "127.0.0.1", port: int = 0):
+        """Stand this cluster up as a real TCP service.
+
+        Returns a running :class:`repro.service.server.CoordinatorServer`
+        holding this estimator's coordinator matrix, base seed and network
+        conditions.  The server waits for ``num_sites`` site-agent
+        processes (``repro-site`` / :class:`repro.service.client.SiteAgent`)
+        to register their shards, then answers client queries
+        (:func:`repro.service.client.connect`) by running the engine
+        protocols over the live sockets — with estimates and simulated
+        meters bit-identical to calling the queries on this object, and
+        observed wire bytes counted per link per round.
+
+        This estimator's in-memory shards define the *expected* cluster
+        shape only; the data the protocols run on is what the sites upload.
+        """
+        from repro.service.server import CoordinatorServer
+
+        server = CoordinatorServer(
+            self.b,
+            num_sites=self.num_sites,
+            expected_row_counts=[shard.shape[0] for shard in self.shards],
+            seed=self.seed,
+            conditions=self.conditions,
+            host=host,
+            port=port,
+        )
+        server.start()
+        return server
+
+    @staticmethod
+    def connect(host: str, port: int, **kwargs):
+        """Open a client proxy to a served cluster; see
+        :func:`repro.service.client.connect`."""
+        from repro.service.client import connect
+
+        return connect(host, port, **kwargs)
+
     def _run(self, protocol: StarProtocol) -> ProtocolResult:
         return protocol.run(
-            self.shards, self.b, runtime=self.runtime, conditions=self.conditions
+            self.shards,
+            self.b,
+            runtime=self.runtime,
+            conditions=self.conditions,
+            transport=self.transport,
         )
 
     # -------------------------------------------------------------- streaming
@@ -147,6 +201,7 @@ class ClusterEstimator(EstimatorBase):
 
         kwargs.setdefault("runtime", self.runtime)
         kwargs.setdefault("conditions", self.conditions)
+        kwargs.setdefault("transport", self.transport)
         session = StreamingSession(
             [shard.shape[0] for shard in self.shards],
             self.b,

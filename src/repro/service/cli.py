@@ -1,0 +1,112 @@
+"""Console entry points for the service layer.
+
+Two commands launch a cluster as real OS processes:
+
+``repro-serve`` (also ``python -m repro.service.cli serve``)
+    Stand the coordinator up::
+
+        repro-serve --b b.npy --sites 4 --port 9000 --seed 7
+
+    prints the bound address and serves until interrupted (or until a
+    client sends a shutdown).
+
+``repro-site`` (also ``python -m repro.service.cli site``)
+    Join as one site::
+
+        repro-site --host 127.0.0.1 --port 9000 --index 0 --shard shard0.npy
+
+    registers the shard and serves protocol traffic until the coordinator
+    says ``bye``.
+
+Matrices travel as ``.npy`` files (``numpy.save``).  See the README's
+"Running as a service" section for a full two-terminal walkthrough and
+``examples/service_quickstart.py`` for a scripted 4-site cluster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main", "serve_main", "site_main"]
+
+
+def _add_serve_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--b", required=True, help="path to the coordinator matrix (.npy)")
+    parser.add_argument("--sites", type=int, required=True, help="number of site agents to expect")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    parser.add_argument("--seed", type=int, default=None, help="base seed for the query stream")
+
+
+def _add_site_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--index", type=int, required=True, help="this site's index (0-based)")
+    parser.add_argument("--shard", required=True, help="path to this site's row-shard of A (.npy)")
+
+
+def serve_cmd(args: argparse.Namespace) -> int:
+    from repro.service.server import CoordinatorServer
+
+    server = CoordinatorServer(
+        np.load(args.b),
+        num_sites=args.sites,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+    ).start()
+    host, port = server.address
+    print(f"repro-serve: listening on {host}:{port}, waiting for {args.sites} sites", flush=True)
+    try:
+        server.wait_ready()
+        print(f"repro-serve: cluster ready ({args.sites} sites registered)", flush=True)
+        # Serve until the loop thread exits (client-initiated shutdown) or ^C.
+        while server._thread is not None and server._thread.is_alive():
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("repro-serve: interrupted, shutting down", flush=True)
+    finally:
+        server.stop()
+    return 0
+
+
+def site_cmd(args: argparse.Namespace) -> int:
+    from repro.service.client import SiteAgent
+
+    agent = SiteAgent(args.host, args.port, args.index, np.load(args.shard))
+    print(f"repro-site: joining {args.host}:{args.port} as site-{args.index}", flush=True)
+    agent.run()
+    print(f"repro-site: {agent.name} done", flush=True)
+    return 0
+
+
+def serve_main() -> int:
+    parser = argparse.ArgumentParser(prog="repro-serve", description="Serve a cluster coordinator.")
+    _add_serve_args(parser)
+    return serve_cmd(parser.parse_args())
+
+
+def site_main() -> int:
+    parser = argparse.ArgumentParser(prog="repro-site", description="Run one site agent.")
+    _add_site_args(parser)
+    return site_cmd(parser.parse_args())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.cli",
+        description="Run the coordinator server or a site agent.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    _add_serve_args(commands.add_parser("serve", help="run the coordinator server"))
+    _add_site_args(commands.add_parser("site", help="run one site agent"))
+    args = parser.parse_args(argv)
+    return serve_cmd(args) if args.command == "serve" else site_cmd(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

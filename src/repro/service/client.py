@@ -1,0 +1,357 @@
+"""Site-agent processes and the client-side query proxy.
+
+:class:`SiteAgent` is the whole site process: a synchronous blocking-socket
+loop that registers its shard with the coordinator and then serves the
+protocol traffic — acking downstream pushes with the byte count it observed
+on its socket, echoing upstream payloads so their bytes physically travel
+site -> coordinator, and executing fanned-out engine tasks
+(``repro.``-module functions only) on its own CPU.
+
+:func:`connect` opens a :class:`ServiceClient`: a thin synchronous proxy
+whose attribute calls (``client.lp_norm(p=2.0)``) become ``query`` messages
+and whose answers unpickle into the same
+:class:`~repro.comm.protocol.ProtocolResult` objects the in-process facade
+returns, alongside the coordinator's service metering report
+(:attr:`ServiceClient.last_service`).
+
+:func:`local_cluster` wires the whole thing on localhost: one
+:class:`~repro.service.server.CoordinatorServer` in this process and one
+``repro-site`` OS process per shard — the harness behind the service tests,
+the quickstart example and the service benchmark leg.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import traceback
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.comm.framing import FrameDecoder, encode_frame
+from repro.service.messages import (
+    PAYLOAD_TAG_BYTES,
+    Message,
+    ServiceError,
+    decode_message,
+    decode_payload,
+    encode_message,
+    encode_payload,
+)
+
+__all__ = ["ServiceClient", "SiteAgent", "connect", "local_cluster"]
+
+
+class _SocketStream:
+    """Blocking frame/message IO over one TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        self._bodies: deque[bytes] = deque()
+
+    def send(self, message: Message) -> None:
+        self._sock.sendall(encode_frame(encode_message(message)))
+
+    def next(self) -> Message | None:
+        while not self._bodies:
+            chunk = self._sock.recv(65536)
+            self._bodies.extend(self._decoder.feed(chunk))
+            if not chunk:
+                if self._bodies:
+                    break
+                self._decoder.close()  # truncated tail raises FramingError
+                return None
+        return decode_message(self._bodies.popleft())
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def _dial(host: str, port: int, *, retries: int = 40, delay: float = 0.25) -> socket.socket:
+    """Connect with retries (the server may still be binding)."""
+    last: Exception | None = None
+    for _ in range(retries):
+        try:
+            sock = socket.create_connection((host, port))
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as exc:
+            last = exc
+            time.sleep(delay)
+    raise ConnectionError(f"could not reach coordinator at {host}:{port}: {last}")
+
+
+# ---------------------------------------------------------------------- site
+class SiteAgent:
+    """One site of the cluster, running as its own OS process.
+
+    The agent uploads its shard at registration, then answers the
+    coordinator's traffic until it reads ``bye`` (or EOF).  The engine's
+    protocol logic never runs here except through explicit ``task``
+    messages — the site is deliberately a dumb, auditable endpoint: every
+    byte it acknowledges or echoes was measured on its own socket.
+    """
+
+    def __init__(self, host: str, port: int, index: int, shard: np.ndarray) -> None:
+        self.host = host
+        self.port = int(port)
+        self.index = int(index)
+        self.shard = np.asarray(shard)
+        self.name = f"site-{self.index}"
+
+    def run(self) -> None:
+        """Register, then serve until the coordinator says ``bye``."""
+        stream = _SocketStream(_dial(self.host, self.port))
+        try:
+            stream.send(
+                Message(
+                    "hello",
+                    {"role": "site", "index": self.index, "rows": int(self.shard.shape[0])},
+                    encode_payload(self.shard),
+                )
+            )
+            assign = stream.next()
+            if assign is None or assign.type == "error":
+                raise ServiceError(
+                    f"registration refused: {assign.meta if assign else 'connection closed'}"
+                )
+            if assign.type != "assign":
+                raise ServiceError(f"expected assign, got {assign.type!r}")
+            self.name = assign.meta.get("name", self.name)
+            while True:
+                message = stream.next()
+                if message is None or message.type == "bye":
+                    return
+                reply = self._handle(message)
+                if reply is not None:
+                    stream.send(reply)
+        finally:
+            stream.close()
+
+    def _handle(self, message: Message) -> Message | None:
+        if message.type == "round":
+            return Message("ack", {"round": message.meta.get("round")})
+        if message.type == "msg":
+            # Downstream push: ack with the byte count observed on this
+            # socket (codec body; the 1-byte tag is envelope) and a digest,
+            # after proving the payload decodes.
+            decode_payload(message.payload)
+            return Message(
+                "ack",
+                {
+                    "observed": len(message.payload) - PAYLOAD_TAG_BYTES,
+                    "digest": hashlib.sha256(message.payload).hexdigest(),
+                    "round": message.meta.get("round"),
+                },
+            )
+        if message.type == "relay":
+            # Upstream: this site is the sender of record — push the payload
+            # bytes back so they physically travel site -> coordinator.
+            decode_payload(message.payload)
+            return Message("msg", dict(message.meta), message.payload)
+        if message.type == "task":
+            try:
+                fn = _resolve_task(message.meta.get("fn", ""))
+                args = decode_payload(message.payload)
+                return Message("task_result", {}, encode_payload(fn(*args)))
+            except Exception as exc:  # noqa: BLE001 - reported to the server
+                return Message(
+                    "error",
+                    {
+                        "error": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+        return Message("error", {"error": "ServiceError", "message": f"unexpected {message.type!r}"})
+
+
+def _resolve_task(spec: str):
+    """Import ``module:qualname``, restricted to this package's modules."""
+    module_name, _, qualname = spec.partition(":")
+    if not module_name.startswith("repro.") or not qualname:
+        raise ServiceError(f"refusing to resolve task function {spec!r}")
+    target: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    return target
+
+
+# -------------------------------------------------------------------- client
+class ServiceClient:
+    """Synchronous query proxy to a served cluster.
+
+    Any estimator method (``lp_norm``, ``l0_sample``, ``heavy_hitters``,
+    ...) and any ``stream_*`` session method is available as a
+    keyword-argument call; the answer's pickled result is returned and the
+    coordinator's service metering report (observed socket bytes vs the
+    wire and simulated meters, per link per round) lands in
+    :attr:`last_service`.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self._stream = _SocketStream(_dial(host, port))
+        self.last_service: dict | None = None
+        self._stream.send(Message("hello", {"role": "client"}))
+        assign = self._stream.next()
+        if assign is None or assign.type != "assign":
+            raise ServiceError(
+                f"handshake failed: {assign.type if assign else 'connection closed'}"
+            )
+        #: Cluster shape as reported at handshake (k, ready, b_shape).
+        self.cluster = dict(assign.meta)
+
+    def query(self, method: str, **kwargs) -> Any:
+        """Run one named query on the coordinator; return its result."""
+        self._stream.send(Message("query", {"method": method}, encode_payload(kwargs)))
+        answer = self._stream.next()
+        if answer is None:
+            raise ConnectionError("coordinator closed the connection mid-query")
+        if answer.type == "error":
+            raise ServiceError(
+                f"{answer.meta.get('error')}: {answer.meta.get('message')}"
+            )
+        if answer.type != "answer":
+            raise ServiceError(f"expected answer, got {answer.type!r}")
+        envelope = decode_payload(answer.payload)
+        self.last_service = envelope.get("service")
+        return envelope["result"]
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+
+        def _call(**kwargs):
+            return self.query(name, **kwargs)
+
+        _call.__name__ = name
+        return _call
+
+    def shutdown_server(self) -> None:
+        """Ask the coordinator to shut the whole cluster down."""
+        self._stream.send(Message("bye", {"shutdown": True}))
+        self._stream.next()  # ack (or EOF)
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._stream.send(Message("bye"))
+        except OSError:
+            pass
+        self._stream.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def connect(host: str, port: int) -> ServiceClient:
+    """Open a client connection to a coordinator server."""
+    return ServiceClient(host, port)
+
+
+# ------------------------------------------------------------- local cluster
+@contextmanager
+def local_cluster(
+    shards: Sequence[np.ndarray],
+    b: np.ndarray,
+    *,
+    seed: int | None = None,
+    conditions=None,
+    host: str = "127.0.0.1",
+    ready_timeout: float = 60.0,
+) -> Iterator[tuple[Any, ServiceClient]]:
+    """A real k-site cluster on localhost: server here, sites as processes.
+
+    Spawns one ``repro-site`` OS process per shard (shards travel via
+    ``.npy`` files in a temp directory), waits until all have registered,
+    and yields ``(server, client)``.  Everything is torn down on exit —
+    sites get ``bye``, processes are reaped, the temp dir is removed.
+    """
+    from repro.service.server import CoordinatorServer
+
+    shards = [np.asarray(shard) for shard in shards]
+    server = CoordinatorServer(
+        b,
+        num_sites=len(shards),
+        expected_row_counts=[shard.shape[0] for shard in shards],
+        seed=seed,
+        conditions=conditions,
+        host=host,
+        port=0,
+    ).start()
+    processes: list[subprocess.Popen] = []
+    client: ServiceClient | None = None
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
+            env = dict(os.environ)
+            src = str(Path(__file__).resolve().parents[2])
+            env["PYTHONPATH"] = os.pathsep.join(
+                [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+            )
+            for index, shard in enumerate(shards):
+                shard_path = Path(tmp) / f"shard-{index}.npy"
+                np.save(shard_path, shard)
+                processes.append(
+                    subprocess.Popen(
+                        [
+                            sys.executable,
+                            "-m",
+                            "repro.service.cli",
+                            "site",
+                            "--host",
+                            host,
+                            "--port",
+                            str(server.port),
+                            "--index",
+                            str(index),
+                            "--shard",
+                            str(shard_path),
+                        ],
+                        env=env,
+                    )
+                )
+            if not server.wait_ready(ready_timeout):
+                for process in processes:
+                    if process.poll() is not None:
+                        raise ServiceError(
+                            f"site process {process.args} exited with "
+                            f"{process.returncode} before registering"
+                        )
+                raise TimeoutError(
+                    f"cluster not ready after {ready_timeout}s "
+                    f"({len(shards)} sites expected)"
+                )
+            client = connect(host, server.port)
+            yield server, client
+    finally:
+        if client is not None:
+            client.close()
+        server.stop()
+        for process in processes:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.terminate()
+                try:
+                    process.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()

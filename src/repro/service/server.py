@@ -1,0 +1,568 @@
+"""The coordinator as an asyncio TCP server.
+
+:class:`CoordinatorServer` owns the coordinator's matrix ``B`` and listens
+for two kinds of connections, distinguished by their ``hello``:
+
+* **sites** (``role: "site"``) upload their row-shard of ``A`` (wire codec,
+  byte-exact) and then serve the protocol traffic: downstream pushes,
+  upstream echoes, and fanned-out per-site tasks.  Once ``num_sites`` have
+  registered the cluster is *ready* and a
+  :class:`~repro.multiparty.estimator.ClusterEstimator` is built over the
+  live links (:class:`~repro.service.transport.SocketTransport` +
+  :class:`~repro.service.transport.RemoteRuntime`).
+* **clients** (``role: "client"``) issue ``query`` messages — the estimator
+  facade's methods plus the ``stream_*`` session surface — and get back
+  ``answer`` messages carrying the pickled
+  :class:`~repro.comm.protocol.ProtocolResult` (or epoch report / live
+  value) together with the service metering report of
+  :meth:`~repro.service.transport.RemoteNetwork.service_report`.
+
+Concurrency model: one thread runs the asyncio loop and owns every socket;
+queries execute on a single worker thread (serialized — the estimator's
+seed stream is stateful by design), blocking on socket round-trips via
+``run_coroutine_threadsafe`` bridges while the loop keeps pumping frames.
+The per-connection discipline is strict FIFO request/reply, so a reply is
+always matched to the oldest in-flight request of its connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import traceback
+from collections import deque
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.comm.conditions import NetworkConditions
+from repro.comm.framing import FrameDecoder, FramingError, encode_frame
+from repro.comm import wire
+from repro.service.messages import (
+    PAYLOAD_TAG_BYTES,
+    Message,
+    ServiceError,
+    decode_message,
+    decode_payload,
+    encode_message,
+    encode_payload,
+)
+from repro.service.transport import SiteLink, SocketTransport
+
+__all__ = ["CoordinatorServer", "QUERY_METHODS", "STREAM_QUERY_METHODS"]
+
+#: Estimator facade methods a client may invoke remotely.
+QUERY_METHODS = (
+    "lp_norm",
+    "join_size",
+    "natural_join_size",
+    "l0_sample",
+    "l1_sample",
+    "linf",
+    "linf_kappa",
+    "heavy_hitters",
+)
+
+#: One-shot query methods available on an open streaming session.
+STREAM_QUERY_METHODS = QUERY_METHODS
+
+#: Live (between-syncs) estimates available on an open streaming session.
+STREAM_LIVE_METHODS = ("live_lp_norm", "live_l0", "live_l0_sample", "live_heavy_hitters")
+
+#: Methods whose traffic meters on the streaming session's own network
+#: (delta uploads), not on a per-query network built through the transport.
+_SESSION_STATE_METHODS = frozenset(
+    {"stream_open", "stream_ingest", "stream_end_epoch", "stream_sync",
+     "stream_total_upload_bytes"}
+    | {f"stream_{name}" for name in STREAM_LIVE_METHODS}
+)
+
+
+class _AsyncSiteLink(SiteLink):
+    """Server side of one site connection (implements the transport seam)."""
+
+    def __init__(
+        self,
+        site_name: str,
+        index: int,
+        loop: asyncio.AbstractEventLoop,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.site_name = site_name
+        self.index = index
+        self._loop = loop
+        self._writer = writer
+        #: Futures of in-flight requests, oldest first (strict FIFO replies).
+        self.pending: deque[concurrent.futures.Future] = deque()
+        self._observed_upstream: deque[tuple[int, int]] = deque()
+
+    # ------------------------------------------------------- transport seam
+    def submit(self, message: Message) -> concurrent.futures.Future:
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        asyncio.run_coroutine_threadsafe(
+            self._write(message, future), self._loop
+        ).add_done_callback(_propagate_submit_failure(future))
+        return future
+
+    def request(self, message: Message) -> Message:
+        return self.submit(message).result()
+
+    def take_observed_upstream(self) -> list[tuple[int, int]]:
+        drained = []
+        while True:
+            try:
+                drained.append(self._observed_upstream.popleft())
+            except IndexError:
+                return drained
+
+    # ----------------------------------------------------------- loop side
+    async def _write(self, message: Message, future: concurrent.futures.Future) -> None:
+        self.pending.append(future)
+        self._writer.write(encode_frame(encode_message(message)))
+        await self._writer.drain()
+
+    def on_reply(self, message: Message) -> None:
+        """Route one incoming frame to the oldest in-flight request."""
+        if message.type == "msg":
+            # An upstream echo: count its codec-body bytes off the socket,
+            # attributed to the round carried in the (relayed) meta —
+            # *before* resolving the future, so the caller sees the record.
+            self._observed_upstream.append(
+                (int(message.meta.get("round", 0)), len(message.payload) - PAYLOAD_TAG_BYTES)
+            )
+        if not self.pending:
+            raise ServiceError(
+                f"site {self.site_name!r} sent an unsolicited {message.type!r}"
+            )
+        self.pending.popleft().set_result(message)
+
+    def fail_pending(self, exc: Exception) -> None:
+        while self.pending:
+            future = self.pending.popleft()
+            if not future.done():
+                future.set_exception(exc)
+
+
+def _propagate_submit_failure(future: concurrent.futures.Future):
+    """If the loop-side write coroutine itself dies, fail the reply future."""
+
+    def _done(write_result: concurrent.futures.Future) -> None:
+        exc = write_result.exception()
+        if exc is not None and not future.done():
+            future.set_exception(exc)
+
+    return _done
+
+
+class _MessageStream:
+    """Async message reader over one connection's frame stream.
+
+    One socket read can complete several frames (replies coalesce when
+    requests were pipelined), so completed bodies queue here and drain one
+    message per :meth:`next` call.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader) -> None:
+        self._reader = reader
+        self._decoder = FrameDecoder()
+        self._bodies: deque[bytes] = deque()
+
+    async def next(self) -> Message | None:
+        while not self._bodies:
+            chunk = await self._reader.read(65536)
+            self._bodies.extend(self._decoder.feed(chunk))
+            if not chunk:
+                if self._bodies:
+                    break
+                self._decoder.close()  # truncated tail raises FramingError
+                return None
+        return decode_message(self._bodies.popleft())
+
+
+class CoordinatorServer:
+    """Serve a k-site cluster estimate over real TCP sockets.
+
+    Parameters
+    ----------
+    b:
+        The coordinator's matrix.
+    num_sites:
+        Number of site agents expected to register before the cluster is
+        ready to answer queries.
+    expected_row_counts:
+        Optional per-site row counts; a registering shard with a different
+        row count is rejected (the service equivalent of a mis-sharded
+        cluster).
+    seed, conditions:
+        Forwarded to the served estimator, exactly as for an in-process
+        :class:`~repro.multiparty.estimator.ClusterEstimator` — equal seeds
+        give bit-identical estimates and simulated meters.
+    host, port:
+        Listen address; port 0 picks a free port (see :attr:`address`).
+    """
+
+    def __init__(
+        self,
+        b: np.ndarray,
+        *,
+        num_sites: int,
+        expected_row_counts: Sequence[int] | None = None,
+        seed: int | None = None,
+        conditions: NetworkConditions | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if num_sites < 1:
+            raise ValueError(f"num_sites must be >= 1, got {num_sites}")
+        self.b = np.asarray(b)
+        self.num_sites = int(num_sites)
+        self.expected_row_counts = (
+            None if expected_row_counts is None else [int(n) for n in expected_row_counts]
+        )
+        if (
+            self.expected_row_counts is not None
+            and len(self.expected_row_counts) != self.num_sites
+        ):
+            raise ValueError(
+                f"{len(self.expected_row_counts)} row counts for {num_sites} sites"
+            )
+        self.seed = seed
+        self.conditions = conditions
+        self.host = host
+        self.port = int(port)
+
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._started = threading.Event()
+        self._ready = threading.Event()
+        self._ready_async: asyncio.Event | None = None
+        self._stopping = False
+        self._startup_error: BaseException | None = None
+
+        self._links: dict[str, _AsyncSiteLink] = {}
+        self._shards: dict[int, np.ndarray] = {}
+        self._estimator = None
+        self._session = None
+        self._transport: SocketTransport | None = None
+        # One worker: queries are serialized on purpose (the estimator's
+        # per-query seed stream is stateful, like the in-process facade).
+        self._queries = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-query"
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "CoordinatorServer":
+        """Bind the listening socket and start the loop thread."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolved once :meth:`start` returns)."""
+        return (self.host, self.port)
+
+    def wait_ready(self, timeout: float | None = None) -> bool:
+        """Block until all ``num_sites`` site agents have registered."""
+        return self._ready.wait(timeout)
+
+    def stop(self) -> None:
+        """Say ``bye`` to every site, close all sockets, join the thread."""
+        if self._thread is None:
+            return
+        if not self._stopping and self._loop is not None and self._loop.is_running():
+            self._stopping = True
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self._shutdown(), self._loop
+                ).result(timeout=10)
+            except (concurrent.futures.TimeoutError, RuntimeError):
+                self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._thread = None
+        self._queries.shutdown(wait=False)
+
+    def __enter__(self) -> "CoordinatorServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        self._ready_async = asyncio.Event()
+        try:
+            self._server = loop.run_until_complete(
+                asyncio.start_server(self._handle_connection, self.host, self.port)
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        except BaseException as exc:  # bind failures surface in start()
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for link in list(self._links.values()):
+            try:
+                link._writer.write(encode_frame(encode_message(Message("bye"))))
+                await link._writer.drain()
+                link._writer.close()
+            except (ConnectionError, RuntimeError):
+                pass
+            link.fail_pending(ServiceError("coordinator shut down"))
+        # Wind the connection handlers down before stopping the loop, so no
+        # task is destroyed while pending.
+        current = asyncio.current_task()
+        handlers = [task for task in asyncio.all_tasks() if task is not current]
+        for task in handlers:
+            task.cancel()
+        await asyncio.gather(*handlers, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        loop.call_soon(loop.stop)
+
+    # ---------------------------------------------------------- connections
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        stream = _MessageStream(reader)
+        try:
+            hello = await stream.next()
+            if hello is None:
+                return
+            if hello.type != "hello":
+                raise ServiceError(f"expected hello, got {hello.type!r}")
+            role = hello.meta.get("role")
+            if role == "site":
+                await self._serve_site(hello, stream, writer)
+            elif role == "client":
+                await self._serve_client(stream, writer)
+            else:
+                raise ServiceError(f"unknown hello role {role!r}")
+        except (ServiceError, FramingError, wire.WireFormatError, ValueError) as exc:
+            await self._send_error(writer, exc)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown winds handlers down; returning (rather than
+            # re-raising) keeps the streams machinery from logging the
+            # cancellation as a connection error.
+            pass
+        finally:
+            writer.close()
+
+    async def _send_error(self, writer: asyncio.StreamWriter, exc: Exception) -> None:
+        try:
+            writer.write(
+                encode_frame(
+                    encode_message(
+                        Message(
+                            "error",
+                            {
+                                "error": type(exc).__name__,
+                                "message": str(exc),
+                                "traceback": traceback.format_exc(),
+                            },
+                        )
+                    )
+                )
+            )
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+
+    # ----------------------------------------------------------------- sites
+    async def _serve_site(self, hello, stream, writer) -> None:
+        index = int(hello.meta.get("index", -1))
+        if not 0 <= index < self.num_sites:
+            raise ServiceError(
+                f"site index {index} out of range for a {self.num_sites}-site cluster"
+            )
+        name = f"site-{index}"
+        if name in self._links:
+            raise ServiceError(f"site {name!r} is already registered")
+        shard = decode_payload(hello.payload)
+        shard = np.asarray(shard)
+        if shard.ndim != 2 or shard.shape[1] != self.b.shape[0]:
+            raise ServiceError(
+                f"shard of shape {shard.shape} does not match B {self.b.shape}"
+            )
+        if (
+            self.expected_row_counts is not None
+            and shard.shape[0] != self.expected_row_counts[index]
+        ):
+            raise ServiceError(
+                f"site {name!r} uploaded {shard.shape[0]} rows, expected "
+                f"{self.expected_row_counts[index]}"
+            )
+        link = _AsyncSiteLink(name, index, asyncio.get_running_loop(), writer)
+        self._links[name] = link
+        self._shards[index] = shard
+        writer.write(
+            encode_frame(
+                encode_message(
+                    Message(
+                        "assign",
+                        {
+                            "name": name,
+                            "index": index,
+                            "k": self.num_sites,
+                            "registered": len(self._links),
+                        },
+                    )
+                )
+            )
+        )
+        await writer.drain()
+        if len(self._links) == self.num_sites:
+            self._build_estimator()
+            self._ready.set()
+            self._ready_async.set()
+        try:
+            while True:
+                message = await stream.next()
+                if message is None or message.type == "bye":
+                    break
+                link.on_reply(message)
+        except (ConnectionError, asyncio.IncompleteReadError) as exc:
+            link.fail_pending(ServiceError(f"site {name!r} connection lost: {exc}"))
+        finally:
+            link.fail_pending(ServiceError(f"site {name!r} disconnected"))
+            self._links.pop(name, None)
+
+    def _build_estimator(self) -> None:
+        from repro.multiparty.estimator import ClusterEstimator
+
+        self._transport = SocketTransport(self._links)
+        shards = [self._shards[i] for i in range(self.num_sites)]
+        self._estimator = ClusterEstimator(
+            shards,
+            self.b,
+            seed=self.seed,
+            runtime=self._transport.runtime(),
+            conditions=self.conditions,
+            transport=self._transport,
+        )
+
+    # --------------------------------------------------------------- clients
+    async def _serve_client(self, stream, writer) -> None:
+        writer.write(
+            encode_frame(
+                encode_message(
+                    Message(
+                        "assign",
+                        {
+                            "role": "client",
+                            "k": self.num_sites,
+                            "ready": self._ready.is_set(),
+                            "b_shape": list(self.b.shape),
+                        },
+                    )
+                )
+            )
+        )
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        while True:
+            message = await stream.next()
+            if message is None or message.type == "bye":
+                if message is not None and message.meta.get("shutdown"):
+                    # An orderly remote shutdown: acknowledge, then stop.
+                    writer.write(encode_frame(encode_message(Message("ack"))))
+                    await writer.drain()
+                    self._stopping = True
+                    await self._shutdown()
+                return
+            if message.type != "query":
+                raise ServiceError(f"expected query, got {message.type!r}")
+            await self._ready_async.wait()  # queries block until k sites joined
+            try:
+                reply = await loop.run_in_executor(
+                    self._queries, self._answer, message
+                )
+            except Exception as exc:  # noqa: BLE001 - reported to the client
+                reply = Message(
+                    "error",
+                    {
+                        "error": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+            writer.write(encode_frame(encode_message(reply)))
+            await writer.drain()
+
+    # ------------------------------------------------------- query execution
+    def _answer(self, message: Message) -> Message:
+        """Run one client query on the worker thread; build its answer."""
+        method = message.meta.get("method")
+        kwargs = decode_payload(message.payload) if message.payload else {}
+        if not isinstance(kwargs, dict):
+            raise ServiceError(f"query kwargs must be a dict, got {type(kwargs)}")
+        value = self._dispatch(method, kwargs)
+        # Session-state methods (ingest, epoch boundaries, live estimates)
+        # meter on the session's long-lived network; everything else built a
+        # fresh per-query network through the transport.
+        if method in _SESSION_STATE_METHODS and self._session is not None:
+            network = self._session.network
+        else:
+            network = self._transport.last_network
+        report = network.service_report() if network is not None else None
+        return Message(
+            "answer",
+            {"method": method},
+            encode_payload({"result": value, "service": report}),
+        )
+
+    def _dispatch(self, method: str, kwargs: dict) -> Any:
+        if method in QUERY_METHODS:
+            return getattr(self._estimator, method)(**kwargs)
+        if method == "info":
+            return {
+                "k": self.num_sites,
+                "b_shape": list(self.b.shape),
+                "seed": self.seed,
+                "is_binary": self._estimator.is_binary,
+                "row_counts": [
+                    int(self._shards[i].shape[0]) for i in range(self.num_sites)
+                ],
+            }
+        if method == "stream_open":
+            self._session = self._estimator.stream(**kwargs)
+            return {"epoch": self._session.epoch, "sites": self._session.num_sites}
+        session = self._session
+        if session is None and method.startswith("stream_"):
+            raise ServiceError("no streaming session is open (send stream_open first)")
+        if method == "stream_ingest":
+            site = int(kwargs["site"])
+            session.ingest(site, kwargs["rows"], kwargs["deltas"])
+            return {"epoch": session.epoch}
+        if method == "stream_end_epoch":
+            return session.end_epoch(**kwargs)
+        if method == "stream_sync":
+            return session.sync()
+        if method == "stream_total_upload_bytes":
+            return session.total_upload_bytes
+        if method in {f"stream_{name}" for name in STREAM_LIVE_METHODS}:
+            return getattr(session, method[len("stream_") :])(**kwargs)
+        if method in {f"stream_{name}" for name in STREAM_QUERY_METHODS}:
+            return getattr(session, method[len("stream_") :])(**kwargs)
+        raise ServiceError(f"unknown query method {method!r}")

@@ -1,0 +1,353 @@
+"""Transport adapters that put the engine on real sockets.
+
+Three pieces turn an in-process protocol execution into a distributed one
+without touching a line of protocol code:
+
+:class:`RemoteNetwork`
+    A :class:`~repro.comm.network.Network` whose :meth:`send` *also*
+    transmits the message over the corresponding site's TCP connection.
+    Downstream messages are pushed to the site (which acks with the byte
+    count it observed on its socket); upstream messages are pushed back by
+    the *site* — the server hands the site a control copy (``relay``) and
+    the site emits the actual ``msg`` frame, so the payload bytes
+    physically travel site -> server and are counted off the server's
+    socket.  Every payload crossing is digest-checked, so a transport that
+    corrupted or dropped a single byte fails loudly.
+
+    The network keeps **three** independent meters:
+
+    * the inherited simulated meter — the paper-convention formula bits,
+      bit-identical to an in-process run of the same protocol;
+    * a *wire meter* (same round structure) charging 8 bits per actually
+      encoded payload byte — the service's billing convention, and the
+      convention the streaming runtime already uses in-process;
+    * *observed* byte counters per link per round, measured at the socket
+      (server-side reads for upstream, site-side reads for downstream).
+
+    The service invariant, asserted in ``tests/service/``:
+    ``observed_bytes * 8 == wire-meter bits`` on every link and in every
+    round — and for streaming payloads (already encoded bytes, charged
+    8 bits/byte in-process too) all three meters coincide exactly.
+
+:class:`RemoteRuntime`
+    A :class:`~repro.engine.runtime.Runtime` whose :meth:`map` fans the
+    engine's picklable per-site tasks out to the site processes (round
+    robin, pipelined) instead of a local pool.  Results return in task
+    order and generators round-trip exactly as under the ``processes``
+    executor, so outputs stay bit-identical.
+
+:class:`SocketTransport`
+    The :class:`~repro.comm.transport.Transport` gluing both to a set of
+    live site links; plugged into the estimator facades via their
+    ``transport=`` parameter.
+
+The :class:`SiteLink` interface is the thin seam to the event loop: the
+asyncio server implements it with ``run_coroutine_threadsafe`` bridges
+(queries execute on a worker thread while the loop owns the sockets).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.comm.accounting import MessageLog
+from repro.comm.conditions import NetworkConditions
+from repro.comm.network import DOWNSTREAM, UPSTREAM, Network
+from repro.comm.transport import Transport
+from repro.engine.runtime import Runtime
+from repro.service.messages import (
+    PAYLOAD_TAG_BYTES,
+    Message,
+    ServiceError,
+    decode_payload,
+    encode_payload,
+)
+
+__all__ = ["RemoteNetwork", "RemoteRuntime", "SiteLink", "SocketTransport"]
+
+
+def payload_digest(blob: bytes) -> str:
+    """Digest used to verify payload bytes across a socket crossing."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+class SiteLink:
+    """One live coordinator<->site connection, as the adapters see it.
+
+    Implementations (the asyncio server) provide a thread-safe, FIFO
+    request/reply primitive plus the socket-observed byte counters for
+    *upstream* ``msg`` frames (the server counts those off its own reads;
+    downstream observations come back in the site's acks and are recorded
+    here by the :class:`RemoteNetwork`).
+    """
+
+    site_name: str
+
+    def request(self, message: Message) -> Message:
+        """Send one message and block for its reply (FIFO per link)."""
+        raise NotImplementedError
+
+    def submit(self, message: Message):
+        """Send one message, return a future for its reply (pipelined)."""
+        raise NotImplementedError
+
+    def take_observed_upstream(self) -> list[tuple[int, int]]:
+        """Drain ``(round, payload_bytes)`` records of upstream ``msg``
+        frames counted off the server's socket since the last call."""
+        raise NotImplementedError
+
+
+class RemoteNetwork(Network):
+    """A metered star whose messages additionally travel over real sockets."""
+
+    def __init__(
+        self,
+        site_names: Sequence[str],
+        coordinator_name: str = "coordinator",
+        *,
+        conditions: NetworkConditions | None = None,
+        links: Mapping[str, SiteLink],
+    ) -> None:
+        super().__init__(site_names, coordinator_name, conditions=conditions)
+        missing = [name for name in self.site_names if name not in links]
+        if missing:
+            raise ServiceError(
+                f"no live site connection for {missing}; registered links: "
+                f"{sorted(links)}"
+            )
+        self._site_links = {name: links[name] for name in self.site_names}
+        self.wire_log = MessageLog()
+        self.wire_links: dict[str, MessageLog] = {
+            name: MessageLog() for name in self.site_names
+        }
+        #: Socket-observed payload bytes, per link and per (link, round).
+        self.observed_link_bytes: Counter[str] = Counter()
+        self.observed_round_bytes: dict[str, Counter[int]] = {
+            name: Counter() for name in self.site_names
+        }
+        self._notified_round: dict[str, int] = {name: 0 for name in self.site_names}
+
+    # ------------------------------------------------------------------ send
+    def send(
+        self,
+        sender: str,
+        receiver: str,
+        payload: Any,
+        *,
+        label: str = "",
+        bits: int | None = None,
+        universe: int | None = None,
+    ) -> Any:
+        result = super().send(
+            sender, receiver, payload, label=label, bits=bits, universe=universe
+        )
+        record = self.log.messages[-1]  # bits + aggregate round as charged
+        downstream = sender == self.coordinator_name
+        site = receiver if downstream else sender
+        link = self._site_links[site]
+
+        if self._notified_round[site] != record.round_index:
+            # Open the aggregate round on this link before its first burst,
+            # so both endpoints attribute observed bytes to the same round.
+            self._notified_round[site] = record.round_index
+            opened = link.request(Message("round", {"round": record.round_index}))
+            if opened.type != "ack":
+                raise ServiceError(
+                    f"site {site!r} answered a round open with {opened.type!r}"
+                )
+
+        blob = encode_payload(payload)
+        # The 1-byte codec tag is envelope (like the frame header and meta):
+        # both the wire meter and the observed counters measure the codec
+        # body, so a streaming delta of n bytes meters as n bytes here too.
+        body_bytes = len(blob) - PAYLOAD_TAG_BYTES
+        digest = payload_digest(blob)
+        meta = {
+            "label": label,
+            "bits": record.bits,
+            "round": record.round_index,
+            "digest": digest,
+        }
+        if downstream:
+            reply = link.request(Message("msg", meta, blob))
+            if reply.type != "ack":
+                raise ServiceError(
+                    f"site {site!r} answered a downstream msg with {reply.type!r}: "
+                    f"{reply.meta}"
+                )
+            observed = int(reply.meta["observed"])
+            if observed != body_bytes or reply.meta.get("digest") != digest:
+                raise ServiceError(
+                    f"downstream payload to {site!r} corrupted in transit: sent "
+                    f"{body_bytes} bytes ({digest[:12]}...), site observed "
+                    f"{observed} ({str(reply.meta.get('digest'))[:12]}...)"
+                )
+            self.observed_link_bytes[site] += observed
+            self.observed_round_bytes[site][record.round_index] += observed
+        else:
+            reply = link.request(Message("relay", meta, blob))
+            if reply.type != "msg":
+                raise ServiceError(
+                    f"site {site!r} answered a relay with {reply.type!r}: "
+                    f"{reply.meta}"
+                )
+            if payload_digest(reply.payload) != digest:
+                raise ServiceError(
+                    f"upstream payload from {site!r} corrupted in transit"
+                )
+            # The payload decoded from the socket bytes must reconstruct
+            # the value bit-exactly; a codec that silently lost precision
+            # would otherwise hide behind the server-side original.
+            decode_payload(reply.payload)
+            for round_index, nbytes in link.take_observed_upstream():
+                self.observed_link_bytes[site] += nbytes
+                self.observed_round_bytes[site][round_index] += nbytes
+
+        # The wire meter flips rounds on the same direction changes as the
+        # simulated log, so both meters share one round structure.
+        self.wire_log.record(
+            sender,
+            receiver,
+            None,
+            label=label,
+            bits=8 * body_bytes,
+            direction_key=DOWNSTREAM if downstream else UPSTREAM,
+        )
+        self.wire_links[site].record(
+            sender, receiver, None, label=label, bits=8 * body_bytes
+        )
+        return result
+
+    # ------------------------------------------------------------ accounting
+    def wire_link_bits(self) -> dict[str, int]:
+        """Per-link wire-metered bits (8 per encoded payload byte)."""
+        return {name: log.total_bits for name, log in self.wire_links.items()}
+
+    @property
+    def observed_total_bytes(self) -> int:
+        """Socket-observed payload bytes over all links."""
+        return sum(self.observed_link_bytes.values())
+
+    def service_report(self) -> dict[str, Any]:
+        """The observed-vs-metered summary shipped with every answer."""
+        return {
+            "rounds": self.rounds,
+            "simulated_bits": self.total_bits,
+            "simulated_link_bits": self.link_bits(),
+            "wire_bits": self.wire_log.total_bits,
+            "wire_link_bits": self.wire_link_bits(),
+            "wire_round_bits": self.wire_log.bits_per_round(),
+            "observed_bytes": self.observed_total_bytes,
+            "observed_link_bytes": dict(self.observed_link_bytes),
+            "observed_round_bytes": {
+                name: dict(rounds)
+                for name, rounds in self.observed_round_bytes.items()
+            },
+        }
+
+    def reset(self) -> None:
+        super().reset()
+        self.wire_log.reset()
+        for log in self.wire_links.values():
+            log.reset()
+        self.observed_link_bytes.clear()
+        for rounds in self.observed_round_bytes.values():
+            rounds.clear()
+        self._notified_round = {name: 0 for name in self.site_names}
+
+
+class RemoteRuntime(Runtime):
+    """Fans the engine's per-site tasks out to the site processes.
+
+    The sends/merges of every protocol stay serial on the coordinator (the
+    runtime contract), so the only difference from the ``processes``
+    executor is *where* the fan-out tasks run: task arguments pickle out to
+    a site agent over TCP and results pickle back, in task order, with the
+    generator round-tripping of :meth:`~repro.engine.runtime.Runtime
+    .map_sites` working unchanged.  Outputs are therefore bit-identical to
+    every other executor (the pinned PR 5 contract).
+    """
+
+    def __init__(self, transport: "SocketTransport", *, dropout: str = "fail") -> None:
+        super().__init__("serial", dropout=dropout)
+        self._transport = transport
+
+    def map(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> list[Any]:
+        if not tasks:
+            return []
+        return self._transport.run_tasks(fn, tasks)
+
+
+class SocketTransport(Transport):
+    """Builds :class:`RemoteNetwork` instances over a set of live links.
+
+    ``links`` maps canonical site names (``site-0`` ... ``site-{k-1}``) to
+    their connections.  One transport serves many protocol runs; each run
+    builds a fresh network (fresh meters) over the same connections, and a
+    dropout-excluded run simply passes the surviving subset of names.
+    """
+
+    def __init__(self, links: Mapping[str, SiteLink]) -> None:
+        self._links = dict(links)
+        #: The most recently built network — the server reads its
+        #: :meth:`RemoteNetwork.service_report` after each query (queries
+        #: are serialized on one worker, so "last" is unambiguous).
+        self.last_network: RemoteNetwork | None = None
+
+    @property
+    def links(self) -> dict[str, SiteLink]:
+        return dict(self._links)
+
+    def runtime(self, *, dropout: str = "fail") -> RemoteRuntime:
+        """A runtime fanning per-site tasks out over these links."""
+        return RemoteRuntime(self, dropout=dropout)
+
+    def build_network(
+        self,
+        site_names: Sequence[str],
+        coordinator_name: str,
+        conditions: NetworkConditions | None = None,
+    ) -> RemoteNetwork:
+        network = RemoteNetwork(
+            site_names, coordinator_name, conditions=conditions, links=self._links
+        )
+        self.last_network = network
+        return network
+
+    # ------------------------------------------------------------- fan-out
+    def run_tasks(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> list[Any]:
+        """Run ``fn(*task)`` for every task on the site agents, in order.
+
+        Tasks are dealt round-robin across the live links and pipelined
+        (all submitted before any reply is awaited); replies are collected
+        in task order.
+        """
+        if not getattr(fn, "__module__", "").startswith("repro."):
+            raise ServiceError(
+                f"refusing to dispatch non-repro task function {fn!r} to a "
+                f"site agent"
+            )
+        spec = f"{fn.__module__}:{fn.__qualname__}"
+        ordered_links = [self._links[name] for name in sorted(self._links)]
+        futures = [
+            ordered_links[index % len(ordered_links)].submit(
+                Message("task", {"fn": spec}, encode_payload(tuple(task)))
+            )
+            for index, task in enumerate(tasks)
+        ]
+        results = []
+        for future in futures:
+            reply = future.result()
+            if reply.type == "error":
+                raise ServiceError(
+                    f"site task {spec} failed remotely: "
+                    f"{reply.meta.get('error')}: {reply.meta.get('message')}"
+                )
+            if reply.type != "task_result":
+                raise ServiceError(
+                    f"site answered a task with {reply.type!r}: {reply.meta}"
+                )
+            results.append(decode_payload(reply.payload))
+        return results

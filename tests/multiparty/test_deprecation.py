@@ -3,9 +3,9 @@
 The ``protocols`` shim must warn **exactly once per import**, attribute the
 warning to the importing code (not to the frozen importlib machinery), and
 keep every historical name resolving to the engine implementation it
-aliases.  The ``network`` shim is a silent alias (no warning — it predates
-the warning policy) scheduled for removal; its aliasing behaviour is pinned
-here so the eventual removal is a deliberate, test-visible act.
+aliases.  The ``repro.multiparty.network`` alias module completed its
+scheduled removal: importing it must now fail, pinned below so the import
+error is a deliberate contract rather than an accident.
 """
 
 from __future__ import annotations
@@ -100,35 +100,21 @@ class TestDeprecationShim:
             assert getattr(pkg, name) is getattr(shim, name)
 
 
-class TestNetworkAlias:
-    """``repro.multiparty.network``: the silent alias slated for removal.
+class TestNetworkAliasRemoved:
+    """``repro.multiparty.network`` completed its scheduled removal.
 
-    The star network moved to ``repro.comm.network`` in the engine
-    unification; this module re-exports it verbatim.  Pinning the aliasing
-    keeps historical imports working until the module is removed (see the
-    README migration note) — and makes the removal show up as a test edit.
+    The alias was pinned while it lived; now its *absence* is pinned: the
+    import must fail (no lingering module cache, no resurrected shim), and
+    the canonical home keeps exporting everything the alias once did.
     """
 
-    def test_is_a_pure_alias_of_the_comm_network(self):
-        import repro.comm.network as canonical
-        import repro.multiparty.network as legacy
-
-        assert legacy.Network is canonical.Network
-        assert legacy.UPSTREAM is canonical.UPSTREAM
-        assert legacy.DOWNSTREAM is canonical.DOWNSTREAM
-
-    def test_every_advertised_name_resolves(self):
-        import repro.multiparty.network as legacy
-
-        assert sorted(legacy.__all__) == ["DOWNSTREAM", "Network", "UPSTREAM"]
-        for name in legacy.__all__:
-            assert getattr(legacy, name) is not None
-
-    def test_imports_silently(self):
-        """No warning today: pinned so adding one (or removing the module)
-        is a conscious, test-visible change."""
+    def test_the_alias_module_is_gone(self):
         sys.modules.pop("repro.multiparty.network", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
+        with pytest.raises(ModuleNotFoundError):
             import repro.multiparty.network  # noqa: F401
-        assert caught == []
+
+    def test_canonical_home_still_exports_everything(self):
+        import repro.comm.network as canonical
+
+        for name in ("Network", "UPSTREAM", "DOWNSTREAM"):
+            assert getattr(canonical, name) is not None

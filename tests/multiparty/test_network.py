@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.comm.channel import Channel
-from repro.multiparty.network import Network
+from repro.comm.network import Network
 
 
 def random_two_party_trace(seed: int, length: int = 40):

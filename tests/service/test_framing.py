@@ -1,0 +1,136 @@
+"""Framing: any byte-level chunking of a framed stream reassembles identically.
+
+TCP guarantees bytes in order but says nothing about read boundaries, so
+the frame decoder must be invariant to how the stream is sliced — that is
+the hypothesis property here.  The adversarial cases pin the loud-failure
+contract: wrong magic, wrong version, oversize length and truncated tails
+all raise :class:`~repro.comm.framing.FramingError`, never garbage frames.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.framing import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FramingError,
+    decode_frames,
+    encode_frame,
+)
+
+
+class TestRoundTrip:
+    def test_single_frame(self):
+        assert decode_frames(encode_frame(b"hello")) == [b"hello"]
+
+    def test_empty_body(self):
+        assert decode_frames(encode_frame(b"")) == [b""]
+
+    def test_concatenated_frames_decode_in_order(self):
+        bodies = [b"a", b"", b"yz" * 100, b"\x00\xff"]
+        stream = b"".join(encode_frame(body) for body in bodies)
+        assert decode_frames(stream) == bodies
+
+    def test_header_size_is_documented(self):
+        assert len(encode_frame(b"")) == HEADER_BYTES
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    bodies=st.lists(st.binary(max_size=200), max_size=8),
+    data=st.data(),
+)
+def test_any_chunking_reassembles_identically(bodies, data):
+    """The load-bearing property: chunk boundaries are invisible."""
+    stream = b"".join(encode_frame(body) for body in bodies)
+    cuts = sorted(
+        data.draw(
+            st.lists(st.integers(0, len(stream)), max_size=30),
+            label="cut points",
+        )
+    )
+    edges = [0, *cuts, len(stream)]
+    decoder = FrameDecoder()
+    reassembled = []
+    for start, end in zip(edges, edges[1:]):
+        reassembled.extend(decoder.feed(stream[start:end]))
+    decoder.close()
+    assert reassembled == bodies
+    assert decoder.pending == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(body=st.binary(max_size=300), drop=st.integers(min_value=1, max_value=50))
+def test_truncated_tail_raises_on_close(body, drop):
+    frame = encode_frame(body)
+    decoder = FrameDecoder()
+    decoder.feed(frame[: max(0, len(frame) - drop)])
+    if decoder.pending:
+        with pytest.raises(FramingError, match="incomplete frame"):
+            decoder.close()
+    else:
+        decoder.close()  # the drop swallowed whole frames only
+
+
+class TestAdversarial:
+    def test_bad_magic_raises_immediately(self):
+        with pytest.raises(FramingError, match="magic"):
+            FrameDecoder().feed(b"XX\x01\x00\x00\x00\x00")
+
+    def test_bad_version_raises_immediately(self):
+        with pytest.raises(FramingError, match="version"):
+            FrameDecoder().feed(b"RP\x07\x00\x00\x00\x00")
+
+    def test_oversize_declared_length_raises_before_buffering(self):
+        length = (MAX_FRAME_BYTES + 1).to_bytes(4, "little")
+        with pytest.raises(FramingError, match="cap"):
+            FrameDecoder().feed(b"RP\x01" + length)
+
+    def test_oversize_body_refused_at_encode(self):
+        class _FakeLen(bytes):
+            def __len__(self):
+                return MAX_FRAME_BYTES + 1
+
+        with pytest.raises(FramingError, match="cap"):
+            encode_frame(_FakeLen())
+
+    def test_garbage_after_valid_frame_raises(self):
+        with pytest.raises(FramingError, match="magic"):
+            decode_frames(encode_frame(b"ok") + b"garbage")
+
+
+class TestSocketRoundTrip:
+    def test_frames_survive_a_real_socket_in_dribbled_chunks(self):
+        """End to end over an actual OS socket pair, written byte by byte."""
+        bodies = [b"alpha", b"", b"\x00" * 257, bytes(range(256))]
+        stream = b"".join(encode_frame(body) for body in bodies)
+        left, right = socket.socketpair()
+        try:
+            received = []
+            decoder = FrameDecoder()
+            # Dribble in tiny writes to force chunk boundaries mid-header.
+            for start in range(0, len(stream), 3):
+                left.sendall(stream[start : start + 3])
+                while True:
+                    right.setblocking(False)
+                    try:
+                        chunk = right.recv(4096)
+                    except BlockingIOError:
+                        break
+                    finally:
+                        right.setblocking(True)
+                    received.extend(decoder.feed(chunk))
+            left.shutdown(socket.SHUT_WR)
+            while chunk := right.recv(4096):
+                received.extend(decoder.feed(chunk))
+            decoder.close()
+            assert received == bodies
+        finally:
+            left.close()
+            right.close()

@@ -177,6 +177,100 @@ class TestFramingErrors:
         assert wire.payload_bits(blob) == 8 * len(blob)
 
 
+class TestRobustness:
+    """Adversarial input never escapes as anything but WireFormatError.
+
+    These payloads cross process boundaries in the service layer, so the
+    decoder is a trust boundary: truncation at *every* byte, corrupt names
+    and corrupt shape fields must all fail loudly and cheaply — no struct
+    or numpy exceptions, no gigabyte allocations driven by a corrupt header.
+    """
+
+    @staticmethod
+    def _blobs():
+        sparse_state = np.zeros(4096, dtype=np.int64)
+        sparse_state[[5, 99]] = [7, -3]
+        return [
+            (wire.encode_array(np.linspace(-1.0, 1.0, 37)), wire.decode_array),
+            (wire.encode_array(sparse_state), wire.decode_array),
+            (
+                wire.encode_bundle(
+                    {"ams": np.arange(24, dtype=float), "l0": sparse_state, "gap": None}
+                ),
+                wire.decode_bundle,
+            ),
+        ]
+
+    def test_every_strict_prefix_raises(self):
+        for blob, decode in self._blobs():
+            for cut in range(len(blob)):
+                with pytest.raises(wire.WireFormatError):
+                    decode(blob[:cut])
+
+    def test_trailing_garbage_after_bundle_rejected(self):
+        blob = wire.encode_bundle({"ams": np.arange(4, dtype=np.int64)})
+        with pytest.raises(wire.WireFormatError, match="trailing"):
+            wire.decode_bundle(blob + b"\x00")
+
+    def test_non_utf8_record_name_rejected(self):
+        import struct
+
+        record = wire.encode_array(np.arange(3, dtype=np.int64))
+        blob = (
+            struct.pack("<2sBB", b"RS", 1, 1)
+            + struct.pack("<B", 2)
+            + b"\xff\xfe"  # not valid UTF-8
+            + struct.pack("<I", len(record))
+            + record
+        )
+        with pytest.raises(wire.WireFormatError, match="UTF-8"):
+            wire.decode_bundle(blob)
+
+    def test_sparse_decode_size_cap(self):
+        """A corrupt shape must be refused before any dense materialization."""
+        import struct
+
+        dim = (1 << 27) + 1  # 2**27+1 int64 entries > 1 GiB cap, < uint32
+        blob = (
+            struct.pack("<2sBB", b"RS", 1, 2)  # sparse record
+            + struct.pack("<BBB", 4, 4, 1)  # orig int64, wire int64, ndim 1
+            + struct.pack("<I", dim)
+        )
+        with pytest.raises(wire.WireFormatError, match="cap"):
+            wire.decode_array(blob)
+
+    def test_sparse_decode_size_cap_accounts_for_widening(self):
+        """int8 on the wire decoding into int64 is charged at int64 width."""
+        import struct
+
+        dim = (1 << 27) + 1  # fits the cap as int8, busts it widened to int64
+        blob = (
+            struct.pack("<2sBB", b"RS", 1, 2)
+            + struct.pack("<BBB", 4, 1, 1)  # orig int64, wire int8, ndim 1
+            + struct.pack("<I", dim)
+        )
+        with pytest.raises(wire.WireFormatError, match="cap"):
+            wire.decode_array(blob)
+
+    def test_seeded_mutation_fuzz_only_raises_wireformaterror(self, monkeypatch):
+        # A small cap keeps fuzz-survivor sparse records from allocating
+        # hundreds of megabytes per trial; the guard itself is under test.
+        monkeypatch.setattr(wire, "MAX_DECODE_BYTES", 1 << 20)
+        rng = np.random.default_rng(20260808)
+        cases = self._blobs()
+        for _ in range(300):
+            blob, decode = cases[int(rng.integers(len(cases)))]
+            corrupt = bytearray(blob)
+            for _ in range(int(rng.integers(1, 4))):
+                corrupt[int(rng.integers(len(corrupt)))] = int(rng.integers(256))
+            if rng.integers(4) == 0:
+                corrupt = corrupt[: int(rng.integers(len(corrupt) + 1))]
+            try:
+                decode(bytes(corrupt))  # a lucky mutation may still decode
+            except wire.WireFormatError:
+                pass  # the only acceptable failure mode
+
+
 class TestPropertyRoundTrips:
     @given(
         array=hnp.arrays(
