@@ -350,18 +350,24 @@ def bench_streaming_epoch(metrics: dict) -> None:
 
 
 def bench_runtime_executors(metrics: dict) -> None:
-    """Serial vs threads vs processes: k-site ingest + query wall-clock.
+    """Serial vs threads vs processes: k-site ingest, query and epoch clock.
 
     *Ingest* is the one-round ``l0_sample`` protocol (every site pushes its
     whole shard through two sketches — the engine's ``update_many`` fan-out);
     *query* is the two-round ``lp_norm(p=2)`` protocol (matmul-heavy per-site
-    round 2).  All three executors produce bit-identical transcripts (pinned
-    in ``tests/engine/test_runtime.py``), so the only thing that varies here
-    is wall-clock.  Speedups are recorded relative to serial; on single-core
-    hosts they hover around 1x, which the run record states honestly via its
-    top-level ``cpu_count`` field.
+    round 2); *stream epoch* is a full ``StreamingSession`` epoch (ingest
+    every site + close), additionally run in **resident mode**
+    (``persistent=True``: pinned workers + shared-memory state, the
+    ``-persistent`` variants).  All executors produce bit-identical
+    transcripts (pinned in ``tests/engine/test_runtime.py`` and
+    ``tests/engine/test_runtime_pool.py``), so the only thing that varies
+    here is wall-clock.  Every record carries ``workers`` and
+    ``rows_per_sec_per_worker`` so scaling efficiency is first-class;
+    speedups are recorded relative to serial — on single-core hosts they
+    hover around 1x, which the run record states honestly via its top-level
+    ``cpu_count`` field.
     """
-    from repro.engine import Runtime
+    from repro.engine import Runtime, StreamingSession
     from repro.multiparty import ClusterEstimator
 
     k = 4
@@ -378,6 +384,7 @@ def bench_runtime_executors(metrics: dict) -> None:
     }
     for executor in ("serial", "threads", "processes"):
         runtime = Runtime(executor, max_workers=k)
+        workers = 1 if executor == "serial" else k
         cluster = ClusterEstimator.from_matrix(a, b, k, seed=11, runtime=runtime)
         for leg, query in legs.items():
             seconds = timed(lambda q=query, c=cluster: q(c), repeats)
@@ -389,8 +396,49 @@ def bench_runtime_executors(metrics: dict) -> None:
                 "config": {"rows": rows, "inner": inner, "sites": k},
                 "seconds": seconds,
                 "rows_per_sec": rows / seconds,
+                "workers": workers,
+                "rows_per_sec_per_worker": rows / seconds / workers,
             }
         runtime.close()
+
+    # Streaming epoch: serial, plain pools, and the resident
+    # (persistent=True) mode the pools exist for.
+    variants = [
+        ("serial", "serial", False),
+        ("threads", "threads", False),
+        ("threads-persistent", "threads", True),
+        ("processes", "processes", False),
+        ("processes-persistent", "processes", True),
+    ]
+    site_rows = rows // k
+    row_starts = [k_i * site_rows for k_i in range(k)]
+    batch = rng.integers(-2, 3, size=(site_rows, inner)).astype(np.int64)
+    for variant, executor, persistent in variants:
+        runtime = (
+            None
+            if executor == "serial"
+            else Runtime(executor, max_workers=k, persistent=persistent)
+        )
+        workers = 1 if executor == "serial" else k
+        session = StreamingSession([site_rows] * k, b, seed=11, runtime=runtime)
+
+        def one_epoch():
+            for site, start in enumerate(row_starts):
+                session.ingest(site, start + np.arange(site_rows), batch)
+            session.end_epoch()
+
+        one_epoch()  # warm (resident workers spin up here)
+        seconds = timed(one_epoch, repeats)
+        metrics[f"runtime/stream_epoch/{variant}"] = {
+            "config": {"rows": rows, "inner": inner, "sites": k},
+            "seconds": seconds,
+            "rows_per_sec": rows / seconds,
+            "workers": workers,
+            "rows_per_sec_per_worker": rows / seconds / workers,
+        }
+        session.close()
+        if runtime is not None:
+            runtime.close()
 
 
 def bench_service(metrics: dict) -> None:
@@ -473,14 +521,29 @@ def compute_service_overheads(metrics: dict) -> dict:
 
 
 def compute_runtime_speedups(metrics: dict) -> dict:
-    """Wall-clock speedup of each concurrent executor over serial, per leg."""
+    """Speedup over serial per leg, plus per-worker parallel efficiency.
+
+    ``<leg>/<variant>`` is wall-clock speedup vs the serial leg;
+    ``<leg>/<variant>/efficiency`` divides it by the worker count (1.0 =
+    perfect linear scaling; ~1/workers on a single-core host).
+    """
     speedups = {}
-    for leg in ("ingest_l0_sample", "query_lp2"):
+    variants = (
+        "threads",
+        "processes",
+        "threads-persistent",
+        "processes-persistent",
+    )
+    for leg in ("ingest_l0_sample", "query_lp2", "stream_epoch"):
         base = metrics.get(f"runtime/{leg}/serial")
-        for executor in ("threads", "processes"):
-            record = metrics.get(f"runtime/{leg}/{executor}")
+        for variant in variants:
+            record = metrics.get(f"runtime/{leg}/{variant}")
             if base and record:
-                speedups[f"{leg}/{executor}"] = base["seconds"] / record["seconds"]
+                speedup = base["seconds"] / record["seconds"]
+                speedups[f"{leg}/{variant}"] = speedup
+                workers = record.get("workers")
+                if workers:
+                    speedups[f"{leg}/{variant}/efficiency"] = speedup / workers
     return speedups
 
 
@@ -680,8 +743,13 @@ def main() -> int:
         args.output.write_text(json.dumps(history, indent=1) + "\n")
         print(f"appended {mode} run to {args.output}")
         if args.runtime:
+            from repro.engine.runtime import _default_workers
+            from repro.sketch._native import current_backend
+
             runtime_record = stamp(runtime_metrics, runtime_speedups)
             runtime_record["cpu_count"] = os.cpu_count() or 1
+            runtime_record["default_workers"] = _default_workers()
+            runtime_record["kernel_backend"] = current_backend()
             runtime_history.setdefault("runs", []).append(runtime_record)
             args.runtime_output.write_text(json.dumps(runtime_history, indent=1) + "\n")
             print(f"appended {mode} run to {args.runtime_output}")

@@ -10,6 +10,14 @@ real encoded bytes instead of formula-estimated bits), and the coordinator
 keeps live estimates of ``C = A B`` — ``l_p`` norms, support size, heavy
 hitters, support samples — between syncs.
 
+Under a persistent concurrent runtime (``Runtime(persistent=True)``) the
+session runs in *resident mode*: per-site state lives in dedicated workers
+on shared-memory buffers, ingestion is applied asynchronously in those
+workers, and epoch boundaries merge the deltas zero-copy while the workers
+encode the wire payloads concurrently.  Every output — estimates, payload
+bytes, network meters, epoch reports — is bit-identical to the serial
+session; resident mode is purely a throughput mode.
+
 Refresh policies
 ----------------
 ``"every-epoch"``
@@ -66,8 +74,9 @@ from repro.sketch.ams import AmsSketch
 from repro.sketch.countsketch import CountSketch
 from repro.sketch.l0_sampler import L0Sampler
 from repro.sketch.l0_sketch import L0Sketch
+from repro.sketch import shm as _shm
 from repro.sketch.mergeable import MergeableSketch
-from repro.sketch.serialization import deserialize_deltas, serialize_deltas
+from repro.sketch.serialization import serialize_deltas
 
 __all__ = ["EpochReport", "REFRESH_POLICIES", "StreamingSession"]
 
@@ -81,6 +90,12 @@ DELTA_LABEL = "stream/delta"
 
 #: Fixed order of the monitored sketch families inside a delta bundle.
 FAMILIES = ("ams", "l0", "sampler", "countsketch")
+
+#: Resident mode: maximum un-drained submissions per site worker.  Each
+#: completed task leaves a small queued reply in the worker→coordinator
+#: pipe; draining every so often keeps both pipe buffers bounded (an
+#: unbounded backlog could fill them and deadlock the pair).
+_MAX_INFLIGHT = 64
 
 
 
@@ -103,21 +118,33 @@ class EpochReport:
 
 
 class _SiteStream:
-    """One site's streaming state: accumulated shard + pending sketch deltas."""
+    """One site's streaming state: accumulated shard + pending sketch deltas.
+
+    In resident mode (``Runtime(persistent=True)`` with a concurrent
+    executor) the shard and pending sketch states live inside a dedicated
+    worker instead: ``shard`` becomes the coordinator's view of the
+    worker's shared-memory segment and ``pending`` is ``None`` — only the
+    shipping counters stay here, so the refresh policy never needs a
+    round-trip.
+    """
 
     def __init__(
         self,
+        index: int,
         name: str,
         row_offset: int,
         num_rows: int,
         inner_dim: int,
         templates: dict[str, MergeableSketch],
     ) -> None:
+        self.index = index
         self.name = name
         self.row_offset = row_offset
         self.num_rows = num_rows
         self.shard = np.zeros((num_rows, inner_dim), dtype=np.int64)
-        self.pending = {key: sketch.empty_copy() for key, sketch in templates.items()}
+        self.pending: dict[str, MergeableSketch] | None = {
+            key: sketch.empty_copy() for key, sketch in templates.items()
+        }
         self.pending_updates = 0
         self.pending_mass = 0.0
         self.shipped_mass = 0.0
@@ -146,13 +173,98 @@ class _SiteStream:
         The serialization half is :func:`repro.sketch.serialization
         .serialize_deltas` (fanned out by ``end_epoch``); splitting the two
         halves is what lets the encoding run in a worker process while the
-        reset stays in the parent.
+        reset stays in the parent.  In resident mode only the counters live
+        here — the sketch reset is a :func:`_w_reset` submitted to the
+        site's worker.
         """
-        for sketch in self.pending.values():
-            sketch.load_state_array(None)
+        if self.pending is not None:
+            for sketch in self.pending.values():
+                sketch.load_state_array(None)
         self.shipped_mass += self.pending_mass
         self.pending_mass = 0.0
         self.pending_updates = 0
+
+
+# --------------------------------------------------------------- resident mode
+#
+# With a persistent concurrent runtime each site's streaming state is *pinned*
+# inside a dedicated resident worker: the accumulated shard and all four
+# pending sketch states are shared-memory arrays the worker scatters updates
+# into (``pin_state_buffer`` / ``pin_table_buffer``), so per-epoch IPC shrinks
+# to update batches in and payload bytes + counters out.  At an epoch boundary
+# the coordinator merges each shipping site's deltas straight out of its own
+# view of those segments — zero copies, no serialization on the merge path —
+# while the workers concurrently encode the identical state for the wire
+# (both sides only read until the post-merge reset is submitted; per-slot
+# FIFO ordering makes the reset safe).  The functions below are the worker
+# halves; they must stay module-level picklables for the process pool.
+
+
+def _resident_site_init(
+    buffers: dict[str, Any],
+    templates: dict[str, MergeableSketch],
+    row_offset: int,
+    untrack: bool,
+) -> dict[str, Any]:
+    """Build one site's worker-resident state around the shared buffers.
+
+    ``buffers`` maps ``"shard"`` and each sketch family to either a
+    :class:`repro.sketch.shm.ShmBlock` (process workers attach it) or a
+    ready numpy view (thread workers share the coordinator's address
+    space, so no attach round-trip is needed).
+    """
+    views: dict[str, np.ndarray] = {}
+    segments = []
+    for key, ref in buffers.items():
+        if isinstance(ref, _shm.ShmBlock):
+            view, segment = _shm.attach(ref, untrack=untrack)
+            segments.append(segment)
+        else:
+            view = ref
+        views[key] = view
+    pending: dict[str, MergeableSketch] = {}
+    for key, template in templates.items():
+        sketch = template.empty_copy()
+        if key == "countsketch":
+            sketch.pin_table_buffer(views[key])
+        else:
+            sketch.pin_state_buffer(views[key])
+        pending[key] = sketch
+    return {
+        "shard": views["shard"],
+        "row_offset": row_offset,
+        "pending": pending,
+        "segments": segments,  # keep the mappings alive for the worker's life
+    }
+
+
+def _w_ingest(state: dict[str, Any], rows: np.ndarray, deltas: np.ndarray) -> None:
+    """Apply one validated update batch to the worker-resident site state."""
+    np.add.at(state["shard"], rows - state["row_offset"], deltas)
+    for sketch in state["pending"].values():
+        sketch.update_many(rows, deltas)
+
+
+def _w_serialize(state: dict[str, Any]) -> bytes:
+    """Encode the pending deltas for the wire (reads the pinned state only)."""
+    return serialize_deltas(state["pending"])
+
+
+def _w_reset(state: dict[str, Any]) -> None:
+    """Reset the pending sketches after the coordinator merged their state."""
+    for sketch in state["pending"].values():
+        sketch.load_state_array(None)
+
+
+@dataclass
+class _ResidentSites:
+    """Coordinator-side handle to the resident site workers."""
+
+    pool: Any  # repro.engine.runtime.ResidentPool
+    arena: _shm.ShmArena
+    #: Per site: the coordinator's views of that site's shm buffers
+    #: (``"shard"`` + one per sketch family).
+    views: list[dict[str, np.ndarray]]
 
 
 class StreamingSession(EstimatorBase):
@@ -198,7 +310,14 @@ class StreamingSession(EstimatorBase):
         Optional :class:`repro.engine.runtime.Runtime`.  Delta
         serialization at epoch close fans out through it, and one-shot
         queries execute under it (executor choice + dropout policy for
-        queries issued while sites are dropped).
+        queries issued while sites are dropped).  A *persistent* runtime
+        with a concurrent executor switches the session into resident
+        mode: each site's shard and pending sketch states are pinned in a
+        dedicated worker, backed by shared memory the coordinator merges
+        from zero-copy (see the ``_resident_site_init`` block above).
+        Outputs, meters and transcripts are identical in every mode; call
+        :meth:`close` (or use the session as a context manager) to release
+        the workers and segments deterministically.
     conditions:
         Optional :class:`repro.comm.conditions.NetworkConditions` — the
         session's network then prices shipped deltas into a simulated
@@ -338,7 +457,8 @@ class StreamingSession(EstimatorBase):
         offsets = np.concatenate(([0], np.cumsum(row_counts)[:-1]))
         self.sites = [
             _SiteStream(
-                site_names[i], int(offsets[i]), row_counts[i], b.shape[0], self.templates
+                i, site_names[i], int(offsets[i]), row_counts[i], b.shape[0],
+                self.templates,
             )
             for i in range(k)
         ]
@@ -346,6 +466,98 @@ class StreamingSession(EstimatorBase):
         self.history: list[EpochReport] = []
         self._b_is_binary = is_binary_data(b)
         self._shards_binary_cache: bool | None = None
+        self._closed = False
+        self._resident: _ResidentSites | None = None
+        if (
+            self.runtime is not None
+            and self.runtime.persistent
+            and self.runtime.executor in ("threads", "processes")
+        ):
+            self._resident = self._build_resident(self.runtime)
+
+    def _build_resident(self, runtime: Runtime) -> _ResidentSites:
+        """Move every site's streaming state into a resident worker.
+
+        Each site gets shared-memory segments for its shard and the four
+        pending sketch states; the sketch layouts are probed with one
+        zero-valued update of an ``empty_copy`` (exactly the shape and
+        dtype real ingestion produces, and no randomness is consumed).
+        The coordinator keeps its own views for zero-copy merges; process
+        workers receive picklable block descriptors, thread workers the
+        views themselves.
+        """
+        m = self.b.shape[0]
+        layouts: dict[str, tuple[tuple[int, ...], np.dtype]] = {}
+        for key, template in self.templates.items():
+            probe = template.empty_copy()
+            probe.update_many(
+                np.zeros(1, dtype=np.int64), np.zeros((1, m), dtype=np.int64)
+            )
+            state = probe.state_array()
+            layouts[key] = (state.shape, state.dtype)
+        arena = _shm.ShmArena()
+        as_blocks = runtime.executor == "processes"
+        untrack = runtime._uses_spawn
+        views: list[dict[str, np.ndarray]] = []
+        init_tasks: list[tuple] = []
+        for site in self.sites:
+            specs: dict[str, tuple[tuple[int, ...], Any]] = {
+                "shard": ((site.num_rows, m), np.dtype(np.int64)),
+                **layouts,
+            }
+            site_views: dict[str, np.ndarray] = {}
+            refs: dict[str, Any] = {}
+            for key, (shape, dtype) in specs.items():
+                view, block = arena.allocate(shape, dtype)
+                site_views[key] = view
+                refs[key] = block if as_blocks else view
+            views.append(site_views)
+            init_tasks.append((refs, self.templates, site.row_offset, untrack))
+            site.shard = site_views["shard"]
+            site.pending = None
+        try:
+            pool = runtime.resident_pool(_resident_site_init, init_tasks)
+        except BaseException:
+            arena.close()
+            raise
+        return _ResidentSites(pool=pool, arena=arena, views=views)
+
+    def _drain_resident(self) -> None:
+        """Barrier: wait until every outstanding worker submission applied."""
+        if self._resident is None:
+            return
+        for slot in range(len(self.sites)):
+            self._resident.pool.drain(slot)
+
+    def close(self) -> None:
+        """Tear down resident mode, keeping the session queryable.
+
+        Drains the outstanding ingests, materializes the accumulated shards
+        back into coordinator memory, shuts the site workers down and
+        unlinks the shared-memory segments.  Idempotent, and a no-op for
+        non-resident sessions.  A closed session still answers one-shot and
+        live queries over what it accumulated, but further :meth:`ingest` /
+        :meth:`end_epoch` calls raise.
+        """
+        resident = self._resident
+        if resident is None:
+            return
+        self._resident = None
+        self._closed = True
+        try:
+            for slot in range(len(self.sites)):
+                resident.pool.drain(slot)
+        finally:
+            for site, site_views in zip(self.sites, resident.views):
+                site.shard = np.array(site_views["shard"])
+            resident.pool.close()
+            resident.arena.close()
+
+    def __enter__(self) -> "StreamingSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------- construct
     @property
@@ -363,13 +575,20 @@ class StreamingSession(EstimatorBase):
         if not self._b_is_binary:
             return False
         if self._shards_binary_cache is None:
+            self._drain_resident()
             self._shards_binary_cache = is_binary_data(
                 *(site.shard for site in self.sites)
             )
         return self._shards_binary_cache
 
     def shards(self) -> list[np.ndarray]:
-        """The accumulated per-site shards of ``A`` (global row order)."""
+        """The accumulated per-site shards of ``A`` (global row order).
+
+        In resident mode these are live shared-memory views of the worker
+        state; the call drains outstanding ingests first so readers always
+        see every update applied.
+        """
+        self._drain_resident()
         return [site.shard for site in self.sites]
 
     # ---------------------------------------------------------------- faults
@@ -413,6 +632,8 @@ class StreamingSession(EstimatorBase):
         bucket magnitudes also stay within the float64-exact ``2**53`` range
         — which is what makes streamed and one-shot summaries bit-identical.
         """
+        if self._closed:
+            raise RuntimeError("cannot ingest into a closed streaming session")
         if not 0 <= site < len(self.sites):
             raise ValueError(f"site index {site} out of range [0, {len(self.sites)})")
         target = self.sites[site]
@@ -449,7 +670,21 @@ class StreamingSession(EstimatorBase):
                 f"rows must lie in {target.name}'s range [{low}, {high})"
             )
         if rows.size:
-            target.ingest(rows, deltas)
+            if self._resident is not None:
+                # The sketch/shard work happens in the site's resident
+                # worker, asynchronously (the next drain point is the
+                # barrier); the shipping counters stay here so the refresh
+                # policy never needs a worker round-trip.  ``rows`` is
+                # copied because a thread worker reads it in place and the
+                # caller may reuse its buffer (``deltas`` is already a
+                # fresh ``astype`` copy).
+                if self._resident.pool.pending(site) >= _MAX_INFLIGHT:
+                    self._resident.pool.drain(site)
+                self._resident.pool.submit(site, _w_ingest, rows.copy(), deltas)
+                target.pending_updates += rows.shape[0]
+                target.pending_mass += float(np.abs(deltas).sum())
+            else:
+                target.ingest(rows, deltas)
             self._shards_binary_cache = None
 
     # ---------------------------------------------------------------- epochs
@@ -464,10 +699,17 @@ class StreamingSession(EstimatorBase):
         and the identity is restored by the first sync after every site is
         back.
 
-        Delta serialization fans out through the session's runtime; sends
-        and merges stay serial in site order, so the shipped bytes and the
-        merged summaries are executor-invariant.
+        Delta serialization runs *off the critical path*: it is dispatched
+        asynchronously through the session's runtime (or to the resident
+        site workers) and joined only after the coordinator has merged
+        every shipping delta — straight from the pending sketch states, or
+        in resident mode from shared-memory views of the worker state,
+        with no decode step in either case.  Merges and sends stay serial
+        in site order, so the shipped bytes and the merged summaries are
+        executor-invariant, byte for byte.
         """
+        if self._closed:
+            raise RuntimeError("cannot close an epoch on a closed streaming session")
         # Decide (and possibly fail) before any state mutates, so a raised
         # boundary leaves the epoch counter and history untouched.
         decisions: list[bool] = []
@@ -493,11 +735,38 @@ class StreamingSession(EstimatorBase):
             if ships:
                 shipping.append(site)
 
-        runtime = self.runtime if self.runtime is not None else SERIAL_RUNTIME
-        payloads = runtime.map(
-            serialize_deltas, [(site.pending,) for site in shipping]
-        )
-        payload_of = {site.name: payload for site, payload in zip(shipping, payloads)}
+        payload_of: dict[str, bytes] = {}
+        if shipping and self._resident is not None:
+            # Resident flow: drain the in-flight ingests, then let every
+            # shipping worker encode its payload while the coordinator
+            # merges the identical state zero-copy out of the shm views
+            # (both sides only read).  The per-slot FIFO guarantees the
+            # reset runs strictly after the serialization.
+            pool = self._resident.pool
+            self._drain_resident()
+            for site in shipping:
+                pool.submit(site.index, _w_serialize)
+            for site in shipping:
+                self._merge_site_views(self._resident.views[site.index])
+            for site in shipping:
+                payload_of[site.name] = pool.result(site.index)
+            for site in shipping:
+                pool.submit(site.index, _w_reset)
+        elif shipping:
+            runtime = self.runtime if self.runtime is not None else SERIAL_RUNTIME
+            join = runtime.map_async(
+                serialize_deltas, [(site.pending,) for site in shipping]
+            )
+            # The pending sketches *are* the deltas the wire would carry
+            # (the codec round-trips states exactly), so merge them
+            # directly while the encoders run; ``mark_shipped`` resets
+            # them only after the join, below.
+            for site in shipping:
+                for key in FAMILIES:
+                    self.merged[key].merge(site.pending[key])
+            payload_of = {
+                site.name: payload for site, payload in zip(shipping, join())
+            }
         for site in self.sites:
             payload = payload_of.get(site.name)
             if payload is None:
@@ -511,14 +780,27 @@ class StreamingSession(EstimatorBase):
                 label=DELTA_LABEL,
                 bits=wire.payload_bits(payload),
             )
-            for key, delta in deserialize_deltas(self.templates, payload).items():
-                self.merged[key].merge(delta)
             report.upload_bytes[site.name] = len(payload)
         report.total_bytes = sum(report.upload_bytes.values())
         report.cumulative_bytes = (self.history[-1].cumulative_bytes if self.history else 0)
         report.cumulative_bytes += report.total_bytes
         self.history.append(report)
         return report
+
+    def _merge_site_views(self, site_views: dict[str, np.ndarray]) -> None:
+        """Merge one shipping site's deltas straight from its shm views.
+
+        Wraps each family's view in a stateless ``empty_copy`` (shares the
+        template randomness, so the merge's identity fast path applies) and
+        merges it — the views are only *read*: a first merge copies them
+        into the coordinator state, later merges accumulate with ``+=``.
+        Bit-identical to decoding the site's wire payload, because the
+        codec round-trips state arrays exactly.
+        """
+        for key in FAMILIES:
+            delta = self.templates[key].empty_copy()
+            delta.load_state_array(site_views[key])
+            self.merged[key].merge(delta)
 
     def sync(self) -> EpochReport:
         """Force-ship every pending delta (threshold policy included)."""

@@ -1,0 +1,180 @@
+"""numba ``@njit(nogil=True, cache=True)`` mirrors of the sketch kernels.
+
+Imported lazily by :mod:`repro.sketch._native` — importing this module
+requires numba.  Every loop reproduces the NumPy kernel's accumulation
+order and arithmetic exactly:
+
+- the modular multiply is the same uint64 split-multiply as
+  :func:`repro.sketch.hashing._mulmod_p61` (identical intermediates, so
+  identical results for the full ``[0, 2^61 - 1)`` operand range);
+- scatters accumulate into a zeroed per-row temporary in batch order and
+  then add elementwise into the table — the float association of
+  ``table[row] += np.bincount(...)``;
+- int64 accumulation wraps on overflow, like ``np.add.at``.
+
+This module lives in its own file (not a closure inside ``_native``) so
+``cache=True`` can persist the compiled machine code across processes.
+"""
+
+from __future__ import annotations
+
+import numba
+import numpy as np
+
+_P61 = np.uint64((1 << 61) - 1)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_MASK29 = np.uint64((1 << 29) - 1)
+_U3 = np.uint64(3)
+_U29 = np.uint64(29)
+_U32 = np.uint64(32)
+_U61 = np.uint64(61)
+_U0 = np.uint64(0)
+
+
+@numba.njit(numba.uint64(numba.uint64, numba.uint64), nogil=True, cache=True)
+def _mulmod61(a, b):
+    a_hi = a >> _U32
+    a_lo = a & _MASK32
+    b_hi = b >> _U32
+    b_lo = b & _MASK32
+    hi = a_hi * b_hi
+    mid = a_hi * b_lo + a_lo * b_hi
+    lo = a_lo * b_lo
+    total = (
+        (hi << _U3)
+        + (mid >> _U29)
+        + ((mid & _MASK29) << _U32)
+        + (lo >> _U61)
+        + (lo & _P61)
+    )
+    total = (total >> _U61) + (total & _P61)
+    if total >= _P61:
+        total -= _P61
+    return total
+
+
+@numba.njit(
+    numba.void(numba.uint64[:, ::1], numba.uint64[::1], numba.uint64[:, ::1]),
+    nogil=True,
+    cache=True,
+)
+def horner(coeffs, keys, out):
+    depth, k = coeffs.shape
+    batch = keys.shape[0]
+    for d in range(depth):
+        for t in range(batch):
+            key = keys[t]
+            acc = _U0
+            for j in range(k):
+                acc = _mulmod61(acc, key) + coeffs[d, j]
+                if acc >= _P61:
+                    acc -= _P61
+            out[d, t] = acc
+
+
+@numba.njit(
+    numba.void(numba.uint64[:, ::1], numba.uint64[:, ::1], numba.uint64[:, ::1]),
+    nogil=True,
+    cache=True,
+)
+def horner_grid(coeffs, keys, out):
+    depth, k = coeffs.shape
+    per = keys.shape[1]
+    for d in range(depth):
+        for t in range(per):
+            key = keys[d, t]
+            acc = _U0
+            for j in range(k):
+                acc = _mulmod61(acc, key) + coeffs[d, j]
+                if acc >= _P61:
+                    acc -= _P61
+            out[d, t] = acc
+
+
+@numba.njit(
+    numba.void(
+        numba.float64[:, ::1],
+        numba.int64[:, ::1],
+        numba.float64[:, ::1],
+        numba.float64[::1],
+    ),
+    nogil=True,
+    cache=True,
+)
+def scatter_add_scalar_signed(table, buckets, signs, deltas):
+    depth, width = table.shape
+    batch = deltas.shape[0]
+    tmp = np.zeros(width, dtype=np.float64)
+    for r in range(depth):
+        for i in range(width):
+            tmp[i] = 0.0
+        for t in range(batch):
+            tmp[buckets[r, t]] += signs[r, t] * deltas[t]
+        for i in range(width):
+            table[r, i] += tmp[i]
+
+
+@numba.njit(
+    numba.void(numba.float64[:, ::1], numba.int64[:, ::1], numba.float64[::1]),
+    nogil=True,
+    cache=True,
+)
+def scatter_add_scalar_unsigned(table, buckets, deltas):
+    depth, width = table.shape
+    batch = deltas.shape[0]
+    tmp = np.zeros(width, dtype=np.float64)
+    for r in range(depth):
+        for i in range(width):
+            tmp[i] = 0.0
+        for t in range(batch):
+            tmp[buckets[r, t]] += deltas[t]
+        for i in range(width):
+            table[r, i] += tmp[i]
+
+
+@numba.njit(
+    numba.void(
+        numba.float64[:, :, ::1],
+        numba.int64[:, ::1],
+        numba.float64[:, ::1],
+        numba.float64[:, ::1],
+    ),
+    nogil=True,
+    cache=True,
+)
+def scatter_add_vector(table, buckets, signs, deltas):
+    depth, width, m = table.shape
+    batch = deltas.shape[0]
+    tmp = np.zeros(width, dtype=np.float64)
+    for r in range(depth):
+        for col in range(m):
+            for i in range(width):
+                tmp[i] = 0.0
+            for t in range(batch):
+                tmp[buckets[r, t]] += signs[r, t] * deltas[t, col]
+            for i in range(width):
+                table[r, i, col] += tmp[i]
+
+
+@numba.njit(
+    numba.void(numba.int64[::1], numba.float64[:, ::1], numba.float64[:, ::1]),
+    nogil=True,
+    cache=True,
+)
+def bincount_f64(rows, weights, out):
+    batch, m = weights.shape
+    for col in range(m):
+        for t in range(batch):
+            out[rows[t], col] += weights[t, col]
+
+
+@numba.njit(
+    numba.void(numba.int64[::1], numba.int64[:, ::1], numba.int64[:, ::1]),
+    nogil=True,
+    cache=True,
+)
+def bincount_i64(rows, weights, out):
+    batch, m = weights.shape
+    for t in range(batch):
+        for col in range(m):
+            out[rows[t], col] += weights[t, col]

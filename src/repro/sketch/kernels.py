@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sketch import _native
 from repro.sketch.hashing import (
     PRIME_61,
     KWiseHash,
@@ -96,7 +97,11 @@ class StackedKWiseHash:
     def values(self, keys: np.ndarray) -> np.ndarray:
         """Hash values in ``[0, PRIME_61)``, shape ``(depth, len(keys))``."""
         keys = np.asarray(keys, dtype=np.int64).reshape(-1)
-        keys_mod = (keys % np.int64(PRIME_61)).astype(np.uint64)[None, :]
+        keys_mod = (keys % np.int64(PRIME_61)).astype(np.uint64)
+        backend = _native.active()
+        if backend is not None:
+            return backend.horner(self.coeffs, keys_mod)
+        keys_mod = keys_mod[None, :]
         small = keys_mod.size == 0 or int(keys_mod.max()) < (1 << 32)
         mulmod = _mulmod_p61_small_b if small else _mulmod_p61
         acc = np.zeros((self.depth, keys_mod.shape[1]), dtype=np.uint64)
@@ -120,6 +125,9 @@ class StackedKWiseHash:
                 f"keys grid has {keys.shape[0]} rows, expected {self.depth}"
             )
         keys_mod = (keys % np.int64(PRIME_61)).astype(np.uint64)
+        backend = _native.active()
+        if backend is not None:
+            return backend.horner_grid(self.coeffs, np.ascontiguousarray(keys_mod))
         small = keys_mod.size == 0 or int(keys_mod.max()) < (1 << 32)
         mulmod = _mulmod_p61_small_b if small else _mulmod_p61
         acc = np.zeros(keys_mod.shape, dtype=np.uint64)
@@ -197,6 +205,17 @@ def scatter_add_scalar(
     zeroed table is bit-identical to the historical sequential scatter.
     """
     depth, width = table.shape
+    backend = _native.active()
+    if backend is not None and table.flags.c_contiguous:
+        # Same association as below: zeroed per-row buffer accumulated in
+        # batch order, then one elementwise add into the table — bit-exact.
+        backend.scatter_add_scalar(
+            table,
+            np.ascontiguousarray(buckets, dtype=np.int64),
+            None if signs is None else np.ascontiguousarray(signs, dtype=np.float64),
+            np.ascontiguousarray(deltas, dtype=np.float64),
+        )
+        return
     for row in range(depth):
         weights = deltas if signs is None else signs[row] * deltas
         table[row] += np.bincount(buckets[row], weights=weights, minlength=width)
@@ -215,6 +234,15 @@ def scatter_add_vector(
     bincount per (row, column) pair over the same bucket indices.
     """
     depth, width, m = table.shape
+    backend = _native.active()
+    if backend is not None and table.flags.c_contiguous:
+        backend.scatter_add_vector(
+            table,
+            np.ascontiguousarray(buckets, dtype=np.int64),
+            np.ascontiguousarray(signs, dtype=np.float64),
+            np.ascontiguousarray(deltas, dtype=np.float64),
+        )
+        return
     for row in range(depth):
         row_buckets = buckets[row]
         row_signs = signs[row]
@@ -242,11 +270,28 @@ def bincount_rows(
     ``coefficient x value``, far beyond the raw delta bound).  Float
     weights accumulate through ``np.bincount``, one call per value column.
     """
+    backend = _native.active()
     if exact_int:
         weights = weights.astype(np.int64, copy=False)
         shape = (num_rows,) if weights.ndim == 1 else (num_rows, weights.shape[1])
         out = np.zeros(shape, dtype=np.int64)
-        np.add.at(out, rows, weights)
+        if backend is not None:
+            backend.bincount_i64(
+                np.ascontiguousarray(rows, dtype=np.int64),
+                np.ascontiguousarray(weights),
+                out,
+            )
+        else:
+            np.add.at(out, rows, weights)
+        return out
+    if backend is not None:
+        shape = (num_rows,) if weights.ndim == 1 else (num_rows, weights.shape[1])
+        out = np.zeros(shape, dtype=np.float64)
+        backend.bincount_f64(
+            np.ascontiguousarray(rows, dtype=np.int64),
+            np.ascontiguousarray(weights, dtype=np.float64),
+            out,
+        )
         return out
     if weights.ndim == 1:
         return np.bincount(rows, weights=weights, minlength=num_rows)

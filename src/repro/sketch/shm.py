@@ -1,0 +1,148 @@
+"""Shared-memory arena backing zero-copy sketch state.
+
+The resident-worker runtime (``Runtime(persistent=True)``) keeps each
+site's sketch state inside a dedicated worker process.  To let the
+coordinator *merge* those states without serializing them through a pipe,
+the state arrays live in POSIX shared memory: the worker scatters updates
+into an shm-backed view (see ``pin_state_buffer`` /
+``pin_table_buffer`` on the sketches), and the coordinator attaches the
+same segment read-only and merges straight out of it.
+
+Two pieces:
+
+:class:`ShmBlock`
+    A picklable descriptor (segment name, shape, dtype) — the only thing
+    that ever crosses a process boundary.  ``attach`` turns it back into a
+    numpy view in any process.
+
+:class:`ShmArena`
+    The owning side: allocates segments, hands out zero-filled views (the
+    OS zero-fills fresh shm pages, matching the sketches' zeroed initial
+    state), and guarantees cleanup — ``close()`` unlinks every segment and
+    a GC finalizer backstops it, so no ``/dev/shm`` entries outlive the
+    owner even on abandonment.
+
+Lifecycle discipline (Python >= 3.8 ``multiprocessing.shared_memory``):
+the interpreter's resource tracker registers a segment on *attach* as
+well as on create.  Fork children (and same-process attaches) share the
+owner's tracker daemon, whose per-type cache is a set — the duplicate
+registration is harmlessly deduplicated and must NOT be unregistered, or
+the owner's entry disappears with it.  A *spawn* child, by contrast, has
+its own tracker, and its attach-time registration would unlink the
+segment when the child exits, destroying it under the living owner;
+there ``attach(..., untrack=True)`` drops the registration so only the
+owning arena ever unlinks.  The resident runtime passes the right flag
+for the multiprocessing context it actually uses.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["ShmArena", "ShmBlock", "attach"]
+
+
+@dataclass(frozen=True)
+class ShmBlock:
+    """Picklable handle to one shared-memory array."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Drop a non-owner attach from the resource tracker (see module doc)."""
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+    except Exception:
+        pass  # tracker may be absent (e.g. already at interpreter teardown)
+
+
+def attach(
+    block: ShmBlock, *, untrack: bool = False
+) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Map an existing segment into this process as a numpy view.
+
+    Returns ``(view, shm)``; the caller must keep ``shm`` alive as long as
+    the view is used and ``shm.close()`` it afterwards (close only — the
+    owning :class:`ShmArena` unlinks).  Pass ``untrack=True`` only from a
+    process with its *own* resource tracker (a spawn child); see the
+    module docstring.  Raises :class:`FileNotFoundError` if the segment no
+    longer exists, which is also what the leak tests use to prove a
+    segment was released.
+    """
+    shm = shared_memory.SharedMemory(name=block.name)
+    if untrack:
+        _untrack(shm)
+    view: np.ndarray = np.ndarray(block.shape, dtype=block.dtype, buffer=shm.buf)
+    return view, shm
+
+
+class ShmArena:
+    """Owns a set of shared-memory segments and their numpy views.
+
+    All allocation goes through :meth:`allocate`; :meth:`close` (or GC of
+    the arena) closes and unlinks everything.  Idempotent: double-close is
+    a no-op, and segments already unlinked elsewhere are skipped.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._closed = False
+        self._finalizer = weakref.finalize(self, ShmArena._release, self._segments)
+
+    def allocate(self, shape: tuple[int, ...], dtype) -> tuple[np.ndarray, ShmBlock]:
+        """A zero-filled shm-backed array plus its picklable descriptor."""
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        shape = tuple(int(s) for s in shape)
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        self._segments[shm.name] = shm
+        view: np.ndarray = np.ndarray(shape, dtype=dt, buffer=shm.buf)
+        # Fresh shm pages are OS-zero-filled, but re-assert it: allocation
+        # must hand out the sketches' exact zeroed initial state.
+        view[...] = np.zeros((), dtype=dt)
+        return view, ShmBlock(name=shm.name, shape=shape, dtype=dt.str)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Names of the live segments (for the leak assertions in tests)."""
+        return tuple(self._segments)
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        self._closed = True
+        self._finalizer.detach()
+        ShmArena._release(self._segments)
+
+    @staticmethod
+    def _release(segments: dict[str, shared_memory.SharedMemory]) -> None:
+        for shm in list(segments.values()):
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:
+                pass
+        segments.clear()
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

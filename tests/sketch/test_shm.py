@@ -1,0 +1,243 @@
+"""Shared-memory arena + pinned sketch-state buffers (resident-mode base).
+
+Two layers are pinned here:
+
+* :mod:`repro.sketch.shm` — allocation hands out zero-filled views,
+  ``attach`` round-trips through the picklable block descriptor, and the
+  arena never leaks a segment: ``close()`` (idempotent) and plain garbage
+  collection both unlink everything, proven by ``attach`` raising
+  ``FileNotFoundError`` afterwards.
+* the pinned-buffer mode of the sketches — a sketch whose state is backed
+  by a caller-owned buffer (``pin_state_buffer`` / ``pin_table_buffer``)
+  must stay *bit-identical* to an unpinned twin through updates, merges,
+  resets and re-use, including the ``-0.0`` sign-preservation corner the
+  rebinding semantics give for free.
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.sketch import AmsSketch, CountSketch, L0Sampler, L0Sketch
+from repro.sketch import shm as shm_mod
+
+SEED = 424242
+
+
+def make_rng():
+    return np.random.default_rng(SEED)
+
+
+class TestShmArena:
+    def test_allocate_zero_filled_and_typed(self):
+        with shm_mod.ShmArena() as arena:
+            view, block = arena.allocate((3, 4), np.float64)
+            assert view.shape == (3, 4)
+            assert view.dtype == np.float64
+            assert not view.any()
+            assert block.shape == (3, 4)
+            assert np.dtype(block.dtype) == np.float64
+            assert block.nbytes == 3 * 4 * 8
+
+    def test_attach_round_trips_data_through_the_descriptor(self):
+        with shm_mod.ShmArena() as arena:
+            view, block = arena.allocate((5,), np.int64)
+            view[:] = [1, -2, 3, -4, 5]
+            # The descriptor is what crosses process boundaries.
+            block = pickle.loads(pickle.dumps(block))
+            mapped, seg = shm_mod.attach(block)
+            try:
+                np.testing.assert_array_equal(mapped, view)
+                mapped[0] = 99  # same pages, both directions
+                assert view[0] == 99
+            finally:
+                del mapped
+                seg.close()
+
+    def test_zero_sized_allocations_are_legal(self):
+        with shm_mod.ShmArena() as arena:
+            view, block = arena.allocate((0, 7), np.int64)
+            assert view.shape == (0, 7)
+            mapped, seg = shm_mod.attach(block)
+            assert mapped.shape == (0, 7)
+            del mapped
+            seg.close()
+
+    def test_close_unlinks_every_segment_and_is_idempotent(self):
+        arena = shm_mod.ShmArena()
+        blocks = [arena.allocate((4,), np.float64)[1] for _ in range(3)]
+        arena.close()
+        arena.close()  # double close is a no-op
+        for block in blocks:
+            with pytest.raises(FileNotFoundError):
+                shm_mod.attach(block)
+        with pytest.raises(RuntimeError):
+            arena.allocate((1,), np.float64)
+
+    def test_garbage_collection_backstops_close(self):
+        arena = shm_mod.ShmArena()
+        _, block = arena.allocate((8,), np.float64)
+        del arena
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            shm_mod.attach(block)
+
+
+def linear_sketches():
+    rng = make_rng()
+    return {
+        "ams": AmsSketch.for_accuracy(512, 0.25, rng),
+        "l0": L0Sketch.for_accuracy(512, 0.25, np.random.default_rng(SEED + 1)),
+        "sampler": L0Sampler(512, np.random.default_rng(SEED + 2), repetitions=4),
+    }
+
+
+def state_shape_of(template, m=3):
+    probe = template.empty_copy()
+    probe.update_many(np.zeros(1, dtype=np.int64), np.zeros((1, m), dtype=np.int64))
+    return probe.state_array().shape, probe.state_array().dtype
+
+
+class TestPinnedLinearState:
+    @pytest.mark.parametrize("family", ["ams", "l0", "sampler"])
+    def test_pinned_matches_unpinned_bit_for_bit(self, family):
+        template = linear_sketches()[family]
+        shape, dtype = state_shape_of(template)
+        buf = np.zeros(shape, dtype=dtype)
+        pinned, plain = template.empty_copy(), template.empty_copy()
+        pinned.pin_state_buffer(buf)
+        rng = make_rng()
+        for _ in range(4):
+            idx = rng.integers(0, 512, size=31)
+            vals = rng.integers(-7, 8, size=(31, 3))
+            pinned.update_many(idx, vals)
+            plain.update_many(idx, vals)
+        assert pinned.state is buf  # state lives in the caller's buffer
+        assert pinned.state_array().tobytes() == plain.state_array().tobytes()
+
+    @pytest.mark.parametrize("family", ["ams", "l0", "sampler"])
+    def test_reset_and_reuse_keeps_the_buffer(self, family):
+        template = linear_sketches()[family]
+        shape, dtype = state_shape_of(template)
+        buf = np.zeros(shape, dtype=dtype)
+        pinned, plain = template.empty_copy(), template.empty_copy()
+        pinned.pin_state_buffer(buf)
+        idx = np.arange(16, dtype=np.int64)
+        vals = np.arange(48, dtype=np.int64).reshape(16, 3) - 20
+        pinned.update_many(idx, vals)
+        pinned.load_state_array(None)  # = mark_shipped's reset half
+        assert pinned.state is None
+        pinned.update_many(idx, 2 * vals)
+        plain.update_many(idx, 2 * vals)
+        assert pinned.state is buf
+        assert pinned.state_array().tobytes() == plain.state_array().tobytes()
+
+    def test_negative_zero_survives_the_copy_on_first_write(self):
+        # Rebinding preserves -0.0 in float states; the pinned copy-assign
+        # must too (copy-assignment preserves the sign bit, += would not).
+        template = linear_sketches()["ams"]
+        shape, dtype = state_shape_of(template)
+        assert dtype == np.float64
+        pinned, plain = template.empty_copy(), template.empty_copy()
+        pinned.pin_state_buffer(np.zeros(shape, dtype=dtype))
+        zeros = np.zeros((4, 3), dtype=np.float64)
+        idx = np.arange(4, dtype=np.int64)
+        pinned.update_many(idx, -zeros)
+        plain.update_many(idx, -zeros)
+        assert (
+            np.signbit(pinned.state_array()).tobytes()
+            == np.signbit(plain.state_array()).tobytes()
+        )
+
+    def test_merge_into_pinned_and_unpin_copies_out(self):
+        template = linear_sketches()["l0"]
+        shape, dtype = state_shape_of(template)
+        buf = np.zeros(shape, dtype=dtype)
+        pinned, plain, other = (
+            template.empty_copy(),
+            template.empty_copy(),
+            template.empty_copy(),
+        )
+        pinned.pin_state_buffer(buf)
+        idx = np.arange(10, dtype=np.int64)
+        vals = np.ones((10, 3), dtype=np.int64)
+        other.update_many(idx, vals)
+        pinned.merge(other)
+        plain.merge(other)
+        assert pinned.state is buf  # adoption copied into the buffer
+        pinned.merge(other)
+        plain.merge(other)
+        assert pinned.state_array().tobytes() == plain.state_array().tobytes()
+        pinned.unpin_state_buffer()
+        assert pinned.state is not buf
+        assert pinned.state_array().tobytes() == plain.state_array().tobytes()
+
+    def test_empty_copy_of_a_pinned_sketch_is_unpinned(self):
+        template = linear_sketches()["ams"]
+        shape, dtype = state_shape_of(template)
+        buf = np.zeros(shape, dtype=dtype)
+        pinned = template.empty_copy()
+        pinned.pin_state_buffer(buf)
+        clone = pinned.empty_copy()
+        clone.update_many(np.zeros(1, dtype=np.int64), np.ones((1, 3), dtype=np.int64))
+        assert clone.state is not buf
+        assert not buf.any()  # the clone never wrote through the buffer
+
+    def test_mismatched_shapes_raise_instead_of_rebinding(self):
+        template = linear_sketches()["ams"]
+        shape, dtype = state_shape_of(template, m=3)
+        pinned = template.empty_copy()
+        pinned.pin_state_buffer(np.zeros(shape, dtype=dtype))
+        with pytest.raises(ValueError):
+            # m=2 contribution does not fit the m=3 pinned buffer.
+            pinned.update_many(
+                np.zeros(1, dtype=np.int64), np.zeros((1, 2), dtype=np.int64)
+            )
+
+
+class TestPinnedCountSketchTable:
+    def make(self):
+        return CountSketch(512, 16, 3, make_rng())
+
+    def test_vector_lifecycle_matches_unpinned(self):
+        template = self.make()
+        buf = np.zeros((3, 16, 4), dtype=float)
+        pinned, plain = template.empty_copy(), template.empty_copy()
+        pinned.pin_table_buffer(buf)
+        assert pinned.table.ndim == 2  # reserved, not yet adopted
+        rng = make_rng()
+        idx = rng.integers(0, 512, size=40)
+        vals = rng.integers(-5, 6, size=(40, 4))
+        pinned.update_many(idx, vals)
+        plain.update_many(idx, vals)
+        assert pinned.table is buf  # widening adopted the buffer
+        assert pinned.table.tobytes() == plain.table.tobytes()
+        # Reset drops to the historical 2-D empty shape, re-use re-adopts.
+        pinned.load_state_array(None)
+        plain.load_state_array(None)
+        assert pinned.table.ndim == 2
+        pinned.update_many(idx, vals)
+        plain.update_many(idx, vals)
+        assert pinned.table is buf
+        assert pinned.table.tobytes() == plain.table.tobytes()
+
+    def test_merge_adoption_lands_in_the_buffer(self):
+        template = self.make()
+        buf = np.zeros((3, 16, 4), dtype=float)
+        pinned, plain, other = (
+            template.empty_copy(),
+            template.empty_copy(),
+            template.empty_copy(),
+        )
+        pinned.pin_table_buffer(buf)
+        other.update_many(
+            np.arange(8, dtype=np.int64), np.ones((8, 4), dtype=np.int64)
+        )
+        pinned.merge(other)
+        plain.merge(other)
+        assert pinned.table is buf
+        assert pinned.table.tobytes() == plain.table.tobytes()
