@@ -510,6 +510,14 @@ def bench_service(metrics: dict) -> None:
             "rows_per_sec": rows / seconds,
         }
 
+    # Multi-tenant load generator (ISSUE 8): Zipf-skewed tenants, open-loop
+    # arrivals, in-process SessionManager.  run_load gates crash-freedom,
+    # exact per-tenant==aggregate accounting, quota enforcement and a
+    # parseable metrics render; the record rides the same regression gate.
+    from service_load import run_load
+
+    metrics["service/multi_tenant"] = run_load(50 if SMOKE else 1000, seed=13)
+
 
 def compute_service_overheads(metrics: dict) -> dict:
     """Socket-vs-in-process wall-clock ratio (>= 1: transport overhead)."""

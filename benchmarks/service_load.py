@@ -1,0 +1,251 @@
+#!/usr/bin/env python
+"""Multi-tenant service load generator (ISSUE 8 acceptance harness).
+
+Drives a :class:`~repro.service.tenancy.SessionManager` with an *open-loop*
+arrival process: every tenant's update batches are stamped with exponential
+inter-arrival times up front and the merged event stream is processed in
+timestamp order, so a slow tenant cannot throttle the generator (the
+classic closed-loop coordination bug in load tests).  Tenant sizes are
+Zipf-skewed — a few whales, a long tail — matching the many-users shape
+the paper's coordinator model targets.
+
+Two entry points:
+
+* ``python benchmarks/service_load.py`` — the full in-process run
+  (default 1000 tenants).  Gates, hard:
+
+  - the run completes (crash-freedom);
+  - per-tenant ledger rows sum **exactly** to the aggregate, which equals
+    the sum of every session's own network meters
+    (:meth:`SessionManager.verify_accounting`);
+  - quotas were actually enforced (throttled epochs + rejections > 0);
+  - the metrics registry renders and parses back.
+
+* ``python benchmarks/service_load.py --smoke`` — the CI leg: 50 tenants
+  over a real loopback socket (``CoordinatorServer(num_sites=0)`` +
+  :class:`~repro.service.client.ServiceClient` tenant routes), plus a raw
+  HTTP ``GET /metrics`` scrape that must parse as Prometheus text format,
+  plus the same quota-enforcement and accounting gates.
+
+The library half (:func:`run_load`) is imported by
+``benchmarks/run_benchmarks.py --service`` to append the gated
+``service/multi_tenant`` point to ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.service.metrics import parse_metrics_text  # noqa: E402
+from repro.service.tenancy import (  # noqa: E402
+    QuotaExceededError,
+    SessionManager,
+    TenantQuota,
+)
+
+#: Universe shape shared by every tenant (each owns an independent stream).
+N, M = 24, 3
+
+
+def _tenant_plan(num_tenants: int, seed: int, epochs: int):
+    """Zipf-skewed batch sizes + exponential arrival stamps, per tenant."""
+    rng = np.random.default_rng(seed)
+    sizes = np.clip(rng.zipf(1.5, size=num_tenants), 1, 48)
+    events = []
+    for index in range(num_tenants):
+        name = f"tenant-{index:04d}"
+        clock = float(rng.exponential(1.0))  # staggered first arrival
+        for epoch in range(epochs):
+            clock += float(rng.exponential(1.0))
+            batch = int(sizes[index])
+            rows = rng.integers(0, N, size=batch)
+            deltas = rng.integers(-3, 4, size=(batch, N))
+            events.append((clock, name, rows, deltas))
+    events.sort(key=lambda event: event[0])
+    return events
+
+
+def _quota_for(index: int) -> TenantQuota | None:
+    """Every tenth tenant is budget-capped, alternating the two policies."""
+    if index % 10 == 3:
+        return TenantQuota(byte_budget=2_000, policy="throttle")
+    if index % 10 == 7:
+        return TenantQuota(byte_budget=2_000, policy="reject")
+    return None
+
+
+def run_load(num_tenants: int = 1000, *, seed: int = 13, epochs: int = 3) -> dict:
+    """The in-process load run; returns the gated summary record."""
+    rng = np.random.default_rng(seed)
+    b = rng.integers(0, 4, size=(N, M))
+    events = _tenant_plan(num_tenants, seed, epochs)
+    started = time.perf_counter()
+    rejections = 0
+    with SessionManager(b, seed=seed) as manager:
+        for index in range(num_tenants):
+            manager.open_tenant(
+                f"tenant-{index:04d}", [N], quota=_quota_for(index)
+            )
+        for position, (_, name, rows, deltas) in enumerate(events):
+            try:
+                manager.ingest(name, 0, rows, deltas)
+                manager.end_epoch(name, force=True)
+            except QuotaExceededError:
+                rejections += 1
+            if position % 500 == 499:
+                manager.run_epoch(force=True)  # fairness sweep
+        for index in range(0, num_tenants, max(num_tenants // 20, 1)):
+            try:
+                manager.query(f"tenant-{index:04d}", "lp_norm", p=2.0, epsilon=0.4)
+            except QuotaExceededError:  # pragma: no cover - queries unbudgeted
+                rejections += 1
+        seconds = time.perf_counter() - started
+
+        # --- the gates -------------------------------------------------
+        manager.verify_accounting()  # exact per-tenant == aggregate identity
+        aggregate = manager.aggregate_report()
+        assert aggregate["meters_consistent"], aggregate
+        usage = aggregate["usage"]
+        assert usage.get("throttled_epochs", 0) > 0, "throttle quota never fired"
+        assert usage.get("rejections", 0) > 0, "reject quota never fired"
+        parsed = parse_metrics_text(manager.metrics.render())
+        assert parsed[("repro_tenants", ())] == num_tenants
+        assert sum(
+            value
+            for (metric, _), value in parsed.items()
+            if metric == "repro_ingest_rows_total"
+        ) == usage["rows"]
+
+        record = {
+            "config": {"tenants": num_tenants, "epochs": epochs, "universe": N},
+            "seconds": seconds,
+            "rows_per_sec": usage["rows"] / seconds,
+            "rows": int(usage["rows"]),
+            "shipped_bytes": int(usage["shipped_bytes"]),
+            "epochs_shipped": int(usage["epochs"]),
+            "throttled_epochs": int(usage["throttled_epochs"]),
+            "rejections": int(usage.get("rejections", 0)),
+            "queries": int(usage.get("queries", 0)),
+            "meters_consistent": True,
+        }
+    return record
+
+
+# ------------------------------------------------------------------- smoke
+def _http_scrape(port: int, path: str = "/metrics") -> tuple[str, str]:
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        sock.sendall(f"GET {path} HTTP/1.0\r\nHost: bench\r\n\r\n".encode())
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    return head.decode().split("\r\n")[0], body.decode()
+
+
+def run_smoke(num_tenants: int = 50, *, seed: int = 13) -> dict:
+    """50 tenants over a real loopback socket + a Prometheus scrape."""
+    from repro.service.client import connect
+    from repro.service.messages import ServiceError
+    from repro.service.server import CoordinatorServer
+
+    rng = np.random.default_rng(seed)
+    b = rng.integers(0, 4, size=(N, M))
+    started = time.perf_counter()
+    server = CoordinatorServer(b, num_sites=0, seed=seed, port=0).start()
+    rejections = 0
+    try:
+        client = connect("127.0.0.1", server.port)
+        sizes = np.clip(rng.zipf(1.5, size=num_tenants), 1, 48)
+        for index in range(num_tenants):
+            quota = _quota_for(index)
+            client.query(
+                "tenant_open",
+                name=f"tenant-{index:04d}",
+                row_counts=[N],
+                quota=None
+                if quota is None
+                else {"byte_budget": quota.byte_budget, "policy": quota.policy},
+            )
+        for epoch in range(2):
+            for index in range(num_tenants):
+                name = f"tenant-{index:04d}"
+                batch = int(sizes[index])
+                try:
+                    client.query(
+                        "tenant_ingest",
+                        name=name,
+                        site=0,
+                        rows=rng.integers(0, N, size=batch),
+                        deltas=rng.integers(-3, 4, size=(batch, N)),
+                    )
+                    client.query("tenant_end_epoch", name=name, force=True)
+                except ServiceError as exc:
+                    assert "QuotaExceededError" in str(exc), exc
+                    rejections += 1
+        for index in range(0, num_tenants, 10):
+            client.query(
+                "tenant_query",
+                name=f"tenant-{index:04d}",
+                query="lp_norm",
+                p=2.0,
+                epsilon=0.4,
+            )
+
+        aggregate = client.query("aggregate_report")
+        assert aggregate["meters_consistent"], aggregate
+        usage = aggregate["usage"]
+        assert usage.get("throttled_epochs", 0) > 0, "throttle quota never fired"
+        assert rejections > 0, "reject quota never fired"
+
+        status, body = _http_scrape(server.port)
+        assert status == "HTTP/1.0 200 OK", status
+        parsed = parse_metrics_text(body)  # must parse as exposition format
+        assert parsed[("repro_tenants", ())] == num_tenants
+        client.close()
+    finally:
+        server.stop()
+    seconds = time.perf_counter() - started
+    return {
+        "config": {"tenants": num_tenants, "transport": "loopback"},
+        "seconds": seconds,
+        "rows_per_sec": usage["rows"] / seconds,
+        "rows": int(usage["rows"]),
+        "throttled_epochs": int(usage["throttled_epochs"]),
+        "rejections": rejections,
+        "scrape_samples": len(parsed),
+        "meters_consistent": True,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI leg: 50 tenants over loopback + metrics scrape",
+    )
+    parser.add_argument("--tenants", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args()
+    if args.smoke:
+        record = run_smoke(args.tenants or 50, seed=args.seed)
+    else:
+        record = run_load(args.tenants or 1000, seed=args.seed)
+    print(json.dumps(record, indent=1))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

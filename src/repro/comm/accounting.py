@@ -21,6 +21,7 @@ per-link meters of a ``Network`` directly comparable to a ``Channel``.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Hashable
@@ -132,3 +133,90 @@ class MessageLog:
         self.messages.clear()
         self._last_key = None
         self._round = 0
+
+
+class TenantLedger:
+    """Per-tenant rollups of metered quantities, with an exact aggregate.
+
+    The multi-tenant service bills each tenant for the traffic its own
+    sessions generate (upload bytes, total delta bytes, query bits, rounds,
+    rows, epochs).  The classic double-entry failure modes are *double
+    counting* (a quantity charged to a tenant and separately to the
+    aggregate, then summed twice) and *bleed* (quantity charged to the wrong
+    tenant).  The ledger rules both out by construction: :meth:`charge` is
+    the only mutation point and it increments the tenant row and the
+    aggregate row from the same amounts in one locked step, so
+
+        sum over tenants of tenant_totals(t)[k] == aggregate_totals()[k]
+
+    holds at all times.  :meth:`verify` asserts exactly that identity and is
+    called by the tests and the load-generator gate.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._per_tenant: dict[str, Counter[str]] = {}
+        self._aggregate: Counter[str] = Counter()
+
+    def charge(self, tenant: str, **amounts: float) -> None:
+        """Charge ``amounts`` (keyword -> quantity) to one tenant.
+
+        Negative amounts are rejected: every metered quantity in the system
+        is a monotone total.
+        """
+        for key, amount in amounts.items():
+            if amount < 0:
+                raise ValueError(
+                    f"cannot charge negative {key}={amount} to tenant {tenant!r}"
+                )
+        with self._lock:
+            row = self._per_tenant.setdefault(str(tenant), Counter())
+            for key, amount in amounts.items():
+                row[key] += amount
+                self._aggregate[key] += amount
+
+    def forget(self, tenant: str) -> None:
+        """Drop a tenant's row *without* touching the aggregate.
+
+        Used when a tenant is closed and its final report has been issued:
+        the aggregate keeps the service-lifetime totals, matching the
+        network meters which are likewise never rolled back.
+        """
+        with self._lock:
+            self._per_tenant.pop(str(tenant), None)
+
+    @property
+    def tenants(self) -> list[str]:
+        """Tenants with at least one charge, in insertion order."""
+        with self._lock:
+            return list(self._per_tenant)
+
+    def tenant_totals(self, tenant: str) -> dict[str, float]:
+        """All charged quantities for one tenant."""
+        with self._lock:
+            return dict(self._per_tenant.get(str(tenant), Counter()))
+
+    def aggregate_totals(self) -> dict[str, float]:
+        """Service-lifetime totals across every tenant ever charged."""
+        with self._lock:
+            return dict(self._aggregate)
+
+    def verify(self) -> None:
+        """Assert the per-tenant rows sum exactly to the aggregate.
+
+        Only meaningful while no tenant has been :meth:`forget`-ten; the
+        session manager verifies before dropping rows.
+        """
+        with self._lock:
+            summed: Counter[str] = Counter()
+            for row in self._per_tenant.values():
+                summed.update(row)
+            if summed != self._aggregate:
+                diff = {
+                    key: (summed.get(key, 0), self._aggregate.get(key, 0))
+                    for key in set(summed) | set(self._aggregate)
+                    if summed.get(key, 0) != self._aggregate.get(key, 0)
+                }
+                raise AssertionError(
+                    f"tenant ledger out of balance (per-tenant sum, aggregate): {diff}"
+                )

@@ -270,6 +270,11 @@ class ResidentPool:
     def num_slots(self) -> int:
         return len(self._pending)
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (no further submits/results)."""
+        return self._closed
+
     def pending(self, slot: int) -> int:
         """Outstanding (submitted, not yet drained) calls for ``slot``."""
         return self._pending[slot]
@@ -283,6 +288,11 @@ class ResidentPool:
 
     def result(self, slot: int) -> Any:
         """The oldest outstanding result for ``slot`` (blocks until ready)."""
+        if self._closed:
+            # Without this guard a post-close result() would reach into the
+            # subclass's torn-down connection/executor lists and surface as
+            # an IndexError — a lifecycle violation must read as one.
+            raise RuntimeError("resident pool is closed")
         if self._pending[slot] < 1:
             raise RuntimeError(f"no outstanding call on slot {slot}")
         self._pending[slot] -= 1
@@ -492,6 +502,7 @@ class Runtime:
         self._pool: Executor | None = None
         self._atexit_registered = False
         self._resident_pools: list[ResidentPool] = []
+        self._adopted_arenas: list[_shm.ShmArena] = []
         self._shm_arena: _shm.ShmArena | None = None
         # id(array) -> (block, shm view, strong ref pinning the id).
         self._shm_cache: dict[int, tuple[_shm.ShmBlock, np.ndarray, np.ndarray]] = {}
@@ -512,6 +523,21 @@ class Runtime:
         """Whether process workers get their own resource tracker (spawn)."""
         return self._mp_context().get_start_method() != "fork"
 
+    def _register_atexit(self) -> None:
+        """Install the interpreter-shutdown close hook (at most one live).
+
+        Registration and unregistration must stay exactly paired across
+        warm→close cycles: ``atexit.register`` appends unconditionally, so a
+        re-register without the matching unregister would stack duplicate
+        hooks (each pinning this runtime) for the life of the process.  The
+        ``_atexit_registered`` flag is the single source of truth — it is
+        only set here and only cleared by :meth:`close` right after the
+        ``atexit.unregister`` call.
+        """
+        if not self._atexit_registered:
+            atexit.register(self.close)
+            self._atexit_registered = True
+
     def _ensure_pool(self) -> Executor:
         if self._pool is None:
             workers = self.max_workers or _default_workers()
@@ -523,9 +549,7 @@ class Runtime:
                 self._pool = ProcessPoolExecutor(
                     max_workers=workers, mp_context=self._mp_context()
                 )
-            if not self._atexit_registered:
-                atexit.register(self.close)
-                self._atexit_registered = True
+            self._register_atexit()
         return self._pool
 
     def warm(self) -> None:
@@ -561,11 +585,50 @@ class Runtime:
             pool = _ThreadResidentPool(init_fn, init_tasks)
         else:
             pool = _SerialResidentPool(init_fn, init_tasks)
-        if not self._atexit_registered:
-            atexit.register(self.close)
-            self._atexit_registered = True
+        self._register_atexit()
         self._resident_pools.append(pool)
         return pool
+
+    def discard_resident_pool(self, pool: ResidentPool) -> None:
+        """Close one resident pool and stop tracking it.
+
+        Sessions that own a pool call this on close; without it every pool
+        ever created stays in the tracking list for the runtime's lifetime —
+        harmless for one session, a real leak for a multi-tenant service
+        cycling thousands of them over one shared runtime.
+        """
+        pool.close()
+        try:
+            self._resident_pools.remove(pool)
+        except ValueError:
+            pass
+
+    @property
+    def resident_pool_count(self) -> int:
+        """Live (tracked, not yet closed) resident pools — pool occupancy."""
+        return sum(1 for pool in self._resident_pools if not pool.closed)
+
+    # ----------------------------------------------------- arena adoption
+    def adopt_arena(self, arena: _shm.ShmArena) -> _shm.ShmArena:
+        """Track a caller-owned shm arena for closure with this runtime.
+
+        Sessions allocate their resident sketch state in their own arenas;
+        adopting them ties the segments' lifetime to the runtime, so a
+        session abandoned without ``close()`` cannot dangle ``/dev/shm``
+        segments past :meth:`Runtime.close` (or interpreter shutdown via
+        the atexit hook).  A session that does close properly calls
+        :meth:`release_arena` first and closes the arena itself.
+        """
+        self._adopted_arenas.append(arena)
+        self._register_atexit()
+        return arena
+
+    def release_arena(self, arena: _shm.ShmArena) -> None:
+        """Stop tracking an adopted arena (ownership returns to the caller)."""
+        try:
+            self._adopted_arenas.remove(arena)
+        except ValueError:
+            pass
 
     # ----------------------------------------------------- shared task inputs
     def _share_array(self, arr: np.ndarray) -> _SharedArg:
@@ -618,6 +681,9 @@ class Runtime:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        for arena in self._adopted_arenas:
+            arena.close()
+        self._adopted_arenas.clear()
         if self._shm_arena is not None:
             self._shm_arena.close()
             self._shm_arena = None

@@ -78,7 +78,23 @@ from repro.sketch import shm as _shm
 from repro.sketch.mergeable import MergeableSketch
 from repro.sketch.serialization import serialize_deltas
 
-__all__ = ["EpochReport", "REFRESH_POLICIES", "StreamingSession"]
+__all__ = [
+    "EpochReport",
+    "REFRESH_POLICIES",
+    "SessionClosedError",
+    "StreamingSession",
+]
+
+
+class SessionClosedError(RuntimeError):
+    """A mutation was attempted on a closed :class:`StreamingSession`.
+
+    The session lifecycle is a two-state machine: *open* (ingest, epoch
+    boundaries, drop/restore all allowed) and *closed* (the accumulated
+    data stays queryable — one-shot and live queries keep working — but
+    every mutating operation raises this).  Subclasses ``RuntimeError`` so
+    pre-existing callers that caught the generic error keep working.
+    """
 
 #: Supported refresh policies.
 EVERY_EPOCH = "every-epoch"
@@ -115,6 +131,9 @@ class EpochReport:
     total_bytes: int = 0
     cumulative_bytes: int = 0
     dropped: list[str] = field(default_factory=list)
+    #: Set by the multi-tenant session manager when a quota throttle closed
+    #: this epoch without shipping (the deltas stay queued at the sites).
+    throttled: bool = False
 
 
 class _SiteStream:
@@ -181,6 +200,16 @@ class _SiteStream:
             for sketch in self.pending.values():
                 sketch.load_state_array(None)
         self.shipped_mass += self.pending_mass
+        self.pending_mass = 0.0
+        self.pending_updates = 0
+
+    def clear_pending(self) -> None:
+        """Discard queued (un-shipped) deltas without crediting them as
+        shipped — the session-close path, where a dropped site's backlog
+        must not survive into the closed session's counters."""
+        if self.pending is not None:
+            for sketch in self.pending.values():
+                sketch.load_state_array(None)
         self.pending_mass = 0.0
         self.pending_updates = 0
 
@@ -520,6 +549,10 @@ class StreamingSession(EstimatorBase):
         except BaseException:
             arena.close()
             raise
+        # The runtime co-owns the arena until the session closes: an
+        # abandoned session's segments are then released by Runtime.close()
+        # (or its atexit hook) instead of dangling in /dev/shm.
+        runtime.adopt_arena(arena)
         return _ResidentSites(pool=pool, arena=arena, views=views)
 
     def _drain_resident(self) -> None:
@@ -530,27 +563,61 @@ class StreamingSession(EstimatorBase):
             self._resident.pool.drain(slot)
 
     def close(self) -> None:
-        """Tear down resident mode, keeping the session queryable.
+        """Close the session, keeping the accumulated data queryable.
 
-        Drains the outstanding ingests, materializes the accumulated shards
-        back into coordinator memory, shuts the site workers down and
-        unlinks the shared-memory segments.  Idempotent, and a no-op for
-        non-resident sessions.  A closed session still answers one-shot and
-        live queries over what it accumulated, but further :meth:`ingest` /
-        :meth:`end_epoch` calls raise.
+        This is the open→closed transition of the session state machine
+        (see :class:`SessionClosedError`), identical in every execution
+        mode: afterwards the session still answers one-shot and live
+        queries over what it accumulated, while :meth:`ingest`,
+        :meth:`end_epoch`/:meth:`sync` and :meth:`drop_site`/
+        :meth:`restore_site` raise.  Idempotent.
+
+        Pending (un-shipped) deltas — including a dropped site's queued
+        backlog — are *discarded*, never merged: a closed session's live
+        summaries reflect exactly what was shipped before the close.  In
+        resident mode the outstanding ingests are drained first (so the
+        accumulated shards are complete), the shards are materialized back
+        into coordinator memory, the site workers shut down, and the
+        shared-memory segments are unlinked and detached from the owning
+        runtime — close in either order (session first or runtime first)
+        releases everything exactly once.
         """
+        if self._closed:
+            return
+        self._closed = True
         resident = self._resident
         if resident is None:
+            for site in self.sites:
+                site.clear_pending()
             return
         self._resident = None
-        self._closed = True
         try:
-            for slot in range(len(self.sites)):
-                resident.pool.drain(slot)
+            if not resident.pool.closed:
+                for slot in range(len(self.sites)):
+                    resident.pool.drain(slot)
         finally:
+            arena_live = not resident.arena.closed
             for site, site_views in zip(self.sites, resident.views):
-                site.shard = np.array(site_views["shard"])
-            resident.pool.close()
+                if arena_live:
+                    site.shard = np.array(site_views["shard"])
+                else:
+                    # The runtime closed first: the segments are unlinked
+                    # and the views unmapped, so dereferencing them would
+                    # be a use-after-free.  The accumulated shards died
+                    # with the runtime's shared memory — a late close must
+                    # release cleanly, not crash.
+                    site.shard = np.zeros(
+                        site_views["shard"].shape, site_views["shard"].dtype
+                    )
+                site.clear_pending()
+            if self.runtime is not None:
+                # Detach from the runtime's tracking lists so a long-lived
+                # shared runtime doesn't accumulate dead pools/arenas across
+                # thousands of session lifecycles.
+                self.runtime.discard_resident_pool(resident.pool)
+                self.runtime.release_arena(resident.arena)
+            else:  # pragma: no cover - resident mode implies a runtime
+                resident.pool.close()
             resident.arena.close()
 
     def __enter__(self) -> "StreamingSession":
@@ -563,6 +630,18 @@ class StreamingSession(EstimatorBase):
     @property
     def num_sites(self) -> int:
         return len(self.sites)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (mutations now raise)."""
+        return self._closed
+
+    def _check_open(self, operation: str) -> None:
+        if self._closed:
+            raise SessionClosedError(
+                f"cannot {operation} on a closed streaming session "
+                f"(the accumulated data remains queryable)"
+            )
 
     @property
     def is_binary(self) -> bool:
@@ -601,12 +680,19 @@ class StreamingSession(EstimatorBase):
         exactly the un-shipped drift — and recover fully once the site is
         restored and ships its backlog, because deltas are linear.
         """
+        self._check_open("drop a site")
         if not 0 <= site < len(self.sites):
             raise ValueError(f"site index {site} out of range [0, {len(self.sites)})")
         self._dropped.add(site)
 
     def restore_site(self, site: int) -> None:
-        """Reconnect a dropped site; its backlog ships on the next boundary."""
+        """Reconnect a dropped site; its backlog ships on the next boundary.
+
+        Raises :class:`SessionClosedError` after :meth:`close` — a dropped
+        site's queued deltas are discarded by the close, so "restoring" it
+        could never ship them and would only misreport connectivity.
+        """
+        self._check_open("restore a site")
         self._dropped.discard(site)
 
     @property
@@ -632,8 +718,7 @@ class StreamingSession(EstimatorBase):
         bucket magnitudes also stay within the float64-exact ``2**53`` range
         — which is what makes streamed and one-shot summaries bit-identical.
         """
-        if self._closed:
-            raise RuntimeError("cannot ingest into a closed streaming session")
+        self._check_open("ingest")
         if not 0 <= site < len(self.sites):
             raise ValueError(f"site index {site} out of range [0, {len(self.sites)})")
         target = self.sites[site]
@@ -708,8 +793,7 @@ class StreamingSession(EstimatorBase):
         in site order, so the shipped bytes and the merged summaries are
         executor-invariant, byte for byte.
         """
-        if self._closed:
-            raise RuntimeError("cannot close an epoch on a closed streaming session")
+        self._check_open("close an epoch")
         # Decide (and possibly fail) before any state mutates, so a raised
         # boundary leaves the epoch counter and history untouched.
         decisions: list[bool] = []

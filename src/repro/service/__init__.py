@@ -24,6 +24,13 @@ a cluster estimate runs over real localhost (or LAN) sockets:
   client-side query proxy (:func:`repro.service.client.connect`).
 * :mod:`repro.service.cli` — the ``repro-serve`` / ``repro-site``
   console entry points.
+* :mod:`repro.service.tenancy` — the multi-tenant
+  :class:`~repro.service.tenancy.SessionManager`: N independent streaming
+  sessions multiplexed over one shared runtime with per-tenant quotas and
+  billing-grade cost reports.
+* :mod:`repro.service.metrics` — a dependency-free Prometheus
+  text-exposition registry, scrapeable from the coordinator's port with a
+  plain ``GET /metrics``.
 
 The contract the test suite pins (``tests/service/``): a k-site cluster
 over real sockets produces **bit-identical estimates and bit/round meters**
@@ -34,15 +41,30 @@ simulated meter byte for byte (streaming bits *are* encoded bytes).
 """
 
 from repro.service.client import SiteAgent, connect, local_cluster
+from repro.service.metrics import MetricsRegistry, parse_metrics_text
 from repro.service.server import CoordinatorServer
+from repro.service.tenancy import (
+    PriceSchedule,
+    QuotaExceededError,
+    SessionManager,
+    TenantCostReport,
+    TenantQuota,
+)
 from repro.service.transport import RemoteNetwork, RemoteRuntime, SocketTransport
 
 __all__ = [
     "CoordinatorServer",
+    "MetricsRegistry",
+    "PriceSchedule",
+    "QuotaExceededError",
     "RemoteNetwork",
     "RemoteRuntime",
+    "SessionManager",
     "SiteAgent",
     "SocketTransport",
+    "TenantCostReport",
+    "TenantQuota",
     "connect",
     "local_cluster",
+    "parse_metrics_text",
 ]

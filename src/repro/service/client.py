@@ -144,6 +144,29 @@ class SiteAgent:
             stream.close()
 
     def _handle(self, message: Message) -> Message | None:
+        """Answer one coordinator message; *every* failure becomes a reply.
+
+        The coordinator's request/reply discipline is strict FIFO, so a
+        handler that raised instead of replying would kill the whole agent
+        loop and strand the coordinator's in-flight request — one malformed
+        payload (``decode_payload`` on a ``msg``/``relay``) used to take
+        the site down exactly that way.  Decode errors are answered like
+        task errors: with an ``error`` message the server reports to the
+        client, while the site lives on.
+        """
+        try:
+            return self._handle_inner(message)
+        except Exception as exc:  # noqa: BLE001 - reported to the server
+            return Message(
+                "error",
+                {
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(),
+                },
+            )
+
+    def _handle_inner(self, message: Message) -> Message | None:
         if message.type == "round":
             return Message("ack", {"round": message.meta.get("round")})
         if message.type == "msg":
@@ -165,19 +188,9 @@ class SiteAgent:
             decode_payload(message.payload)
             return Message("msg", dict(message.meta), message.payload)
         if message.type == "task":
-            try:
-                fn = _resolve_task(message.meta.get("fn", ""))
-                args = decode_payload(message.payload)
-                return Message("task_result", {}, encode_payload(fn(*args)))
-            except Exception as exc:  # noqa: BLE001 - reported to the server
-                return Message(
-                    "error",
-                    {
-                        "error": type(exc).__name__,
-                        "message": str(exc),
-                        "traceback": traceback.format_exc(),
-                    },
-                )
+            fn = _resolve_task(message.meta.get("fn", ""))
+            args = decode_payload(message.payload)
+            return Message("task_result", {}, encode_payload(fn(*args)))
         return Message("error", {"error": "ServiceError", "message": f"unexpected {message.type!r}"})
 
 

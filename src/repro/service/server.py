@@ -48,9 +48,11 @@ from repro.service.messages import (
     encode_message,
     encode_payload,
 )
+from repro.service.metrics import MetricsRegistry
+from repro.service.tenancy import SessionManager, TenantQuota
 from repro.service.transport import SiteLink, SocketTransport
 
-__all__ = ["CoordinatorServer", "QUERY_METHODS", "STREAM_QUERY_METHODS"]
+__all__ = ["CoordinatorServer", "QUERY_METHODS", "STREAM_QUERY_METHODS", "TENANT_METHODS"]
 
 #: Estimator facade methods a client may invoke remotely.
 QUERY_METHODS = (
@@ -78,6 +80,24 @@ _SESSION_STATE_METHODS = frozenset(
     | {f"stream_{name}" for name in STREAM_LIVE_METHODS}
 )
 
+#: Multi-tenant service surface (the :class:`SessionManager` routes).
+#: These run against server-local tenant sessions — they need no site
+#: registrations, so they bypass the cluster-ready gate and report no
+#: per-query transport metering (each tenant meters on its own network).
+TENANT_METHODS = (
+    "tenant_open",
+    "tenant_ingest",
+    "tenant_end_epoch",
+    "tenant_run_epoch",
+    "tenant_query",
+    "tenant_report",
+    "tenant_close",
+    "tenants",
+    "aggregate_report",
+    "metrics",
+)
+_TENANT_METHODS = frozenset(TENANT_METHODS)
+
 
 class _AsyncSiteLink(SiteLink):
     """Server side of one site connection (implements the transport seam)."""
@@ -96,10 +116,22 @@ class _AsyncSiteLink(SiteLink):
         #: Futures of in-flight requests, oldest first (strict FIFO replies).
         self.pending: deque[concurrent.futures.Future] = deque()
         self._observed_upstream: deque[tuple[int, int]] = deque()
+        #: Replies still owed to requests a *failed* query abandoned; they
+        #: are dropped on arrival (see :meth:`abandon_pending`).
+        self._discard = 0
+        self._dead: Exception | None = None
 
     # ------------------------------------------------------- transport seam
     def submit(self, message: Message) -> concurrent.futures.Future:
         future: concurrent.futures.Future = concurrent.futures.Future()
+        if self._dead is not None:
+            # Fail fast off-loop: a write to a dead site's closed writer
+            # could otherwise block in drain() forever, and the single
+            # serialized query worker would wedge for every client.
+            future.set_exception(
+                ServiceError(f"site {self.site_name!r} is disconnected: {self._dead}")
+            )
+            return future
         asyncio.run_coroutine_threadsafe(
             self._write(message, future), self._loop
         ).add_done_callback(_propagate_submit_failure(future))
@@ -118,12 +150,20 @@ class _AsyncSiteLink(SiteLink):
 
     # ----------------------------------------------------------- loop side
     async def _write(self, message: Message, future: concurrent.futures.Future) -> None:
+        if self._dead is not None or self._writer.is_closing():
+            raise ServiceError(f"site {self.site_name!r} is disconnected")
         self.pending.append(future)
         self._writer.write(encode_frame(encode_message(message)))
         await self._writer.drain()
 
     def on_reply(self, message: Message) -> None:
         """Route one incoming frame to the oldest in-flight request."""
+        if self._discard:
+            # A reply owed to a request some failed query abandoned: drop
+            # it whole.  Recording its observed bytes would bleed into the
+            # *next* query's meters and break observed == wire.
+            self._discard -= 1
+            return
         if message.type == "msg":
             # An upstream echo: count its codec-body bytes off the socket,
             # attributed to the round carried in the (relayed) meta —
@@ -142,6 +182,25 @@ class _AsyncSiteLink(SiteLink):
             future = self.pending.popleft()
             if not future.done():
                 future.set_exception(exc)
+
+    def mark_dead(self, exc: Exception) -> None:
+        """Declare the connection gone: later submits fail fast, forever."""
+        self._dead = exc
+        self.fail_pending(exc)
+
+    def abandon_pending(self, exc: Exception) -> None:
+        """Write off every in-flight request after its query failed.
+
+        The site will still answer them (FIFO discipline), so the owed
+        replies are counted and dropped on arrival instead of being
+        mis-routed to the next query's requests; any observed-byte records
+        the dead query left undrained are discarded with it.  Runs on the
+        loop thread — the same thread as :meth:`on_reply` — so the counts
+        cannot race.
+        """
+        self._discard += len(self.pending)
+        self.fail_pending(exc)
+        self._observed_upstream.clear()
 
 
 def _propagate_submit_failure(future: concurrent.futures.Future):
@@ -163,10 +222,14 @@ class _MessageStream:
     message per :meth:`next` call.
     """
 
-    def __init__(self, reader: asyncio.StreamReader) -> None:
+    def __init__(self, reader: asyncio.StreamReader, initial: bytes = b"") -> None:
         self._reader = reader
         self._decoder = FrameDecoder()
         self._bodies: deque[bytes] = deque()
+        if initial:
+            # Bytes the connection dispatcher already read while sniffing
+            # for an HTTP scrape; they are the head of the frame stream.
+            self._bodies.extend(self._decoder.feed(initial))
 
     async def next(self) -> Message | None:
         while not self._bodies:
@@ -212,9 +275,12 @@ class CoordinatorServer:
         conditions: NetworkConditions | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        runtime=None,
+        prices=None,
+        default_quota=None,
     ) -> None:
-        if num_sites < 1:
-            raise ValueError(f"num_sites must be >= 1, got {num_sites}")
+        if num_sites < 0:
+            raise ValueError(f"num_sites must be >= 0, got {num_sites}")
         self.b = np.asarray(b)
         self.num_sites = int(num_sites)
         self.expected_row_counts = (
@@ -246,6 +312,15 @@ class CoordinatorServer:
         self._estimator = None
         self._session = None
         self._transport: SocketTransport | None = None
+        #: Scrape registry shared with the tenant manager (GET /metrics).
+        self.metrics = MetricsRegistry()
+        self._tenancy_runtime = runtime
+        self._prices = prices
+        self._default_quota = default_quota
+        self._manager: SessionManager | None = None
+        # A tenant-only service (num_sites=0) never waits for registrations.
+        if self.num_sites == 0:
+            self._ready.set()
         # One worker: queries are serialized on purpose (the estimator's
         # per-query seed stream is stateful, like the in-process facade).
         self._queries = concurrent.futures.ThreadPoolExecutor(
@@ -290,6 +365,11 @@ class CoordinatorServer:
         self._thread.join()
         self._thread = None
         self._queries.shutdown(wait=False)
+        if self._manager is not None:
+            # The query worker is drained (loop gone, executor shut), so
+            # closing the tenant sessions here cannot race a route.
+            self._manager.close()
+            self._manager = None
 
     def __enter__(self) -> "CoordinatorServer":
         return self
@@ -301,6 +381,8 @@ class CoordinatorServer:
         loop = asyncio.new_event_loop()
         self._loop = loop
         self._ready_async = asyncio.Event()
+        if self.num_sites == 0:
+            self._ready_async.set()
         try:
             self._server = loop.run_until_complete(
                 asyncio.start_server(self._handle_connection, self.host, self.port)
@@ -343,7 +425,21 @@ class CoordinatorServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        stream = _MessageStream(reader)
+        # Sniff before framing: a Prometheus scraper speaks HTTP, not the
+        # frame protocol.  The frame magic is b"RP", so the first bytes
+        # decide unambiguously; whatever was read while sniffing primes the
+        # message stream.
+        head = b""
+        while len(head) < 4 and b"GET ".startswith(head):
+            chunk = await reader.read(65536)
+            if not chunk:
+                break
+            head += chunk
+        if head[:4] == b"GET ":
+            await self._serve_http(head, reader, writer)
+            writer.close()
+            return
+        stream = _MessageStream(reader, initial=head)
         try:
             hello = await stream.next()
             if hello is None:
@@ -368,6 +464,48 @@ class CoordinatorServer:
             pass
         finally:
             writer.close()
+
+    async def _serve_http(
+        self,
+        head: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Answer one plain-HTTP request: the Prometheus scrape endpoint.
+
+        Only ``GET /metrics`` (and ``GET /``) are served — the body is the
+        shared registry in text exposition format 0.0.4, so a stock
+        Prometheus server can scrape the coordinator's listen port
+        directly.  Anything else is a 404.  One request per connection
+        (HTTP/1.0 semantics, ``Connection: close``).
+        """
+        while b"\r\n" not in head and b"\n" not in head:
+            chunk = await reader.read(65536)
+            if not chunk:
+                break
+            head += chunk
+        request_line = head.split(b"\r\n", 1)[0].split(b"\n", 1)[0]
+        parts = request_line.decode("latin-1", "replace").split()
+        path = parts[1] if len(parts) >= 2 else "/"
+        if path.split("?", 1)[0] in ("/metrics", "/"):
+            status, body = "200 OK", self.metrics.render().encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            status, body = "404 Not Found", b"not found\n"
+            content_type = "text/plain; charset=utf-8"
+        writer.write(
+            (
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode()
+            + body
+        )
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
 
     async def _send_error(self, writer: asyncio.StreamWriter, exc: Exception) -> None:
         try:
@@ -445,7 +583,11 @@ class CoordinatorServer:
         except (ConnectionError, asyncio.IncompleteReadError) as exc:
             link.fail_pending(ServiceError(f"site {name!r} connection lost: {exc}"))
         finally:
-            link.fail_pending(ServiceError(f"site {name!r} disconnected"))
+            # Mark, don't just fail: the live transport holds its own
+            # reference to this link, so a query already in flight (or the
+            # next one) must see its submits fail fast instead of writing
+            # into a closed socket and wedging the query worker.
+            link.mark_dead(ServiceError(f"site {name!r} disconnected"))
             self._links.pop(name, None)
 
     def _build_estimator(self) -> None:
@@ -493,12 +635,23 @@ class CoordinatorServer:
                 return
             if message.type != "query":
                 raise ServiceError(f"expected query, got {message.type!r}")
-            await self._ready_async.wait()  # queries block until k sites joined
+            if message.meta.get("method") not in _TENANT_METHODS:
+                await self._ready_async.wait()  # block until k sites joined
             try:
                 reply = await loop.run_in_executor(
                     self._queries, self._answer, message
                 )
             except Exception as exc:  # noqa: BLE001 - reported to the client
+                # The failed query may have left requests in flight on the
+                # site links; the sites will still answer them (FIFO), so
+                # write them off *now, on the loop thread* — their replies
+                # are dropped on arrival, their futures failed, and their
+                # stale observed-byte records discarded.  Without this the
+                # next query inherits mis-routed replies and bled meters,
+                # and a future nobody resolves can wedge the query worker.
+                abandon = ServiceError(f"query failed: {exc}")
+                for link in self._links.values():
+                    link.abandon_pending(abandon)
                 reply = Message(
                     "error",
                     {
@@ -519,12 +672,18 @@ class CoordinatorServer:
             raise ServiceError(f"query kwargs must be a dict, got {type(kwargs)}")
         value = self._dispatch(method, kwargs)
         # Session-state methods (ingest, epoch boundaries, live estimates)
-        # meter on the session's long-lived network; everything else built a
-        # fresh per-query network through the transport.
-        if method in _SESSION_STATE_METHODS and self._session is not None:
+        # meter on the session's long-lived network; tenant methods meter
+        # on each tenant's own network (surfaced via reports/metrics, not
+        # per-answer); everything else built a fresh per-query network
+        # through the transport.
+        if method in _TENANT_METHODS:
+            network = None
+        elif method in _SESSION_STATE_METHODS and self._session is not None:
             network = self._session.network
         else:
-            network = self._transport.last_network
+            network = (
+                self._transport.last_network if self._transport is not None else None
+            )
         report = network.service_report() if network is not None else None
         return Message(
             "answer",
@@ -532,7 +691,73 @@ class CoordinatorServer:
             encode_payload({"result": value, "service": report}),
         )
 
+    def _ensure_manager(self) -> SessionManager:
+        """The tenant manager, built on first use (query-worker thread only).
+
+        All tenant routes execute on the single serialized query worker, so
+        lazy construction and every later mutation are naturally
+        single-threaded; the metrics registry itself is thread-safe for the
+        HTTP scrape running concurrently on the loop thread.
+        """
+        if self._manager is None:
+            self._manager = SessionManager(
+                self.b,
+                runtime=self._tenancy_runtime,
+                seed=self.seed if self.seed is not None else 0,
+                metrics=self.metrics,
+                prices=self._prices,
+                default_quota=self._default_quota,
+            )
+        return self._manager
+
+    def _dispatch_tenant(self, method: str, kwargs: dict) -> Any:
+        manager = self._ensure_manager()
+        if method == "tenant_open":
+            quota = kwargs.pop("quota", None)
+            if isinstance(quota, dict):
+                quota = TenantQuota(**quota)
+            name = kwargs.pop("name")
+            row_counts = kwargs.pop("row_counts")
+            session = manager.open_tenant(name, row_counts, quota=quota, **kwargs)
+            return {"tenant": name, "sites": session.num_sites, "epoch": session.epoch}
+        if method == "tenant_ingest":
+            manager.ingest(
+                kwargs["name"], int(kwargs["site"]), kwargs["rows"], kwargs["deltas"]
+            )
+            return {"tenant": kwargs["name"]}
+        if method == "tenant_end_epoch":
+            return manager.end_epoch(
+                kwargs["name"], force=bool(kwargs.get("force", False))
+            )
+        if method == "tenant_run_epoch":
+            return manager.run_epoch(force=bool(kwargs.get("force", False)))
+        if method == "tenant_query":
+            # ``query`` is the estimator method name; it travels as ``query``
+            # (not ``method``) because ``ServiceClient.query(method, ...)``
+            # already claims that keyword.
+            return manager.query(
+                kwargs.pop("name"), kwargs.pop("query"), **kwargs
+            )
+        if method == "tenant_report":
+            return manager.report(kwargs["name"]).to_dict()
+        if method == "tenant_close":
+            return manager.close_tenant(kwargs["name"]).to_dict()
+        if method == "tenants":
+            return manager.tenants
+        if method == "aggregate_report":
+            return manager.aggregate_report()
+        if method == "metrics":
+            return self.metrics.render()
+        raise ServiceError(f"unknown tenant method {method!r}")
+
     def _dispatch(self, method: str, kwargs: dict) -> Any:
+        if method in _TENANT_METHODS:
+            return self._dispatch_tenant(method, kwargs)
+        if self._estimator is None:
+            raise ServiceError(
+                f"method {method!r} needs a registered site cluster "
+                f"(this coordinator serves {self.num_sites} sites)"
+            )
         if method in QUERY_METHODS:
             return getattr(self._estimator, method)(**kwargs)
         if method == "info":

@@ -120,6 +120,12 @@ class ShmArena:
         """Names of the live segments (for the leak assertions in tests)."""
         return tuple(self._segments)
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` ran — views into the arena are then unmapped
+        and must not be dereferenced (reading one is a use-after-free)."""
+        return self._closed
+
     def close(self) -> None:
         """Close and unlink every segment (idempotent)."""
         self._closed = True

@@ -1,0 +1,357 @@
+"""Error paths under faults: dead sites, failed queries, malformed frames.
+
+ISSUE 8's satellite bugfix, pinned:
+
+* a site killed mid-query fails *that* query with a ServiceError — the
+  coordinator answers the next query instead of wedging its serialized
+  query loop, and the client socket is not leaked mid-protocol;
+* a failed query's in-flight requests are written off: the stale replies
+  its sites still owe are discarded on arrival and its undrained
+  observed-byte records are dropped, so the *next* query's
+  ``observed * 8 == wire`` invariant still holds exactly;
+* a site agent answers a malformed payload with an ``error`` reply instead
+  of dying (one bad frame used to take the whole site down);
+* the tenant-facing coordinator (``num_sites=0``) serves its routes and
+  the Prometheus scrape without any site cluster.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.service.client import SiteAgent, connect
+from repro.service.messages import Message, ServiceError, encode_payload
+from repro.service.metrics import parse_metrics_text
+from repro.service.server import CoordinatorServer
+
+NUM_SITES = 2
+
+
+def _data():
+    rng = np.random.default_rng(5)
+    a = rng.integers(0, 3, size=(16, 12))
+    b = rng.integers(0, 3, size=(12, 8))
+    return np.array_split(a, NUM_SITES, axis=0), b
+
+
+def _spawn_cluster(tmp: str):
+    """A live cluster whose site *processes* the test can kill."""
+    shards, b = _data()
+    server = CoordinatorServer(
+        b,
+        num_sites=NUM_SITES,
+        expected_row_counts=[shard.shape[0] for shard in shards],
+        seed=3,
+        host="127.0.0.1",
+        port=0,
+    ).start()
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    processes = []
+    for index, shard in enumerate(shards):
+        shard_path = Path(tmp) / f"shard-{index}.npy"
+        np.save(shard_path, shard)
+        processes.append(
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.service.cli", "site",
+                    "--host", "127.0.0.1", "--port", str(server.port),
+                    "--index", str(index), "--shard", str(shard_path),
+                ],
+                env=env,
+            )
+        )
+    if not server.wait_ready(60.0):
+        raise TimeoutError("cluster not ready")
+    return server, processes
+
+
+def _query_with_deadline(client, method: str, timeout: float = 30.0, **kwargs):
+    """Run one query under a hard deadline: a wedge fails, never hangs."""
+    box: dict = {}
+
+    def run():
+        try:
+            box["value"] = client.query(method, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - re-raised below
+            box["error"] = exc
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    assert not thread.is_alive(), f"query {method!r} wedged (> {timeout}s)"
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+class TestDeadSite:
+    def test_killed_site_fails_the_query_not_the_server(self):
+        with tempfile.TemporaryDirectory(prefix="repro-fault-") as tmp:
+            server, processes = _spawn_cluster(tmp)
+            try:
+                client = connect("127.0.0.1", server.port)
+                baseline = _query_with_deadline(
+                    client, "lp_norm", p=2.0, epsilon=0.3
+                )
+                assert baseline.value > 0
+
+                processes[0].send_signal(signal.SIGKILL)
+                processes[0].wait(timeout=10)
+
+                # The dead site fails this query loudly, within the
+                # deadline — neither a wedge of the single query worker
+                # nor a silent wrong answer.
+                with pytest.raises((ServiceError, ConnectionError)):
+                    _query_with_deadline(client, "lp_norm", p=2.0, epsilon=0.3)
+
+                # The coordinator answers the next query: the loop is not
+                # wedged and the client connection was not dropped.
+                info = _query_with_deadline(client, "info")
+                assert info["k"] == NUM_SITES
+
+                # Repeat offenders keep failing fast (dead-link fail-fast,
+                # not a fresh wedge each time).
+                start = time.monotonic()
+                with pytest.raises((ServiceError, ConnectionError)):
+                    _query_with_deadline(client, "l0_sample", epsilon=0.3)
+                assert time.monotonic() - start < 10.0
+
+                # A fresh client still gets served.
+                other = connect("127.0.0.1", server.port)
+                assert _query_with_deadline(other, "info")["k"] == NUM_SITES
+                other.close()
+                client.close()
+            finally:
+                server.stop()
+                for process in processes:
+                    if process.poll() is None:
+                        process.terminate()
+                    process.wait(timeout=10)
+
+
+class TestFailedQueryIsolation:
+    """A failed query must not bleed state into the next one."""
+
+    def test_server_side_validation_error_then_clean_query(self):
+        with tempfile.TemporaryDirectory(prefix="repro-fault-") as tmp:
+            server, processes = _spawn_cluster(tmp)
+            try:
+                client = connect("127.0.0.1", server.port)
+                with pytest.raises(ServiceError, match="ValueError"):
+                    _query_with_deadline(client, "lp_norm", p=17.0, epsilon=0.3)
+                value = _query_with_deadline(client, "lp_norm", p=2.0, epsilon=0.3)
+                assert value.value > 0
+                report = client.last_service
+                assert report["observed_bytes"] * 8 == report["wire_bits"]
+                client.close()
+            finally:
+                server.stop()
+                for process in processes:
+                    process.wait(timeout=10)
+
+    def test_mid_protocol_fault_leaves_the_next_query_exact(self):
+        """Inject a link failure *after* real traffic: the abandoned
+        requests' stale replies and undrained observed-byte records must
+        not corrupt the next query's meters."""
+        with tempfile.TemporaryDirectory(prefix="repro-fault-") as tmp:
+            server, processes = _spawn_cluster(tmp)
+            try:
+                client = connect("127.0.0.1", server.port)
+                link = server._links["site-0"]
+                original = link.request
+                calls = {"n": 0}
+
+                def flaky(message):
+                    reply = original(message)
+                    calls["n"] += 1
+                    if calls["n"] >= 3:
+                        raise ServiceError("injected mid-protocol fault")
+                    return reply
+
+                link.request = flaky
+                try:
+                    with pytest.raises(ServiceError, match="injected"):
+                        _query_with_deadline(client, "lp_norm", p=2.0, epsilon=0.3)
+                finally:
+                    link.request = original
+                assert calls["n"] >= 3  # the fault fired after real traffic
+
+                reference = _query_with_deadline(
+                    client, "lp_norm", p=2.0, epsilon=0.3
+                )
+                report = client.last_service
+                # The invariant the bleed used to break: exact, per link.
+                assert report["observed_bytes"] * 8 == report["wire_bits"]
+                for site, wire_bits in report["wire_link_bits"].items():
+                    assert report["observed_link_bytes"].get(site, 0) * 8 == wire_bits
+                assert reference.value > 0
+                client.close()
+            finally:
+                server.stop()
+                for process in processes:
+                    process.wait(timeout=10)
+
+
+class TestSiteAgentRobustness:
+    """One bad frame must answer with ``error``, never kill the agent."""
+
+    def _agent(self) -> SiteAgent:
+        return SiteAgent("127.0.0.1", 1, 0, np.zeros((2, 3)))
+
+    def test_malformed_msg_payload_returns_error(self):
+        reply = self._agent()._handle(
+            Message("msg", {"round": 1}, b"\xffnot a payload")
+        )
+        assert reply.type == "error"
+        assert reply.meta["error"]
+
+    def test_malformed_relay_payload_returns_error(self):
+        reply = self._agent()._handle(Message("relay", {}, b"\x00garbage"))
+        assert reply.type == "error"
+
+    def test_malformed_task_returns_error(self):
+        reply = self._agent()._handle(
+            Message("task", {"fn": "os:system"}, encode_payload(("true",)))
+        )
+        assert reply.type == "error"
+        assert "refusing" in reply.meta["message"]
+
+    def test_unexpected_type_returns_error(self):
+        reply = self._agent()._handle(Message("assign", {}))
+        assert reply.type == "error"
+
+    def test_healthy_round_still_acks(self):
+        reply = self._agent()._handle(Message("round", {"round": 2}))
+        assert reply.type == "ack" and reply.meta["round"] == 2
+
+
+class TestTenantOnlyServer:
+    """``num_sites=0``: tenant routes + scrape, no site cluster at all."""
+
+    @pytest.fixture()
+    def server(self):
+        rng = np.random.default_rng(2)
+        b = rng.integers(0, 4, size=(12, 3))
+        server = CoordinatorServer(b, num_sites=0, seed=9, port=0).start()
+        yield server
+        server.stop()
+
+    def _scrape(self, port: int, path: str = "/metrics") -> tuple[str, str]:
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+            sock.sendall(f"GET {path} HTTP/1.0\r\nHost: t\r\n\r\n".encode())
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        return head.decode().split("\r\n")[0], body.decode()
+
+    def test_tenant_routes_over_the_socket(self, server):
+        rng = np.random.default_rng(4)
+        client = connect("127.0.0.1", server.port)
+        assert client.cluster["k"] == 0 and client.cluster["ready"]
+        client.query("tenant_open", name="alice", row_counts=[6, 6])
+        client.query(
+            "tenant_open",
+            name="bob",
+            row_counts=[12],
+            quota={"byte_budget": 1, "policy": "throttle"},
+        )
+        client.query(
+            "tenant_ingest",
+            name="alice",
+            site=0,
+            rows=np.arange(4),
+            deltas=rng.integers(-2, 3, size=(4, 12)),
+        )
+        report = client.query("tenant_end_epoch", name="alice", force=True)
+        assert report.total_bytes > 0 and not report.throttled
+        result = client.query("tenant_query", name="alice", query="lp_norm", p=2.0)
+        assert result.value >= 0
+        assert client.query("tenants") == ["alice", "bob"]
+        statement = client.query("tenant_report", name="alice")
+        assert statement["usage"]["queries"] == 1
+        aggregate = client.query("aggregate_report")
+        assert aggregate["meters_consistent"]
+        closed = client.query("tenant_close", name="bob")
+        assert closed["closed"]
+        client.close()
+
+    def test_quota_rejection_travels_as_a_service_error(self, server):
+        client = connect("127.0.0.1", server.port)
+        client.query(
+            "tenant_open",
+            name="capped",
+            row_counts=[12],
+            quota={"byte_budget": 1, "policy": "reject"},
+        )
+        rng = np.random.default_rng(6)
+        for _ in range(2):
+            client.query(
+                "tenant_ingest",
+                name="capped",
+                site=0,
+                rows=np.arange(3),
+                deltas=rng.integers(-2, 3, size=(3, 12)),
+            )
+            try:
+                client.query("tenant_end_epoch", name="capped", force=True)
+            except ServiceError as exc:
+                assert "QuotaExceededError" in str(exc)
+                break
+        else:
+            pytest.fail("quota never enforced")
+        # The failed route did not wedge the loop.
+        assert client.query("tenants") == ["capped"]
+        client.close()
+
+    def test_metrics_scrape_parses(self, server):
+        client = connect("127.0.0.1", server.port)
+        client.query("tenant_open", name="alice", row_counts=[12])
+        rng = np.random.default_rng(8)
+        client.query(
+            "tenant_ingest",
+            name="alice",
+            site=0,
+            rows=np.arange(5),
+            deltas=rng.integers(-2, 3, size=(5, 12)),
+        )
+        client.query("tenant_end_epoch", name="alice", force=True)
+        status, body = self._scrape(server.port)
+        assert status == "HTTP/1.0 200 OK"
+        parsed = parse_metrics_text(body)
+        assert parsed[("repro_tenants", ())] == 1
+        assert parsed[("repro_ingest_rows_total", (("tenant", "alice"),))] == 5
+        assert parsed[("repro_epochs_total", (("tenant", "alice"),))] == 1
+        # The scrape is a side channel: the message client still works.
+        assert client.query("tenants") == ["alice"]
+        client.close()
+
+    def test_unknown_http_path_is_404(self, server):
+        status, _ = self._scrape(server.port, "/nope")
+        assert status.startswith("HTTP/1.0 404")
+
+    def test_cluster_queries_are_refused_without_sites(self, server):
+        client = connect("127.0.0.1", server.port)
+        with pytest.raises(ServiceError, match="site cluster"):
+            client.query("lp_norm", p=2.0, epsilon=0.3)
+        # ... but the refusal leaves the tenant loop alive.
+        assert client.query("tenants") == []
+        client.close()

@@ -1,0 +1,194 @@
+"""The metrics registry: Prometheus text exposition, exactly.
+
+The registry is dependency-free, so its own parser
+(:func:`~repro.service.metrics.parse_metrics_text`) doubles as the scrape
+contract: everything :meth:`~repro.service.metrics.MetricsRegistry.render`
+emits must parse back to the same samples, including escaped label values
+and the inf/nan formatting rules of exposition format 0.0.4.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    MetricsError,
+    MetricsRegistry,
+    parse_metrics_text,
+)
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_counts_and_reads_back(self, registry):
+        rows = registry.counter("rows_total", "rows", ("tenant",))
+        rows.inc(tenant="a")
+        rows.inc(4, tenant="a")
+        rows.inc(2, tenant="b")
+        assert rows.value(tenant="a") == 5
+        assert rows.value(tenant="b") == 2
+
+    def test_unlabelled_counter(self, registry):
+        total = registry.counter("epochs_total", "epochs")
+        total.inc()
+        total.inc(2)
+        assert total.value() == 3
+
+    def test_negative_increment_is_refused(self, registry):
+        rows = registry.counter("rows_total", "rows")
+        with pytest.raises(MetricsError, match="cannot decrease"):
+            rows.inc(-1)
+
+    def test_unseen_labels_read_zero(self, registry):
+        rows = registry.counter("rows_total", "rows", ("tenant",))
+        assert rows.value(tenant="ghost") == 0
+
+    def test_label_name_set_must_match_exactly(self, registry):
+        rows = registry.counter("rows_total", "rows", ("tenant",))
+        with pytest.raises(MetricsError):
+            rows.inc(site="x")
+        with pytest.raises(MetricsError):
+            rows.inc(tenant="a", site="x")
+
+
+class TestGauges:
+    def test_set_inc_dec(self, registry):
+        lag = registry.gauge("lag", "lag", ("tenant",))
+        lag.set(3.5, tenant="a")
+        lag.inc(tenant="a")
+        lag.dec(0.5, tenant="a")
+        assert lag.value(tenant="a") == 4.0
+
+    def test_gauges_may_go_negative(self, registry):
+        g = registry.gauge("delta", "delta")
+        g.dec(2)
+        assert g.value() == -2
+
+    def test_remove_drops_the_series(self, registry):
+        lag = registry.gauge("lag", "lag", ("tenant",))
+        lag.set(1, tenant="a")
+        lag.set(2, tenant="b")
+        lag.remove(tenant="a")
+        assert list(lag.samples()) == [("b",)]
+        lag.remove(tenant="a")  # idempotent
+
+
+class TestRegistry:
+    def test_reregistration_is_idempotent(self, registry):
+        first = registry.counter("rows_total", "rows", ("tenant",))
+        second = registry.counter("rows_total", "rows", ("tenant",))
+        assert first is second
+
+    def test_kind_mismatch_is_refused(self, registry):
+        registry.counter("rows_total", "rows")
+        with pytest.raises(MetricsError, match="registered"):
+            registry.gauge("rows_total", "rows")
+
+    def test_label_mismatch_is_refused(self, registry):
+        registry.counter("rows_total", "rows", ("tenant",))
+        with pytest.raises(MetricsError, match="registered"):
+            registry.counter("rows_total", "rows", ("tenant", "site"))
+
+    def test_invalid_metric_name_is_refused(self, registry):
+        with pytest.raises(MetricsError):
+            registry.counter("bad-name", "nope")
+
+    def test_invalid_label_name_is_refused(self, registry):
+        with pytest.raises(MetricsError):
+            registry.counter("ok_total", "ok", ("bad-label",))
+
+    def test_get_unknown_metric(self, registry):
+        assert registry.get("nope") is None
+
+
+class TestRenderParseRoundTrip:
+    def test_round_trip_preserves_every_sample(self, registry):
+        rows = registry.counter("rows_total", "Rows ingested", ("tenant",))
+        lag = registry.gauge("lag", "Lag", ("tenant",))
+        up = registry.gauge("up", "Up")
+        rows.inc(7, tenant="a")
+        rows.inc(9, tenant="b")
+        lag.set(2.5, tenant="a")
+        up.set(1)
+        parsed = parse_metrics_text(registry.render())
+        assert parsed == {
+            ("rows_total", (("tenant", "a"),)): 7.0,
+            ("rows_total", (("tenant", "b"),)): 9.0,
+            ("lag", (("tenant", "a"),)): 2.5,
+            ("up", ()): 1.0,
+        }
+
+    def test_help_and_type_lines(self, registry):
+        registry.counter("rows_total", "Rows ingested", ("tenant",)).inc(tenant="a")
+        text = registry.render()
+        assert "# HELP rows_total Rows ingested" in text
+        assert "# TYPE rows_total counter" in text
+
+    def test_label_values_are_escaped(self, registry):
+        g = registry.gauge("g", "g", ("name",))
+        tricky = 'we"ird\\ten\nant'
+        g.set(1, name=tricky)
+        parsed = parse_metrics_text(registry.render())
+        assert parsed == {("g", (("name", tricky),)): 1.0}
+
+    def test_inf_and_nan_render(self, registry):
+        g = registry.gauge("g", "g", ("k",))
+        g.set(math.inf, k="hi")
+        g.set(-math.inf, k="lo")
+        g.set(math.nan, k="nan")
+        parsed = parse_metrics_text(registry.render())
+        assert parsed[("g", (("k", "hi"),))] == math.inf
+        assert parsed[("g", (("k", "lo"),))] == -math.inf
+        assert math.isnan(parsed[("g", (("k", "nan"),))])
+
+    def test_integral_values_render_without_fraction(self, registry):
+        registry.counter("n_total", "n").inc(3)
+        line = [
+            line
+            for line in registry.render().splitlines()
+            if not line.startswith("#") and line.startswith("n_total")
+        ]
+        assert line == ["n_total 3"]
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert parse_metrics_text(registry.render()) == {}
+
+
+class TestParserStrictness:
+    def test_garbage_line_is_an_error(self):
+        with pytest.raises(MetricsError):
+            parse_metrics_text("what even is this\n")
+
+    def test_duplicate_sample_is_an_error(self):
+        with pytest.raises(MetricsError, match="duplicate"):
+            parse_metrics_text('m{a="1"} 1\nm{a="1"} 2\n')
+
+    def test_unparseable_value_is_an_error(self):
+        with pytest.raises(MetricsError):
+            parse_metrics_text("m noodles\n")
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self, registry):
+        rows = registry.counter("rows_total", "rows", ("tenant",))
+
+        def worker(tenant: str) -> None:
+            for _ in range(2000):
+                rows.inc(tenant=tenant)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in ("a", "b", "a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert rows.value(tenant="a") == 4000
+        assert rows.value(tenant="b") == 4000
