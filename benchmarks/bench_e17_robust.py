@@ -1,0 +1,45 @@
+"""E17 — robust aggregation: Byzantine accuracy bounds + quorum makespans."""
+
+import os
+
+from repro.experiments import e17_robust_aggregation
+
+#: CI smoke mode: one tiny config so the robust/quorum path is exercised
+#: on every change without paying for the full sweep.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def test_e17_robust_aggregation(benchmark, once):
+    report = once(
+        benchmark,
+        e17_robust_aggregation.run,
+        # rows_per_site stays at 160 even in smoke: the flip-sign-vs-bound
+        # separation needs per-site column sums concentrated enough that
+        # two flipped uploads displace the plain merge past k*(max-min).
+        rows_per_site=160,
+        n=48 if SMOKE else 64,
+        num_sites=8,
+        max_corrupt=2 if SMOKE else 3,
+        seed=17,
+    )
+    print()
+    print(report)
+    # Shape: the headline Byzantine scenario (k=8, f=2 flip-sign corrupt
+    # sites) answers lp_norm and l1-exact within the charted k*(max-min)
+    # error bound via trimmed-mean while the plain entrywise merge violates
+    # it, and quorum execution at n-f strictly beats the full fan-in's
+    # simulated makespan (monotonically in f).
+    assert report.summary["flip_sign_f2_trimmed_within_bound"]
+    assert report.summary["flip_sign_f2_plain_violates_bound"]
+    assert report.summary["quorum_makespan_strictly_decreasing"]
+    assert report.summary["quorum_f_max_speedup"] > 1.0
+    corruption_rows = [
+        row for row in report.rows if row["scenario"] == "corruption"
+    ]
+    # Plain-merge displacement grows with the number of corrupt sites
+    # within each family; the trimmed estimate never leaves the bound.
+    for family in ("lp_norm", "l1-exact"):
+        family_rows = [row for row in corruption_rows if row["family"] == family]
+        plain = [row["plain_dev"] for row in family_rows]
+        assert plain == sorted(plain)
+        assert all(row["trimmed_within_bound"] for row in family_rows)

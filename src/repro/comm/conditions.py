@@ -101,6 +101,18 @@ class NetworkConditions:
         whole scenario in one object.
     jitter_seed:
         Seed of the deterministic per-(site, round) jitter stream.
+    deadline:
+        Per-site response deadline in simulated seconds.  A site whose
+        link latency exceeds the deadline is a *straggler*: quorum-mode
+        runtimes (:class:`repro.engine.runtime.Runtime` with ``quorum=``)
+        answer without it, and streaming sessions fold its delta in late
+        (see ``StreamingSession``).  ``None`` (default) disables the
+        deadline; like ``dropped``, the transports never consult it.
+    faults:
+        Optional :class:`repro.engine.robust.FaultPlan` — the declarative
+        corruption scenario (site → adversary) applied by the engine to
+        the named sites' uploaded summaries.  Carried here, untouched, so
+        a Byzantine condition is one object alongside timing and dropout.
     """
 
     def __init__(
@@ -110,11 +122,17 @@ class NetworkConditions:
         overrides: Mapping[str, LinkModel] | None = None,
         dropped: Iterable[str] = (),
         jitter_seed: int = 0,
+        deadline: float | None = None,
+        faults=None,
     ) -> None:
         self.default = default
         self.overrides = dict(overrides or {})
         self.dropped = frozenset(dropped)
         self.jitter_seed = int(jitter_seed)
+        if deadline is not None and (deadline <= 0 or math.isnan(deadline)):
+            raise ValueError(f"deadline must be > 0 seconds, got {deadline}")
+        self.deadline = None if deadline is None else float(deadline)
+        self.faults = faults
 
     def link(self, site_name: str) -> LinkModel:
         """The model governing one coordinator-site link."""
@@ -135,6 +153,26 @@ class NetworkConditions:
             seconds += float(draw.uniform(0.0, model.jitter))
         return seconds
 
+    def excluding(self, names: Iterable[str]) -> "NetworkConditions":
+        """A copy with ``names`` additionally declared dropped.
+
+        Quorum-mode drivers exclude stragglers before wiring the sub-star;
+        folding them into ``dropped`` keeps their link overrides legitimate
+        under :class:`repro.comm.network.Network`'s typo check, exactly
+        like pre-declared dropped sites.
+        """
+        names = frozenset(names)
+        if not names:
+            return self
+        return NetworkConditions(
+            self.default,
+            overrides=self.overrides,
+            dropped=self.dropped | names,
+            jitter_seed=self.jitter_seed,
+            deadline=self.deadline,
+            faults=self.faults,
+        )
+
     def is_ideal(self) -> bool:
         """True when every link is the ideal model (makespan trivially 0)."""
         return self.default == IDEAL_LINK and not self.overrides
@@ -145,6 +183,10 @@ class NetworkConditions:
             parts.append(f"overrides={self.overrides}")
         if self.dropped:
             parts.append(f"dropped={sorted(self.dropped)}")
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline}")
+        if self.faults is not None:
+            parts.append(f"faults={self.faults}")
         return f"NetworkConditions({', '.join(parts)})"
 
 

@@ -50,13 +50,18 @@ from repro.engine.linf import (
     StarTwoPlusEpsilonLinfProtocol,
 )
 from repro.engine.lp_norm import StarLpNormProtocol, star_lp_pp_estimate
-from repro.engine.runtime import Runtime, SiteDroppedError
+from repro.engine.robust import Adversary, FaultPlan, RobustPolicy
+from repro.engine.runtime import QuorumPolicy, Runtime, SiteDroppedError
 from repro.engine.streaming import EpochReport, StreamingSession
 from repro.engine.topology import Coordinator, Site, StarTopology, coerce_shards
 
 __all__ = [
+    "Adversary",
     "ClusterCostReport",
     "EpochReport",
+    "FaultPlan",
+    "QuorumPolicy",
+    "RobustPolicy",
     "Runtime",
     "SiteDroppedError",
     "StreamingSession",

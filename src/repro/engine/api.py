@@ -95,9 +95,9 @@ class EstimatorBase:
         """Set-intersection join size ``|A ∘ B| = ||A B||_0`` (p = 0)."""
         return self.lp_norm(0.0, epsilon, **kwargs)
 
-    def natural_join_size(self) -> ProtocolResult:
+    def natural_join_size(self, **kwargs) -> ProtocolResult:
         """Exact natural-join size ``|A ⋈ B| = ||A B||_1`` (Remark 2)."""
-        return self._run(StarExactL1Protocol(seed=self._next_seed()))
+        return self._run(StarExactL1Protocol(seed=self._next_seed(), **kwargs))
 
     # ------------------------------------------------------------- sampling
     def l0_sample(self, epsilon: float = 0.25, **kwargs) -> ProtocolResult:

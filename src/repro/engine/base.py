@@ -120,6 +120,7 @@ class StarProtocol:
     def __init__(self, *, seed: int | None = None) -> None:
         self.seed = seed
         self.runtime: Runtime = SERIAL_RUNTIME
+        self.conditions: NetworkConditions | None = None
 
     # ------------------------------------------------------------------ api
     def run(
@@ -133,6 +134,7 @@ class StarProtocol:
     ) -> ProtocolResult:
         """Execute the protocol on k row-shards and the coordinator's matrix."""
         self.runtime = runtime if runtime is not None else SERIAL_RUNTIME
+        self.conditions = conditions
         # Validation/coercion happens once, inside StarTopology.build; here
         # only the shard count and row counts are needed.
         shards = list(shards)
@@ -140,6 +142,10 @@ class StarProtocol:
         shards, site_names, dropout_details = self._apply_dropout(
             shards, site_names, conditions
         )
+        if dropout_details is not None and dropout_details.get("stragglers"):
+            # Stragglers keep their link overrides but leave the sub-star,
+            # exactly like pre-declared dropped sites.
+            conditions = conditions.excluding(dropout_details["stragglers"])
         topology = StarTopology.build(
             shards,
             coordinator_data,
@@ -177,6 +183,7 @@ class StarProtocol:
         under *either* dropout policy.
         """
         self.runtime = runtime if runtime is not None else SERIAL_RUNTIME
+        self.conditions = conditions
         if conditions is not None:
             self.runtime.partition_dropped(["alice"], conditions.dropped)
         topology = StarTopology.build(
@@ -209,14 +216,25 @@ class StarProtocol:
         returned details record who contributed and the renormalization
         factor (inverse surviving row fraction) applied to additive-mass
         outputs.
+
+        A quorum-mode runtime (``Runtime(quorum=(n, f))``) additionally
+        excludes *stragglers* — survivors beyond the fastest ``n - f``
+        responders under the conditions' latencies and deadline — reusing
+        the same survivor renormalization, so quorum answers carry explicit
+        contributor sets (``details["quorum"]``) and target the full mass.
         """
         dropped_names = conditions.dropped if conditions is not None else frozenset()
         surviving, dropped = self.runtime.partition_dropped(site_names, dropped_names)
-        if not dropped:
+        surviving_names = [site_names[i] for i in surviving]
+        in_quorum, stragglers, quorum_details = self.runtime.partition_quorum(
+            surviving_names, conditions
+        )
+        kept_indices = [surviving[i] for i in in_quorum]
+        if not dropped and not stragglers:
             return list(shards), list(site_names), None
         total_rows = sum(int(np.asarray(shard).shape[0]) for shard in shards)
-        kept_shards = [shards[i] for i in surviving]
-        kept_names = [site_names[i] for i in surviving]
+        kept_shards = [shards[i] for i in kept_indices]
+        kept_names = [site_names[i] for i in kept_indices]
         surviving_rows = sum(int(np.asarray(shard).shape[0]) for shard in kept_shards)
         details = {
             "policy": self.runtime.dropout,
@@ -226,6 +244,9 @@ class StarProtocol:
             "renormalization": total_rows / max(surviving_rows, 1),
             "renormalized": False,
         }
+        if quorum_details is not None:
+            details["quorum"] = quorum_details
+            details["stragglers"] = stragglers
         return kept_shards, kept_names, details
 
     def _run_on(self, topology: StarTopology) -> tuple[Any, dict]:

@@ -25,6 +25,7 @@ from repro.comm import bitcost
 from repro.core.result import SampleOutput
 from repro.engine.base import StarProtocol
 from repro.engine.lp_norm import check_inner_dims, total_rows_of
+from repro.engine.robust import RobustPolicy, robust_total
 from repro.engine.topology import Coordinator, Site
 
 __all__ = ["StarExactL1Protocol", "StarL1SamplingProtocol", "shard_column_sums"]
@@ -69,15 +70,32 @@ def _l1_witness_task(
 
 
 class StarExactL1Protocol(StarProtocol):
-    """Remark 2: exact ``||A B||_1`` with ``O(n log n)`` bits, one round."""
+    """Remark 2: exact ``||A B||_1`` with ``O(n log n)`` bits, one round.
+
+    ``robust=`` (a :class:`repro.engine.robust.RobustPolicy` or a bare
+    ``f``) replaces the entrywise sum of per-site column sums with the
+    coordinatewise robust total, tolerating up to f corrupt uploads; the
+    conditions' :class:`~repro.engine.robust.FaultPlan` (if any) corrupts
+    the named sites' uploads before the merge.
+    """
 
     name = "l1-exact-one-round"
     renormalizes_on_dropout = True
+
+    def __init__(
+        self,
+        *,
+        seed: int | None = None,
+        robust: "RobustPolicy | int | None" = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.robust = RobustPolicy.coerce(robust)
 
     def _execute(self, coordinator: Coordinator, sites: list[Site]):
         b = _check_nonnegative(coordinator.data, "the coordinator")
         check_inner_dims(sites, b)
         shards = [_check_nonnegative(site.data, site.name) for site in sites]
+        faults = self.conditions.faults if self.conditions is not None else None
 
         # Fan-out: per-shard column sums; serial: sends + merge in site order.
         site_column_sums = self.runtime.map(
@@ -85,15 +103,35 @@ class StarExactL1Protocol(StarProtocol):
         )
         merged = np.zeros(b.shape[0], dtype=float)
         total_bits = 0
+        site_uploads: list[np.ndarray] = []
         for site, column_sums in zip(sites, site_column_sums):
             bits = column_sums.shape[0] * bitcost.bits_for_int(int(max(column_sums.max(), 1)))
             site.send(column_sums, label="column-sums", bits=bits)
-            merged += column_sums.astype(float)
+            upload = column_sums.astype(float)
+            if faults is not None:
+                upload = np.asarray(faults.corrupt(site.name, upload), dtype=float)
+            merged += upload
+            site_uploads.append(upload)
             total_bits += bits
+
+        details: dict = {"column_sums_bits": total_bits}
+        if self.robust is not None:
+            merged = np.asarray(robust_total(site_uploads, self.robust), dtype=float)
+            details["robust"] = {
+                "f": self.robust.f,
+                "strategy": self.robust.strategy,
+            }
+        if faults is not None:
+            present = {site.name for site in sites}
+            details["faults"] = {
+                name: kind
+                for name, kind in faults.describe().items()
+                if name in present
+            }
 
         row_sums = b.sum(axis=1)
         value = float(np.dot(merged, row_sums.astype(float)))
-        return value, {"column_sums_bits": total_bits}
+        return value, details
 
 
 class StarL1SamplingProtocol(StarProtocol):

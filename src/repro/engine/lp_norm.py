@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.comm import bitcost
 from repro.engine.base import StarProtocol
+from repro.engine.robust import RobustPolicy, robust_total
 from repro.engine.runtime import SERIAL_RUNTIME, Runtime
 from repro.engine.topology import Coordinator, Site
 from repro.sketch.lp_sketch import make_lp_sketch
@@ -184,6 +185,8 @@ def star_lp_pp_estimate(
     shared_rng: np.random.Generator,
     label_prefix: str = "",
     runtime: Runtime | None = None,
+    faults=None,
+    robust: RobustPolicy | None = None,
 ) -> tuple[float, dict]:
     """Run Algorithm 1 over the star; the heavy-hitter protocols reuse it as
     a subroutine on the same network, exactly as Corollary 5.2 prescribes.
@@ -227,16 +230,23 @@ def star_lp_pp_estimate(
     estimate = 0.0
     rough_total = 0.0
     sampled_total = 0
+    site_estimates: list[float] = []
     for site, (site_total, payload, round2_bits) in zip(sites, outcomes):
         rough_total += site_total
         if payload is None:
             site.send(0, label=f"{label_prefix}round2/empty", bits=1)
-            continue
-        site.send(payload, label=f"{label_prefix}round2/sampled-rows", bits=round2_bits)
-
-        # Coordinator: exact norms of the sampled rows of C, weighted sum.
-        estimate += weighted_block_pp(payload, b, p)
-        sampled_total += int(len(payload["rows"]))
+            contribution = 0.0
+        else:
+            site.send(
+                payload, label=f"{label_prefix}round2/sampled-rows", bits=round2_bits
+            )
+            # Coordinator: exact norms of the sampled rows of C, weighted sum.
+            contribution = weighted_block_pp(payload, b, p)
+            estimate += contribution
+            sampled_total += int(len(payload["rows"]))
+        if faults is not None:
+            contribution = float(faults.corrupt(site.name, contribution))
+        site_estimates.append(contribution)
 
     details = {
         "sampled_rows": sampled_total,
@@ -244,6 +254,22 @@ def star_lp_pp_estimate(
         "rho": rho,
         "rough_total": rough_total,
     }
+    if faults is not None or robust is not None:
+        # Re-aggregate the per-site additive shares through the robust
+        # combiner (the plain in-order sum at f = 0), over the possibly
+        # corrupted uploads.
+        policy = robust if robust is not None else RobustPolicy(0)
+        estimate = float(robust_total(site_estimates, policy))
+        details["site_estimates"] = site_estimates
+        if robust is not None:
+            details["robust"] = {"f": policy.f, "strategy": policy.strategy}
+        if faults is not None:
+            present = {site.name for site in sites}
+            details["faults"] = {
+                name: kind
+                for name, kind in faults.describe().items()
+                if name in present
+            }
     return estimate, details
 
 
@@ -274,6 +300,7 @@ class StarLpNormProtocol(StarProtocol):
         *,
         rho_constant: float = 48.0,
         seed: int | None = None,
+        robust: "RobustPolicy | int | None" = None,
     ) -> None:
         super().__init__(seed=seed)
         if not 0 <= p <= 2:
@@ -285,6 +312,7 @@ class StarLpNormProtocol(StarProtocol):
         self.p = float(p)
         self.epsilon = float(epsilon)
         self.rho_constant = float(rho_constant)
+        self.robust = RobustPolicy.coerce(robust)
 
     def _execute(self, coordinator: Coordinator, sites: list[Site]):
         return star_lp_pp_estimate(
@@ -295,4 +323,6 @@ class StarLpNormProtocol(StarProtocol):
             rho_constant=self.rho_constant,
             shared_rng=self.shared_rng,
             runtime=self.runtime,
+            faults=self.conditions.faults if self.conditions is not None else None,
+            robust=self.robust,
         )

@@ -1,0 +1,350 @@
+"""Byzantine-robust aggregation: trimmed/median merges and fault injection.
+
+The engine's merge contract (:mod:`repro.sketch.mergeable`) sums per-site
+summaries entrywise, which is exactly right when every site is honest and
+exactly wrong when even one is not: a single corrupt summary shifts the
+plain merge by an unbounded amount.  This module ports the approximate-
+consensus machinery referenced by the roadmap (proceed once n−f responses
+arrive; discard the f most extreme values before averaging) onto the
+engine's additive families.
+
+Robust combination
+------------------
+All estimators here operate on a stack of **per-site contributions** —
+one scalar (the site's additive share of an lp mass), one vector (Remark-2
+column sums), or one sketch state array per site — and tolerate up to
+``f`` arbitrarily corrupted contributions:
+
+:func:`trimmed_mean`
+    Sort the k contributions coordinatewise, discard the ``f`` smallest
+    and ``f`` largest, average the rest.  With at most ``f`` corrupt
+    inputs every surviving value lies inside the honest range, so the
+    result is within ``[min, max]`` of the honest contributions
+    (requires ``k > 2f``).
+:func:`median_of_sites`
+    The coordinatewise median — the ``f = floor((k-1)/2)`` extreme of
+    trimming, robust to any minority of corrupt sites.
+
+Because the clean aggregate is the **sum** of contributions while both
+estimators approximate their **mean**, :func:`robust_total` rescales by k.
+The price of robustness is an error floor set by cross-site imbalance:
+:func:`robust_error_bound` returns the worst-case deviation
+``k * (max - min)`` of the honest contributions, the bound charted by
+experiment e17 and pinned by the property tests.  At ``f = 0`` both
+:func:`robust_total` and :func:`robust_merge_states` reduce to the plain
+in-order sum, bit for bit.
+
+Fault injection
+---------------
+:class:`FaultPlan` is the declarative, seeded corruption injector threaded
+through :class:`repro.comm.conditions.NetworkConditions`: it maps site
+names to :class:`Adversary` behaviours (``flip-sign``, ``scale``,
+``garbage``, ``stale-replay``) and corrupts a site's contribution as a
+pure function of ``(seed, site, round)`` — the same plan replays the same
+attack, so every fault scenario is a reproducible experimental condition.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ADVERSARY_KINDS",
+    "Adversary",
+    "FaultPlan",
+    "RobustPolicy",
+    "STRATEGIES",
+    "median_of_sites",
+    "robust_error_bound",
+    "robust_merge_states",
+    "robust_total",
+    "trimmed_mean",
+]
+
+#: Supported robust combination strategies.
+STRATEGIES = ("trimmed-mean", "median")
+
+#: Supported adversary behaviours.
+ADVERSARY_KINDS = ("flip-sign", "scale", "garbage", "stale-replay")
+
+
+# --------------------------------------------------------------------- policy
+@dataclass(frozen=True)
+class RobustPolicy:
+    """How many corrupt sites to tolerate, and with which estimator.
+
+    Parameters
+    ----------
+    f:
+        Number of arbitrarily corrupted per-site contributions to
+        tolerate.  ``f = 0`` disables trimming entirely (plain merge).
+    strategy:
+        ``"trimmed-mean"`` (default) or ``"median"``.
+    """
+
+    f: int = 0
+    strategy: str = "trimmed-mean"
+
+    def __post_init__(self) -> None:
+        if self.f < 0:
+            raise ValueError(f"f must be >= 0, got {self.f}")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
+            )
+
+    @classmethod
+    def coerce(cls, value: "RobustPolicy | int | None") -> "RobustPolicy | None":
+        """Accept a policy, a bare ``f`` (trimmed-mean), or ``None``."""
+        if value is None or isinstance(value, RobustPolicy):
+            return value
+        return cls(f=int(value))
+
+    def check_sites(self, k: int) -> None:
+        """Raise unless k contributions support this policy."""
+        if self.f > 0 and k <= 2 * self.f:
+            raise ValueError(
+                f"robust aggregation with f={self.f} needs more than "
+                f"{2 * self.f} contributing sites, got {k}"
+            )
+
+
+# ----------------------------------------------------------------- estimators
+def _stack(values: Sequence[Any]) -> np.ndarray:
+    if len(values) == 0:
+        raise ValueError("need at least one per-site contribution")
+    return np.stack([np.asarray(v, dtype=float) for v in values], axis=0)
+
+
+def _plain_sum(values: Sequence[Any]) -> np.ndarray | float:
+    """In-order sum over sites — bit-identical to the serial merge loop."""
+    total = np.asarray(values[0], dtype=float).copy()
+    for value in values[1:]:
+        total += np.asarray(value, dtype=float)
+    return total if total.ndim else float(total)
+
+
+def trimmed_mean(values: Sequence[Any], f: int) -> np.ndarray | float:
+    """Coordinatewise mean after discarding the f smallest and f largest.
+
+    Requires ``len(values) > 2f`` so at least one value survives the trim.
+    With at most f corrupted inputs the result lies within the range of the
+    honest inputs (coordinatewise).
+    """
+    stacked = _stack(values)
+    if f < 0:
+        raise ValueError(f"f must be >= 0, got {f}")
+    if stacked.shape[0] <= 2 * f:
+        raise ValueError(
+            f"trimmed mean with f={f} needs more than {2 * f} values, "
+            f"got {stacked.shape[0]}"
+        )
+    if f > 0:
+        stacked = np.sort(stacked, axis=0)[f : stacked.shape[0] - f]
+    result = stacked.mean(axis=0)
+    return result if result.ndim else float(result)
+
+
+def median_of_sites(values: Sequence[Any]) -> np.ndarray | float:
+    """Coordinatewise median over per-site contributions."""
+    result = np.median(_stack(values), axis=0)
+    return result if result.ndim else float(result)
+
+
+def robust_total(
+    values: Sequence[Any], policy: RobustPolicy | int
+) -> np.ndarray | float:
+    """Robust estimate of the **sum** of k per-site contributions.
+
+    Estimates the per-site mean with the policy's strategy and rescales by
+    k — under at most ``policy.f`` corrupted contributions the result is
+    within :func:`robust_error_bound` of the clean sum.  At ``f = 0`` this
+    *is* the plain in-order sum, bit for bit, so robust and plain paths
+    coincide exactly when no tolerance is requested.
+    """
+    policy = RobustPolicy.coerce(policy)
+    if policy.f == 0 and policy.strategy == "trimmed-mean":
+        return _plain_sum(values)
+    k = len(values)
+    policy.check_sites(k)
+    if policy.strategy == "median":
+        center = median_of_sites(values)
+    else:
+        center = trimmed_mean(values, policy.f)
+    return center * k if isinstance(center, np.ndarray) else float(center * k)
+
+
+def robust_merge_states(
+    states: Sequence[np.ndarray], policy: RobustPolicy | int
+) -> np.ndarray:
+    """Coordinatewise robust merge of per-site sketch state arrays.
+
+    The plain merged state is the entrywise sum of per-site states
+    (:mod:`repro.sketch.mergeable`); this replaces the sum with
+    :func:`robust_total` per coordinate, yielding a state a corrupt
+    minority cannot displace beyond the honest per-coordinate range.
+    """
+    policy = RobustPolicy.coerce(policy)
+    if policy.f == 0 and policy.strategy == "trimmed-mean":
+        return np.asarray(_plain_sum(states))
+    shapes = {np.asarray(s).shape for s in states}
+    if len(shapes) != 1:
+        raise ValueError(f"site states differ in shape: {sorted(shapes)}")
+    return np.asarray(robust_total(states, policy))
+
+
+def robust_error_bound(clean_values: Sequence[Any], f: int) -> np.ndarray | float:
+    """Worst-case deviation of a robust total from the clean sum.
+
+    For k honest contributions with at most ``f`` of them replaced by
+    arbitrary values, both the trimmed-mean and the median estimate of the
+    per-site mean land inside the honest range ``[min, max]`` — and so does
+    the honest mean itself.  Rescaled by k, the robust total therefore
+    differs from the clean sum by at most ``k * (max - min)``
+    (coordinatewise for vector contributions).  This is the bound e17
+    charts and the property suite enforces.
+    """
+    stacked = _stack(clean_values)
+    bound = stacked.shape[0] * (stacked.max(axis=0) - stacked.min(axis=0))
+    return bound if isinstance(bound, np.ndarray) and bound.ndim else float(bound)
+
+
+# ------------------------------------------------------------------ adversary
+@dataclass(frozen=True)
+class Adversary:
+    """One site's corruption behaviour.
+
+    Kinds
+    -----
+    ``flip-sign``
+        Negate the contribution (a maximally misleading additive share).
+    ``scale``
+        Multiply by ``factor`` (default 100: an inflation attack).
+    ``garbage``
+        Replace with uniform noise of the same shape, magnitude ``factor``
+        times the honest contribution's — seeded per (plan, site, round).
+    ``stale-replay``
+        Replay the site's previous honest contribution (zeros on the first
+        round), the classic stuck/replayed-summary failure.
+    """
+
+    kind: str
+    factor: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ADVERSARY_KINDS:
+            raise ValueError(
+                f"adversary kind must be one of {ADVERSARY_KINDS}, got {self.kind!r}"
+            )
+
+    def apply(
+        self, value: Any, rng: np.random.Generator, previous: Any | None
+    ) -> np.ndarray | float:
+        arr = np.asarray(value, dtype=float)
+        if self.kind == "flip-sign":
+            out = -arr
+        elif self.kind == "scale":
+            out = arr * self.factor
+        elif self.kind == "garbage":
+            magnitude = float(np.max(np.abs(arr))) if arr.size else 1.0
+            magnitude = max(magnitude, 1.0) * self.factor
+            out = rng.uniform(-magnitude, magnitude, size=arr.shape)
+        else:  # stale-replay
+            out = (
+                np.zeros_like(arr)
+                if previous is None
+                else np.asarray(previous, dtype=float)
+            )
+        return out if out.ndim else float(out)
+
+
+def _coerce_adversary(spec: "Adversary | str | tuple") -> Adversary:
+    if isinstance(spec, Adversary):
+        return spec
+    if isinstance(spec, str):
+        return Adversary(spec)
+    if isinstance(spec, tuple) and len(spec) == 2:
+        return Adversary(str(spec[0]), float(spec[1]))
+    raise TypeError(
+        f"adversary spec must be an Adversary, a kind string, or a "
+        f"(kind, factor) pair, got {spec!r}"
+    )
+
+
+class FaultPlan:
+    """A declarative, seeded corruption scenario: site name → adversary.
+
+    Thread a plan through :class:`repro.comm.conditions.NetworkConditions`
+    (``NetworkConditions(faults=plan)``) and the engine corrupts each named
+    site's uploaded contribution before the coordinator merges it.  The
+    ``garbage`` adversary's noise is a pure function of
+    ``(seed, site, round)``, so a plan replays identically; ``stale-replay``
+    remembers the last honest contribution per site, which a fresh plan (or
+    :meth:`reset`) forgets.
+
+    Examples
+    --------
+    >>> plan = FaultPlan({"site-0": "flip-sign", "site-3": ("scale", 10.0)})
+    >>> plan.corrupt("site-0", 5.0)
+    -5.0
+    >>> plan.corrupt("site-1", 5.0)  # honest sites pass through untouched
+    5.0
+    """
+
+    def __init__(
+        self,
+        adversaries: Mapping[str, "Adversary | str | tuple"],
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.adversaries = {
+            str(name): _coerce_adversary(spec) for name, spec in adversaries.items()
+        }
+        self.seed = int(seed)
+        self._history: dict[str, np.ndarray | float] = {}
+
+    @property
+    def corrupt_sites(self) -> frozenset[str]:
+        return frozenset(self.adversaries)
+
+    def adversary(self, site_name: str) -> Adversary | None:
+        return self.adversaries.get(site_name)
+
+    def corrupt(
+        self,
+        site_name: str,
+        value: Any,
+        round_index: int = 0,
+        channel: str | None = None,
+    ) -> Any:
+        """Corrupt one contribution (honest sites pass through unchanged).
+
+        ``channel`` separates independent streams from the same site (the
+        streaming session corrupts one sketch family per channel): replay
+        history and garbage noise are keyed per ``(site, channel)``.
+        """
+        adversary = self.adversaries.get(site_name)
+        key = site_name if channel is None else f"{site_name}/{channel}"
+        previous = self._history.get(key)
+        if adversary is not None and adversary.kind == "stale-replay":
+            self._history[key] = np.array(value, dtype=float, copy=True)
+        if adversary is None:
+            return value
+        entropy = [self.seed, zlib.crc32(key.encode()), int(round_index)]
+        rng = np.random.default_rng(np.random.SeedSequence(entropy))
+        return adversary.apply(value, rng, previous)
+
+    def reset(self) -> None:
+        """Forget stale-replay history (start the scenario over)."""
+        self._history.clear()
+
+    def describe(self) -> dict[str, str]:
+        """Compact site → kind mapping for protocol detail reports."""
+        return {name: adv.kind for name, adv in sorted(self.adversaries.items())}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FaultPlan({self.describe()}, seed={self.seed})"

@@ -93,6 +93,7 @@ import atexit
 import os
 import traceback
 from collections import deque
+from dataclasses import dataclass
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
@@ -103,6 +104,7 @@ from repro.sketch import shm as _shm
 __all__ = [
     "DROPOUT_POLICIES",
     "EXECUTORS",
+    "QuorumPolicy",
     "ResidentPool",
     "Runtime",
     "SERIAL_RUNTIME",
@@ -118,15 +120,118 @@ DROPOUT_POLICIES = ("fail", "exclude")
 
 
 class SiteDroppedError(RuntimeError):
-    """Raised when dropped sites make a protocol unanswerable under policy."""
+    """Raised when dropped sites make a protocol unanswerable under policy.
 
-    def __init__(self, dropped: Sequence[str], message: str | None = None) -> None:
+    Carries the failure as structured state — ``dropped`` (sorted names),
+    ``policy`` (the active dropout policy, if known), ``surviving`` (how
+    many sites remain) and ``reason`` (``"dropped"`` or ``"quorum"``) — so
+    callers can degrade programmatically via :meth:`degradation_report`
+    instead of parsing the message.
+    """
+
+    def __init__(
+        self,
+        dropped: Sequence[str],
+        message: str | None = None,
+        *,
+        policy: str | None = None,
+        surviving: int | None = None,
+        reason: str = "dropped",
+    ) -> None:
         self.dropped = sorted(dropped)
-        super().__init__(
-            message
-            or f"sites {self.dropped} are dropped; rerun with "
-            f"Runtime(dropout='exclude') to estimate from the survivors"
-        )
+        self.policy = policy
+        self.surviving = surviving
+        self.reason = reason
+        if message is None:
+            if reason == "quorum":
+                parts = [
+                    f"quorum not met: sites {self.dropped} missed the "
+                    f"response deadline"
+                ]
+            else:
+                parts = [f"sites {self.dropped} are dropped"]
+            if policy is not None:
+                parts.append(f"active dropout policy: {policy!r}")
+            if surviving is not None:
+                parts.append(f"surviving sites: {surviving}")
+            if reason == "dropped" and policy == "fail" and surviving:
+                parts.append(
+                    "rerun with Runtime(dropout='exclude') to estimate "
+                    "from the survivors"
+                )
+            message = "; ".join(parts)
+        super().__init__(message)
+
+    def degradation_report(self) -> dict:
+        """The failure as a structured report (service answers embed this)."""
+        return {
+            "reason": self.reason,
+            "dropped_sites": self.dropped,
+            "policy": self.policy,
+            "surviving_sites": self.surviving,
+            "message": str(self),
+        }
+
+
+@dataclass(frozen=True)
+class QuorumPolicy:
+    """Answer queries from the first ``n - f`` site responses.
+
+    Ported from the approximate-consensus exemplars (proceed once ``n - f``
+    responses arrive): a quorum-mode runtime waits for the fastest
+    ``n - f`` sites instead of the full fan-in, treats the rest as
+    *stragglers* — excluded from the answer (with survivor
+    renormalization) but not discarded, their results late-merge on
+    arrival — and fails the query only when fewer than ``n - f`` sites
+    respond within the per-site ``deadline``.
+
+    Parameters
+    ----------
+    f:
+        Number of slow/failed sites to tolerate; the quorum is ``n - f``.
+    n:
+        Expected cluster size (defaults to the actual site count at run
+        time).
+    deadline:
+        Per-site response deadline in simulated seconds; ``None`` defers
+        to ``NetworkConditions.deadline`` (and with neither set, every
+        site responds and the quorum is simply the fastest ``n - f``).
+    """
+
+    f: int = 0
+    n: int | None = None
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.f < 0:
+            raise ValueError(f"f must be >= 0, got {self.f}")
+        if self.n is not None and self.n - self.f < 1:
+            raise ValueError(
+                f"quorum n - f must be >= 1, got n={self.n}, f={self.f}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0 seconds, got {self.deadline}")
+
+    @classmethod
+    def coerce(
+        cls, value: "QuorumPolicy | tuple | int | None"
+    ) -> "QuorumPolicy | None":
+        """Accept a policy, an ``(n, f)`` pair, a bare ``f``, or ``None``."""
+        if value is None or isinstance(value, QuorumPolicy):
+            return value
+        if isinstance(value, tuple):
+            n, f = value
+            return cls(n=int(n), f=int(f))
+        return cls(f=int(value))
+
+    def required(self, k: int) -> int:
+        """The quorum size ``n - f`` for an actual cluster of k sites."""
+        n = self.n if self.n is not None else k
+        if n > k:
+            raise ValueError(
+                f"quorum expects n={n} sites but the cluster has only {k}"
+            )
+        return n - self.f
 
 
 def _default_workers() -> int:
@@ -487,6 +592,7 @@ class Runtime:
         *,
         max_workers: int | None = None,
         dropout: str = "fail",
+        quorum: "QuorumPolicy | tuple | int | None" = None,
         persistent: bool = False,
     ) -> None:
         if executor not in EXECUTORS:
@@ -498,6 +604,7 @@ class Runtime:
         self.executor = executor
         self.max_workers = max_workers
         self.dropout = dropout
+        self.quorum = QuorumPolicy.coerce(quorum)
         self.persistent = bool(persistent)
         self._pool: Executor | None = None
         self._atexit_registered = False
@@ -800,17 +907,87 @@ class Runtime:
             )
         if not dropped:
             return list(range(len(site_names))), []
-        if self.dropout == "fail":
-            raise SiteDroppedError(sorted(dropped))
         surviving = [i for i, name in enumerate(site_names) if name not in dropped]
+        if self.dropout == "fail":
+            raise SiteDroppedError(
+                sorted(dropped), policy=self.dropout, surviving=len(surviving)
+            )
         if not surviving:
             raise SiteDroppedError(
-                sorted(dropped), "every site is dropped; nothing can be estimated"
+                sorted(dropped),
+                "every site is dropped; nothing can be estimated",
+                policy=self.dropout,
+                surviving=0,
             )
         return surviving, sorted(dropped)
 
+    def partition_quorum(
+        self,
+        site_names: Sequence[str],
+        conditions=None,
+    ) -> tuple[list[int], list[str], dict | None]:
+        """Split site indices into (quorum contributors, stragglers) under
+        the runtime's :class:`QuorumPolicy`.
+
+        The simulated response time of a site is its link latency under
+        ``conditions`` (ideal links respond instantly).  Sites beyond the
+        per-site deadline never count as responders; of the responders, the
+        fastest ``n - f`` (site order breaking ties) form the quorum and
+        the rest are stragglers — excluded from this answer, merged late.
+        Raises :class:`SiteDroppedError` (``reason="quorum"``) when fewer
+        than ``n - f`` sites respond in time.
+
+        Returns ``(contributor indices, straggler names, quorum details)``
+        — details is ``None`` when no quorum policy is active.
+        """
+        policy = self.quorum
+        if policy is None:
+            return list(range(len(site_names))), [], None
+        k = len(site_names)
+        required = policy.required(k)
+        deadline = policy.deadline
+        if deadline is None and conditions is not None:
+            deadline = conditions.deadline
+        arrival = {
+            name: (conditions.link(name).latency if conditions is not None else 0.0)
+            for name in site_names
+        }
+        responders = [
+            i
+            for i, name in enumerate(site_names)
+            if deadline is None or arrival[name] <= deadline
+        ]
+        if len(responders) < required:
+            missed = [name for name in site_names if arrival[name] > (deadline or 0.0)]
+            raise SiteDroppedError(
+                missed,
+                policy=self.dropout,
+                surviving=len(responders),
+                reason="quorum",
+            )
+        ordered = sorted(responders, key=lambda i: (arrival[site_names[i]], i))
+        contributors = sorted(ordered[:required])
+        in_quorum = set(contributors)
+        stragglers = [
+            name for i, name in enumerate(site_names) if i not in in_quorum
+        ]
+        details = {
+            "n": policy.n if policy.n is not None else k,
+            "f": policy.f,
+            "required": required,
+            "deadline": deadline,
+            "quorum_met": True,
+            "contributing_sites": [site_names[i] for i in contributors],
+            "stragglers": stragglers,
+            "arrival_s": {name: float(arrival[name]) for name in site_names},
+        }
+        return contributors, stragglers, details
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"Runtime({self.executor!r}, dropout={self.dropout!r})"
+        parts = [repr(self.executor), f"dropout={self.dropout!r}"]
+        if self.quorum is not None:
+            parts.append(f"quorum={self.quorum}")
+        return f"Runtime({', '.join(parts)})"
 
 
 #: The shared default: serial execution, fail-on-dropout.  The serial

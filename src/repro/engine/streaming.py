@@ -69,14 +69,20 @@ from repro.core.result import HeavyHitterOutput, SampleOutput
 from repro.engine.api import EstimatorBase, is_binary_data
 from repro.engine.base import StarProtocol
 from repro.engine.l0_sampling import finish_l0_sample
-from repro.engine.runtime import SERIAL_RUNTIME, Runtime, SiteDroppedError
+from repro.engine.robust import RobustPolicy, robust_merge_states
+from repro.engine.runtime import (
+    SERIAL_RUNTIME,
+    QuorumPolicy,
+    Runtime,
+    SiteDroppedError,
+)
 from repro.sketch.ams import AmsSketch
 from repro.sketch.countsketch import CountSketch
 from repro.sketch.l0_sampler import L0Sampler
 from repro.sketch.l0_sketch import L0Sketch
 from repro.sketch import shm as _shm
 from repro.sketch.mergeable import MergeableSketch
-from repro.sketch.serialization import serialize_deltas
+from repro.sketch.serialization import deserialize_deltas, serialize_deltas
 
 __all__ = [
     "EpochReport",
@@ -104,6 +110,10 @@ REFRESH_POLICIES = (EVERY_EPOCH, THRESHOLD)
 #: Message label for delta uploads (shows up in ``bits_by_label``).
 DELTA_LABEL = "stream/delta"
 
+#: Message label for late delta arrivals (straggler uploads folded in after
+#: their epoch's quorum answered).
+LATE_DELTA_LABEL = "stream/late-delta"
+
 #: Fixed order of the monitored sketch families inside a delta bundle.
 FAMILIES = ("ams", "l0", "sampler", "countsketch")
 
@@ -123,6 +133,16 @@ class EpochReport:
     at this boundary (their pending deltas stay queued locally); ``shipped``
     marks who actually uploaded, so the two together report exactly which
     sites contributed to the coordinator's live summaries.
+
+    Under a per-site deadline (``StreamingSession(quorum=...)`` or
+    ``NetworkConditions(deadline=...)``) ``late`` lists the *stragglers* of
+    this boundary: sites that shipped but whose upload missed the deadline,
+    so it is queued — not merged, not metered — until it arrives.
+    ``late_merged`` lists the earlier stragglers whose queued uploads were
+    folded into the live summaries at this boundary (their bytes are
+    metered here, labelled ``stream/late-delta``).  ``quorum_met`` is
+    ``False`` when a quorum policy is active and fewer than ``n - f`` sites
+    were connected and on time.
     """
 
     epoch: int
@@ -131,6 +151,9 @@ class EpochReport:
     total_bytes: int = 0
     cumulative_bytes: int = 0
     dropped: list[str] = field(default_factory=list)
+    late: list[str] = field(default_factory=list)
+    late_merged: list[str] = field(default_factory=list)
+    quorum_met: bool = True
     #: Set by the multi-tenant session manager when a quota throttle closed
     #: this epoch without shipping (the deltas stay queued at the sites).
     throttled: bool = False
@@ -362,6 +385,26 @@ class StreamingSession(EstimatorBase):
         streamed == one-shot summary identity — while ``"fail"`` raises
         :class:`repro.engine.runtime.SiteDroppedError` as soon as a dropped
         site *would* have shipped.
+    quorum:
+        Optional :class:`repro.engine.runtime.QuorumPolicy` (or an
+        ``(n, f)`` pair).  Its ``deadline`` (falling back to
+        ``conditions.deadline``) turns slow shippers into *stragglers*:
+        their uploads are queued and folded in on arrival (the next
+        boundary, or :meth:`collect_late`) instead of blocking the epoch —
+        and because merges are linear sums, the folded state is
+        bit-identical to an on-time ship.  Epoch reports carry
+        ``late`` / ``late_merged`` / ``quorum_met``.  Defaults to the
+        runtime's quorum policy when one is set.
+    robust:
+        Optional :class:`repro.engine.robust.RobustPolicy` (or a bare
+        ``f``).  The session then additionally keeps each site's
+        *cumulative* shipped state, so live queries can answer through the
+        coordinatewise robust merge (``live_lp_norm(..., robust=True)``)
+        tolerating up to f corrupt sites.  Any
+        :class:`~repro.engine.robust.FaultPlan` on the conditions corrupts
+        the named sites' shipped deltas (state and wire bytes alike) —
+        not their local shards — so one-shot queries stay clean while the
+        live summaries feel the attack, exactly the Byzantine scenario.
     """
 
     def __init__(
@@ -382,6 +425,8 @@ class StreamingSession(EstimatorBase):
         conditions: NetworkConditions | None = None,
         transport: Transport | None = None,
         dropout: str = "exclude",
+        quorum: "QuorumPolicy | tuple | int | None" = None,
+        robust: "RobustPolicy | int | None" = None,
     ) -> None:
         super().__init__(
             seed=seed, runtime=runtime, conditions=conditions, transport=transport
@@ -389,6 +434,13 @@ class StreamingSession(EstimatorBase):
         if dropout not in ("fail", "exclude"):
             raise ValueError(f"dropout must be 'fail' or 'exclude', got {dropout!r}")
         self.dropout = dropout
+        if quorum is None and runtime is not None:
+            quorum = runtime.quorum
+        self.quorum = QuorumPolicy.coerce(quorum)
+        self.robust = RobustPolicy.coerce(robust)
+        self._faults = conditions.faults if conditions is not None else None
+        #: Straggler uploads awaiting arrival: (site name, wire payload).
+        self._late_queue: list[tuple[str, bytes]] = []
         self._dropped: set[int] = set()  # seeded from conditions.dropped below
         row_counts = [int(count) for count in row_counts]
         if not row_counts or any(count < 0 for count in row_counts):
@@ -427,6 +479,10 @@ class StreamingSession(EstimatorBase):
             site_names = [f"site-{i}" for i in range(k)]
         if len(site_names) != k:
             raise ValueError(f"got {len(site_names)} site names for {k} row counts")
+        if self.robust is not None:
+            self.robust.check_sites(k)
+        if self.quorum is not None:
+            self.quorum.required(k)  # raises when n exceeds the site count
         self.network = (transport if transport is not None else IN_PROCESS).build_network(
             site_names, "coordinator", conditions
         )
@@ -482,6 +538,17 @@ class StreamingSession(EstimatorBase):
         self.merged: dict[str, MergeableSketch] = {
             key: sketch.empty_copy() for key, sketch in self.templates.items()
         }
+        # Robust mode keeps each site's cumulative shipped state alongside
+        # the global merge, so live queries can re-aggregate through the
+        # trimmed/median combiner at query time.
+        self.site_merged: list[dict[str, MergeableSketch]] | None = (
+            [
+                {key: sketch.empty_copy() for key, sketch in self.templates.items()}
+                for _ in range(len(row_counts))
+            ]
+            if self.robust is not None
+            else None
+        )
 
         offsets = np.concatenate(([0], np.cumsum(row_counts)[:-1]))
         self.sites = [
@@ -502,6 +569,13 @@ class StreamingSession(EstimatorBase):
             and self.runtime.persistent
             and self.runtime.executor in ("threads", "processes")
         ):
+            if self._faults is not None:
+                # Resident workers serialize their own (honest) state; the
+                # corruption injector intercepts the classic ship path only.
+                raise ValueError(
+                    "fault injection (NetworkConditions.faults) is not "
+                    "supported in resident mode; use a non-persistent runtime"
+                )
             self._resident = self._build_resident(self.runtime)
 
     def _build_resident(self, runtime: Runtime) -> _ResidentSites:
@@ -573,8 +647,10 @@ class StreamingSession(EstimatorBase):
         :meth:`restore_site` raise.  Idempotent.
 
         Pending (un-shipped) deltas — including a dropped site's queued
-        backlog — are *discarded*, never merged: a closed session's live
-        summaries reflect exactly what was shipped before the close.  In
+        backlog and any straggler uploads still in flight (see
+        :meth:`collect_late`) — are *discarded*, never merged: a closed
+        session's live summaries reflect exactly what arrived before the
+        close.  In
         resident mode the outstanding ingests are drained first (so the
         accumulated shards are complete), the shards are materialized back
         into coordinator memory, the site workers shut down, and the
@@ -585,6 +661,7 @@ class StreamingSession(EstimatorBase):
         if self._closed:
             return
         self._closed = True
+        self._late_queue.clear()
         resident = self._resident
         if resident is None:
             for site in self.sites:
@@ -805,12 +882,17 @@ class StreamingSession(EstimatorBase):
                         [site.name],
                         f"dropped site {site.name!r} has pending deltas at the "
                         f"epoch boundary (dropout policy 'fail')",
+                        policy=self.dropout,
+                        surviving=len(self.sites) - len(self._dropped),
                     )
                 wants_to_ship = False
             decisions.append(wants_to_ship)
 
         self.epoch += 1
         report = EpochReport(epoch=self.epoch)
+        # Straggler uploads from earlier boundaries arrive now: fold them in
+        # before this epoch's own ships (arrival order, then site order).
+        self._fold_late(report)
         shipping: list[_SiteStream] = []
         for index, (site, ships) in enumerate(zip(self.sites, decisions)):
             if index in self._dropped:
@@ -818,6 +900,22 @@ class StreamingSession(EstimatorBase):
             report.shipped[site.name] = ships
             if ships:
                 shipping.append(site)
+
+        # Stragglers: shipping sites whose upload misses the per-site
+        # deadline under the conditions' latencies.  Their payloads are
+        # built and their pending state reset exactly like an on-time ship
+        # — only the merge and the meter wait for the arrival.
+        deadline = self.deadline
+        late_now: set[str] = set()
+        if deadline is not None and self.conditions is not None:
+            late_now = {
+                site.name
+                for site in shipping
+                if self.conditions.link(site.name).latency > deadline
+            }
+        if self.quorum is not None:
+            on_time = len(self.sites) - len(self._dropped) - len(late_now)
+            report.quorum_met = on_time >= self.quorum.required(len(self.sites))
 
         payload_of: dict[str, bytes] = {}
         if shipping and self._resident is not None:
@@ -831,32 +929,60 @@ class StreamingSession(EstimatorBase):
             for site in shipping:
                 pool.submit(site.index, _w_serialize)
             for site in shipping:
-                self._merge_site_views(self._resident.views[site.index])
+                if site.name not in late_now:
+                    self._merge_site_views(site.index)
             for site in shipping:
                 payload_of[site.name] = pool.result(site.index)
             for site in shipping:
                 pool.submit(site.index, _w_reset)
         elif shipping:
             runtime = self.runtime if self.runtime is not None else SERIAL_RUNTIME
+            # A FaultPlan corrupts the named sites' *uploads* — the state
+            # that is serialized and the state that is merged, consistently
+            # — while the sites' local shards stay honest.
+            uploads: dict[str, dict[str, MergeableSketch]] = {}
+            for site in shipping:
+                if (
+                    self._faults is not None
+                    and site.name in self._faults.corrupt_sites
+                ):
+                    uploads[site.name] = self._corrupt_pending(site)
+                else:
+                    uploads[site.name] = site.pending
             join = runtime.map_async(
-                serialize_deltas, [(site.pending,) for site in shipping]
+                serialize_deltas, [(uploads[site.name],) for site in shipping]
             )
             # The pending sketches *are* the deltas the wire would carry
             # (the codec round-trips states exactly), so merge them
             # directly while the encoders run; ``mark_shipped`` resets
             # them only after the join, below.
             for site in shipping:
-                for key in FAMILIES:
-                    self.merged[key].merge(site.pending[key])
+                if site.name not in late_now:
+                    self._merge_delta(site.index, uploads[site.name])
             payload_of = {
                 site.name: payload for site, payload in zip(shipping, join())
             }
+        on_time: list[tuple[_SiteStream, bytes]] = []
         for site in self.sites:
             payload = payload_of.get(site.name)
             if payload is None:
-                report.upload_bytes[site.name] = 0
+                report.upload_bytes.setdefault(site.name, 0)
                 continue
             site.mark_shipped()
+            if site.name in late_now:
+                # In flight: metered (and merged) on arrival.
+                self._late_queue.append((site.name, payload))
+                report.late.append(site.name)
+                report.upload_bytes.setdefault(site.name, 0)
+                continue
+            on_time.append((site, payload))
+        # Sends run only after *every* shipped site's pending state is
+        # reset: the deltas are already merged above, so a send that fails
+        # partway (a real transport timing out mid-boundary) must not leave
+        # the remaining sites' pending un-reset — the next boundary would
+        # re-ship and double-merge them.  Send order stays site order, so
+        # transcripts are unchanged.
+        for site, payload in on_time:
             self.network.send(
                 site.name,
                 self.network.coordinator_name,
@@ -864,14 +990,16 @@ class StreamingSession(EstimatorBase):
                 label=DELTA_LABEL,
                 bits=wire.payload_bits(payload),
             )
-            report.upload_bytes[site.name] = len(payload)
+            report.upload_bytes[site.name] = (
+                report.upload_bytes.get(site.name, 0) + len(payload)
+            )
         report.total_bytes = sum(report.upload_bytes.values())
         report.cumulative_bytes = (self.history[-1].cumulative_bytes if self.history else 0)
         report.cumulative_bytes += report.total_bytes
         self.history.append(report)
         return report
 
-    def _merge_site_views(self, site_views: dict[str, np.ndarray]) -> None:
+    def _merge_site_views(self, site_index: int) -> None:
         """Merge one shipping site's deltas straight from its shm views.
 
         Wraps each family's view in a stateless ``empty_copy`` (shares the
@@ -881,10 +1009,101 @@ class StreamingSession(EstimatorBase):
         Bit-identical to decoding the site's wire payload, because the
         codec round-trips state arrays exactly.
         """
+        site_views = self._resident.views[site_index]
         for key in FAMILIES:
             delta = self.templates[key].empty_copy()
             delta.load_state_array(site_views[key])
             self.merged[key].merge(delta)
+            if self.site_merged is not None:
+                self.site_merged[site_index][key].merge(delta)
+
+    def _merge_delta(
+        self, site_index: int, delta: dict[str, MergeableSketch]
+    ) -> None:
+        """Fold one site's delta bundle into the coordinator's summaries
+        (and, in robust mode, into that site's cumulative slot)."""
+        for key in FAMILIES:
+            self.merged[key].merge(delta[key])
+            if self.site_merged is not None:
+                self.site_merged[site_index][key].merge(delta[key])
+
+    def _corrupt_pending(self, site: "_SiteStream") -> dict[str, MergeableSketch]:
+        """One corrupt site's upload: its pending states through the plan.
+
+        Keyed per (site, family, epoch) so the scenario replays exactly;
+        the returned sketches are detached copies — the site's own pending
+        state stays honest and resets normally.
+        """
+        corrupted: dict[str, MergeableSketch] = {}
+        for key in FAMILIES:
+            sketch = self.templates[key].empty_copy()
+            state = site.pending[key].state_array()
+            if state is not None:
+                state = np.asarray(
+                    self._faults.corrupt(site.name, state, self.epoch, channel=key),
+                    dtype=float,
+                )
+            sketch.load_state_array(state)
+            corrupted[key] = sketch
+        return corrupted
+
+    def _fold_late(self, report: "EpochReport | None") -> list[tuple[str, int]]:
+        """Merge every queued straggler upload into the live summaries.
+
+        Decodes the queued wire payloads (the codec round-trips states
+        exactly, so a late fold is bit-identical to an on-time merge),
+        meters the arrival under ``stream/late-delta`` and credits the
+        bytes to ``report`` when one is given.
+        """
+        folded: list[tuple[str, int]] = []
+        if not self._late_queue:
+            return folded
+        index_of = {site.name: site.index for site in self.sites}
+        for name, payload in self._late_queue:
+            deltas = deserialize_deltas(self.templates, payload)
+            self._merge_delta(index_of[name], deltas)
+            self.network.send(
+                name,
+                self.network.coordinator_name,
+                payload,
+                label=LATE_DELTA_LABEL,
+                bits=wire.payload_bits(payload),
+            )
+            if report is not None:
+                report.late_merged.append(name)
+                report.upload_bytes[name] = (
+                    report.upload_bytes.get(name, 0) + len(payload)
+                )
+            folded.append((name, len(payload)))
+        self._late_queue.clear()
+        return folded
+
+    def collect_late(self) -> dict[str, int]:
+        """Fold queued straggler uploads into the live summaries *now*.
+
+        The automatic fold happens at the next epoch boundary; this is the
+        explicit arrival point for callers that need the stragglers' state
+        without closing another epoch (e.g. before a final live query).
+        Returns ``{site name: folded payload bytes}``; empty when nothing
+        was queued.
+        """
+        self._check_open("collect late deltas")
+        counts: dict[str, int] = {}
+        for name, nbytes in self._fold_late(None):
+            counts[name] = counts.get(name, 0) + nbytes
+        return counts
+
+    @property
+    def late_pending(self) -> list[str]:
+        """Names of sites with an upload still in flight (queued late)."""
+        return sorted({name for name, _ in self._late_queue})
+
+    @property
+    def deadline(self) -> float | None:
+        """The active per-site upload deadline (quorum's, else conditions')."""
+        if self.quorum is not None and self.quorum.deadline is not None:
+            return self.quorum.deadline
+        return self.conditions.deadline if self.conditions is not None else None
 
     def sync(self) -> EpochReport:
         """Force-ship every pending delta (threshold policy included)."""
@@ -896,28 +1115,69 @@ class StreamingSession(EstimatorBase):
         return self.network.total_bits // 8
 
     # ----------------------------------------------------------- live queries
-    def live_lp_norm(self, p: float = 2.0) -> float:
+    def _robust_sketch(self, key: str) -> MergeableSketch | None:
+        """The robust combination of the per-site cumulative summaries.
+
+        Stacks every site's accumulated ``key`` state (zeros for sites that
+        never shipped — an honest empty contribution) and combines them
+        with the session's :class:`~repro.engine.robust.RobustPolicy`
+        instead of the plain sum, so up to ``f`` Byzantine sites cannot
+        drag the estimate arbitrarily.  Returns ``None`` while nothing has
+        shipped at all.
+        """
+        if self.robust is None or self.site_merged is None:
+            raise ValueError(
+                "robust live queries need StreamingSession(robust=...); "
+                "this session was built without a robust policy"
+            )
+        reference = self.merged[key].state_array()
+        if reference is None:
+            return None
+        states = []
+        for per_site in self.site_merged:
+            state = per_site[key].state_array()
+            states.append(np.zeros_like(reference) if state is None else state)
+        combined = robust_merge_states(states, self.robust)
+        sketch = self.templates[key].empty_copy()
+        sketch.load_state_array(np.asarray(combined))
+        return sketch
+
+    def live_lp_norm(self, p: float = 2.0, *, robust: bool = False) -> float:
         """Live ``||C||_p^p`` from the shipped summaries (``p`` in {0, 2}).
 
         ``p = 2`` reads the merged AMS summary, ``p = 0`` the merged ``l_0``
         summary; both reflect exactly the deltas shipped so far (threshold
-        refresh trades staleness for bytes).
+        refresh trades staleness for bytes).  With ``robust=True`` (needs a
+        session ``robust=`` policy) the per-site cumulative summaries are
+        combined by the robust estimator instead of the plain sum.
         """
         if p == 0.0:
-            return self.live_l0()
+            return self.live_l0(robust=robust)
         if p != 2.0:
             raise ValueError(
                 f"live monitoring supports p in {{0, 2}}, got {p}; run the "
                 f"one-shot lp_norm({p}, ...) query for other norms"
             )
-        ams: AmsSketch = self.merged["ams"]  # type: ignore[assignment]
-        if ams.state is None:
+        source = self._robust_sketch("ams") if robust else self.merged["ams"]
+        ams: AmsSketch = source  # type: ignore[assignment]
+        if ams is None or ams.state is None:
             return 0.0
         sketched_c = ams.state @ self._b_float
         return float(ams.estimate_f2_columns(sketched_c).sum())
 
-    def live_l0(self) -> float:
-        """Live ``||C||_0`` (support size of the product) from shipped deltas."""
+    def live_l0(self, *, robust: bool = False) -> float:
+        """Live ``||C||_0`` (support size of the product) from shipped deltas.
+
+        The robust combiner applies to *additive* AMS-backed estimates
+        (see :meth:`live_lp_norm`); the ``l_0`` sketch's exact decode does
+        not survive a trimmed/median recombination of states, so
+        ``robust=True`` raises rather than silently decoding garbage.
+        """
+        if robust:
+            raise ValueError(
+                "robust recombination supports the additive AMS-backed "
+                "estimates (live_lp_norm with p=2), not the exact l0 decode"
+            )
         l0: L0Sketch = self.merged["l0"]  # type: ignore[assignment]
         if l0.state is None:
             return 0.0
@@ -998,6 +1258,8 @@ class StreamingSession(EstimatorBase):
                 },
                 dropped={f"site-{i}" for i in sorted(self._dropped)},
                 jitter_seed=base.jitter_seed,
+                deadline=base.deadline,
+                faults=base.faults,
             )
         return protocol.run(
             self.shards(),

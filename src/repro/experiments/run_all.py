@@ -34,6 +34,7 @@ from repro.experiments import (
     e14_multiparty_scaling,
     e15_streaming_monitoring,
     e16_runtime_conditions,
+    e17_robust_aggregation,
 )
 from repro.experiments.harness import ExperimentReport
 
@@ -55,6 +56,7 @@ ALL_DRIVERS: list[Callable[..., ExperimentReport]] = [
     e14_multiparty_scaling.run,
     e15_streaming_monitoring.run,
     e16_runtime_conditions.run,
+    e17_robust_aggregation.run,
     a1_beta_ablation.run,
     a2_universe_sampling.run,
 ]

@@ -40,6 +40,14 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0, help="0 picks a free port")
     parser.add_argument("--seed", type=int, default=None, help="base seed for the query stream")
+    parser.add_argument(
+        "--deadline", type=float, default=10.0,
+        help="per-site reply deadline and stop() bound, in seconds (default 10)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="retry budget for a site's transient 'retry' refusals (default 2)",
+    )
 
 
 def _add_site_args(parser: argparse.ArgumentParser) -> None:
@@ -47,6 +55,27 @@ def _add_site_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--port", type=int, required=True)
     parser.add_argument("--index", type=int, required=True, help="this site's index (0-based)")
     parser.add_argument("--shard", required=True, help="path to this site's row-shard of A (.npy)")
+    chaos = parser.add_argument_group("chaos injection (fault drills; all default off)")
+    chaos.add_argument(
+        "--delay", type=float, default=0.0,
+        help="sleep this many seconds before answering each protocol request",
+    )
+    chaos.add_argument(
+        "--delay-after", type=int, default=0,
+        help="start delaying only after this many protocol requests",
+    )
+    chaos.add_argument(
+        "--delay-count", type=int, default=None,
+        help="delay at most this many requests (default: forever)",
+    )
+    chaos.add_argument(
+        "--corrupt-upstream", action="store_true",
+        help="flip one byte of every upstream echo (trips the digest check)",
+    )
+    chaos.add_argument(
+        "--flaky", type=int, default=0,
+        help="answer the first N protocol requests with a transient retry refusal",
+    )
 
 
 def serve_cmd(args: argparse.Namespace) -> int:
@@ -58,6 +87,8 @@ def serve_cmd(args: argparse.Namespace) -> int:
         seed=args.seed,
         host=args.host,
         port=args.port,
+        deadline=args.deadline,
+        retries=args.retries,
     ).start()
     host, port = server.address
     print(f"repro-serve: listening on {host}:{port}, waiting for {args.sites} sites", flush=True)
@@ -77,7 +108,17 @@ def serve_cmd(args: argparse.Namespace) -> int:
 def site_cmd(args: argparse.Namespace) -> int:
     from repro.service.client import SiteAgent
 
-    agent = SiteAgent(args.host, args.port, args.index, np.load(args.shard))
+    agent = SiteAgent(
+        args.host,
+        args.port,
+        args.index,
+        np.load(args.shard),
+        delay=args.delay,
+        delay_after=args.delay_after,
+        delay_count=args.delay_count,
+        corrupt_upstream=args.corrupt_upstream,
+        flaky=args.flaky,
+    )
     print(f"repro-site: joining {args.host}:{args.port} as site-{args.index}", flush=True)
     agent.run()
     print(f"repro-site: {agent.name} done", flush=True)

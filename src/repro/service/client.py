@@ -105,14 +105,50 @@ class SiteAgent:
     protocol logic never runs here except through explicit ``task``
     messages — the site is deliberately a dumb, auditable endpoint: every
     byte it acknowledges or echoes was measured on its own socket.
+
+    Chaos knobs (all default off) turn the agent into a fault injector for
+    the coordinator's hardening paths — real sockets, declarative faults:
+
+    ``delay``
+        Sleep this many real seconds before answering each protocol
+        request (``msg``/``relay``), starting after ``delay_after``
+        requests, for at most ``delay_count`` requests (None = forever).
+        With a coordinator ``deadline`` below the delay this makes the
+        site a *straggler* (timeout → degraded answer).
+    ``corrupt_upstream``
+        Flip one byte of every upstream echo's payload, so the
+        coordinator's digest check trips (corrupt frame → quarantine).
+    ``flaky``
+        Answer the first ``flaky`` protocol requests with a transient
+        ``retry`` refusal (coordinator retries with backoff).
     """
 
-    def __init__(self, host: str, port: int, index: int, shard: np.ndarray) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        index: int,
+        shard: np.ndarray,
+        *,
+        delay: float = 0.0,
+        delay_after: int = 0,
+        delay_count: int | None = None,
+        corrupt_upstream: bool = False,
+        flaky: int = 0,
+    ) -> None:
         self.host = host
         self.port = int(port)
         self.index = int(index)
         self.shard = np.asarray(shard)
         self.name = f"site-{self.index}"
+        self.delay = float(delay)
+        self.delay_after = int(delay_after)
+        self.delay_count = None if delay_count is None else int(delay_count)
+        self.corrupt_upstream = bool(corrupt_upstream)
+        self.flaky = int(flaky)
+        self._protocol_requests = 0
+        self._delays_applied = 0
+        self._refusals = 0
 
     def run(self) -> None:
         """Register, then serve until the coordinator says ``bye``."""
@@ -166,9 +202,32 @@ class SiteAgent:
                 },
             )
 
+    def _chaos(self, message: Message) -> Message | None:
+        """Apply the configured fault injection to one protocol request.
+
+        Returns a substitute reply (transient refusal) or ``None`` to
+        proceed normally (possibly after a straggler sleep).
+        """
+        self._protocol_requests += 1
+        if self._refusals < self.flaky:
+            self._refusals += 1
+            return Message("retry", {"reason": "flaky", "attempt": self._refusals})
+        if (
+            self.delay > 0
+            and self._protocol_requests > self.delay_after
+            and (self.delay_count is None or self._delays_applied < self.delay_count)
+        ):
+            self._delays_applied += 1
+            time.sleep(self.delay)
+        return None
+
     def _handle_inner(self, message: Message) -> Message | None:
         if message.type == "round":
             return Message("ack", {"round": message.meta.get("round")})
+        if message.type in ("msg", "relay"):
+            refusal = self._chaos(message)
+            if refusal is not None:
+                return refusal
         if message.type == "msg":
             # Downstream push: ack with the byte count observed on this
             # socket (codec body; the 1-byte tag is envelope) and a digest,
@@ -186,7 +245,12 @@ class SiteAgent:
             # Upstream: this site is the sender of record — push the payload
             # bytes back so they physically travel site -> coordinator.
             decode_payload(message.payload)
-            return Message("msg", dict(message.meta), message.payload)
+            payload = message.payload
+            if self.corrupt_upstream and len(payload) > 1:
+                # A Byzantine echo: one flipped byte past the codec tag.
+                # The coordinator's digest check must catch this.
+                payload = payload[:-1] + bytes([payload[-1] ^ 0xFF])
+            return Message("msg", dict(message.meta), payload)
         if message.type == "task":
             fn = _resolve_task(message.meta.get("fn", ""))
             args = decode_payload(message.payload)
@@ -220,6 +284,8 @@ class ServiceClient:
     def __init__(self, host: str, port: int) -> None:
         self._stream = _SocketStream(_dial(host, port))
         self.last_service: dict | None = None
+        #: Degradation report of the most recent answer (None = clean).
+        self.last_degraded: dict | None = None
         self._stream.send(Message("hello", {"role": "client"}))
         assign = self._stream.next()
         if assign is None or assign.type != "assign":
@@ -230,19 +296,32 @@ class ServiceClient:
         self.cluster = dict(assign.meta)
 
     def query(self, method: str, **kwargs) -> Any:
-        """Run one named query on the coordinator; return its result."""
+        """Run one named query on the coordinator; return its result.
+
+        A *degraded* answer (the coordinator excluded failed sites and
+        renormalized) is still returned normally — its structured report
+        lands in :attr:`last_degraded` (``None`` for clean answers).  An
+        error carrying a degradation report (e.g. a streaming boundary
+        that dropped a timed-out site) raises :class:`ServiceError` with
+        the report attached as ``exc.degradation``.
+        """
         self._stream.send(Message("query", {"method": method}, encode_payload(kwargs)))
         answer = self._stream.next()
         if answer is None:
             raise ConnectionError("coordinator closed the connection mid-query")
         if answer.type == "error":
-            raise ServiceError(
+            exc = ServiceError(
                 f"{answer.meta.get('error')}: {answer.meta.get('message')}"
             )
+            degradation = answer.meta.get("degradation")
+            if degradation is not None:
+                exc.degradation = degradation
+            raise exc
         if answer.type != "answer":
             raise ServiceError(f"expected answer, got {answer.type!r}")
         envelope = decode_payload(answer.payload)
         self.last_service = envelope.get("service")
+        self.last_degraded = answer.meta.get("degraded")
         return envelope["result"]
 
     def __getattr__(self, name: str):
@@ -290,6 +369,8 @@ def local_cluster(
     conditions=None,
     host: str = "127.0.0.1",
     ready_timeout: float = 60.0,
+    site_args: Sequence[Sequence[str]] | None = None,
+    **server_kwargs,
 ) -> Iterator[tuple[Any, ServiceClient]]:
     """A real k-site cluster on localhost: server here, sites as processes.
 
@@ -297,10 +378,17 @@ def local_cluster(
     ``.npy`` files in a temp directory), waits until all have registered,
     and yields ``(server, client)``.  Everything is torn down on exit —
     sites get ``bye``, processes are reaped, the temp dir is removed.
+
+    ``site_args`` appends extra CLI flags to site ``i``'s process (e.g.
+    ``[["--delay", "5"], [], ...]`` for chaos drills); remaining keyword
+    arguments (``deadline=``, ``retries=``, ``quorum=``, ...) pass through
+    to :class:`~repro.service.server.CoordinatorServer`.
     """
     from repro.service.server import CoordinatorServer
 
     shards = [np.asarray(shard) for shard in shards]
+    if site_args is not None and len(site_args) != len(shards):
+        raise ValueError(f"{len(site_args)} site_args lists for {len(shards)} shards")
     server = CoordinatorServer(
         b,
         num_sites=len(shards),
@@ -309,6 +397,7 @@ def local_cluster(
         conditions=conditions,
         host=host,
         port=0,
+        **server_kwargs,
     ).start()
     processes: list[subprocess.Popen] = []
     client: ServiceClient | None = None
@@ -322,25 +411,23 @@ def local_cluster(
             for index, shard in enumerate(shards):
                 shard_path = Path(tmp) / f"shard-{index}.npy"
                 np.save(shard_path, shard)
-                processes.append(
-                    subprocess.Popen(
-                        [
-                            sys.executable,
-                            "-m",
-                            "repro.service.cli",
-                            "site",
-                            "--host",
-                            host,
-                            "--port",
-                            str(server.port),
-                            "--index",
-                            str(index),
-                            "--shard",
-                            str(shard_path),
-                        ],
-                        env=env,
-                    )
-                )
+                argv = [
+                    sys.executable,
+                    "-m",
+                    "repro.service.cli",
+                    "site",
+                    "--host",
+                    host,
+                    "--port",
+                    str(server.port),
+                    "--index",
+                    str(index),
+                    "--shard",
+                    str(shard_path),
+                ]
+                if site_args is not None:
+                    argv.extend(str(arg) for arg in site_args[index])
+                processes.append(subprocess.Popen(argv, env=env))
             if not server.wait_ready(ready_timeout):
                 for process in processes:
                     if process.poll() is not None:

@@ -48,6 +48,12 @@ Schema
 ``bye``
     Orderly shutdown of a connection (or, from a client with
     ``{"shutdown": true}``, of the whole server).
+``retry``
+    site -> server.  A transient refusal: the site could not serve this
+    request right now but the link is healthy — the coordinator backs off
+    and resends (see :class:`repro.service.transport.RemoteNetwork`), up
+    to its retry budget.  Keeps the FIFO discipline intact: the refusal
+    *is* the reply to the refused request.
 
 Payload codec
 -------------
@@ -76,15 +82,19 @@ from repro.comm import wire
 __all__ = [
     "MESSAGE_TYPES",
     "PAYLOAD_TAG_BYTES",
+    "CorruptFrameError",
     "Message",
     "ServiceError",
+    "SiteTimeoutError",
+    "SiteUnavailableError",
     "decode_message",
     "decode_payload",
     "encode_message",
     "encode_payload",
 ]
 
-#: Wire order is part of the format: a type's index is its on-wire code.
+#: Wire order is part of the format: a type's index is its on-wire code
+#: (new types append, so existing codes never shift).
 MESSAGE_TYPES = (
     "hello",
     "assign",
@@ -98,12 +108,48 @@ MESSAGE_TYPES = (
     "answer",
     "error",
     "bye",
+    "retry",
 )
 _CODE_OF = {name: code for code, name in enumerate(MESSAGE_TYPES)}
 
 
 class ServiceError(RuntimeError):
     """A malformed or failed service exchange."""
+
+
+class SiteUnavailableError(ServiceError):
+    """A site cannot serve protocol traffic (disconnected, or never will).
+
+    The coordinator's degradation path catches this family: the query is
+    re-answered over the surviving sub-cluster with the failed site
+    excluded and renormalized (see ``CoordinatorServer``).
+    """
+
+    def __init__(self, message: str, *, site: str | None = None) -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class SiteTimeoutError(SiteUnavailableError):
+    """A site's reply missed the coordinator's per-request deadline.
+
+    The slow site may still answer later — its in-flight replies are
+    written off, and a streaming session keeps it droppable/restorable —
+    which is what distinguishes a *straggler* (timeout, degrade) from a
+    *corrupt* site (digest mismatch, quarantine)."""
+
+
+class CorruptFrameError(ServiceError):
+    """A payload's digest did not survive the socket crossing.
+
+    Unlike a timeout this is evidence of corruption (fault or adversary),
+    so the coordinator quarantines the site instead of merely degrading:
+    the link is declared dead and later queries exclude the site until it
+    reconnects."""
+
+    def __init__(self, message: str, *, site: str | None = None) -> None:
+        super().__init__(message)
+        self.site = site
 
 
 @dataclass

@@ -39,10 +39,14 @@ import numpy as np
 from repro.comm.conditions import NetworkConditions
 from repro.comm.framing import FrameDecoder, FramingError, encode_frame
 from repro.comm import wire
+from repro.engine.runtime import QuorumPolicy
 from repro.service.messages import (
     PAYLOAD_TAG_BYTES,
+    CorruptFrameError,
     Message,
     ServiceError,
+    SiteTimeoutError,
+    SiteUnavailableError,
     decode_message,
     decode_payload,
     encode_message,
@@ -76,7 +80,8 @@ STREAM_LIVE_METHODS = ("live_lp_norm", "live_l0", "live_l0_sample", "live_heavy_
 #: (delta uploads), not on a per-query network built through the transport.
 _SESSION_STATE_METHODS = frozenset(
     {"stream_open", "stream_ingest", "stream_end_epoch", "stream_sync",
-     "stream_total_upload_bytes"}
+     "stream_total_upload_bytes", "stream_drop_site", "stream_restore_site",
+     "stream_collect_late", "stream_late_pending"}
     | {f"stream_{name}" for name in STREAM_LIVE_METHODS}
 )
 
@@ -129,7 +134,10 @@ class _AsyncSiteLink(SiteLink):
             # could otherwise block in drain() forever, and the single
             # serialized query worker would wedge for every client.
             future.set_exception(
-                ServiceError(f"site {self.site_name!r} is disconnected: {self._dead}")
+                SiteUnavailableError(
+                    f"site {self.site_name!r} is disconnected: {self._dead}",
+                    site=self.site_name,
+                )
             )
             return future
         asyncio.run_coroutine_threadsafe(
@@ -137,8 +145,8 @@ class _AsyncSiteLink(SiteLink):
         ).add_done_callback(_propagate_submit_failure(future))
         return future
 
-    def request(self, message: Message) -> Message:
-        return self.submit(message).result()
+    def request(self, message: Message, timeout: float | None = None) -> Message:
+        return self.submit(message).result(timeout)
 
     def take_observed_upstream(self) -> list[tuple[int, int]]:
         drained = []
@@ -263,6 +271,22 @@ class CoordinatorServer:
         give bit-identical estimates and simulated meters.
     host, port:
         Listen address; port 0 picks a free port (see :attr:`address`).
+    deadline:
+        The coordinator's one patience knob, in real seconds (default 10):
+        per-site reply deadline on every protocol request *and* the bound
+        on the orderly :meth:`stop` handshake.  A site that misses it mid-
+        query raises :class:`~repro.service.messages.SiteTimeoutError`,
+        which the server turns into a *degraded* answer over the surviving
+        sub-cluster instead of an error.
+    retries, backoff:
+        Transient-refusal budget: a site replying ``retry`` is re-asked up
+        to ``retries`` times with exponential backoff starting at
+        ``backoff`` seconds (metered as ``repro_link_retries_total``).
+    quorum:
+        Optional :class:`~repro.engine.runtime.QuorumPolicy` (or ``(n, f)``
+        tuple / bare ``f``) threaded into the served runtime: one-shot
+        queries under latency conditions answer from the fastest ``n - f``
+        responders, with stragglers excluded and renormalized.
     """
 
     def __init__(
@@ -278,6 +302,10 @@ class CoordinatorServer:
         runtime=None,
         prices=None,
         default_quota=None,
+        deadline: float = 10.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        quorum=None,
     ) -> None:
         if num_sites < 0:
             raise ValueError(f"num_sites must be >= 0, got {num_sites}")
@@ -297,6 +325,14 @@ class CoordinatorServer:
         self.conditions = conditions
         self.host = host
         self.port = int(port)
+        if deadline <= 0:
+            raise ValueError(f"deadline must be > 0 seconds, got {deadline}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.deadline = float(deadline)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.quorum = QuorumPolicy.coerce(quorum)
 
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -312,8 +348,31 @@ class CoordinatorServer:
         self._estimator = None
         self._session = None
         self._transport: SocketTransport | None = None
+        #: Sites whose frames failed a digest check: their links are dead
+        #: and every later query excludes them (degraded answers).
+        self.quarantined: set[str] = set()
+        #: Degraded estimators per failed-site set, so repeat degraded
+        #: queries keep one stateful seed stream instead of restarting it.
+        self._degraded_cache: dict[frozenset, tuple] = {}
         #: Scrape registry shared with the tenant manager (GET /metrics).
         self.metrics = MetricsRegistry()
+        self._metric_shortfalls = self.metrics.counter(
+            "repro_quorum_shortfall_total",
+            "Queries answered degraded (site timeout/loss) or epochs closed below quorum",
+        )
+        self._metric_late_merges = self.metrics.counter(
+            "repro_late_merges_total",
+            "Straggler deltas folded into live coordinator state after their deadline",
+        )
+        self._metric_quarantined = self.metrics.gauge(
+            "repro_quarantined_sites",
+            "Sites currently quarantined after a corrupt-frame digest mismatch",
+        )
+        self._metric_retries = self.metrics.counter(
+            "repro_link_retries_total",
+            "Protocol requests re-sent after a site's transient retry refusal",
+            labels=("site",),
+        )
         self._tenancy_runtime = runtime
         self._prices = prices
         self._default_quota = default_quota
@@ -359,7 +418,7 @@ class CoordinatorServer:
             try:
                 asyncio.run_coroutine_threadsafe(
                     self._shutdown(), self._loop
-                ).result(timeout=10)
+                ).result(timeout=self.deadline)
             except (concurrent.futures.TimeoutError, RuntimeError):
                 self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join()
@@ -581,28 +640,164 @@ class CoordinatorServer:
                     break
                 link.on_reply(message)
         except (ConnectionError, asyncio.IncompleteReadError) as exc:
-            link.fail_pending(ServiceError(f"site {name!r} connection lost: {exc}"))
+            link.fail_pending(
+                SiteUnavailableError(f"site {name!r} connection lost: {exc}", site=name)
+            )
         finally:
             # Mark, don't just fail: the live transport holds its own
             # reference to this link, so a query already in flight (or the
             # next one) must see its submits fail fast instead of writing
             # into a closed socket and wedging the query worker.
-            link.mark_dead(ServiceError(f"site {name!r} disconnected"))
+            link.mark_dead(
+                SiteUnavailableError(f"site {name!r} disconnected", site=name)
+            )
             self._links.pop(name, None)
 
     def _build_estimator(self) -> None:
         from repro.multiparty.estimator import ClusterEstimator
 
-        self._transport = SocketTransport(self._links)
+        self._transport = self._make_transport(self._links)
         shards = [self._shards[i] for i in range(self.num_sites)]
         self._estimator = ClusterEstimator(
             shards,
             self.b,
             seed=self.seed,
-            runtime=self._transport.runtime(),
+            runtime=self._transport.runtime(quorum=self.quorum),
             conditions=self.conditions,
             transport=self._transport,
         )
+
+    def _make_transport(self, links) -> SocketTransport:
+        """A transport over ``links`` with this server's hardening knobs."""
+        return SocketTransport(
+            links,
+            deadline=self.deadline,
+            retries=self.retries,
+            backoff=self.backoff,
+            on_retry=lambda site: self._metric_retries.inc(site=site),
+        )
+
+    # ----------------------------------------------------------- degradation
+    def _abandon_links(self, exc: Exception) -> None:
+        """Write off every in-flight request, synchronously, loop-side.
+
+        The degradation path re-runs a query over the same sockets; any
+        replies the failed attempt is still owed must be counted off and
+        dropped *before* new requests go out, or they would be mis-routed
+        (FIFO) into the rerun.
+        """
+        done = threading.Event()
+
+        def _run() -> None:
+            for link in self._links.values():
+                link.abandon_pending(exc)
+            done.set()
+
+        self._loop.call_soon_threadsafe(_run)
+        done.wait(timeout=self.deadline)
+
+    def _quarantine(self, site: str) -> None:
+        """Declare a site Byzantine: kill its link, exclude it from now on."""
+        if site in self.quarantined:
+            return
+        self.quarantined.add(site)
+        self._metric_quarantined.set(len(self.quarantined))
+        link = self._links.get(site)
+        if link is not None:
+            self._loop.call_soon_threadsafe(
+                link.mark_dead,
+                CorruptFrameError(f"site {site!r} is quarantined", site=site),
+            )
+
+    def _degrade(self, method: str, kwargs: dict, failed: set, reason: str):
+        """Answer ``method`` without the failed sites.
+
+        One-shot estimator queries re-run over the surviving sub-cluster
+        (all shards live server-side, so the degraded estimator excludes
+        and renormalizes exactly like an in-process ``dropout="exclude"``
+        run).  Streaming-session methods cannot be blindly re-run (the
+        failed boundary may have partially shipped), so the failed sites
+        are dropped from the session and the error re-raised carrying the
+        structured degradation report — the next boundary proceeds without
+        them, and a later restore + sync late-merges their backlog.
+
+        Returns ``(value, degradation report, network for metering)``.
+        """
+        failed = set(failed) | self.quarantined
+        report = {
+            "reason": reason,
+            "failed_sites": sorted(failed),
+            "policy": "exclude",
+            "surviving_sites": self.num_sites - len(failed),
+        }
+        self._metric_shortfalls.inc()
+        self._abandon_links(ServiceError(f"query degraded: {reason}"))
+        if method.startswith("stream_") and self._session is not None:
+            for name in sorted(failed):
+                index = int(name.rsplit("-", 1)[-1])
+                if 0 <= index < self._session.num_sites:
+                    self._session.drop_site(index)
+            exc = ServiceError(
+                f"site failure during {method!r} ({reason}): dropped "
+                f"{sorted(failed)} from the streaming session; restore and "
+                f"sync to late-merge their backlog"
+            )
+            exc.degradation = report
+            raise exc
+        if method not in QUERY_METHODS or self._estimator is None:
+            exc = ServiceError(
+                f"cannot degrade method {method!r} after {reason} of "
+                f"{sorted(failed)}"
+            )
+            exc.degradation = report
+            raise exc
+        if len(failed) >= self.num_sites:
+            exc = ServiceError(f"no surviving sites after {reason} of {sorted(failed)}")
+            exc.degradation = report
+            raise exc
+        estimator, transport = self._degraded_estimator(frozenset(failed))
+        value = getattr(estimator, method)(**kwargs)
+        return value, report, transport.last_network
+
+    def _degraded_estimator(self, failed: frozenset):
+        """The (cached) estimator over the sub-cluster excluding ``failed``.
+
+        Caching per failed-site set keeps the degraded seed stream stateful
+        across queries, mirroring the primary estimator's discipline.  Note
+        the degraded stream starts fresh — degraded answers are *explicitly
+        marked* (the ``degraded`` meta), not bit-continuations of the
+        primary stream.
+        """
+        cached = self._degraded_cache.get(failed)
+        if cached is not None:
+            return cached
+        from repro.multiparty.estimator import ClusterEstimator
+
+        surviving = {
+            name: link for name, link in self._links.items() if name not in failed
+        }
+        transport = self._make_transport(surviving)
+        base = self.conditions if self.conditions is not None else NetworkConditions()
+        quorum = self.quorum
+        if quorum is not None:
+            # The sub-cluster is smaller than the policy's n, so a pinned n
+            # would fail validation; re-anchor the quorum to the surviving
+            # count (n defaults to the actual site count at run time) and
+            # keep f within it.
+            k = self.num_sites - len(failed)
+            quorum = QuorumPolicy(
+                f=min(quorum.f, max(k - 1, 0)), deadline=quorum.deadline
+            )
+        estimator = ClusterEstimator(
+            [self._shards[i] for i in range(self.num_sites)],
+            self.b,
+            seed=self.seed,
+            runtime=transport.runtime(dropout="exclude", quorum=quorum),
+            conditions=base.excluding(failed),
+            transport=transport,
+        )
+        self._degraded_cache[failed] = (estimator, transport)
+        return estimator, transport
 
     # --------------------------------------------------------------- clients
     async def _serve_client(self, stream, writer) -> None:
@@ -652,14 +847,18 @@ class CoordinatorServer:
                 abandon = ServiceError(f"query failed: {exc}")
                 for link in self._links.values():
                     link.abandon_pending(abandon)
-                reply = Message(
-                    "error",
-                    {
-                        "error": type(exc).__name__,
-                        "message": str(exc),
-                        "traceback": traceback.format_exc(),
-                    },
-                )
+                error_meta = {
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(),
+                }
+                degradation = getattr(exc, "degradation", None)
+                if degradation is not None:
+                    # A structured degradation report (which sites failed,
+                    # what policy applies) rides along so clients can react
+                    # programmatically instead of parsing the message.
+                    error_meta["degradation"] = degradation
+                reply = Message("error", error_meta)
             writer.write(encode_frame(encode_message(reply)))
             await writer.drain()
 
@@ -670,13 +869,40 @@ class CoordinatorServer:
         kwargs = decode_payload(message.payload) if message.payload else {}
         if not isinstance(kwargs, dict):
             raise ServiceError(f"query kwargs must be a dict, got {type(kwargs)}")
-        value = self._dispatch(method, kwargs)
+        degraded = None
+        degraded_network = None
+        if method in QUERY_METHODS and self.quarantined and self._estimator is not None:
+            # Known-bad sites never get another query; go straight to the
+            # degraded sub-cluster instead of re-tripping the digest check.
+            value, degraded, degraded_network = self._degrade(
+                method, kwargs, set(), reason="quarantine"
+            )
+        else:
+            try:
+                value = self._dispatch(method, kwargs)
+            except CorruptFrameError as exc:
+                if exc.site is not None:
+                    self._quarantine(exc.site)
+                value, degraded, degraded_network = self._degrade(
+                    method, kwargs, {exc.site} if exc.site else set(),
+                    reason="corrupt-frame",
+                )
+            except SiteUnavailableError as exc:
+                reason = (
+                    "timeout" if isinstance(exc, SiteTimeoutError) else "disconnect"
+                )
+                value, degraded, degraded_network = self._degrade(
+                    method, kwargs, {exc.site} if exc.site else set(), reason=reason
+                )
+        self._observe_epoch_value(value)
         # Session-state methods (ingest, epoch boundaries, live estimates)
         # meter on the session's long-lived network; tenant methods meter
         # on each tenant's own network (surfaced via reports/metrics, not
         # per-answer); everything else built a fresh per-query network
         # through the transport.
-        if method in _TENANT_METHODS:
+        if degraded_network is not None:
+            network = degraded_network
+        elif method in _TENANT_METHODS:
             network = None
         elif method in _SESSION_STATE_METHODS and self._session is not None:
             network = self._session.network
@@ -685,11 +911,22 @@ class CoordinatorServer:
                 self._transport.last_network if self._transport is not None else None
             )
         report = network.service_report() if network is not None else None
+        meta = {"method": method}
+        if degraded is not None:
+            meta["degraded"] = degraded
         return Message(
             "answer",
-            {"method": method},
+            meta,
             encode_payload({"result": value, "service": report}),
         )
+
+    def _observe_epoch_value(self, value) -> None:
+        """Feed robustness metrics off a boundary's epoch report."""
+        late_merged = getattr(value, "late_merged", None)
+        if late_merged:
+            self._metric_late_merges.inc(len(late_merged))
+        if getattr(value, "quorum_met", True) is False:
+            self._metric_shortfalls.inc()
 
     def _ensure_manager(self) -> SessionManager:
         """The tenant manager, built on first use (query-worker thread only).
@@ -786,6 +1023,19 @@ class CoordinatorServer:
             return session.sync()
         if method == "stream_total_upload_bytes":
             return session.total_upload_bytes
+        if method == "stream_drop_site":
+            session.drop_site(int(kwargs["site"]))
+            return {"dropped": session.dropped_sites}
+        if method == "stream_restore_site":
+            session.restore_site(int(kwargs["site"]))
+            return {"dropped": session.dropped_sites}
+        if method == "stream_collect_late":
+            folded = session.collect_late()
+            if folded:
+                self._metric_late_merges.inc(len(folded))
+            return folded
+        if method == "stream_late_pending":
+            return session.late_pending
         if method in {f"stream_{name}" for name in STREAM_LIVE_METHODS}:
             return getattr(session, method[len("stream_") :])(**kwargs)
         if method in {f"stream_{name}" for name in STREAM_QUERY_METHODS}:

@@ -49,6 +49,7 @@ asyncio server implements it with ``run_coroutine_threadsafe`` bridges
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import Counter
 from typing import Any, Callable, Mapping, Sequence
 
@@ -56,11 +57,13 @@ from repro.comm.accounting import MessageLog
 from repro.comm.conditions import NetworkConditions
 from repro.comm.network import DOWNSTREAM, UPSTREAM, Network
 from repro.comm.transport import Transport
-from repro.engine.runtime import Runtime
+from repro.engine.runtime import QuorumPolicy, Runtime
 from repro.service.messages import (
     PAYLOAD_TAG_BYTES,
+    CorruptFrameError,
     Message,
     ServiceError,
+    SiteTimeoutError,
     decode_payload,
     encode_payload,
 )
@@ -85,8 +88,12 @@ class SiteLink:
 
     site_name: str
 
-    def request(self, message: Message) -> Message:
-        """Send one message and block for its reply (FIFO per link)."""
+    def request(self, message: Message, timeout: float | None = None) -> Message:
+        """Send one message and block for its reply (FIFO per link).
+
+        ``timeout`` bounds the wait in real seconds; expiry raises
+        :class:`TimeoutError` (the caller classifies it — see
+        :meth:`RemoteNetwork._request`)."""
         raise NotImplementedError
 
     def submit(self, message: Message):
@@ -109,6 +116,10 @@ class RemoteNetwork(Network):
         *,
         conditions: NetworkConditions | None = None,
         links: Mapping[str, SiteLink],
+        deadline: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        on_retry: Callable[[str], None] | None = None,
     ) -> None:
         super().__init__(site_names, coordinator_name, conditions=conditions)
         missing = [name for name in self.site_names if name not in links]
@@ -118,6 +129,13 @@ class RemoteNetwork(Network):
                 f"{sorted(links)}"
             )
         self._site_links = {name: links[name] for name in self.site_names}
+        #: Per-request reply deadline (real seconds; None = wait forever).
+        self.deadline = deadline
+        #: Retry budget for transient refusals (a site's ``retry`` reply).
+        self.retries = int(retries)
+        #: Base backoff between retries, doubled per attempt.
+        self.backoff = float(backoff)
+        self._on_retry = on_retry
         self.wire_log = MessageLog()
         self.wire_links: dict[str, MessageLog] = {
             name: MessageLog() for name in self.site_names
@@ -128,6 +146,40 @@ class RemoteNetwork(Network):
             name: Counter() for name in self.site_names
         }
         self._notified_round: dict[str, int] = {name: 0 for name in self.site_names}
+
+    # --------------------------------------------------------------- request
+    def _request(self, site: str, link: SiteLink, message: Message) -> Message:
+        """One deadline-bounded request with retry/backoff on transients.
+
+        A ``retry`` reply is the site saying "healthy but busy": the FIFO
+        pairing is intact (the refusal answered the refused request), so
+        the coordinator backs off exponentially and resends, up to the
+        budget.  A missed deadline is different — the reply may still be
+        in flight, so resending would desync the FIFO; it escalates as
+        :class:`~repro.service.messages.SiteTimeoutError` for the server's
+        degradation path to handle.
+        """
+        attempt = 0
+        while True:
+            try:
+                reply = link.request(message, timeout=self.deadline)
+            except TimeoutError:
+                raise SiteTimeoutError(
+                    f"site {site!r} missed the {self.deadline}s response "
+                    f"deadline answering a {message.type!r}",
+                    site=site,
+                ) from None
+            if reply.type != "retry":
+                return reply
+            attempt += 1
+            if attempt > self.retries:
+                raise ServiceError(
+                    f"site {site!r} still refusing after {self.retries} "
+                    f"retries: {reply.meta}"
+                )
+            if self._on_retry is not None:
+                self._on_retry(site)
+            time.sleep(self.backoff * (2 ** (attempt - 1)))
 
     # ------------------------------------------------------------------ send
     def send(
@@ -152,7 +204,9 @@ class RemoteNetwork(Network):
             # Open the aggregate round on this link before its first burst,
             # so both endpoints attribute observed bytes to the same round.
             self._notified_round[site] = record.round_index
-            opened = link.request(Message("round", {"round": record.round_index}))
+            opened = self._request(
+                site, link, Message("round", {"round": record.round_index})
+            )
             if opened.type != "ack":
                 raise ServiceError(
                     f"site {site!r} answered a round open with {opened.type!r}"
@@ -171,7 +225,7 @@ class RemoteNetwork(Network):
             "digest": digest,
         }
         if downstream:
-            reply = link.request(Message("msg", meta, blob))
+            reply = self._request(site, link, Message("msg", meta, blob))
             if reply.type != "ack":
                 raise ServiceError(
                     f"site {site!r} answered a downstream msg with {reply.type!r}: "
@@ -179,23 +233,26 @@ class RemoteNetwork(Network):
                 )
             observed = int(reply.meta["observed"])
             if observed != body_bytes or reply.meta.get("digest") != digest:
-                raise ServiceError(
+                raise CorruptFrameError(
                     f"downstream payload to {site!r} corrupted in transit: sent "
                     f"{body_bytes} bytes ({digest[:12]}...), site observed "
-                    f"{observed} ({str(reply.meta.get('digest'))[:12]}...)"
+                    f"{observed} ({str(reply.meta.get('digest'))[:12]}...)",
+                    site=site,
                 )
             self.observed_link_bytes[site] += observed
             self.observed_round_bytes[site][record.round_index] += observed
         else:
-            reply = link.request(Message("relay", meta, blob))
+            reply = self._request(site, link, Message("relay", meta, blob))
             if reply.type != "msg":
                 raise ServiceError(
                     f"site {site!r} answered a relay with {reply.type!r}: "
                     f"{reply.meta}"
                 )
             if payload_digest(reply.payload) != digest:
-                raise ServiceError(
-                    f"upstream payload from {site!r} corrupted in transit"
+                raise CorruptFrameError(
+                    f"upstream payload from {site!r} corrupted in transit "
+                    f"(digest mismatch over {len(reply.payload)} echoed bytes)",
+                    site=site,
                 )
             # The payload decoded from the socket bytes must reconstruct
             # the value bit-exactly; a codec that silently lost precision
@@ -270,8 +327,14 @@ class RemoteRuntime(Runtime):
     every other executor (the pinned PR 5 contract).
     """
 
-    def __init__(self, transport: "SocketTransport", *, dropout: str = "fail") -> None:
-        super().__init__("serial", dropout=dropout)
+    def __init__(
+        self,
+        transport: "SocketTransport",
+        *,
+        dropout: str = "fail",
+        quorum: "QuorumPolicy | tuple | int | None" = None,
+    ) -> None:
+        super().__init__("serial", dropout=dropout, quorum=quorum)
         self._transport = transport
 
     def map(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> list[Any]:
@@ -289,8 +352,22 @@ class SocketTransport(Transport):
     dropout-excluded run simply passes the surviving subset of names.
     """
 
-    def __init__(self, links: Mapping[str, SiteLink]) -> None:
+    def __init__(
+        self,
+        links: Mapping[str, SiteLink],
+        *,
+        deadline: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        on_retry: Callable[[str], None] | None = None,
+    ) -> None:
         self._links = dict(links)
+        #: Hardening knobs forwarded to every network this transport builds
+        #: (per-request reply deadline, transient-retry budget + backoff).
+        self.deadline = deadline
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.on_retry = on_retry
         #: The most recently built network — the server reads its
         #: :meth:`RemoteNetwork.service_report` after each query (queries
         #: are serialized on one worker, so "last" is unambiguous).
@@ -300,9 +377,14 @@ class SocketTransport(Transport):
     def links(self) -> dict[str, SiteLink]:
         return dict(self._links)
 
-    def runtime(self, *, dropout: str = "fail") -> RemoteRuntime:
+    def runtime(
+        self,
+        *,
+        dropout: str = "fail",
+        quorum: "QuorumPolicy | tuple | int | None" = None,
+    ) -> RemoteRuntime:
         """A runtime fanning per-site tasks out over these links."""
-        return RemoteRuntime(self, dropout=dropout)
+        return RemoteRuntime(self, dropout=dropout, quorum=quorum)
 
     def build_network(
         self,
@@ -311,7 +393,14 @@ class SocketTransport(Transport):
         conditions: NetworkConditions | None = None,
     ) -> RemoteNetwork:
         network = RemoteNetwork(
-            site_names, coordinator_name, conditions=conditions, links=self._links
+            site_names,
+            coordinator_name,
+            conditions=conditions,
+            links=self._links,
+            deadline=self.deadline,
+            retries=self.retries,
+            backoff=self.backoff,
+            on_retry=self.on_retry,
         )
         self.last_network = network
         return network

@@ -1,0 +1,241 @@
+"""Property-based tests for Byzantine-robust aggregation (`engine.robust`).
+
+The contract pinned here, for *every* generated input (hypothesis):
+
+* robust totals are **permutation-invariant** — contributions are a set,
+  not a sequence, once any trimming is requested;
+* at ``f = 0`` the trimmed-mean total and state merge reduce to the plain
+  **in-order sum, bit for bit** — robustness off is exactly the old path;
+* with at most ``f`` contributions corrupted by any seeded adversary, the
+  robust total stays within :func:`robust_error_bound` of the clean sum
+  (the ``k * (max - min)`` bound charted by experiment e17), while the
+  plain sum has no such guarantee;
+* :class:`FaultPlan` is deterministic: one seed, one attack transcript.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.engine.robust import (
+    ADVERSARY_KINDS,
+    Adversary,
+    FaultPlan,
+    RobustPolicy,
+    STRATEGIES,
+    median_of_sites,
+    robust_error_bound,
+    robust_merge_states,
+    robust_total,
+    trimmed_mean,
+)
+
+values_st = st.floats(min_value=-100.0, max_value=100.0)
+
+
+@st.composite
+def robust_cases(draw):
+    """(contributions, policy) with k > 2f, both strategies."""
+    k = draw(st.integers(min_value=3, max_value=9))
+    f = draw(st.integers(min_value=1, max_value=(k - 1) // 2))
+    values = draw(st.lists(values_st, min_size=k, max_size=k))
+    strategy = draw(st.sampled_from(STRATEGIES))
+    return values, RobustPolicy(f, strategy=strategy)
+
+
+@st.composite
+def corruption_cases(draw):
+    """(contributions, policy, corrupt site names, seeded plan)."""
+    values, policy = draw(robust_cases())
+    count = draw(st.integers(min_value=0, max_value=policy.f))
+    sites = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(values) - 1),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    kind = draw(st.sampled_from(ADVERSARY_KINDS))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    plan = FaultPlan({f"site-{i}": kind for i in sites}, seed=seed)
+    return values, policy, sites, plan
+
+
+def _plain_sum(values):
+    total = float(values[0])
+    for value in values[1:]:
+        total += float(value)
+    return total
+
+
+class TestPermutationInvariance:
+    @given(case=robust_cases(), seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_total_is_permutation_invariant(self, case, seed):
+        values, policy = case
+        permuted = list(np.random.default_rng(seed).permutation(values))
+        assert robust_total(values, policy) == robust_total(permuted, policy)
+
+    @given(case=robust_cases(), seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_state_merge_is_permutation_invariant(self, case, seed):
+        values, policy = case
+        states = [np.array([v, -v, v / 2]) for v in values]
+        order = np.random.default_rng(seed).permutation(len(states))
+        np.testing.assert_array_equal(
+            robust_merge_states(states, policy),
+            robust_merge_states([states[i] for i in order], policy),
+        )
+
+
+class TestPlainReduction:
+    @given(values=st.lists(values_st, min_size=1, max_size=9))
+    @settings(max_examples=50, deadline=None)
+    def test_f0_total_is_the_in_order_sum_bit_exact(self, values):
+        assert robust_total(values, RobustPolicy(0)) == _plain_sum(values)
+        assert robust_total(values, 0) == _plain_sum(values)
+
+    @given(
+        states=hnp.arrays(
+            dtype=np.float64, shape=(4, 6), elements=values_st
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_f0_state_merge_is_the_in_order_sum_bit_exact(self, states):
+        expected = states[0].copy()
+        for state in states[1:]:
+            expected += state
+        np.testing.assert_array_equal(
+            robust_merge_states(list(states), RobustPolicy(0)), expected
+        )
+
+
+class TestErrorBound:
+    @given(case=corruption_cases())
+    @settings(max_examples=100, deadline=None)
+    def test_scalar_total_within_bound_under_corruption(self, case):
+        values, policy, sites, plan = case
+        corrupted = [
+            plan.corrupt(f"site-{i}", value) for i, value in enumerate(values)
+        ]
+        clean = _plain_sum(values)
+        bound = robust_error_bound(values, policy.f)
+        slack = 1e-9 * (1.0 + abs(clean) + bound)
+        assert abs(robust_total(corrupted, policy) - clean) <= bound + slack
+
+    @given(
+        states=hnp.arrays(dtype=np.float64, shape=(5, 4), elements=values_st),
+        kind=st.sampled_from(ADVERSARY_KINDS),
+        site=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_vector_merge_within_bound_under_corruption(
+        self, states, kind, site, seed
+    ):
+        plan = FaultPlan({f"site-{site}": kind}, seed=seed)
+        corrupted = [
+            plan.corrupt(f"site-{i}", state) for i, state in enumerate(states)
+        ]
+        policy = RobustPolicy(1)
+        clean = states[0].copy()
+        for state in states[1:]:
+            clean += state
+        bound = np.asarray(robust_error_bound(list(states), policy.f))
+        slack = 1e-9 * (1.0 + np.abs(clean) + bound)
+        deviation = np.abs(robust_merge_states(corrupted, policy) - clean)
+        assert np.all(deviation <= bound + slack)
+
+    @given(case=robust_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_bound_is_k_times_the_honest_range(self, case):
+        values, policy = case
+        expected = len(values) * (max(values) - min(values))
+        assert robust_error_bound(values, policy.f) == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_trimmed_mean_needs_more_than_2f_values(self):
+        with pytest.raises(ValueError, match="needs more than"):
+            trimmed_mean([1.0, 2.0], 1)
+        assert trimmed_mean([1.0, 2.0, 30.0], 1) == 2.0
+
+    def test_median_of_sites_is_the_coordinatewise_median(self):
+        np.testing.assert_array_equal(
+            median_of_sites([np.array([1.0, 9.0]), np.array([2.0, 8.0]),
+                             np.array([100.0, -100.0])]),
+            np.array([2.0, 8.0]),
+        )
+
+    def test_policy_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="f must be >= 0"):
+            RobustPolicy(-1)
+        with pytest.raises(ValueError, match="strategy"):
+            RobustPolicy(1, strategy="mode")
+        with pytest.raises(ValueError, match="contributing sites"):
+            RobustPolicy(2).check_sites(4)
+        RobustPolicy(2).check_sites(5)  # k > 2f: fine
+
+    def test_coerce_accepts_bare_f_and_none(self):
+        assert RobustPolicy.coerce(None) is None
+        assert RobustPolicy.coerce(2) == RobustPolicy(2)
+        policy = RobustPolicy(1, strategy="median")
+        assert RobustPolicy.coerce(policy) is policy
+
+    def test_mismatched_state_shapes_are_rejected(self):
+        with pytest.raises(ValueError, match="differ in shape"):
+            robust_merge_states(
+                [np.zeros(3), np.zeros(4), np.zeros(3)], RobustPolicy(1)
+            )
+
+
+class TestFaultPlan:
+    def test_same_seed_same_attack(self):
+        value = np.arange(6, dtype=float)
+        first = FaultPlan({"site-0": "garbage"}, seed=3)
+        second = FaultPlan({"site-0": "garbage"}, seed=3)
+        np.testing.assert_array_equal(
+            first.corrupt("site-0", value, round_index=2),
+            second.corrupt("site-0", value, round_index=2),
+        )
+        other = FaultPlan({"site-0": "garbage"}, seed=4)
+        assert not np.array_equal(
+            first.corrupt("site-0", value, round_index=2),
+            other.corrupt("site-0", value, round_index=2),
+        )
+
+    def test_honest_sites_pass_through_untouched(self):
+        plan = FaultPlan({"site-0": "flip-sign"})
+        assert plan.corrupt("site-1", 5.0) == 5.0
+        assert plan.corrupt("site-0", 5.0) == -5.0
+
+    def test_scale_and_factor_spec(self):
+        plan = FaultPlan({"site-0": ("scale", 10.0)})
+        assert plan.corrupt("site-0", 3.0) == 30.0
+
+    def test_stale_replay_remembers_the_last_honest_value(self):
+        plan = FaultPlan({"site-0": "stale-replay"})
+        assert plan.corrupt("site-0", 7.0, round_index=0) == 0.0
+        assert plan.corrupt("site-0", 9.0, round_index=1) == 7.0
+        plan.reset()
+        assert plan.corrupt("site-0", 11.0, round_index=2) == 0.0
+
+    def test_channels_keep_independent_replay_history(self):
+        plan = FaultPlan({"site-0": "stale-replay"})
+        plan.corrupt("site-0", 1.0, channel="ams")
+        assert plan.corrupt("site-0", 2.0, channel="l0") == 0.0
+        assert plan.corrupt("site-0", 3.0, channel="ams") == 1.0
+
+    def test_describe_and_bad_specs(self):
+        plan = FaultPlan({"b": "scale", "a": Adversary("flip-sign")})
+        assert plan.describe() == {"a": "flip-sign", "b": "scale"}
+        assert plan.corrupt_sites == frozenset({"a", "b"})
+        with pytest.raises(ValueError, match="adversary kind"):
+            FaultPlan({"site-0": "gaslight"})
+        with pytest.raises(TypeError, match="adversary spec"):
+            FaultPlan({"site-0": 3.5})

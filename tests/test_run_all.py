@@ -14,6 +14,7 @@ from repro.experiments import (
     e13_rectangular,
     e15_streaming_monitoring,
     e16_runtime_conditions,
+    e17_robust_aggregation,
     run_all,
 )
 
@@ -70,6 +71,15 @@ class TestRemainingDrivers:
         assert report.summary["dropout_fail_raises"]
         assert report.summary["streaming_recovers_bit_exact"]
 
+    def test_e17(self):
+        report = e17_robust_aggregation.run(
+            rows_per_site=160, n=48, num_sites=8, max_corrupt=2, seed=17
+        )
+        assert report.summary["flip_sign_f2_trimmed_within_bound"]
+        assert report.summary["flip_sign_f2_plain_violates_bound"]
+        assert report.summary["quorum_makespan_strictly_decreasing"]
+        assert report.summary["quorum_f_max_speedup"] > 1.0
+
 
 class TestRunAll:
     def test_run_all_subset(self):
@@ -99,7 +109,7 @@ class TestRunAll:
     def test_driver_registry_covers_every_experiment(self):
         # Check the registry size and module names statically (running every
         # driver here would duplicate the smoke tests above).
-        assert len(run_all.ALL_DRIVERS) == 18
+        assert len(run_all.ALL_DRIVERS) == 19
         module_names = {driver.__module__.rsplit(".", 1)[-1] for driver in run_all.ALL_DRIVERS}
         assert {
             "e01_lp_norm",
@@ -107,6 +117,7 @@ class TestRunAll:
             "e14_multiparty_scaling",
             "e15_streaming_monitoring",
             "e16_runtime_conditions",
+            "e17_robust_aggregation",
             "a1_beta_ablation",
         }.issubset(module_names)
 
