@@ -1,0 +1,49 @@
+"""E18 — tree aggregation scaling: root fan-in, makespan, merge wall-clock."""
+
+import os
+
+from repro.experiments import e18_tree_scaling
+
+#: CI smoke mode: shrink k so the tree overlay is exercised on every change
+#: without paying for the 10^4-site sweep.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def test_e18_tree_scaling(benchmark, once):
+    report = once(
+        benchmark,
+        e18_tree_scaling.run,
+        k_values=(100, 1_000) if SMOKE else (100, 1_000, 10_000),
+        fan_outs=(2, 8) if SMOKE else (2, 8, 32),
+        per_site_bits=16_384 if SMOKE else 65_536,
+        anchor_sites=16 if SMOKE else 32,
+        anchor_fan_out=4,
+        seed=18,
+    )
+    print()
+    print(report)
+    # Shape: the busiest root ingress edge carries one merged summary
+    # whatever k is, total root ingress is bounded by the fan-out while the
+    # flat star's grows linearly in k, every charted tree undercuts the
+    # flat-star makespan at k >= 10^3 under uniform links, and a real
+    # protocol routed through the tree answers bit-identically.
+    assert report.summary["max_root_link_bits_k_invariant"]
+    assert report.summary["root_ingress_tracks_fan_out"]
+    assert report.summary["flat_root_ingress_tracks_k"]
+    assert report.summary["tree_beats_flat_at_1e3"]
+    assert report.summary["anchor_bit_identical"]
+    assert (
+        report.summary["best_tree_makespan_at_kmax_s"]
+        < report.summary["flat_makespan_at_kmax_s"]
+    )
+    scaling = [row for row in report.rows if row["scenario"] == "scaling"]
+    # Makespan at the largest k is monotone in fan-out within the charted
+    # range (transfer-dominated regime): smaller fan-out, more parallelism.
+    largest = max(row["k"] for row in scaling)
+    by_fan = {
+        row["fan_out"]: row["makespan_s"]
+        for row in scaling
+        if row["k"] == largest and row["fan_out"] != "flat"
+    }
+    fans = sorted(by_fan)
+    assert all(by_fan[a] < by_fan[b] for a, b in zip(fans, fans[1:]))

@@ -7,6 +7,15 @@ wall-clock and appends the record to a second trajectory
 (``benchmarks/BENCH_runtime.json``) — the executors are bit-identical in
 output, so these numbers are pure wall-clock comparisons.
 
+With ``--tree`` it benchmarks hierarchical aggregation (ISSUE 10): the same
+per-site upload round drained through :class:`~repro.comm.network
+.TreeNetwork` overlays of growing fan-out vs the flat star, recording drain
+wall-clock, aggregator merge time, root-ingress bits and the simulated
+tree-model makespan per (k, fan-out) cell, appended to
+``benchmarks/BENCH_tree.json`` — root estimates are bit-identical by
+contract (pinned in ``tests/engine/test_tree_equivalence.py``), so the
+trajectory tracks concentration and wall-clock, not accuracy.
+
 With ``--service`` it benchmarks the real-transport service layer
 (coordinator server + site OS processes over loopback sockets): query
 round-trip latency against the in-process yardstick and streamed-epoch
@@ -69,6 +78,7 @@ MAX_HUGE_CONSTRUCT_SECONDS = 1.0
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_sketch.json"
 DEFAULT_RUNTIME_OUTPUT = Path(__file__).resolve().parent / "BENCH_runtime.json"
 DEFAULT_SERVICE_OUTPUT = Path(__file__).resolve().parent / "BENCH_service.json"
+DEFAULT_TREE_OUTPUT = Path(__file__).resolve().parent / "BENCH_tree.json"
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
@@ -519,6 +529,90 @@ def bench_service(metrics: dict) -> None:
     metrics["service/multi_tenant"] = run_load(50 if SMOKE else 1000, seed=13)
 
 
+def bench_tree(metrics: dict) -> None:
+    """Tree-aggregation scaling: drain wall-clock + concentration per cell.
+
+    One upload round per (k, fan-out) cell: every site ships a mergeable
+    summary upstream and the staged groups drain bottom-up.  ``seconds`` is
+    the measured wall-clock of the full upload + drain (``rows_per_sec`` =
+    sites drained per second — the gated throughput), ``merge_seconds`` the
+    aggregators' summing time within it, and the bit columns record the
+    fan-in concentration the tree exists for.  The ``flat`` cell is the
+    depth-1 spec priced under the SAME tree makespan model, so the
+    ``makespan_s`` comparison is honest.
+    """
+    from repro.comm.conditions import LinkModel, NetworkConditions
+    from repro.comm.network import TreeNetwork
+    from repro.comm.tree import TreeSpec
+
+    k_values = (100, 1_000) if SMOKE else (100, 1_000, 10_000)
+    fan_outs = (2, 8) if SMOKE else (2, 8, 32)
+    per_site_bits = 16_384 if SMOKE else 65_536
+    repeats = 2 if SMOKE else 3
+    conditions = NetworkConditions(LinkModel(latency=1e-3, bandwidth=1e6))
+    summary = np.ones(4, dtype=np.int64)
+
+    for k in k_values:
+        names = [f"site-{i}" for i in range(k)]
+        cells: list[tuple[str, object]] = [("flat", TreeSpec.flat(names))]
+        cells += [
+            (f"fan{fan_out}", TreeSpec.regular(names, fan_out))
+            for fan_out in fan_outs
+            if fan_out < k
+        ]
+        for label, tree in cells:
+            last = {}
+
+            def one_round():
+                network = TreeNetwork(tree, conditions=conditions)
+                for name in names:
+                    network.send(
+                        name, tree.root, summary, label="partial", bits=per_site_bits
+                    )
+                network._drain()
+                last["network"] = network
+
+            seconds = timed(one_round, repeats)
+            network = last["network"]
+            makespan, _ = network.simulate()
+            metrics[f"tree/upload/k={k}/{label}"] = {
+                "config": {"k": k, "shape": label, "per_site_bits": per_site_bits},
+                "seconds": seconds,
+                "rows_per_sec": k / seconds,  # sites drained per second
+                "merge_seconds": network.merge_seconds,
+                "merges": network.merges,
+                "total_bits": network.total_bits,
+                "root_ingress_bits": sum(network.root_link_bits().values()),
+                "max_root_link_bits": network.max_root_link_bits,
+                "makespan_s": makespan,
+            }
+
+
+def compute_tree_gains(metrics: dict) -> dict:
+    """Flat-vs-tree ratios per k: makespan speedup and fan-in concentration."""
+    gains: dict[str, float] = {}
+    flat = {
+        record["config"]["k"]: record
+        for key, record in metrics.items()
+        if key.startswith("tree/upload/") and key.endswith("/flat")
+    }
+    for key, record in metrics.items():
+        if not key.startswith("tree/upload/") or key.endswith("/flat"):
+            continue
+        base = flat.get(record["config"]["k"])
+        if not base:
+            continue
+        cell = f"k={record['config']['k']}/{record['config']['shape']}"
+        if record["makespan_s"]:
+            gains[f"{cell}/makespan_speedup"] = (
+                base["makespan_s"] / record["makespan_s"]
+            )
+        gains[f"{cell}/root_ingress_reduction"] = (
+            base["root_ingress_bits"] / record["root_ingress_bits"]
+        )
+    return gains
+
+
 def compute_service_overheads(metrics: dict) -> dict:
     """Socket-vs-in-process wall-clock ratio (>= 1: transport overhead)."""
     served = metrics.get("service/query_lp2")
@@ -675,6 +769,13 @@ def main() -> int:
         "trajectory file",
     )
     parser.add_argument("--service-output", type=Path, default=DEFAULT_SERVICE_OUTPUT)
+    parser.add_argument(
+        "--tree",
+        action="store_true",
+        help="also benchmark hierarchical aggregation (flat star vs fan-out "
+        "trees up to k=10^4 sites), tracked in its own trajectory file",
+    )
+    parser.add_argument("--tree-output", type=Path, default=DEFAULT_TREE_OUTPUT)
     args = parser.parse_args()
 
     mode = "smoke" if SMOKE else "full"
@@ -733,10 +834,23 @@ def main() -> int:
                 service_metrics, service_history.get("runs", []), mode
             )
 
+    tree_metrics: dict = {}
+    tree_gains: dict = {}
+    tree_history: dict = {}
+    if args.tree:
+        bench_tree(tree_metrics)
+        tree_gains = compute_tree_gains(tree_metrics)
+        tree_history = load_history(args.tree_output)
+        if args.check_regression:
+            failures += check_regression(
+                tree_metrics, tree_history.get("runs", []), mode
+            )
+
     for table, table_speedups in (
         (metrics, speedups),
         (runtime_metrics, runtime_speedups),
         (service_metrics, service_speedups),
+        (tree_metrics, tree_gains),
     ):
         for key in sorted(table):
             record = table[key]
@@ -767,6 +881,12 @@ def main() -> int:
             service_history.setdefault("runs", []).append(service_record)
             args.service_output.write_text(json.dumps(service_history, indent=1) + "\n")
             print(f"appended {mode} run to {args.service_output}")
+        if args.tree:
+            tree_record = stamp(tree_metrics, tree_gains)
+            tree_record["cpu_count"] = os.cpu_count() or 1
+            tree_history.setdefault("runs", []).append(tree_record)
+            args.tree_output.write_text(json.dumps(tree_history, indent=1) + "\n")
+            print(f"appended {mode} run to {args.tree_output}")
 
     if failures:
         print("\nBENCH FAILURES:", file=sys.stderr)

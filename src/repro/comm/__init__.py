@@ -38,9 +38,10 @@ from repro.comm.bitcost import (
 )
 from repro.comm.channel import Channel
 from repro.comm.conditions import IDEAL_LINK, LinkModel, NetworkConditions
-from repro.comm.network import Network
+from repro.comm.network import Network, TreeNetwork
 from repro.comm.party import Party
 from repro.comm.protocol import CostReport, Protocol, ProtocolResult
+from repro.comm.tree import TreeSpec
 
 __all__ = [
     "bits_for_float",
@@ -56,6 +57,8 @@ __all__ = [
     "Message",
     "MessageLog",
     "Network",
+    "TreeNetwork",
+    "TreeSpec",
     "NetworkConditions",
     "Party",
     "CostReport",

@@ -35,13 +35,20 @@ from __future__ import annotations
 import math
 import zlib
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.comm.accounting import Message
+from repro.comm.tree import TreeSpec
 
-__all__ = ["IDEAL_LINK", "LinkModel", "NetworkConditions", "simulate_makespan"]
+__all__ = [
+    "IDEAL_LINK",
+    "LinkModel",
+    "NetworkConditions",
+    "simulate_makespan",
+    "simulate_tree_makespan",
+]
 
 
 @dataclass(frozen=True)
@@ -113,6 +120,12 @@ class NetworkConditions:
         corruption scenario (site → adversary) applied by the engine to
         the named sites' uploaded summaries.  Carried here, untouched, so
         a Byzantine condition is one object alongside timing and dropout.
+    regions:
+        Per-*region* link models for aggregation trees, keyed by
+        aggregator name: an edge without an exact override inherits the
+        model of its nearest enclosing region aggregator before falling
+        back to ``default``.  Star networks reject non-empty regions (they
+        have no aggregators); see :class:`repro.comm.network.TreeNetwork`.
     """
 
     def __init__(
@@ -124,6 +137,7 @@ class NetworkConditions:
         jitter_seed: int = 0,
         deadline: float | None = None,
         faults=None,
+        regions: Mapping[str, LinkModel] | None = None,
     ) -> None:
         self.default = default
         self.overrides = dict(overrides or {})
@@ -133,10 +147,28 @@ class NetworkConditions:
             raise ValueError(f"deadline must be > 0 seconds, got {deadline}")
         self.deadline = None if deadline is None else float(deadline)
         self.faults = faults
+        self.regions = dict(regions or {})
 
     def link(self, site_name: str) -> LinkModel:
         """The model governing one coordinator-site link."""
         return self.overrides.get(site_name, self.default)
+
+    def edge_link(self, child_name: str, ancestors: Sequence[str] = ()) -> LinkModel:
+        """The model governing one tree edge (keyed by its child endpoint).
+
+        Resolution order: exact per-endpoint override, then the nearest
+        enclosing region aggregator (``ancestors`` nearest-first, as
+        :meth:`repro.comm.tree.TreeSpec.ancestors` yields them — the edge's
+        own child counts as its first candidate region when it is an
+        aggregator), then :attr:`default`.
+        """
+        if child_name in self.overrides:
+            return self.overrides[child_name]
+        if self.regions:
+            for region in (child_name, *ancestors):
+                if region in self.regions:
+                    return self.regions[region]
+        return self.default
 
     def link_seconds(self, site_name: str, round_index: int, bits: int) -> float:
         """Time for one link's burst in one round, jitter included.
@@ -146,12 +178,17 @@ class NetworkConditions:
         conditions always yields the same makespan.
         """
         model = self.link(site_name)
-        seconds = model.transfer_seconds(bits)
-        if model.jitter > 0:
-            entropy = [self.jitter_seed, zlib.crc32(site_name.encode()), round_index]
-            draw = np.random.default_rng(np.random.SeedSequence(entropy))
-            seconds += float(draw.uniform(0.0, model.jitter))
-        return seconds
+        return model.transfer_seconds(bits) + self.jitter_seconds(
+            site_name, round_index, model
+        )
+
+    def jitter_seconds(self, name: str, round_index: int, model: LinkModel) -> float:
+        """The deterministic jitter draw for one (endpoint, round) burst."""
+        if model.jitter <= 0:
+            return 0.0
+        entropy = [self.jitter_seed, zlib.crc32(name.encode()), round_index]
+        draw = np.random.default_rng(np.random.SeedSequence(entropy))
+        return float(draw.uniform(0.0, model.jitter))
 
     def excluding(self, names: Iterable[str]) -> "NetworkConditions":
         """A copy with ``names`` additionally declared dropped.
@@ -171,11 +208,12 @@ class NetworkConditions:
             jitter_seed=self.jitter_seed,
             deadline=self.deadline,
             faults=self.faults,
+            regions=self.regions,
         )
 
     def is_ideal(self) -> bool:
         """True when every link is the ideal model (makespan trivially 0)."""
-        return self.default == IDEAL_LINK and not self.overrides
+        return self.default == IDEAL_LINK and not self.overrides and not self.regions
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         parts = [f"default={self.default}"]
@@ -183,6 +221,8 @@ class NetworkConditions:
             parts.append(f"overrides={self.overrides}")
         if self.dropped:
             parts.append(f"dropped={sorted(self.dropped)}")
+        if self.regions:
+            parts.append(f"regions={self.regions}")
         if self.deadline is not None:
             parts.append(f"deadline={self.deadline}")
         if self.faults is not None:
@@ -219,4 +259,71 @@ def simulate_makespan(
             conditions.link_seconds(site, round_index, bits)
             for site, bits in link_bits.items()
         )
+    return sum(per_round.values()), per_round
+
+
+def simulate_tree_makespan(
+    rounds: Mapping[int, Iterable[Message]],
+    conditions: NetworkConditions,
+    tree: TreeSpec,
+) -> tuple[float, dict[int, float]]:
+    """Price a *tree* transcript: multi-level critical path, serialized fan-in.
+
+    This is deliberately a different pricing model from the flat-star
+    :func:`simulate_makespan` (whose parallel-links semantics are pinned by
+    the existing experiments and stay untouched).  A tree transcript is
+    priced the way a hierarchy actually drains:
+
+    * every message belongs to one tree **edge**, keyed by its child
+      endpoint; the edge's :class:`LinkModel` resolves via
+      :meth:`NetworkConditions.edge_link` (override > nearest region >
+      default);
+    * per round, messages group by **receiver node**.  A node's ingress is
+      serialized — propagation overlaps, payload drain does not — so its
+      time is ``max(latency + jitter over incoming edges) + sum(bits /
+      bandwidth over incoming edges)``.  This is exactly the fan-in
+      bottleneck the tree exists to break: a flat root receives k bursts
+      back to back, a fan-out-F node only F;
+    * nodes at the same depth work in parallel, while levels are
+      sequential (a parent cannot forward before its children delivered),
+      so the round's time is the sum over depths of the slowest receiver
+      at that depth.
+
+    Pricing a depth-1 :class:`~repro.comm.tree.TreeSpec` under this model
+    is the honest "flat star" baseline the scaling experiments compare
+    against: all k uploads serialize into the root.
+    """
+    per_round: dict[int, float] = {}
+    for round_index, messages in sorted(rounds.items()):
+        # receiver node -> child-endpoint edge -> bits of its burst
+        ingress: dict[str, dict[str, int]] = {}
+        for message in messages:
+            if tree.parent.get(message.sender) == message.receiver:
+                child = message.sender
+            elif tree.parent.get(message.receiver) == message.sender:
+                child = message.receiver
+            else:  # pragma: no cover - guarded by TreeNetwork routing
+                raise ValueError(
+                    f"message {message.sender!r} -> {message.receiver!r} "
+                    "travels no edge of the tree"
+                )
+            edges = ingress.setdefault(message.receiver, {})
+            edges[child] = edges.get(child, 0) + message.bits
+        depth_time: dict[int, float] = {}
+        for receiver, edges in ingress.items():
+            latency = 0.0
+            drain = 0.0
+            for child, bits in edges.items():
+                model = conditions.edge_link(child, tree.ancestors(child))
+                latency = max(
+                    latency,
+                    model.latency
+                    + conditions.jitter_seconds(child, round_index, model),
+                )
+                if not math.isinf(model.bandwidth):
+                    drain += bits / model.bandwidth
+            node_time = latency + drain
+            depth = tree.node_depth(receiver)
+            depth_time[depth] = max(depth_time.get(depth, 0.0), node_time)
+        per_round[round_index] = sum(depth_time.values())
     return sum(per_round.values()), per_round

@@ -35,6 +35,7 @@ __all__ = [
     "HEADER_BYTES",
     "MAX_FRAME_BYTES",
     "encode_frame",
+    "encode_frames",
     "decode_frames",
 ]
 
@@ -61,6 +62,20 @@ def encode_frame(body: bytes) -> bytes:
             f"frame body of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} cap"
         )
     return struct.pack("<2sBI", _MAGIC, _VERSION, len(body)) + body
+
+
+def encode_frames(bodies) -> bytes:
+    """Frame several message bodies into one coalesced byte buffer.
+
+    The tree transports pipeline many small control messages back to back
+    (round-open + payload, routed forwards); writing each frame with its
+    own ``sendall`` costs one syscall per message.  Coalescing them into a
+    single buffer — header and payload together, frames back to back — cuts
+    that to one write, and the stream contract is unchanged:
+    :class:`FrameDecoder` reassembles the identical message sequence under
+    *any* chunking of the result (pinned by the hypothesis framing suite).
+    """
+    return b"".join(encode_frame(body) for body in bodies)
 
 
 class FrameDecoder:

@@ -28,7 +28,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.comm.conditions import NetworkConditions
-from repro.comm.network import Network
+from repro.comm.network import Network, TreeNetwork
+from repro.comm.tree import TreeSpec
 
 __all__ = ["IN_PROCESS", "InProcessTransport", "Transport"]
 
@@ -39,6 +40,11 @@ class Transport:
     Subclasses implement :meth:`build_network`; a single transport instance
     may build many networks (one per protocol run), so implementations hold
     connection state, not per-run meters.
+
+    ``tree`` selects a hierarchical overlay: a :class:`~repro.comm.tree
+    .TreeSpec` whose leaves are exactly ``site_names`` and whose root is
+    ``coordinator_name``.  ``None`` (the default everywhere) keeps the
+    classic flat star — every historical transcript is unchanged.
     """
 
     def build_network(
@@ -46,8 +52,27 @@ class Transport:
         site_names: Sequence[str],
         coordinator_name: str,
         conditions: NetworkConditions | None = None,
+        *,
+        tree: TreeSpec | None = None,
     ) -> Network:
         raise NotImplementedError
+
+    @staticmethod
+    def check_tree(
+        tree: TreeSpec, site_names: Sequence[str], coordinator_name: str
+    ) -> TreeSpec:
+        """Validate that a spec matches the star it is meant to overlay."""
+        if tree.root != coordinator_name:
+            raise ValueError(
+                f"tree root {tree.root!r} does not match the coordinator "
+                f"{coordinator_name!r}"
+            )
+        if list(tree.site_names) != list(site_names):
+            raise ValueError(
+                "tree leaves must be exactly the site names, in site order "
+                f"(tree: {tree.site_names}, sites: {list(site_names)})"
+            )
+        return tree
 
 
 class InProcessTransport(Transport):
@@ -58,7 +83,12 @@ class InProcessTransport(Transport):
         site_names: Sequence[str],
         coordinator_name: str,
         conditions: NetworkConditions | None = None,
+        *,
+        tree: TreeSpec | None = None,
     ) -> Network:
+        if tree is not None:
+            self.check_tree(tree, site_names, coordinator_name)
+            return TreeNetwork(tree, conditions=conditions)
         return Network(site_names, coordinator_name, conditions=conditions)
 
 

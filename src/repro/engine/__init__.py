@@ -53,10 +53,19 @@ from repro.engine.lp_norm import StarLpNormProtocol, star_lp_pp_estimate
 from repro.engine.robust import Adversary, FaultPlan, RobustPolicy
 from repro.engine.runtime import QuorumPolicy, Runtime, SiteDroppedError
 from repro.engine.streaming import EpochReport, StreamingSession
-from repro.engine.topology import Coordinator, Site, StarTopology, coerce_shards
+from repro.engine.topology import (
+    Aggregator,
+    Coordinator,
+    Site,
+    StarTopology,
+    TreeTopology,
+    coerce_shards,
+    normalize_tree,
+)
 
 __all__ = [
     "Adversary",
+    "Aggregator",
     "ClusterCostReport",
     "EpochReport",
     "FaultPlan",
@@ -69,6 +78,7 @@ __all__ = [
     "Site",
     "StarProtocol",
     "StarTopology",
+    "TreeTopology",
     "StarBinaryHeavyHittersProtocol",
     "StarExactL1Protocol",
     "StarGeneralMatrixLinfProtocol",
@@ -79,5 +89,6 @@ __all__ = [
     "StarLpNormProtocol",
     "StarTwoPlusEpsilonLinfProtocol",
     "coerce_shards",
+    "normalize_tree",
     "star_lp_pp_estimate",
 ]

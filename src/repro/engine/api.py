@@ -73,11 +73,17 @@ class EstimatorBase:
         runtime: "Runtime | None" = None,
         conditions: "NetworkConditions | None" = None,
         transport: "Transport | None" = None,
+        tree=None,
     ) -> None:
         self.seed = seed
         self.runtime = runtime
         self.conditions = conditions
         self.transport = transport
+        #: Optional aggregation-tree overlay (a ``TreeSpec`` or an integer
+        #: fan-out) forwarded to every query's protocol run by facades that
+        #: support hierarchical topologies.  Estimates are bit-identical to
+        #: the flat star; only routing, metering and makespan change.
+        self.tree = tree
         self._seed_stream = np.random.default_rng(seed)
 
     def _next_seed(self) -> int:

@@ -37,8 +37,15 @@ from repro.comm.conditions import NetworkConditions
 from repro.comm.network import Network
 from repro.comm.protocol import CostReport, ProtocolResult, split_protocol_output
 from repro.comm.transport import Transport
+from repro.comm.tree import TreeSpec
 from repro.engine.runtime import SERIAL_RUNTIME, Runtime
-from repro.engine.topology import Coordinator, Site, StarTopology
+from repro.engine.topology import (
+    Coordinator,
+    Site,
+    StarTopology,
+    TreeTopology,
+    normalize_tree,
+)
 
 __all__ = ["ClusterCostReport", "StarProtocol", "two_party_cost"]
 
@@ -131,31 +138,60 @@ class StarProtocol:
         runtime: Runtime | None = None,
         conditions: NetworkConditions | None = None,
         transport: Transport | None = None,
+        tree: "TreeSpec | int | None" = None,
     ) -> ProtocolResult:
-        """Execute the protocol on k row-shards and the coordinator's matrix."""
+        """Execute the protocol on k row-shards and the coordinator's matrix.
+
+        ``tree`` selects a hierarchical aggregation overlay — a
+        :class:`~repro.comm.tree.TreeSpec` over the generated site names,
+        or an integer fan-out (balanced tree) — routing and partially
+        merging the very same transcript through interior aggregators.
+        The protocol body and the seeding are untouched, so the estimate
+        is bit-identical to the flat star; only metering, makespan and the
+        aggregation wall-clock change.  Dropout/quorum exclusions prune
+        the tree to the surviving subtree, and a *dropped aggregator name*
+        declares its whole region dropped (every leaf below it).
+        """
         self.runtime = runtime if runtime is not None else SERIAL_RUNTIME
         self.conditions = conditions
         # Validation/coercion happens once, inside StarTopology.build; here
         # only the shard count and row counts are needed.
         shards = list(shards)
         site_names = [f"site-{i}" for i in range(len(shards))]
+        spec = normalize_tree(tree, site_names)
         shards, site_names, dropout_details = self._apply_dropout(
-            shards, site_names, conditions
+            shards, site_names, conditions, tree=spec
         )
         if dropout_details is not None and dropout_details.get("stragglers"):
             # Stragglers keep their link overrides but leave the sub-star,
             # exactly like pre-declared dropped sites.
             conditions = conditions.excluding(dropout_details["stragglers"])
-        topology = StarTopology.build(
-            shards,
-            coordinator_data,
-            seed=self.seed,
-            site_names=site_names,
-            conditions=conditions,
-            transport=transport,
-        )
+        if spec is None:
+            topology: StarTopology = StarTopology.build(
+                shards,
+                coordinator_data,
+                seed=self.seed,
+                site_names=site_names,
+                conditions=conditions,
+                transport=transport,
+            )
+        else:
+            if len(site_names) != len(spec.site_names):
+                spec = spec.restrict(site_names)
+            topology = TreeTopology.build_tree(
+                shards,
+                coordinator_data,
+                tree=spec,
+                seed=self.seed,
+                site_names=site_names,
+                conditions=conditions,
+                transport=transport,
+                merge_runtime=self.runtime,
+            )
         value, details = self._run_on(topology)
         details.setdefault("num_sites", topology.num_sites)
+        if spec is not None:
+            details["tree"] = spec.describe()
         if dropout_details is not None:
             if self.renormalizes_on_dropout:
                 value = value * dropout_details["renormalization"]
@@ -208,6 +244,7 @@ class StarProtocol:
         shards: list[np.ndarray],
         site_names: Sequence[str],
         conditions: NetworkConditions | None,
+        tree: TreeSpec | None = None,
     ) -> tuple[list[np.ndarray], list[str], dict | None]:
         """Resolve dropped sites per the runtime's policy.
 
@@ -224,10 +261,19 @@ class StarProtocol:
         contributor sets (``details["quorum"]``) and target the full mass.
         """
         dropped_names = conditions.dropped if conditions is not None else frozenset()
+        if tree is not None and dropped_names:
+            # Regional dropout: a dropped *aggregator* name declares every
+            # leaf of its subtree dropped (rack/region failure), on top of
+            # any individually dropped sites.
+            expanded = set(dropped_names)
+            for name in dropped_names:
+                if name in tree.children:
+                    expanded.update(tree.subtree_sites(name))
+            dropped_names = frozenset(expanded - set(tree.children))
         surviving, dropped = self.runtime.partition_dropped(site_names, dropped_names)
         surviving_names = [site_names[i] for i in surviving]
         in_quorum, stragglers, quorum_details = self.runtime.partition_quorum(
-            surviving_names, conditions
+            surviving_names, conditions, tree=tree
         )
         kept_indices = [surviving[i] for i in in_quorum]
         if not dropped and not stragglers:

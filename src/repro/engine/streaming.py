@@ -62,13 +62,15 @@ import numpy as np
 
 from repro.comm import wire
 from repro.comm.conditions import NetworkConditions
-from repro.comm.network import Network
+from repro.comm.network import Network, TreeNetwork
 from repro.comm.protocol import ProtocolResult
 from repro.comm.transport import IN_PROCESS, Transport
+from repro.comm.tree import TreeSpec
 from repro.core.result import HeavyHitterOutput, SampleOutput
 from repro.engine.api import EstimatorBase, is_binary_data
 from repro.engine.base import StarProtocol
 from repro.engine.l0_sampling import finish_l0_sample
+from repro.engine.topology import normalize_tree
 from repro.engine.robust import RobustPolicy, robust_merge_states
 from repro.engine.runtime import (
     SERIAL_RUNTIME,
@@ -427,6 +429,7 @@ class StreamingSession(EstimatorBase):
         dropout: str = "exclude",
         quorum: "QuorumPolicy | tuple | int | None" = None,
         robust: "RobustPolicy | int | None" = None,
+        tree: "TreeSpec | int | None" = None,
     ) -> None:
         super().__init__(
             seed=seed, runtime=runtime, conditions=conditions, transport=transport
@@ -483,21 +486,40 @@ class StreamingSession(EstimatorBase):
             self.robust.check_sites(k)
         if self.quorum is not None:
             self.quorum.required(k)  # raises when n exceeds the site count
-        self.network = (transport if transport is not None else IN_PROCESS).build_network(
-            site_names, "coordinator", conditions
-        )
+        #: Optional aggregation-tree overlay over this session's sites.
+        #: Delta uploads then hop leaf -> aggregator -> ... -> root, with
+        #: aggregators forwarding ONE partially merged bundle upstream, so
+        #: the root's wire ingress is fan-out-many payloads instead of k.
+        #: Live summaries and one-shot queries stay bit-identical to the
+        #: flat session (exact integer sketch states merge associatively).
+        self.tree = normalize_tree(tree, site_names)
+        builder = transport if transport is not None else IN_PROCESS
+        if self.tree is not None:
+            self.network = builder.build_network(
+                site_names, "coordinator", conditions, tree=self.tree
+            )
+        else:
+            self.network = builder.build_network(site_names, "coordinator", conditions)
         # The scenario's static dropped-site declarations become the initial
         # dynamic partition set, so epoch boundaries and one-shot queries see
         # one consistent fault state (restore_site reconnects either kind).
         if conditions is not None and conditions.dropped:
             index_of = {name: i for i, name in enumerate(site_names)}
-            unknown = set(conditions.dropped) - set(index_of)
+            dropped_names = set(conditions.dropped)
+            if self.tree is not None:
+                # Regional dropout: a dropped aggregator name declares every
+                # leaf of its subtree dropped, as in the one-shot driver.
+                for name in conditions.dropped:
+                    if name in self.tree.children and name != self.tree.root:
+                        dropped_names.discard(name)
+                        dropped_names.update(self.tree.subtree_sites(name))
+            unknown = dropped_names - set(index_of)
             if unknown:
                 raise ValueError(
                     f"dropped sites {sorted(unknown)} match no site of this "
                     f"session (sites: {list(site_names)})"
                 )
-            self._dropped = {index_of[name] for name in conditions.dropped}
+            self._dropped = {index_of[name] for name in dropped_names}
 
         # Shared monitoring randomness: independent of the query seed stream
         # (EstimatorBase) so streaming never shifts one-shot transcripts.
@@ -911,7 +933,7 @@ class StreamingSession(EstimatorBase):
             late_now = {
                 site.name
                 for site in shipping
-                if self.conditions.link(site.name).latency > deadline
+                if self._upload_latency(site.name) > deadline
             }
         if self.quorum is not None:
             on_time = len(self.sites) - len(self._dropped) - len(late_now)
@@ -982,22 +1004,90 @@ class StreamingSession(EstimatorBase):
         # the remaining sites' pending un-reset — the next boundary would
         # re-ship and double-merge them.  Send order stays site order, so
         # transcripts are unchanged.
+        tree_net = self.network if isinstance(self.network, TreeNetwork) else None
         for site, payload in on_time:
-            self.network.send(
-                site.name,
-                self.network.coordinator_name,
-                payload,
-                label=DELTA_LABEL,
-                bits=wire.payload_bits(payload),
-            )
+            if tree_net is not None:
+                # First hop of the tree route: leaf -> its parent.  The
+                # aggregator relays (one merged bundle per interior edge)
+                # are recorded right after the leaf loop, bottom-up.
+                tree_net.upstream_hop(
+                    site.name,
+                    payload,
+                    label=DELTA_LABEL,
+                    bits=wire.payload_bits(payload),
+                )
+            else:
+                self.network.send(
+                    site.name,
+                    self.network.coordinator_name,
+                    payload,
+                    label=DELTA_LABEL,
+                    bits=wire.payload_bits(payload),
+                )
             report.upload_bytes[site.name] = (
                 report.upload_bytes.get(site.name, 0) + len(payload)
             )
+        if tree_net is not None and on_time:
+            self._ship_aggregated(tree_net, on_time)
         report.total_bytes = sum(report.upload_bytes.values())
         report.cumulative_bytes = (self.history[-1].cumulative_bytes if self.history else 0)
         report.cumulative_bytes += report.total_bytes
         self.history.append(report)
         return report
+
+    def _upload_latency(self, site_name: str) -> float:
+        """The latency pricing one site's upload (tree-aware under regions)."""
+        if self.tree is not None:
+            return self.conditions.edge_link(
+                site_name, tuple(self.tree.ancestors(site_name))
+            ).latency
+        return self.conditions.link(site_name).latency
+
+    def _ship_aggregated(
+        self,
+        network: TreeNetwork,
+        on_time: "list[tuple[_SiteStream, bytes]]",
+    ) -> None:
+        """Relay partially merged delta bundles up the aggregation tree.
+
+        Bottom-up, every aggregator with at least one on-time shipping
+        descendant merges its children's bundles — decoded from the very
+        wire payloads the leaves shipped, and the codec round-trips the
+        exact integer states, so the merge is associative bit for bit —
+        and forwards ONE re-encoded bundle to its parent.  The root's
+        wire ingress is therefore fan-out-many payloads instead of k.
+        The coordinator's summaries were already merged from the per-site
+        bundles (preserving the robust per-site slots); this loop records
+        the metering truth of every interior edge.
+        """
+        tree = network.tree
+        bundles = {
+            site.name: deserialize_deltas(self.templates, payload)
+            for site, payload in on_time
+        }
+        # Deepest aggregators first (stable on tree.aggregators' top-down
+        # order), so a parent sees its child aggregators' merged bundles.
+        for agg in sorted(tree.aggregators, key=tree.node_depth, reverse=True):
+            parts = [
+                bundles.pop(child)
+                for child in tree.children[agg]
+                if child in bundles
+            ]
+            if not parts:
+                continue
+            merged = parts[0]
+            if len(parts) > 1:
+                merged = {
+                    key: self.templates[key].empty_copy() for key in FAMILIES
+                }
+                for part in parts:
+                    for key in FAMILIES:
+                        merged[key].merge(part[key])
+            payload = serialize_deltas(merged)
+            network.upstream_hop(
+                agg, payload, label=DELTA_LABEL, bits=wire.payload_bits(payload)
+            )
+            bundles[agg] = merged
 
     def _merge_site_views(self, site_index: int) -> None:
         """Merge one shipping site's deltas straight from its shm views.
@@ -1059,16 +1149,26 @@ class StreamingSession(EstimatorBase):
         if not self._late_queue:
             return folded
         index_of = {site.name: site.index for site in self.sites}
+        tree_net = self.network if isinstance(self.network, TreeNetwork) else None
         for name, payload in self._late_queue:
             deltas = deserialize_deltas(self.templates, payload)
             self._merge_delta(index_of[name], deltas)
-            self.network.send(
-                name,
-                self.network.coordinator_name,
-                payload,
-                label=LATE_DELTA_LABEL,
-                bits=wire.payload_bits(payload),
-            )
+            bits = wire.payload_bits(payload)
+            if tree_net is not None:
+                # A straggler's bundle has no merge partner at any level:
+                # its bytes traverse every hop of its path unchanged.
+                for child in reversed(tree_net.tree.path_edges(name)):
+                    tree_net.upstream_hop(
+                        child, payload, label=LATE_DELTA_LABEL, bits=bits
+                    )
+            else:
+                self.network.send(
+                    name,
+                    self.network.coordinator_name,
+                    payload,
+                    label=LATE_DELTA_LABEL,
+                    bits=bits,
+                )
             if report is not None:
                 report.late_merged.append(name)
                 report.upload_bytes[name] = (
@@ -1238,6 +1338,13 @@ class StreamingSession(EstimatorBase):
         excludes their unreachable shards.
         """
         conditions = self.conditions
+        tree = self.tree
+        if tree is not None:
+            # The one-shot drivers name sites positionally; carry the
+            # session's tree shape over to those names.
+            name_of = {site.name: f"site-{i}" for i, site in enumerate(self.sites)}
+            if any(old != new for old, new in name_of.items()):
+                tree = tree.rename_sites(name_of)
         scenario_active = bool(self._dropped) or (
             conditions is not None and (conditions.dropped or conditions.overrides)
         )
@@ -1260,6 +1367,7 @@ class StreamingSession(EstimatorBase):
                 jitter_seed=base.jitter_seed,
                 deadline=base.deadline,
                 faults=base.faults,
+                regions=base.regions,
             )
         return protocol.run(
             self.shards(),
@@ -1267,4 +1375,5 @@ class StreamingSession(EstimatorBase):
             runtime=self.runtime,
             conditions=conditions,
             transport=self.transport,
+            tree=tree,
         )

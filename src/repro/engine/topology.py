@@ -28,8 +28,9 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.comm.conditions import NetworkConditions
-from repro.comm.network import Network
+from repro.comm.network import Network, TreeNetwork, merge_payload_group
 from repro.comm.transport import IN_PROCESS, Transport
+from repro.comm.tree import TreeSpec
 from repro.sketch.mergeable import MergeableSketch
 
 
@@ -265,4 +266,144 @@ class StarTopology:
             sites=sites,
             coordinator=coordinator,
             shared_rng=np.random.default_rng(shared_seed),
+        )
+
+
+class Aggregator:
+    """One interior node of an aggregation tree.
+
+    Aggregators hold no shard and answer no query — they *relay*: the
+    :class:`~repro.comm.network.TreeNetwork` stages their children's
+    upstream payloads here and forwards one partially merged summary per
+    sibling group (see :func:`repro.comm.network.merge_payload_group`).
+    The endpoint object carries the node's name, its private randomness
+    (spawned *after* the k + 1 site/coordinator streams, so adding
+    aggregators never perturbs a site's or the coordinator's stream), and
+    a scratch dict, mirroring :class:`Site` / :class:`Coordinator`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: TreeNetwork,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.scratch: dict[str, Any] = {}
+
+    @property
+    def children(self) -> tuple[str, ...]:
+        """Names of this aggregator's direct children."""
+        return self.network.tree.children[self.name]
+
+    @property
+    def parent(self) -> str:
+        """Name of this aggregator's parent (an aggregator or the root)."""
+        return self.network.tree.parent[self.name]
+
+    def merge(self, payloads: Sequence[Any]) -> Any:
+        """Partially merge a sibling group (delegates to the shared kernel)."""
+        return merge_payload_group(list(payloads))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Aggregator({self.name!r}, children={list(self.children)})"
+
+
+def normalize_tree(
+    tree: "TreeSpec | int | None",
+    site_names: Sequence[str],
+    coordinator_name: str = "coordinator",
+) -> TreeSpec | None:
+    """Coerce the public ``tree=`` argument into a validated spec.
+
+    Accepts a full :class:`~repro.comm.tree.TreeSpec`, an integer fan-out
+    (sugar for :meth:`TreeSpec.regular`), or ``None`` (flat star).
+    """
+    if tree is None:
+        return None
+    if isinstance(tree, int):
+        return TreeSpec.regular(site_names, tree, root=coordinator_name)
+    return Transport.check_tree(tree, site_names, coordinator_name)
+
+
+@dataclass
+class TreeTopology(StarTopology):
+    """A fully wired aggregation tree; the star plus interior aggregators.
+
+    ``StarTopology`` with two extra fields: the shape (:class:`TreeSpec`)
+    and the wired :class:`Aggregator` endpoints.  Sites and the coordinator
+    are constructed exactly as in :meth:`StarTopology.build` — same seeding
+    order, same shard offsets — so protocol bodies run unchanged and their
+    estimates are bit-identical to the flat star.  Only the network object
+    differs: a :class:`~repro.comm.network.TreeNetwork` that routes, stages
+    and partially merges along the tree.
+    """
+
+    tree: TreeSpec = None  # type: ignore[assignment]
+    aggregators: list[Aggregator] = None  # type: ignore[assignment]
+
+    @classmethod
+    def build_tree(
+        cls,
+        shards: Sequence[Any],
+        coordinator_data: Any,
+        *,
+        tree: "TreeSpec | int",
+        seed: int | None = None,
+        site_names: Sequence[str] | None = None,
+        coordinator_name: str = "coordinator",
+        conditions: NetworkConditions | None = None,
+        transport: Transport | None = None,
+        merge_runtime: Any | None = None,
+    ) -> "TreeTopology":
+        """Wire an aggregation tree around ``k = len(shards)`` sites.
+
+        The seeding discipline extends :meth:`StarTopology.build`
+        append-only: the shared seed and the ``k + 1`` site/coordinator
+        streams are drawn first (bit-identical to the star), then the
+        aggregator streams are spawned from the same root.  Equal seeds
+        therefore give equal site/coordinator randomness across *every*
+        tree shape, including the flat star — the load-bearing fact behind
+        the bit-identity pins.
+        """
+        shards = coerce_shards(shards)
+        k = len(shards)
+        if site_names is None:
+            site_names = [f"site-{i}" for i in range(k)]
+        if len(site_names) != k:
+            raise ValueError(f"got {len(site_names)} site names for {k} shards")
+        spec = normalize_tree(tree, site_names, coordinator_name)
+        if spec is None:
+            raise ValueError("TreeTopology.build_tree needs a tree (spec or fan-out)")
+        if transport is None:
+            transport = IN_PROCESS
+        network = transport.build_network(
+            site_names, coordinator_name, conditions, tree=spec
+        )
+        if merge_runtime is not None and isinstance(network, TreeNetwork):
+            network.merge_runtime = merge_runtime
+        root = np.random.default_rng(seed)
+        shared_seed = int(root.integers(0, 2**63 - 1))
+        rngs = root.spawn(k + 1)
+        agg_rngs = root.spawn(len(spec.aggregators)) if spec.aggregators else []
+        offsets = np.concatenate(([0], np.cumsum([s.shape[0] for s in shards])[:-1]))
+        sites = [
+            Site(site_names[i], shards[i], network, row_offset=int(offsets[i]), rng=rngs[i])
+            for i in range(k)
+        ]
+        coordinator = Coordinator(coordinator_data, network, rng=rngs[-1])
+        aggregators = [
+            Aggregator(name, network, rng=agg_rngs[index])
+            for index, name in enumerate(spec.aggregators)
+        ]
+        return cls(
+            network=network,
+            sites=sites,
+            coordinator=coordinator,
+            shared_rng=np.random.default_rng(shared_seed),
+            tree=spec,
+            aggregators=aggregators,
         )

@@ -35,6 +35,7 @@ from repro.experiments import (
     e15_streaming_monitoring,
     e16_runtime_conditions,
     e17_robust_aggregation,
+    e18_tree_scaling,
 )
 from repro.experiments.harness import ExperimentReport
 
@@ -57,6 +58,7 @@ ALL_DRIVERS: list[Callable[..., ExperimentReport]] = [
     e15_streaming_monitoring.run,
     e16_runtime_conditions.run,
     e17_robust_aggregation.run,
+    e18_tree_scaling.run,
     a1_beta_ablation.run,
     a2_universe_sampling.run,
 ]

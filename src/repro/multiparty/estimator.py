@@ -66,6 +66,14 @@ class ClusterEstimator(EstimatorBase):
         star; the service layer's socket transport makes every metered
         message travel over a real TCP connection instead (see
         :meth:`serve` / :mod:`repro.service`).
+    tree:
+        Optional aggregation-tree overlay: a :class:`repro.comm.tree
+        .TreeSpec` whose leaves are this cluster's site names, or an
+        integer fan-out (balanced tree).  Queries route through interior
+        aggregators that partially merge their children's summaries —
+        estimates stay bit-identical to the flat star, while the root's
+        fan-in drops from k to the fan-out (see ``details["tree"]`` and
+        the tree makespan model).
     """
 
     def __init__(
@@ -77,9 +85,14 @@ class ClusterEstimator(EstimatorBase):
         runtime=None,
         conditions=None,
         transport=None,
+        tree=None,
     ) -> None:
         super().__init__(
-            seed=seed, runtime=runtime, conditions=conditions, transport=transport
+            seed=seed,
+            runtime=runtime,
+            conditions=conditions,
+            transport=transport,
+            tree=tree,
         )
         shards = coerce_shards(shards)
         b = np.asarray(b)
@@ -104,6 +117,7 @@ class ClusterEstimator(EstimatorBase):
         runtime=None,
         conditions=None,
         transport=None,
+        tree=None,
     ) -> "ClusterEstimator":
         """Shard the rows of ``a`` evenly across ``num_sites`` sites."""
         a = np.asarray(a)
@@ -120,6 +134,7 @@ class ClusterEstimator(EstimatorBase):
             runtime=runtime,
             conditions=conditions,
             transport=transport,
+            tree=tree,
         )
 
     @property
@@ -153,6 +168,7 @@ class ClusterEstimator(EstimatorBase):
             conditions=self.conditions,
             host=host,
             port=port,
+            tree=self.tree,
         )
         server.start()
         return server
@@ -172,6 +188,7 @@ class ClusterEstimator(EstimatorBase):
             runtime=self.runtime,
             conditions=self.conditions,
             transport=self.transport,
+            tree=self.tree,
         )
 
     # -------------------------------------------------------------- streaming
@@ -202,6 +219,7 @@ class ClusterEstimator(EstimatorBase):
         kwargs.setdefault("runtime", self.runtime)
         kwargs.setdefault("conditions", self.conditions)
         kwargs.setdefault("transport", self.transport)
+        kwargs.setdefault("tree", self.tree)
         session = StreamingSession(
             [shard.shape[0] for shard in self.shards],
             self.b,

@@ -40,7 +40,7 @@ the streamed session's delta uploads additionally matching the in-process
 simulated meter byte for byte (streaming bits *are* encoded bytes).
 """
 
-from repro.service.client import SiteAgent, connect, local_cluster
+from repro.service.client import AggregatorAgent, SiteAgent, connect, local_cluster
 from repro.service.metrics import MetricsRegistry, parse_metrics_text
 from repro.service.server import CoordinatorServer
 from repro.service.tenancy import (
@@ -50,15 +50,22 @@ from repro.service.tenancy import (
     TenantCostReport,
     TenantQuota,
 )
-from repro.service.transport import RemoteNetwork, RemoteRuntime, SocketTransport
+from repro.service.transport import (
+    RemoteNetwork,
+    RemoteRuntime,
+    RemoteTreeNetwork,
+    SocketTransport,
+)
 
 __all__ = [
+    "AggregatorAgent",
     "CoordinatorServer",
     "MetricsRegistry",
     "PriceSchedule",
     "QuotaExceededError",
     "RemoteNetwork",
     "RemoteRuntime",
+    "RemoteTreeNetwork",
     "SessionManager",
     "SiteAgent",
     "SocketTransport",

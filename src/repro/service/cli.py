@@ -31,7 +31,7 @@ import time
 
 import numpy as np
 
-__all__ = ["main", "serve_main", "site_main"]
+__all__ = ["aggregate_main", "main", "serve_main", "site_main"]
 
 
 def _add_serve_args(parser: argparse.ArgumentParser) -> None:
@@ -52,7 +52,15 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
 
 def _add_site_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="coordinator (or aggregator) port; required unless --port-file is given",
+    )
+    parser.add_argument(
+        "--port-file", default=None,
+        help="read the port from this file instead (polled; written by an "
+        "aggregator agent that bound port 0)",
+    )
     parser.add_argument("--index", type=int, required=True, help="this site's index (0-based)")
     parser.add_argument("--shard", required=True, help="path to this site's row-shard of A (.npy)")
     chaos = parser.add_argument_group("chaos injection (fault drills; all default off)")
@@ -105,12 +113,40 @@ def serve_cmd(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_aggregate_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="coordinator host")
+    parser.add_argument("--port", type=int, required=True, help="coordinator port")
+    parser.add_argument("--name", required=True, help="this aggregator's tree name")
+    parser.add_argument(
+        "--indices", required=True,
+        help="comma-separated global indices of the fronted sites, in tree child order",
+    )
+    parser.add_argument(
+        "--listen-host", default="127.0.0.1",
+        help="address to accept the fronted sites on (port is always 0/auto)",
+    )
+    parser.add_argument(
+        "--port-file", default=None,
+        help="publish the bound listen port to this file (atomic write)",
+    )
+
+
+def _resolve_port(args: argparse.Namespace) -> int:
+    if args.port is not None:
+        return args.port
+    if args.port_file is None:
+        raise SystemExit("one of --port / --port-file is required")
+    from repro.service.client import read_port_file
+
+    return read_port_file(args.port_file)
+
+
 def site_cmd(args: argparse.Namespace) -> int:
     from repro.service.client import SiteAgent
 
     agent = SiteAgent(
         args.host,
-        args.port,
+        _resolve_port(args),
         args.index,
         np.load(args.shard),
         delay=args.delay,
@@ -119,9 +155,30 @@ def site_cmd(args: argparse.Namespace) -> int:
         corrupt_upstream=args.corrupt_upstream,
         flaky=args.flaky,
     )
-    print(f"repro-site: joining {args.host}:{args.port} as site-{args.index}", flush=True)
+    print(f"repro-site: joining {args.host}:{agent.port} as site-{args.index}", flush=True)
     agent.run()
     print(f"repro-site: {agent.name} done", flush=True)
+    return 0
+
+
+def aggregate_cmd(args: argparse.Namespace) -> int:
+    from repro.service.client import AggregatorAgent
+
+    agent = AggregatorAgent(
+        args.host,
+        args.port,
+        args.name,
+        [int(i) for i in args.indices.split(",") if i != ""],
+        listen_host=args.listen_host,
+        port_file=args.port_file,
+    )
+    print(
+        f"repro-aggregate: {args.name} fronting sites {agent.indices}, "
+        f"coordinator {args.host}:{args.port}",
+        flush=True,
+    )
+    agent.run()
+    print(f"repro-aggregate: {args.name} done", flush=True)
     return 0
 
 
@@ -137,16 +194,31 @@ def site_main() -> int:
     return site_cmd(parser.parse_args())
 
 
+def aggregate_main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-aggregate", description="Run one tree aggregator agent."
+    )
+    _add_aggregate_args(parser)
+    return aggregate_cmd(parser.parse_args())
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service.cli",
-        description="Run the coordinator server or a site agent.",
+        description="Run the coordinator server, a site agent, or an aggregator.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
     _add_serve_args(commands.add_parser("serve", help="run the coordinator server"))
     _add_site_args(commands.add_parser("site", help="run one site agent"))
+    _add_aggregate_args(
+        commands.add_parser("aggregate", help="run one tree aggregator agent")
+    )
     args = parser.parse_args(argv)
-    return serve_cmd(args) if args.command == "serve" else site_cmd(args)
+    if args.command == "serve":
+        return serve_cmd(args)
+    if args.command == "aggregate":
+        return aggregate_cmd(args)
+    return site_cmd(args)
 
 
 if __name__ == "__main__":

@@ -49,7 +49,14 @@ from repro.service.messages import (
     encode_payload,
 )
 
-__all__ = ["ServiceClient", "SiteAgent", "connect", "local_cluster"]
+__all__ = [
+    "AggregatorAgent",
+    "ServiceClient",
+    "SiteAgent",
+    "connect",
+    "local_cluster",
+    "read_port_file",
+]
 
 
 class _SocketStream:
@@ -62,6 +69,10 @@ class _SocketStream:
 
     def send(self, message: Message) -> None:
         self._sock.sendall(encode_frame(encode_message(message)))
+
+    def send_frame(self, frame: bytes) -> None:
+        """Send pre-encoded frame bytes (encode-once fan-out)."""
+        self._sock.sendall(frame)
 
     def next(self) -> Message | None:
         while not self._bodies:
@@ -94,6 +105,26 @@ def _dial(host: str, port: int, *, retries: int = 40, delay: float = 0.25) -> so
             last = exc
             time.sleep(delay)
     raise ConnectionError(f"could not reach coordinator at {host}:{port}: {last}")
+
+
+def read_port_file(path: str, *, timeout: float = 60.0, poll: float = 0.05) -> int:
+    """Wait for a port file (written by an aggregator agent) and read it.
+
+    Aggregator agents bind port 0 and publish the resolved port by writing
+    it to a file (atomic rename); leaf sites behind them poll that file
+    instead of taking a ``--port``.
+    """
+    deadline = time.monotonic() + timeout
+    path_obj = Path(path)
+    while time.monotonic() < deadline:
+        try:
+            text = path_obj.read_text().strip()
+            if text:
+                return int(text)
+        except (OSError, ValueError):
+            pass
+        time.sleep(poll)
+    raise TimeoutError(f"no port published at {path} after {timeout}s")
 
 
 # ---------------------------------------------------------------------- site
@@ -269,6 +300,261 @@ def _resolve_task(spec: str):
     return target
 
 
+# --------------------------------------------------------------- aggregator
+class AggregatorAgent:
+    """One interior aggregator of a depth-2 tree, as its own OS process.
+
+    The agent is a tiny switchboard with sockets on both sides:
+
+    * **down**: it listens on its own port (bound to 0, published via
+      ``port_file``) and accepts the registrations of the leaf sites it
+      fronts — ordinary :class:`SiteAgent` processes that dialed the
+      aggregator instead of the coordinator;
+    * **up**: it registers the whole subtree with the coordinator in one
+      ``hello`` (role ``aggregator``, the children's shards as payload) and
+      then serves the subtree's protocol traffic over that single
+      connection.
+
+    Traffic handling mirrors the tree semantics exactly:
+
+    * a downstream ``msg`` (optionally carrying a ``forward`` list) is
+      acked with this edge's observed bytes, and the *same frame bytes* are
+      encoded once and fanned to the targeted children, whose acks are
+      aggregated into the reply (``children`` meta);
+    * a routed ``relay`` (``to`` meta) makes the target leaf echo its
+      payload to *this* process — the bytes are counted off the
+      aggregator's socket and only the count/digest travel further up,
+      which is the whole fan-in point of the tree;
+    * an un-routed ``relay`` is this aggregator's own upstream edge: the
+      (already merged, coordinator-side) payload echoes up like a site's;
+    * ``task`` messages execute locally or forward to the routed leaf.
+
+    Like the :class:`SiteAgent`, the aggregator never runs protocol logic:
+    every byte it reports was measured on one of its own sockets.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        name: str,
+        indices: Sequence[int],
+        *,
+        listen_host: str = "127.0.0.1",
+        port_file: str | None = None,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.name = str(name)
+        self.indices = [int(i) for i in indices]
+        if not self.indices:
+            raise ValueError("an aggregator must front at least one site")
+        self.listen_host = listen_host
+        self.port_file = port_file
+        self.listen_port: int | None = None
+
+    # ------------------------------------------------------------ lifecycle
+    def run(self) -> None:
+        """Accept the leaves, register the subtree, serve until ``bye``."""
+        streams, shards = self._accept_children()
+        up = _SocketStream(_dial(self.host, self.port))
+        try:
+            up.send(
+                Message(
+                    "hello",
+                    {"role": "aggregator", "name": self.name, "indices": self.indices},
+                    encode_payload([shards[i] for i in self.indices]),
+                )
+            )
+            assign = up.next()
+            if assign is None or assign.type == "error":
+                raise ServiceError(
+                    f"registration refused: {assign.meta if assign else 'connection closed'}"
+                )
+            if assign.type != "assign":
+                raise ServiceError(f"expected assign, got {assign.type!r}")
+            while True:
+                message = up.next()
+                if message is None or message.type == "bye":
+                    return
+                reply = self._handle(message, streams)
+                if reply is not None:
+                    up.send(reply)
+        finally:
+            for stream in streams.values():
+                try:
+                    stream.send(Message("bye"))
+                except OSError:
+                    pass
+                stream.close()
+            up.close()
+
+    def _accept_children(self) -> tuple[dict[str, _SocketStream], dict[int, np.ndarray]]:
+        """Listen, publish the port, and register every expected leaf."""
+        server_sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server_sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server_sock.bind((self.listen_host, 0))
+        server_sock.listen(len(self.indices))
+        self.listen_port = server_sock.getsockname()[1]
+        if self.port_file is not None:
+            # Atomic publish: leaves poll for the file, so it must never be
+            # observable half-written.
+            tmp = Path(f"{self.port_file}.tmp")
+            tmp.write_text(f"{self.listen_port}\n")
+            tmp.replace(self.port_file)
+        expected = set(self.indices)
+        streams: dict[str, _SocketStream] = {}
+        shards: dict[int, np.ndarray] = {}
+        try:
+            while len(shards) < len(self.indices):
+                sock, _ = server_sock.accept()
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                stream = _SocketStream(sock)
+                hello = stream.next()
+                if hello is None:
+                    stream.close()
+                    continue
+                try:
+                    if hello.type != "hello" or hello.meta.get("role") != "site":
+                        raise ServiceError(f"expected a site hello, got {hello.type!r}")
+                    index = int(hello.meta.get("index", -1))
+                    if index not in expected:
+                        raise ServiceError(
+                            f"site index {index} is not fronted by aggregator "
+                            f"{self.name!r} (expected {sorted(expected)})"
+                        )
+                    if index in shards:
+                        raise ServiceError(f"site-{index} is already registered")
+                    shard = np.asarray(decode_payload(hello.payload))
+                except (ServiceError, ValueError) as exc:
+                    stream.send(
+                        Message(
+                            "error",
+                            {"error": type(exc).__name__, "message": str(exc)},
+                        )
+                    )
+                    stream.close()
+                    continue
+                shards[index] = shard
+                streams[f"site-{index}"] = stream
+                stream.send(
+                    Message(
+                        "assign",
+                        {
+                            "name": f"site-{index}",
+                            "index": index,
+                            "k": len(self.indices),
+                            "registered": len(shards),
+                        },
+                    )
+                )
+        finally:
+            server_sock.close()
+        return streams, shards
+
+    # ------------------------------------------------------------- handlers
+    def _handle(
+        self, message: Message, streams: dict[str, _SocketStream]
+    ) -> Message | None:
+        """Answer one coordinator message; every failure becomes a reply."""
+        try:
+            return self._handle_inner(message, streams)
+        except Exception as exc:  # noqa: BLE001 - reported to the server
+            return Message(
+                "error",
+                {
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(),
+                },
+            )
+
+    def _handle_inner(
+        self, message: Message, streams: dict[str, _SocketStream]
+    ) -> Message | None:
+        meta = dict(message.meta)
+        to = meta.pop("to", None)
+        if message.type == "round":
+            return Message("ack", {"round": message.meta.get("round")})
+        if message.type == "msg":
+            forward = meta.pop("forward", [])
+            decode_payload(message.payload)
+            children: dict[str, dict] = {}
+            if forward:
+                # Encode-once fan-out: one frame, sendall per child socket.
+                frame = encode_frame(
+                    encode_message(Message("msg", meta, message.payload))
+                )
+                for child in forward:
+                    self._child(streams, child).send_frame(frame)
+                for child in forward:
+                    ack = self._child(streams, child).next()
+                    if ack is None or ack.type != "ack":
+                        raise ServiceError(
+                            f"leaf {child!r} answered a forwarded msg with "
+                            f"{ack.type if ack else 'EOF'!r}: "
+                            f"{ack.meta if ack else {}}"
+                        )
+                    children[child] = {
+                        "observed": ack.meta.get("observed"),
+                        "digest": ack.meta.get("digest"),
+                    }
+            reply_meta = {
+                "observed": len(message.payload) - PAYLOAD_TAG_BYTES,
+                "digest": hashlib.sha256(message.payload).hexdigest(),
+                "round": message.meta.get("round"),
+            }
+            if children:
+                reply_meta["children"] = children
+            return Message("ack", reply_meta)
+        if message.type == "relay":
+            if to is None:
+                # This aggregator's own upstream edge: echo the (merged)
+                # payload so its bytes travel aggregator -> coordinator.
+                decode_payload(message.payload)
+                return Message("msg", dict(message.meta), message.payload)
+            # Routed leaf edge: the leaf echoes to *us*; we count its bytes
+            # off our socket and report only count + digest upstream.
+            stream = self._child(streams, to)
+            stream.send(Message("relay", meta, message.payload))
+            echo = stream.next()
+            if echo is None or echo.type != "msg":
+                raise ServiceError(
+                    f"leaf {to!r} answered a relay with "
+                    f"{echo.type if echo else 'EOF'!r}: {echo.meta if echo else {}}"
+                )
+            return Message(
+                "ack",
+                {
+                    "observed": len(echo.payload) - PAYLOAD_TAG_BYTES,
+                    "digest": hashlib.sha256(echo.payload).hexdigest(),
+                    "round": message.meta.get("round"),
+                },
+            )
+        if message.type == "task":
+            if to is None:
+                fn = _resolve_task(meta.get("fn", ""))
+                args = decode_payload(message.payload)
+                return Message("task_result", {}, encode_payload(fn(*args)))
+            stream = self._child(streams, to)
+            stream.send(Message("task", meta, message.payload))
+            reply = stream.next()
+            if reply is None:
+                raise ServiceError(f"leaf {to!r} closed mid-task")
+            return reply  # task_result (or the leaf's error) verbatim
+        return Message(
+            "error",
+            {"error": "ServiceError", "message": f"unexpected {message.type!r}"},
+        )
+
+    @staticmethod
+    def _child(streams: dict[str, _SocketStream], name: str) -> _SocketStream:
+        stream = streams.get(name)
+        if stream is None:
+            raise ServiceError(f"no such fronted leaf {name!r}")
+        return stream
+
+
 # -------------------------------------------------------------------- client
 class ServiceClient:
     """Synchronous query proxy to a served cluster.
@@ -370,6 +656,7 @@ def local_cluster(
     host: str = "127.0.0.1",
     ready_timeout: float = 60.0,
     site_args: Sequence[Sequence[str]] | None = None,
+    tree=None,
     **server_kwargs,
 ) -> Iterator[tuple[Any, ServiceClient]]:
     """A real k-site cluster on localhost: server here, sites as processes.
@@ -378,6 +665,13 @@ def local_cluster(
     ``.npy`` files in a temp directory), waits until all have registered,
     and yields ``(server, client)``.  Everything is torn down on exit —
     sites get ``bye``, processes are reaped, the temp dir is removed.
+
+    ``tree`` (a depth-2 :class:`~repro.comm.tree.TreeSpec` over
+    ``site-0..k-1``, or an integer fan-out) stands the cluster up as a real
+    aggregation tree: one ``repro.service.cli aggregate`` OS process per
+    interior aggregator (listening on its own port, published via a port
+    file), with the leaves behind it dialing the *aggregator* instead of
+    the coordinator — every tree edge is its own socket.
 
     ``site_args`` appends extra CLI flags to site ``i``'s process (e.g.
     ``[["--delay", "5"], [], ...]`` for chaos drills); remaining keyword
@@ -397,8 +691,10 @@ def local_cluster(
         conditions=conditions,
         host=host,
         port=0,
+        tree=tree,
         **server_kwargs,
     ).start()
+    spec = server.tree  # normalized (int fan-out -> TreeSpec), or None
     processes: list[subprocess.Popen] = []
     client: ServiceClient | None = None
     try:
@@ -408,23 +704,51 @@ def local_cluster(
             env["PYTHONPATH"] = os.pathsep.join(
                 [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
             )
+            python = [sys.executable, "-m", "repro.service.cli"]
+            port_files: dict[str, Path] = {}
+            if spec is not None:
+                for agg in spec.aggregators:
+                    port_file = Path(tmp) / f"{agg}.port"
+                    port_files[agg] = port_file
+                    indices = [
+                        child.rsplit("-", 1)[-1] for child in spec.children[agg]
+                    ]
+                    processes.append(
+                        subprocess.Popen(
+                            python
+                            + [
+                                "aggregate",
+                                "--host", host,
+                                "--port", str(server.port),
+                                "--name", agg,
+                                "--indices", ",".join(indices),
+                                "--listen-host", host,
+                                "--port-file", str(port_file),
+                            ],
+                            env=env,
+                        )
+                    )
             for index, shard in enumerate(shards):
                 shard_path = Path(tmp) / f"shard-{index}.npy"
                 np.save(shard_path, shard)
-                argv = [
-                    sys.executable,
-                    "-m",
-                    "repro.service.cli",
+                argv = python + [
                     "site",
                     "--host",
                     host,
-                    "--port",
-                    str(server.port),
                     "--index",
                     str(index),
                     "--shard",
                     str(shard_path),
                 ]
+                parent = (
+                    spec.parent[f"site-{index}"] if spec is not None else None
+                )
+                if parent is not None and parent != spec.root:
+                    # A leaf behind an aggregator dials the aggregator's
+                    # published port, not the coordinator's.
+                    argv += ["--port-file", str(port_files[parent])]
+                else:
+                    argv += ["--port", str(server.port)]
                 if site_args is not None:
                     argv.extend(str(arg) for arg in site_args[index])
                 processes.append(subprocess.Popen(argv, env=env))

@@ -37,8 +37,10 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.comm.conditions import NetworkConditions
-from repro.comm.framing import FrameDecoder, FramingError, encode_frame
+from repro.comm.framing import FrameDecoder, FramingError, encode_frame, encode_frames
 from repro.comm import wire
+from repro.comm.tree import TreeSpec
+from repro.engine.topology import normalize_tree
 from repro.engine.runtime import QuorumPolicy
 from repro.service.messages import (
     PAYLOAD_TAG_BYTES,
@@ -121,28 +123,41 @@ class _AsyncSiteLink(SiteLink):
         #: Futures of in-flight requests, oldest first (strict FIFO replies).
         self.pending: deque[concurrent.futures.Future] = deque()
         self._observed_upstream: deque[tuple[int, int]] = deque()
+        #: Frames staged by ``submit(..., flush=False)`` awaiting the next
+        #: flushing submit (only ever touched by the single query worker).
+        self._staged: list[tuple[Message, concurrent.futures.Future]] = []
         #: Replies still owed to requests a *failed* query abandoned; they
         #: are dropped on arrival (see :meth:`abandon_pending`).
         self._discard = 0
         self._dead: Exception | None = None
 
     # ------------------------------------------------------- transport seam
-    def submit(self, message: Message) -> concurrent.futures.Future:
+    def submit(
+        self, message: Message, *, flush: bool = True
+    ) -> concurrent.futures.Future:
         future: concurrent.futures.Future = concurrent.futures.Future()
         if self._dead is not None:
             # Fail fast off-loop: a write to a dead site's closed writer
             # could otherwise block in drain() forever, and the single
             # serialized query worker would wedge for every client.
-            future.set_exception(
-                SiteUnavailableError(
-                    f"site {self.site_name!r} is disconnected: {self._dead}",
-                    site=self.site_name,
-                )
+            exc = SiteUnavailableError(
+                f"site {self.site_name!r} is disconnected: {self._dead}",
+                site=self.site_name,
             )
+            for _, staged_future in self._staged:
+                if not staged_future.done():
+                    staged_future.set_exception(exc)
+            self._staged.clear()
+            future.set_exception(exc)
             return future
+        if not flush:
+            self._staged.append((message, future))
+            return future
+        batch = self._staged + [(message, future)]
+        self._staged = []
         asyncio.run_coroutine_threadsafe(
-            self._write(message, future), self._loop
-        ).add_done_callback(_propagate_submit_failure(future))
+            self._write_batch(batch), self._loop
+        ).add_done_callback(_propagate_batch_failure(batch))
         return future
 
     def request(self, message: Message, timeout: float | None = None) -> Message:
@@ -157,11 +172,22 @@ class _AsyncSiteLink(SiteLink):
                 return drained
 
     # ----------------------------------------------------------- loop side
-    async def _write(self, message: Message, future: concurrent.futures.Future) -> None:
+    async def _write_batch(
+        self, batch: list[tuple[Message, concurrent.futures.Future]]
+    ) -> None:
+        """Write a staged batch as one coalesced ``sendall`` (loop side).
+
+        All frames enter :attr:`pending` before the write, in submit order,
+        so the FIFO reply pairing is independent of how the bytes chunk on
+        the wire.
+        """
         if self._dead is not None or self._writer.is_closing():
             raise ServiceError(f"site {self.site_name!r} is disconnected")
-        self.pending.append(future)
-        self._writer.write(encode_frame(encode_message(message)))
+        for _, future in batch:
+            self.pending.append(future)
+        self._writer.write(
+            encode_frames([encode_message(message) for message, _ in batch])
+        )
         await self._writer.drain()
 
     def on_reply(self, message: Message) -> None:
@@ -211,15 +237,67 @@ class _AsyncSiteLink(SiteLink):
         self._observed_upstream.clear()
 
 
-def _propagate_submit_failure(future: concurrent.futures.Future):
-    """If the loop-side write coroutine itself dies, fail the reply future."""
+def _propagate_batch_failure(batch):
+    """If the loop-side write coroutine itself dies, fail the reply futures."""
 
     def _done(write_result: concurrent.futures.Future) -> None:
         exc = write_result.exception()
-        if exc is not None and not future.done():
-            future.set_exception(exc)
+        if exc is not None:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
 
     return _done
+
+
+class _RoutedSiteLink(SiteLink):
+    """A leaf fronted by an aggregator: requests route via the agg's link.
+
+    The coordinator has no socket to such a leaf — every frame for it gains
+    a ``"to"`` meta entry and travels the aggregator's connection; the
+    aggregator forwards it down its own socket and answers on the leaf's
+    behalf (aggregated acks carrying the leaf's observed bytes/digest).
+    Upstream payloads from the leaf are counted off the *aggregator's*
+    socket and reported in the ack, so :meth:`take_observed_upstream` is
+    always empty here.
+    """
+
+    def __init__(self, site_name: str, via: _AsyncSiteLink) -> None:
+        self.site_name = site_name
+        self.via = via
+        self._dead: Exception | None = None
+
+    def submit(
+        self, message: Message, *, flush: bool = True
+    ) -> concurrent.futures.Future:
+        if self._dead is not None:
+            future: concurrent.futures.Future = concurrent.futures.Future()
+            future.set_exception(
+                SiteUnavailableError(
+                    f"site {self.site_name!r} is unreachable: {self._dead}",
+                    site=self.site_name,
+                )
+            )
+            return future
+        routed = Message(
+            message.type, dict(message.meta, to=self.site_name), message.payload
+        )
+        return self.via.submit(routed, flush=flush)
+
+    def request(self, message: Message, timeout: float | None = None) -> Message:
+        return self.submit(message).result(timeout)
+
+    def take_observed_upstream(self) -> list[tuple[int, int]]:
+        return []
+
+    def mark_dead(self, exc: Exception) -> None:
+        self._dead = exc
+
+    def fail_pending(self, exc: Exception) -> None:  # via-link owns pending
+        pass
+
+    def abandon_pending(self, exc: Exception) -> None:
+        pass
 
 
 class _MessageStream:
@@ -306,6 +384,7 @@ class CoordinatorServer:
         retries: int = 2,
         backoff: float = 0.05,
         quorum=None,
+        tree=None,
     ) -> None:
         if num_sites < 0:
             raise ValueError(f"num_sites must be >= 0, got {num_sites}")
@@ -333,6 +412,22 @@ class CoordinatorServer:
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.quorum = QuorumPolicy.coerce(quorum)
+        #: Optional aggregation-tree overlay (TreeSpec or int fan-out) over
+        #: the canonical site names.  Depth <= 2 (aggregators as root
+        #: children): each aggregator is one *aggregator agent* process
+        #: fronting its leaves over its own sockets; leaves behind it
+        #: register through it, not directly.
+        self.tree: TreeSpec | None = normalize_tree(
+            tree, [f"site-{i}" for i in range(self.num_sites)]
+        )
+        if self.tree is not None and (
+            self.tree.depth > 2
+            or any(self.tree.node_depth(a) > 1 for a in self.tree.aggregators)
+        ):
+            raise ValueError(
+                "the socket service supports aggregation trees of depth <= 2 "
+                f"(aggregators as root children); got depth {self.tree.depth}"
+            )
 
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -463,6 +558,8 @@ class CoordinatorServer:
             self._server.close()
             await self._server.wait_closed()
         for link in list(self._links.values()):
+            if not isinstance(link, _AsyncSiteLink):
+                continue  # routed leaves share their aggregator's socket
             try:
                 link._writer.write(encode_frame(encode_message(Message("bye"))))
                 await link._writer.drain()
@@ -508,6 +605,8 @@ class CoordinatorServer:
             role = hello.meta.get("role")
             if role == "site":
                 await self._serve_site(hello, stream, writer)
+            elif role == "aggregator":
+                await self._serve_aggregator(hello, stream, writer)
             elif role == "client":
                 await self._serve_client(stream, writer)
             else:
@@ -587,16 +686,7 @@ class CoordinatorServer:
             pass
 
     # ----------------------------------------------------------------- sites
-    async def _serve_site(self, hello, stream, writer) -> None:
-        index = int(hello.meta.get("index", -1))
-        if not 0 <= index < self.num_sites:
-            raise ServiceError(
-                f"site index {index} out of range for a {self.num_sites}-site cluster"
-            )
-        name = f"site-{index}"
-        if name in self._links:
-            raise ServiceError(f"site {name!r} is already registered")
-        shard = decode_payload(hello.payload)
+    def _check_shard(self, name: str, index: int, shard) -> np.ndarray:
         shard = np.asarray(shard)
         if shard.ndim != 2 or shard.shape[1] != self.b.shape[0]:
             raise ServiceError(
@@ -610,6 +700,39 @@ class CoordinatorServer:
                 f"site {name!r} uploaded {shard.shape[0]} rows, expected "
                 f"{self.expected_row_counts[index]}"
             )
+        return shard
+
+    def _expected_links(self) -> int:
+        """Connections + routes needed before the cluster is ready."""
+        if self.tree is None:
+            return self.num_sites
+        return self.num_sites + len(self.tree.aggregators)
+
+    def _maybe_ready(self) -> None:
+        if (
+            len(self._links) == self._expected_links()
+            and len(self._shards) == self.num_sites
+        ):
+            self._build_estimator()
+            self._ready.set()
+            self._ready_async.set()
+
+    async def _serve_site(self, hello, stream, writer) -> None:
+        index = int(hello.meta.get("index", -1))
+        if not 0 <= index < self.num_sites:
+            raise ServiceError(
+                f"site index {index} out of range for a {self.num_sites}-site cluster"
+            )
+        name = f"site-{index}"
+        if name in self._links:
+            raise ServiceError(f"site {name!r} is already registered")
+        if self.tree is not None and self.tree.parent[name] != self.tree.root:
+            raise ServiceError(
+                f"site {name!r} is behind aggregator "
+                f"{self.tree.parent[name]!r} in this cluster's tree; it must "
+                f"register through its aggregator agent, not directly"
+            )
+        shard = self._check_shard(name, index, decode_payload(hello.payload))
         link = _AsyncSiteLink(name, index, asyncio.get_running_loop(), writer)
         self._links[name] = link
         self._shards[index] = shard
@@ -629,10 +752,7 @@ class CoordinatorServer:
             )
         )
         await writer.drain()
-        if len(self._links) == self.num_sites:
-            self._build_estimator()
-            self._ready.set()
-            self._ready_async.set()
+        self._maybe_ready()
         try:
             while True:
                 message = await stream.next()
@@ -653,6 +773,91 @@ class CoordinatorServer:
             )
             self._links.pop(name, None)
 
+    async def _serve_aggregator(self, hello, stream, writer) -> None:
+        """Register one aggregator agent and the leaf sites it fronts.
+
+        The agent's hello carries its tree name and the *global* indices of
+        its children (order matters: it must match the tree's child order),
+        with the children's shards — collected over the agent's own sockets
+        — as the payload.  One connection then serves the whole subtree:
+        the aggregator's own edge plus a routed link per leaf.
+        """
+        if self.tree is None:
+            raise ServiceError(
+                "this coordinator serves a flat star; aggregator agents "
+                "need a tree= cluster"
+            )
+        name = str(hello.meta.get("name", ""))
+        if name not in self.tree.children or name == self.tree.root:
+            raise ServiceError(f"unknown aggregator {name!r} for this cluster's tree")
+        if self.tree.parent[name] != self.tree.root:
+            raise ServiceError(
+                f"aggregator {name!r} is not a root child (depth-2 trees only)"
+            )
+        if name in self._links:
+            raise ServiceError(f"aggregator {name!r} is already registered")
+        indices = [int(i) for i in hello.meta.get("indices", [])]
+        expected = list(self.tree.children[name])
+        if [f"site-{i}" for i in indices] != expected:
+            raise ServiceError(
+                f"aggregator {name!r} fronts sites {expected}, but registered "
+                f"indices {indices}"
+            )
+        shards = decode_payload(hello.payload)
+        if not isinstance(shards, (list, tuple)) or len(shards) != len(indices):
+            raise ServiceError(
+                f"aggregator {name!r} must upload one shard per child "
+                f"({len(indices)} expected)"
+            )
+        checked = {
+            index: self._check_shard(f"site-{index}", index, shard)
+            for index, shard in zip(indices, shards)
+        }
+        link = _AsyncSiteLink(name, -1, asyncio.get_running_loop(), writer)
+        routed = {child: _RoutedSiteLink(child, link) for child in expected}
+        self._links[name] = link
+        self._links.update(routed)
+        self._shards.update(checked)
+        writer.write(
+            encode_frame(
+                encode_message(
+                    Message(
+                        "assign",
+                        {
+                            "name": name,
+                            "children": expected,
+                            "k": self.num_sites,
+                            "registered": len(self._shards),
+                        },
+                    )
+                )
+            )
+        )
+        await writer.drain()
+        self._maybe_ready()
+        try:
+            while True:
+                message = await stream.next()
+                if message is None or message.type == "bye":
+                    break
+                link.on_reply(message)
+        except (ConnectionError, asyncio.IncompleteReadError) as exc:
+            link.fail_pending(
+                SiteUnavailableError(
+                    f"aggregator {name!r} connection lost: {exc}", site=name
+                )
+            )
+        finally:
+            lost = SiteUnavailableError(
+                f"aggregator {name!r} disconnected", site=name
+            )
+            link.mark_dead(lost)
+            for child_link in routed.values():
+                child_link.mark_dead(lost)
+            self._links.pop(name, None)
+            for child in expected:
+                self._links.pop(child, None)
+
     def _build_estimator(self) -> None:
         from repro.multiparty.estimator import ClusterEstimator
 
@@ -665,6 +870,7 @@ class CoordinatorServer:
             runtime=self._transport.runtime(quorum=self.quorum),
             conditions=self.conditions,
             transport=self._transport,
+            tree=self.tree,
         )
 
     def _make_transport(self, links) -> SocketTransport:
@@ -724,6 +930,18 @@ class CoordinatorServer:
         Returns ``(value, degradation report, network for metering)``.
         """
         failed = set(failed) | self.quarantined
+        if self.tree is not None:
+            # A failure named after an aggregator (or a leaf whose fronting
+            # aggregator link is gone) takes its whole subtree down: expand
+            # so the degraded sub-cluster is actually reachable.
+            for name in sorted(failed):
+                if name in self.tree.children:
+                    failed.discard(name)
+                    failed.update(self.tree.subtree_sites(name))
+                elif name in self.tree.parent:
+                    for agg in self.tree.ancestors(name):
+                        if agg not in self._links:
+                            failed.update(self.tree.subtree_sites(agg))
         report = {
             "reason": reason,
             "failed_sites": sorted(failed),
@@ -795,6 +1013,7 @@ class CoordinatorServer:
             runtime=transport.runtime(dropout="exclude", quorum=quorum),
             conditions=base.excluding(failed),
             transport=transport,
+            tree=self.tree,
         )
         self._degraded_cache[failed] = (estimator, transport)
         return estimator, transport

@@ -55,8 +55,9 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.comm.accounting import MessageLog
 from repro.comm.conditions import NetworkConditions
-from repro.comm.network import DOWNSTREAM, UPSTREAM, Network
+from repro.comm.network import DOWNSTREAM, UPSTREAM, Network, TreeNetwork
 from repro.comm.transport import Transport
+from repro.comm.tree import TreeSpec
 from repro.engine.runtime import QuorumPolicy, Runtime
 from repro.service.messages import (
     PAYLOAD_TAG_BYTES,
@@ -68,7 +69,13 @@ from repro.service.messages import (
     encode_payload,
 )
 
-__all__ = ["RemoteNetwork", "RemoteRuntime", "SiteLink", "SocketTransport"]
+__all__ = [
+    "RemoteNetwork",
+    "RemoteTreeNetwork",
+    "RemoteRuntime",
+    "SiteLink",
+    "SocketTransport",
+]
 
 
 def payload_digest(blob: bytes) -> str:
@@ -96,14 +103,65 @@ class SiteLink:
         :meth:`RemoteNetwork._request`)."""
         raise NotImplementedError
 
-    def submit(self, message: Message):
-        """Send one message, return a future for its reply (pipelined)."""
+    def submit(self, message: Message, *, flush: bool = True):
+        """Send one message, return a future for its reply (pipelined).
+
+        ``flush=False`` *stages* the frame: implementations may hold it
+        until the next flushing submit and write the whole batch with one
+        ``sendall`` (coalescing a round open with its first burst into a
+        single syscall and, on the receiving side, one socket read).
+        Implementations without staging may ignore the flag — replies are
+        FIFO either way.
+        """
         raise NotImplementedError
 
     def take_observed_upstream(self) -> list[tuple[int, int]]:
         """Drain ``(round, payload_bytes)`` records of upstream ``msg``
         frames counted off the server's socket since the last call."""
         raise NotImplementedError
+
+
+def request_with_retry(
+    site: str,
+    link: SiteLink,
+    message: Message,
+    *,
+    deadline: float | None,
+    retries: int,
+    backoff: float,
+    on_retry: Callable[[str], None] | None = None,
+) -> Message:
+    """One deadline-bounded request with retry/backoff on transients.
+
+    A ``retry`` reply is the site saying "healthy but busy": the FIFO
+    pairing is intact (the refusal answered the refused request), so the
+    coordinator backs off exponentially and resends, up to the budget.  A
+    missed deadline is different — the reply may still be in flight, so
+    resending would desync the FIFO; it escalates as
+    :class:`~repro.service.messages.SiteTimeoutError` for the server's
+    degradation path to handle.
+    """
+    attempt = 0
+    while True:
+        try:
+            reply = link.request(message, timeout=deadline)
+        except TimeoutError:
+            raise SiteTimeoutError(
+                f"site {site!r} missed the {deadline}s response "
+                f"deadline answering a {message.type!r}",
+                site=site,
+            ) from None
+        if reply.type != "retry":
+            return reply
+        attempt += 1
+        if attempt > retries:
+            raise ServiceError(
+                f"site {site!r} still refusing after {retries} "
+                f"retries: {reply.meta}"
+            )
+        if on_retry is not None:
+            on_retry(site)
+        time.sleep(backoff * (2 ** (attempt - 1)))
 
 
 class RemoteNetwork(Network):
@@ -146,40 +204,20 @@ class RemoteNetwork(Network):
             name: Counter() for name in self.site_names
         }
         self._notified_round: dict[str, int] = {name: 0 for name in self.site_names}
+        self._broadcast_blob: bytes | None = None
 
     # --------------------------------------------------------------- request
     def _request(self, site: str, link: SiteLink, message: Message) -> Message:
-        """One deadline-bounded request with retry/backoff on transients.
-
-        A ``retry`` reply is the site saying "healthy but busy": the FIFO
-        pairing is intact (the refusal answered the refused request), so
-        the coordinator backs off exponentially and resends, up to the
-        budget.  A missed deadline is different — the reply may still be
-        in flight, so resending would desync the FIFO; it escalates as
-        :class:`~repro.service.messages.SiteTimeoutError` for the server's
-        degradation path to handle.
-        """
-        attempt = 0
-        while True:
-            try:
-                reply = link.request(message, timeout=self.deadline)
-            except TimeoutError:
-                raise SiteTimeoutError(
-                    f"site {site!r} missed the {self.deadline}s response "
-                    f"deadline answering a {message.type!r}",
-                    site=site,
-                ) from None
-            if reply.type != "retry":
-                return reply
-            attempt += 1
-            if attempt > self.retries:
-                raise ServiceError(
-                    f"site {site!r} still refusing after {self.retries} "
-                    f"retries: {reply.meta}"
-                )
-            if self._on_retry is not None:
-                self._on_retry(site)
-            time.sleep(self.backoff * (2 ** (attempt - 1)))
+        """See :func:`request_with_retry` (this network's knobs applied)."""
+        return request_with_retry(
+            site,
+            link,
+            message,
+            deadline=self.deadline,
+            retries=self.retries,
+            backoff=self.backoff,
+            on_retry=self._on_retry,
+        )
 
     # ------------------------------------------------------------------ send
     def send(
@@ -200,19 +238,23 @@ class RemoteNetwork(Network):
         site = receiver if downstream else sender
         link = self._site_links[site]
 
+        round_future = None
         if self._notified_round[site] != record.round_index:
             # Open the aggregate round on this link before its first burst,
             # so both endpoints attribute observed bytes to the same round.
+            # The open is *staged* (flush=False): the burst's own request
+            # below flushes both frames in one coalesced write, and FIFO
+            # guarantees the ack lands before the burst's reply.
             self._notified_round[site] = record.round_index
-            opened = self._request(
-                site, link, Message("round", {"round": record.round_index})
+            round_future = link.submit(
+                Message("round", {"round": record.round_index}), flush=False
             )
-            if opened.type != "ack":
-                raise ServiceError(
-                    f"site {site!r} answered a round open with {opened.type!r}"
-                )
 
-        blob = encode_payload(payload)
+        blob = (
+            self._broadcast_blob
+            if self._broadcast_blob is not None
+            else encode_payload(payload)
+        )
         # The 1-byte codec tag is envelope (like the frame header and meta):
         # both the wire meter and the observed counters measure the codec
         # body, so a streaming delta of n bytes meters as n bytes here too.
@@ -226,6 +268,7 @@ class RemoteNetwork(Network):
         }
         if downstream:
             reply = self._request(site, link, Message("msg", meta, blob))
+            self._confirm_round(site, round_future)
             if reply.type != "ack":
                 raise ServiceError(
                     f"site {site!r} answered a downstream msg with {reply.type!r}: "
@@ -243,6 +286,7 @@ class RemoteNetwork(Network):
             self.observed_round_bytes[site][record.round_index] += observed
         else:
             reply = self._request(site, link, Message("relay", meta, blob))
+            self._confirm_round(site, round_future)
             if reply.type != "msg":
                 raise ServiceError(
                     f"site {site!r} answered a relay with {reply.type!r}: "
@@ -276,6 +320,30 @@ class RemoteNetwork(Network):
             sender, receiver, None, label=label, bits=8 * body_bytes
         )
         return result
+
+    def broadcast(self, payload, *, label: str = "", bits=None, sites=None):
+        """Push one payload to every site, encoding it exactly once.
+
+        The star still transmits one copy per link, but the codec runs once
+        — the shared blob is reused for every ``send`` of the loop (the
+        meters are unchanged: each link is charged the same bits either
+        way).
+        """
+        self._broadcast_blob = encode_payload(payload)
+        try:
+            return super().broadcast(payload, label=label, bits=bits, sites=sites)
+        finally:
+            self._broadcast_blob = None
+
+    def _confirm_round(self, site: str, round_future) -> None:
+        """Verify a staged round open's ack (FIFO: it already arrived)."""
+        if round_future is None:
+            return
+        opened = round_future.result(self.deadline)
+        if opened.type != "ack":
+            raise ServiceError(
+                f"site {site!r} answered a round open with {opened.type!r}"
+            )
 
     # ------------------------------------------------------------ accounting
     def wire_link_bits(self) -> dict[str, int]:
@@ -313,6 +381,329 @@ class RemoteNetwork(Network):
         for rounds in self.observed_round_bytes.values():
             rounds.clear()
         self._notified_round = {name: 0 for name in self.site_names}
+
+
+class RemoteTreeNetwork(TreeNetwork):
+    """A metered aggregation tree whose every edge is a real socket hop.
+
+    The shape is a depth-<=2 :class:`~repro.comm.tree.TreeSpec`: the
+    root's children are live connections (aggregator agents and/or direct
+    site agents), and each aggregator fronts its leaf children over its
+    own sockets.  Message routing mirrors :class:`~repro.comm.network
+    .TreeNetwork` exactly — same staged merges, same simulated meters, so
+    estimates stay bit-identical to the in-process tree — but every edge
+    additionally carries the payload's encoded bytes:
+
+    * **downstream**, one frame per root-child subtree: the aggregator
+      observes the frame off its own socket, forwards the *same* payload
+      bytes once per targeted child (encode-once at every level), and its
+      ack aggregates the children's observed counts and digests;
+    * **upstream leaf edge** (leaf behind an aggregator): a routed
+      ``relay`` — the leaf echoes its payload to the aggregator, which
+      counts the bytes off its socket and reports them upstream *without*
+      forwarding the payload (the whole point of the tree);
+    * **upstream interior edge**: the merged payload computed at drain
+      time travels aggregator -> coordinator via the standard relay echo,
+      counted off the coordinator's socket.
+
+    Accounting: per-*edge* wire meters (8 bits per encoded payload byte)
+    and observed socket bytes, with the service invariant
+    ``observed * 8 == wire bits`` holding per edge per round.  Aggregator
+    merges for the metered transcript are computed coordinator-side (the
+    edges relay the resulting bytes); dispatching merge closures through
+    the task fan-out would double-meter, so :attr:`merge_runtime` is
+    pinned to ``None``.
+    """
+
+    def __init__(
+        self,
+        tree: TreeSpec,
+        *,
+        conditions: NetworkConditions | None = None,
+        links: Mapping[str, SiteLink],
+        deadline: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        on_retry: Callable[[str], None] | None = None,
+    ) -> None:
+        deep = [
+            name for name in tree.site_names if tree.node_depth(name) > 2
+        ]
+        if deep or any(tree.node_depth(agg) > 1 for agg in tree.aggregators):
+            raise ServiceError(
+                "the socket transport supports aggregation trees of depth "
+                f"<= 2 (aggregators as root children); got depth {tree.depth}"
+            )
+        super().__init__(tree, conditions=conditions)
+        edges = list(tree.site_names) + list(tree.aggregators)
+        missing = [name for name in edges if name not in links]
+        if missing:
+            raise ServiceError(
+                f"no live connection or route for {missing}; registered "
+                f"links: {sorted(links)}"
+            )
+        self._site_links = {name: links[name] for name in edges}
+        self.deadline = deadline
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self._on_retry = on_retry
+        self.wire_log = MessageLog()
+        self.wire_links: dict[str, MessageLog] = {name: MessageLog() for name in edges}
+        self.observed_link_bytes: Counter[str] = Counter()
+        self.observed_round_bytes: dict[str, Counter[int]] = {
+            name: Counter() for name in edges
+        }
+        #: Round opens happen once per direct connection (root children).
+        self._notified_round: dict[str, int] = {
+            child: 0 for child in tree.children[tree.root]
+        }
+
+    # Merges stay coordinator-side: TreeTopology assigns the protocol
+    # runtime here, but a RemoteRuntime would ship merge closures to the
+    # sites as unmetered tasks — swallow the assignment.
+    @property
+    def merge_runtime(self):
+        return None
+
+    @merge_runtime.setter
+    def merge_runtime(self, value) -> None:
+        pass
+
+    # --------------------------------------------------------------- request
+    def _request(self, site: str, link: SiteLink, message: Message) -> Message:
+        return request_with_retry(
+            site,
+            link,
+            message,
+            deadline=self.deadline,
+            retries=self.retries,
+            backoff=self.backoff,
+            on_retry=self._on_retry,
+        )
+
+    def _root_child_of(self, child: str) -> str:
+        """The direct-connection endpoint fronting ``child``'s subtree."""
+        node = child
+        while self.tree.parent[node] != self.coordinator_name:
+            node = self.tree.parent[node]
+        return node
+
+    def _open_round(self, top: str, round_index: int):
+        """Stage a round open on a direct link before its first burst.
+
+        Returns the staged ack future (or None); the caller's next request
+        flushes both frames in one write, and FIFO guarantees the ack
+        arrives first — verify it with :meth:`_confirm_round` afterwards.
+        """
+        if self._notified_round[top] == round_index:
+            return None
+        self._notified_round[top] = round_index
+        return self._site_links[top].submit(
+            Message("round", {"round": round_index}), flush=False
+        )
+
+    def _confirm_round(self, top: str, round_future) -> None:
+        if round_future is None:
+            return
+        opened = round_future.result(self.deadline)
+        if opened.type != "ack":
+            raise ServiceError(
+                f"site {top!r} answered a round open with {opened.type!r}"
+            )
+
+    def _observe(self, edge: str, round_index: int, nbytes: int) -> None:
+        self.observed_link_bytes[edge] += nbytes
+        self.observed_round_bytes[edge][round_index] += nbytes
+
+    def _wire(
+        self, edge: str, direction: str, label: str, body_bytes: int
+    ) -> None:
+        parent = self.tree.parent[edge]
+        sender, receiver = (
+            (edge, parent) if direction == UPSTREAM else (parent, edge)
+        )
+        self.wire_log.record(
+            sender,
+            receiver,
+            None,
+            label=label,
+            bits=8 * body_bytes,
+            direction_key=direction,
+        )
+        self.wire_links[edge].record(
+            sender, receiver, None, label=label, bits=8 * body_bytes
+        )
+
+    # ------------------------------------------------------------- crossings
+    def _record_hop(
+        self, child: str, direction: str, payload: Any, label: str, bits: int
+    ) -> None:
+        super()._record_hop(child, direction, payload, label, bits)
+        if direction == UPSTREAM:
+            round_index = self.log.messages[-1].round_index
+            self._cross_upstream(child, payload, label, round_index)
+
+    def _cross_upstream(
+        self, child: str, payload: Any, label: str, round_index: int
+    ) -> None:
+        """Make one upstream edge's payload physically travel its socket."""
+        blob = encode_payload(payload)
+        body_bytes = len(blob) - PAYLOAD_TAG_BYTES
+        digest = payload_digest(blob)
+        top = self._root_child_of(child)
+        round_future = self._open_round(top, round_index)
+        meta = {
+            "label": label,
+            "bits": 8 * body_bytes,
+            "round": round_index,
+            "digest": digest,
+        }
+        link = self._site_links[child]
+        reply = self._request(child, link, Message("relay", meta, blob))
+        self._confirm_round(top, round_future)
+        if child == top:
+            # Direct edge: the endpoint echoed the payload; its bytes were
+            # counted off the coordinator's own socket read.
+            if reply.type != "msg":
+                raise ServiceError(
+                    f"site {child!r} answered a relay with {reply.type!r}: "
+                    f"{reply.meta}"
+                )
+            if payload_digest(reply.payload) != digest:
+                raise CorruptFrameError(
+                    f"upstream payload from {child!r} corrupted in transit "
+                    f"(digest mismatch over {len(reply.payload)} echoed bytes)",
+                    site=child,
+                )
+            decode_payload(reply.payload)
+            for rnd, nbytes in link.take_observed_upstream():
+                self._observe(child, rnd, nbytes)
+        else:
+            # Routed leaf edge: the leaf echoed to its aggregator, which
+            # counted the bytes off ITS socket and reported them — the
+            # payload never traveled past the aggregator.
+            if reply.type != "ack":
+                raise ServiceError(
+                    f"aggregated relay for {child!r} answered with "
+                    f"{reply.type!r}: {reply.meta}"
+                )
+            observed = int(reply.meta.get("observed", -1))
+            if observed != body_bytes or reply.meta.get("digest") != digest:
+                raise CorruptFrameError(
+                    f"upstream payload from {child!r} corrupted on its leaf "
+                    f"edge: sent {body_bytes} bytes ({digest[:12]}...), "
+                    f"aggregator observed {observed} "
+                    f"({str(reply.meta.get('digest'))[:12]}...)",
+                    site=child,
+                )
+            self._observe(child, round_index, observed)
+        self._wire(child, UPSTREAM, label, body_bytes)
+
+    def _deliver_downstream(
+        self, edge_children: Sequence[str], payload: Any, label: str, bits: int
+    ) -> None:
+        """One physical frame per root-child subtree, payload encoded once."""
+        super()._deliver_downstream(edge_children, payload, label, bits)
+        round_index = self.log.messages[-1].round_index
+        blob = encode_payload(payload)
+        body_bytes = len(blob) - PAYLOAD_TAG_BYTES
+        digest = payload_digest(blob)
+        groups: dict[str, list[str]] = {}
+        order: list[str] = []
+        for child in edge_children:
+            top = self._root_child_of(child)
+            if top not in groups:
+                groups[top] = []
+                order.append(top)
+            if child != top:
+                groups[top].append(child)
+        for top in order:
+            link = self._site_links[top]
+            round_future = self._open_round(top, round_index)
+            meta = {
+                "label": label,
+                "bits": 8 * body_bytes,
+                "round": round_index,
+                "digest": digest,
+            }
+            if groups[top]:
+                meta["forward"] = groups[top]
+            reply = self._request(top, link, Message("msg", meta, blob))
+            self._confirm_round(top, round_future)
+            if reply.type != "ack":
+                raise ServiceError(
+                    f"site {top!r} answered a downstream msg with "
+                    f"{reply.type!r}: {reply.meta}"
+                )
+            observed = int(reply.meta.get("observed", -1))
+            if observed != body_bytes or reply.meta.get("digest") != digest:
+                raise CorruptFrameError(
+                    f"downstream payload to {top!r} corrupted in transit: "
+                    f"sent {body_bytes} bytes ({digest[:12]}...), observed "
+                    f"{observed} ({str(reply.meta.get('digest'))[:12]}...)",
+                    site=top,
+                )
+            self._observe(top, round_index, observed)
+            self._wire(top, DOWNSTREAM, label, body_bytes)
+            children_meta = reply.meta.get("children", {})
+            for child in groups[top]:
+                entry = children_meta.get(child)
+                if (
+                    entry is None
+                    or int(entry.get("observed", -1)) != body_bytes
+                    or entry.get("digest") != digest
+                ):
+                    raise CorruptFrameError(
+                        f"downstream payload forwarded to {child!r} corrupted "
+                        f"on its leaf edge (aggregator {top!r} reported "
+                        f"{entry})",
+                        site=child,
+                    )
+                self._observe(child, round_index, int(entry["observed"]))
+                self._wire(child, DOWNSTREAM, label, body_bytes)
+
+    # ------------------------------------------------------------ accounting
+    def wire_link_bits(self) -> dict[str, int]:
+        """Per-edge wire-metered bits (8 per encoded payload byte)."""
+        self._drain()
+        return {name: log.total_bits for name, log in self.wire_links.items()}
+
+    @property
+    def observed_total_bytes(self) -> int:
+        self._drain()
+        return sum(self.observed_link_bytes.values())
+
+    def service_report(self) -> dict[str, Any]:
+        """The observed-vs-metered summary (same shape as the star's)."""
+        self._drain()
+        return {
+            "rounds": self.rounds,
+            "simulated_bits": self.total_bits,
+            "simulated_link_bits": self.link_bits(),
+            "wire_bits": self.wire_log.total_bits,
+            "wire_link_bits": self.wire_link_bits(),
+            "wire_round_bits": self.wire_log.bits_per_round(),
+            "observed_bytes": self.observed_total_bytes,
+            "observed_link_bytes": dict(self.observed_link_bytes),
+            "observed_round_bytes": {
+                name: dict(rounds)
+                for name, rounds in self.observed_round_bytes.items()
+            },
+            "tree": self.tree.describe(),
+            "root_link_bits": self.root_link_bits(),
+        }
+
+    def reset(self) -> None:
+        super().reset()
+        self.wire_log.reset()
+        for log in self.wire_links.values():
+            log.reset()
+        self.observed_link_bytes.clear()
+        for rounds in self.observed_round_bytes.values():
+            rounds.clear()
+        self._notified_round = {
+            child: 0 for child in self.tree.children[self.tree.root]
+        }
 
 
 class RemoteRuntime(Runtime):
@@ -371,7 +762,7 @@ class SocketTransport(Transport):
         #: The most recently built network — the server reads its
         #: :meth:`RemoteNetwork.service_report` after each query (queries
         #: are serialized on one worker, so "last" is unambiguous).
-        self.last_network: RemoteNetwork | None = None
+        self.last_network: RemoteNetwork | RemoteTreeNetwork | None = None
 
     @property
     def links(self) -> dict[str, SiteLink]:
@@ -391,17 +782,32 @@ class SocketTransport(Transport):
         site_names: Sequence[str],
         coordinator_name: str,
         conditions: NetworkConditions | None = None,
-    ) -> RemoteNetwork:
-        network = RemoteNetwork(
-            site_names,
-            coordinator_name,
-            conditions=conditions,
-            links=self._links,
-            deadline=self.deadline,
-            retries=self.retries,
-            backoff=self.backoff,
-            on_retry=self.on_retry,
-        )
+        *,
+        tree: TreeSpec | None = None,
+    ) -> RemoteNetwork | RemoteTreeNetwork:
+        network: RemoteNetwork | RemoteTreeNetwork
+        if tree is not None:
+            self.check_tree(tree, site_names, coordinator_name)
+            network = RemoteTreeNetwork(
+                tree,
+                conditions=conditions,
+                links=self._links,
+                deadline=self.deadline,
+                retries=self.retries,
+                backoff=self.backoff,
+                on_retry=self.on_retry,
+            )
+        else:
+            network = RemoteNetwork(
+                site_names,
+                coordinator_name,
+                conditions=conditions,
+                links=self._links,
+                deadline=self.deadline,
+                retries=self.retries,
+                backoff=self.backoff,
+                on_retry=self.on_retry,
+            )
         self.last_network = network
         return network
 

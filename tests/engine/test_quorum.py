@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.comm.conditions import LinkModel, NetworkConditions
 from repro.engine.lp_norm import StarLpNormProtocol
@@ -221,3 +223,114 @@ class TestStreamingLateMerge:
             ClusterEstimator(shards, b, seed=SEED).stream(
                 quorum=(NUM_SITES + 1, 1)
             )
+
+
+class TestVectorizedPartitionPin:
+    """The single-pass NumPy ``partition_quorum`` against a reference scan.
+
+    The vectorization must be invisible: contributor sets are pinned
+    bit-identical to the obvious per-site loop — deadline filtering, the
+    fastest ``n - f`` selection, and tie-breaks by site order included.
+    Hypothesis drives quantized latencies so ties actually occur.
+    """
+
+    @staticmethod
+    def _reference(site_names, latencies, required, deadline):
+        """The historical per-site scan, written as plainly as possible."""
+        responders = [
+            i
+            for i in range(len(site_names))
+            if deadline is None or latencies[i] <= deadline
+        ]
+        if len(responders) < required:
+            return None
+        ordered = sorted(responders, key=lambda i: (latencies[i], i))
+        contributors = sorted(ordered[:required])
+        chosen = set(contributors)
+        stragglers = [n for i, n in enumerate(site_names) if i not in chosen]
+        return contributors, stragglers
+
+    def test_exact_ties_break_by_site_order(self):
+        names = [f"site-{i}" for i in range(6)]
+        # Sites 1, 3, 4 tie exactly; order must pick 1 then 3, never 4.
+        overrides = {
+            "site-0": LinkModel(latency=0.9),
+            "site-1": LinkModel(latency=0.2),
+            "site-2": LinkModel(latency=0.7),
+            "site-3": LinkModel(latency=0.2),
+            "site-4": LinkModel(latency=0.2),
+            "site-5": LinkModel(latency=0.4),
+        }
+        conditions = NetworkConditions(LinkModel(latency=0.5), overrides=overrides)
+        runtime = Runtime(quorum=QuorumPolicy(f=4), dropout="exclude")
+        contributors, stragglers, details = runtime.partition_quorum(
+            names, conditions
+        )
+        assert contributors == [1, 3]
+        assert stragglers == ["site-0", "site-2", "site-4", "site-5"]
+        assert details["contributing_sites"] == ["site-1", "site-3"]
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        latencies=st.lists(
+            st.integers(0, 4).map(lambda q: q / 4.0), min_size=2, max_size=12
+        ),
+        f=st.integers(0, 3),
+        deadline_q=st.one_of(st.none(), st.integers(1, 4)),
+    )
+    def test_random_latency_profiles_match_the_reference_scan(
+        self, latencies, f, deadline_q
+    ):
+        k = len(latencies)
+        f = min(f, k - 1)
+        deadline = None if deadline_q is None else deadline_q / 4.0
+        names = [f"site-{i}" for i in range(k)]
+        conditions = NetworkConditions(
+            LinkModel(latency=0.0),
+            overrides={
+                name: LinkModel(latency=lat) if lat else LinkModel()
+                for name, lat in zip(names, latencies)
+            },
+            deadline=deadline,
+        )
+        runtime = Runtime(quorum=QuorumPolicy(f=f), dropout="exclude")
+        expected = self._reference(names, latencies, k - f, deadline)
+        if expected is None:
+            with pytest.raises(SiteDroppedError, match="quorum"):
+                runtime.partition_quorum(names, conditions)
+            return
+        contributors, stragglers, details = runtime.partition_quorum(
+            names, conditions
+        )
+        assert (contributors, stragglers) == expected
+        assert details["required"] == k - f
+        assert details["arrival_s"] == {
+            name: lat for name, lat in zip(names, latencies)
+        }
+
+    def test_tree_regions_resolve_per_edge_and_report_per_subtree(self):
+        from repro.comm.tree import TreeSpec
+
+        names = [f"site-{i}" for i in range(6)]
+        tree = TreeSpec.regular(names, 3)  # agg-0-0: 0..2, agg-0-1: 3..5
+        conditions = NetworkConditions(
+            LinkModel(latency=0.1),
+            regions={"agg-0-1": LinkModel(latency=0.9)},
+            overrides={"site-4": LinkModel(latency=0.05)},
+        )
+        runtime = Runtime(quorum=QuorumPolicy(f=2), dropout="exclude")
+        contributors, stragglers, details = runtime.partition_quorum(
+            names, conditions, tree=tree
+        )
+        # Override beats region (site-4); region beats default (3, 5 slow).
+        expected_lat = [0.1, 0.1, 0.1, 0.9, 0.05, 0.9]
+        assert details["arrival_s"] == {
+            name: lat for name, lat in zip(names, expected_lat)
+        }
+        assert (contributors, stragglers) == self._reference(
+            names, expected_lat, 4, None
+        )
+        assert details["per_subtree"] == {
+            "agg-0-0": {"sites": 3, "contributing": 3},
+            "agg-0-1": {"sites": 3, "contributing": 1},
+        }

@@ -22,6 +22,7 @@ from repro.comm.framing import (
     FramingError,
     decode_frames,
     encode_frame,
+    encode_frames,
 )
 
 
@@ -63,6 +64,22 @@ def test_any_chunking_reassembles_identically(bodies, data):
     decoder.close()
     assert reassembled == bodies
     assert decoder.pending == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(bodies=st.lists(st.binary(max_size=200), max_size=8), data=st.data())
+def test_coalesced_batch_is_byte_identical_and_chunk_invariant(bodies, data):
+    """``encode_frames`` (one coalesced write) == per-frame writes, and the
+    decoder reassembles the batch identically under any chunking."""
+    batch = encode_frames(bodies)
+    assert batch == b"".join(encode_frame(body) for body in bodies)
+    cuts = sorted(data.draw(st.lists(st.integers(0, len(batch)), max_size=20)))
+    decoder = FrameDecoder()
+    reassembled = []
+    for start, end in zip([0, *cuts], [*cuts, len(batch)]):
+        reassembled.extend(decoder.feed(batch[start:end]))
+    decoder.close()
+    assert reassembled == bodies
 
 
 @settings(max_examples=100, deadline=None)

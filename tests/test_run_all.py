@@ -15,6 +15,7 @@ from repro.experiments import (
     e15_streaming_monitoring,
     e16_runtime_conditions,
     e17_robust_aggregation,
+    e18_tree_scaling,
     run_all,
 )
 
@@ -80,6 +81,23 @@ class TestRemainingDrivers:
         assert report.summary["quorum_makespan_strictly_decreasing"]
         assert report.summary["quorum_f_max_speedup"] > 1.0
 
+    def test_e18(self):
+        report = e18_tree_scaling.run(
+            k_values=(16, 1_000),
+            fan_outs=(2, 8),
+            per_site_bits=8_192,
+            anchor_sites=8,
+            anchor_fan_out=2,
+            seed=18,
+        )
+        assert report.summary["max_root_link_bits_k_invariant"]
+        assert report.summary["root_ingress_tracks_fan_out"]
+        assert report.summary["flat_root_ingress_tracks_k"]
+        assert report.summary["tree_beats_flat_at_1e3"]
+        assert report.summary["anchor_bit_identical"]
+        scaling = [row for row in report.rows if row["scenario"] == "scaling"]
+        assert {row["fan_out"] for row in scaling} == {"flat", 2, 8}
+
 
 class TestRunAll:
     def test_run_all_subset(self):
@@ -109,7 +127,7 @@ class TestRunAll:
     def test_driver_registry_covers_every_experiment(self):
         # Check the registry size and module names statically (running every
         # driver here would duplicate the smoke tests above).
-        assert len(run_all.ALL_DRIVERS) == 19
+        assert len(run_all.ALL_DRIVERS) == 20
         module_names = {driver.__module__.rsplit(".", 1)[-1] for driver in run_all.ALL_DRIVERS}
         assert {
             "e01_lp_norm",
@@ -118,6 +136,7 @@ class TestRunAll:
             "e15_streaming_monitoring",
             "e16_runtime_conditions",
             "e17_robust_aggregation",
+            "e18_tree_scaling",
             "a1_beta_ablation",
         }.issubset(module_names)
 
